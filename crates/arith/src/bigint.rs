@@ -1,0 +1,225 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! Only the handful of operations needed by the RNS module (Section II-B of
+//! the paper) are provided: construction, comparison, addition,
+//! multiplication by a 128-bit word, and remainder by a 128-bit word. This
+//! keeps the workspace dependency-free while still letting us demonstrate
+//! the "1600-bit modulus → 13 towers of 128-bit" decomposition the paper
+//! describes.
+
+/// An arbitrary-precision unsigned integer, little-endian `u64` limbs.
+///
+/// The representation is normalized: no trailing zero limbs (zero is the
+/// empty limb vector).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// Creates a value from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut s = UBig {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        s.normalize();
+        s
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() as u32 * 64 - top.leading_zeros(),
+        }
+    }
+
+    /// Converts to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// In-place addition.
+    pub fn add_assign(&mut self, rhs: &UBig) {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (s, c1) = self.limbs[i].overflowing_add(r);
+            let (s, c2) = s.overflowing_add(carry);
+            self.limbs[i] = s;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+        self.normalize();
+    }
+
+    /// Returns `self * m` for a 128-bit multiplier.
+    pub fn mul_u128(&self, m: u128) -> UBig {
+        if self.is_zero() || m == 0 {
+            return UBig::zero();
+        }
+        let lo = m as u64;
+        let hi = (m >> 64) as u64;
+        let mut out = self.mul_u64(lo);
+        if hi != 0 {
+            let mut shifted = self.mul_u64(hi);
+            shifted.limbs.insert(0, 0); // * 2^64
+            out.add_assign(&shifted);
+        }
+        out
+    }
+
+    fn mul_u64(&self, m: u64) -> UBig {
+        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let p = l as u128 * m as u128 + carry;
+            limbs.push(p as u64);
+            carry = p >> 64;
+        }
+        if carry != 0 {
+            limbs.push(carry as u64);
+        }
+        let mut out = UBig { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Returns `self mod m` for a non-zero 128-bit modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn rem_u128(&self, m: u128) -> u128 {
+        assert!(m != 0, "division by zero");
+        // Horner over limbs from most to least significant:
+        // rem = (rem * 2^64 + limb) mod m, using U256 for the wide step.
+        let mut rem: u128 = 0;
+        for &l in self.limbs.iter().rev() {
+            let wide = crate::U256::mul_wide(rem, 1u128 << 64).wrapping_add(crate::U256::from(l));
+            rem = wide.rem_u128(m);
+        }
+        rem
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_u128(v)
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        UBig::from_u128(v as u128)
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl core::fmt::Display for UBig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        write!(f, "0x")?;
+        for (i, l) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{l:x}")?;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u128() {
+        for v in [0u128, 1, u64::MAX as u128, u128::MAX, 1 << 100] {
+            assert_eq!(UBig::from_u128(v).to_u128(), Some(v));
+        }
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let mut a = UBig::from_u128(u128::MAX);
+        a.add_assign(&UBig::from_u128(1));
+        assert_eq!(a.to_u128(), None);
+        assert_eq!(a.bits(), 129);
+        assert_eq!(a.rem_u128(1 << 100), 0);
+    }
+
+    #[test]
+    fn mul_widens() {
+        let a = UBig::from_u128(u128::MAX);
+        let b = a.mul_u128(u128::MAX);
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        assert_eq!(b.bits(), 256);
+        // 2^128 ≡ 1 (mod 5), so (2^128 - 1)^2 ≡ 0 (mod 5).
+        assert_eq!(b.rem_u128(5), 0);
+    }
+
+    #[test]
+    fn rem_matches_u128_arithmetic() {
+        let a = UBig::from_u128(0x1234_5678_9ABC_DEF0_1122_3344_5566_7788);
+        let m = 0xFFF7_1234_5678_9ABCu128;
+        assert_eq!(a.rem_u128(m), 0x1234_5678_9ABC_DEF0_1122_3344_5566_7788 % m);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = UBig::from_u128(5);
+        let b = UBig::from_u128(u128::MAX).mul_u128(2);
+        assert!(a < b);
+        assert_eq!(a.cmp(&UBig::from_u128(5)), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(UBig::zero().to_string(), "0");
+        assert_eq!(UBig::from_u128(255).to_string(), "0xff");
+    }
+}

@@ -1,0 +1,326 @@
+//! Modular arithmetic for large-word (up to 127-bit) moduli.
+//!
+//! This is the arithmetic the RPU's LAW (Large Arithmetic Word) engines
+//! implement in hardware: the paper's datapath is 128 bits wide so that a
+//! single tower can hold the large coefficients demanded by 128-bit-secure
+//! CKKS/BGV parameters without RNS decomposition.
+//!
+//! For odd moduli (every NTT prime is odd) multiplication uses Montgomery
+//! reduction with `R = 2^128`, which needs only three 128×128→256-bit
+//! multiplies. A division-based path handles the general case.
+
+use crate::U256;
+
+/// A modulus `2 <= q < 2^127` with precomputed Montgomery constants.
+///
+/// The `q < 2^127` bound keeps `a + b` (reduced operands) and the final
+/// Montgomery correction inside `u128`/`U256` without extra carry words; it
+/// is documented in DESIGN.md and does not restrict any workload in the
+/// paper (RNS tower primes are chosen well below the datapath width).
+///
+/// # Examples
+///
+/// ```
+/// use rpu_arith::Modulus128;
+///
+/// // A 126-bit NTT-friendly prime (q ≡ 1 mod 2^17).
+/// let q = Modulus128::new((59u128 << 120) + (1 << 17) + 1).unwrap_or_else(|| {
+///     // fall back to a known-good small prime for the doctest
+///     Modulus128::new(0x1_0000_0000_0000_1B01).unwrap()
+/// });
+/// let a = q.mul(3, 5);
+/// assert_eq!(a, 15 % q.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus128 {
+    q: u128,
+    /// `-q^{-1} mod 2^128`; only valid when `q` is odd.
+    neg_q_inv: u128,
+    /// `2^128 mod q` (the Montgomery representation of 1).
+    r_mod_q: u128,
+    /// `2^256 mod q` (used to convert into Montgomery form).
+    r2_mod_q: u128,
+    odd: bool,
+}
+
+impl Modulus128 {
+    /// Creates a new modulus. Returns `None` if `q < 2` or `q >= 2^127`.
+    pub fn new(q: u128) -> Option<Self> {
+        if q < 2 || q >= 1u128 << 127 {
+            return None;
+        }
+        let odd = q & 1 == 1;
+        let (neg_q_inv, r_mod_q, r2_mod_q) = if odd {
+            // Newton–Hensel iteration: x <- x(2 - qx) doubles the number of
+            // correct low bits each step; 7 steps reach 128 bits from 3.
+            let mut x: u128 = q; // correct mod 2^3 for odd q
+            for _ in 0..7 {
+                x = x.wrapping_mul(2u128.wrapping_sub(q.wrapping_mul(x)));
+            }
+            debug_assert_eq!(q.wrapping_mul(x), 1);
+            let neg_q_inv = x.wrapping_neg();
+            let r_mod_q = U256::new(1, 0).rem_u128(q);
+            let r2_mod_q = U256::mul_wide(r_mod_q, r_mod_q).rem_u128(q);
+            (neg_q_inv, r_mod_q, r2_mod_q)
+        } else {
+            (0, 0, 0)
+        };
+        Some(Modulus128 {
+            q,
+            neg_q_inv,
+            r_mod_q,
+            r2_mod_q,
+            odd,
+        })
+    }
+
+    /// Returns the modulus value.
+    #[inline]
+    pub const fn value(self) -> u128 {
+        self.q
+    }
+
+    /// Returns `true` if the modulus is odd (fast Montgomery path enabled).
+    #[inline]
+    pub const fn is_odd(self) -> bool {
+        self.odd
+    }
+
+    /// Reduces an arbitrary `u128` into `[0, q)`.
+    #[inline]
+    pub const fn reduce(self, a: u128) -> u128 {
+        a % self.q
+    }
+
+    /// Modular addition of reduced operands.
+    #[inline]
+    pub const fn add(self, a: u128, b: u128) -> u128 {
+        debug_assert!(a < self.q && b < self.q);
+        let s = a + b; // q < 2^127 so no overflow
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of reduced operands.
+    #[inline]
+    pub const fn sub(self, a: u128, b: u128) -> u128 {
+        debug_assert!(a < self.q && b < self.q);
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// Modular negation of a reduced operand.
+    #[inline]
+    pub const fn neg(self, a: u128) -> u128 {
+        debug_assert!(a < self.q);
+        if a == 0 {
+            0
+        } else {
+            self.q - a
+        }
+    }
+
+    /// Montgomery reduction: computes `t * 2^-128 mod q` for `t < q * 2^128`.
+    ///
+    /// Only callable for odd moduli (enforced by a debug assertion; the
+    /// public entry points route even moduli to the division path).
+    #[inline]
+    fn mont_reduce(self, t: U256) -> u128 {
+        debug_assert!(self.odd);
+        let m = t.lo().wrapping_mul(self.neg_q_inv);
+        let mq = U256::mul_wide(m, self.q);
+        let (sum, carry) = t.overflowing_add(mq);
+        // (t + m*q) / 2^128 < 2q < 2^128 because q < 2^127, so a carry out
+        // of the 256-bit sum is impossible; handle it defensively anyway by
+        // folding 2^128 - q into the wrapped value.
+        debug_assert!(!carry);
+        let mut r = sum.hi();
+        if carry {
+            r = r.wrapping_sub(self.q);
+        } else if r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+
+    /// Montgomery multiplication: `a * b * 2^-128 mod q` (odd `q` only).
+    #[inline]
+    fn mont_mul(self, a: u128, b: u128) -> u128 {
+        self.mont_reduce(U256::mul_wide(a, b))
+    }
+
+    /// Converts a reduced value into Montgomery form (`a * 2^128 mod q`).
+    #[inline]
+    pub fn to_mont(self, a: u128) -> u128 {
+        debug_assert!(self.odd, "Montgomery form requires an odd modulus");
+        self.mont_mul(a, self.r2_mod_q)
+    }
+
+    /// Converts a value out of Montgomery form.
+    #[inline]
+    pub fn from_mont(self, a: u128) -> u128 {
+        debug_assert!(self.odd, "Montgomery form requires an odd modulus");
+        self.mont_reduce(U256::from(a))
+    }
+
+    /// Multiplies two values that are both in Montgomery form, yielding a
+    /// Montgomery-form product. This is the hot path for the reference NTT.
+    #[inline]
+    pub fn mont_mul_raw(self, a: u128, b: u128) -> u128 {
+        debug_assert!(self.odd, "Montgomery form requires an odd modulus");
+        self.mont_mul(a, b)
+    }
+
+    /// Modular multiplication of reduced operands (normal domain).
+    ///
+    /// Odd moduli use two Montgomery multiplications; even moduli fall back
+    /// to a full 256-bit product and division.
+    #[inline]
+    pub fn mul(self, a: u128, b: u128) -> u128 {
+        debug_assert!(a < self.q && b < self.q);
+        if self.odd {
+            // (a*b*R^-1) * R^2 * R^-1 = a*b mod q
+            let t = self.mont_mul(a, b);
+            self.mont_mul(t, self.r2_mod_q)
+        } else {
+            U256::mul_wide(a, b).rem_u128(self.q)
+        }
+    }
+
+    /// Modular exponentiation by squaring.
+    pub fn pow(self, base: u128, mut exp: u128) -> u128 {
+        let mut base = self.reduce(base);
+        if self.odd {
+            let mut acc = self.r_mod_q; // 1 in Montgomery form
+            base = self.to_mont(base);
+            while exp > 0 {
+                if exp & 1 == 1 {
+                    acc = self.mont_mul(acc, base);
+                }
+                base = self.mont_mul(base, base);
+                exp >>= 1;
+            }
+            self.from_mont(acc)
+        } else {
+            let mut acc = 1u128 % self.q;
+            while exp > 0 {
+                if exp & 1 == 1 {
+                    acc = self.mul(acc, base);
+                }
+                base = self.mul(base, base);
+                exp >>= 1;
+            }
+            acc
+        }
+    }
+
+    /// Modular inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a ≡ 0 (mod q)`. The result is only a true inverse when
+    /// `q` is prime.
+    pub fn inv(self, a: u128) -> u128 {
+        assert!(self.reduce(a) != 0, "zero has no modular inverse");
+        self.pow(a, self.q - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::sync::OnceLock;
+
+    /// A 126-bit NTT-friendly prime, found once per test binary.
+    #[allow(non_snake_case)]
+    fn Q126() -> u128 {
+        static Q: OnceLock<u128> = OnceLock::new();
+        *Q.get_or_init(|| crate::find_ntt_prime_u128(126, 1 << 20).expect("prime exists"))
+    }
+
+    fn naive_mul(a: u128, b: u128, q: u128) -> u128 {
+        U256::mul_wide(a % q, b % q).rem_u128(q)
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Modulus128::new(0).is_none());
+        assert!(Modulus128::new(1).is_none());
+        assert!(Modulus128::new(1u128 << 127).is_none());
+        assert!(Modulus128::new(3).is_some());
+    }
+
+    #[test]
+    fn mul_matches_naive_odd() {
+        let q = (1u128 << 126) - 137; // arbitrary odd 126-bit value
+        let m = Modulus128::new(q).unwrap();
+        let cases = [
+            (0u128, 0u128),
+            (1, q - 1),
+            (q - 1, q - 1),
+            (q / 2, q / 3),
+            (0x1234_5678_9ABC_DEF0, q - 12345),
+        ];
+        for (a, b) in cases {
+            assert_eq!(m.mul(a, b), naive_mul(a, b, q), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive_even() {
+        let q = (1u128 << 100) - 2; // even modulus exercises division path
+        let m = Modulus128::new(q).unwrap();
+        for (a, b) in [(q - 1, q - 1), (12345, 678910), (q / 2, 2)] {
+            assert_eq!(m.mul(a, b), naive_mul(a, b, q));
+        }
+    }
+
+    #[test]
+    fn mont_round_trip() {
+        let m = Modulus128::new(Q126()).unwrap();
+        for a in [0u128, 1, 42, Q126() - 1, Q126() / 7] {
+            assert_eq!(m.from_mont(m.to_mont(a)), a);
+        }
+    }
+
+    #[test]
+    fn mont_mul_raw_consistent() {
+        let m = Modulus128::new(Q126()).unwrap();
+        let (a, b) = (Q126() / 5, Q126() / 9);
+        let am = m.to_mont(a);
+        let bm = m.to_mont(b);
+        assert_eq!(m.from_mont(m.mont_mul_raw(am, bm)), m.mul(a, b));
+    }
+
+    #[test]
+    fn add_sub_wraparound() {
+        let m = Modulus128::new(Q126()).unwrap();
+        assert_eq!(m.add(Q126() - 1, 1), 0);
+        assert_eq!(m.sub(0, 1), Q126() - 1);
+        assert_eq!(m.neg(1), Q126() - 1);
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let m = Modulus128::new(Q126()).unwrap();
+        assert_eq!(m.pow(2, 100), 1u128 << 100);
+        let a = 0xFEED_FACE_CAFEu128;
+        assert_eq!(m.mul(a, m.inv(a)), 1);
+        // Fermat: a^(q-1) = 1
+        assert_eq!(m.pow(a, Q126() - 1), 1);
+    }
+
+    #[test]
+    fn pow_even_modulus() {
+        let m = Modulus128::new(1u128 << 64).unwrap();
+        assert_eq!(m.pow(3, 2), 9);
+        assert_eq!(m.pow(2, 64), 0);
+    }
+}

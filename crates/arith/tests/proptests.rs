@@ -1,0 +1,143 @@
+//! Property-based tests for the arithmetic substrate.
+//!
+//! These check algebraic laws (ring axioms, CRT bijectivity, division
+//! identities) over randomly drawn operands, complementing the
+//! example-based unit tests inside each module.
+
+use proptest::prelude::*;
+use rpu_arith::{Modulus128, Modulus64, RnsBasis, UBig, U256};
+
+/// An arbitrary odd modulus in `[3, 2^127)`.
+fn arb_mod128() -> impl Strategy<Value = Modulus128> {
+    (3u128..(1u128 << 127)).prop_map(|q| Modulus128::new(q | 1).expect("odd q in range"))
+}
+
+/// An arbitrary modulus in `[2, 2^63)`.
+fn arb_mod64() -> impl Strategy<Value = Modulus64> {
+    (2u64..(1u64 << 63)).prop_map(|q| Modulus64::new(q).expect("q in range"))
+}
+
+proptest! {
+    #[test]
+    fn u256_mul_div_round_trip(a in any::<u128>(), d in 1u128..) {
+        let p = U256::mul_wide(a, d);
+        let (q, r) = p.div_rem_u128(d);
+        prop_assert_eq!(q, U256::from(a));
+        prop_assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn u256_div_identity(hi in any::<u128>(), lo in any::<u128>(), d in 1u128..) {
+        // v = q*d + r with r < d
+        let v = U256::new(hi, lo);
+        let (q, r) = v.div_rem_u128(d);
+        prop_assert!(r < d);
+        // reconstruct q*d + r and compare
+        let qd_lo = U256::mul_wide(q.lo(), d);
+        let qd_hi = U256::mul_wide(q.hi(), d);
+        // q*d = qd_lo + (qd_hi << 128); overflow beyond 256 bits cannot
+        // happen because q*d <= v.
+        let back = qd_lo
+            .wrapping_add(U256::new(qd_hi.lo(), 0))
+            .wrapping_add(U256::from(r));
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn u256_add_sub_inverse(a_hi in any::<u128>(), a_lo in any::<u128>(),
+                            b_hi in any::<u128>(), b_lo in any::<u128>()) {
+        let a = U256::new(a_hi, a_lo);
+        let b = U256::new(b_hi, b_lo);
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn mod128_mul_commutative_and_matches_division(m in arb_mod128(),
+                                                   a in any::<u128>(),
+                                                   b in any::<u128>()) {
+        let q = m.value();
+        let (a, b) = (a % q, b % q);
+        let expect = U256::mul_wide(a, b).rem_u128(q);
+        prop_assert_eq!(m.mul(a, b), expect);
+        prop_assert_eq!(m.mul(b, a), expect);
+    }
+
+    #[test]
+    fn mod128_distributive(m in arb_mod128(),
+                           a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        let q = m.value();
+        let (a, b, c) = (a % q, b % q, c % q);
+        let lhs = m.mul(a, m.add(b, c));
+        let rhs = m.add(m.mul(a, b), m.mul(a, c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod128_add_sub_inverse(m in arb_mod128(), a in any::<u128>(), b in any::<u128>()) {
+        let q = m.value();
+        let (a, b) = (a % q, b % q);
+        prop_assert_eq!(m.sub(m.add(a, b), b), a);
+        prop_assert_eq!(m.add(m.sub(a, b), b), a);
+        prop_assert_eq!(m.add(a, m.neg(a)), 0);
+    }
+
+    #[test]
+    fn mod128_mont_round_trip(m in arb_mod128(), a in any::<u128>()) {
+        let a = a % m.value();
+        prop_assert_eq!(m.from_mont(m.to_mont(a)), a);
+    }
+
+    #[test]
+    fn mod128_pow_laws(m in arb_mod128(), a in any::<u128>(), e in 0u128..1000, f in 0u128..1000) {
+        let a = a % m.value();
+        // a^e * a^f = a^(e+f)
+        prop_assert_eq!(m.mul(m.pow(a, e), m.pow(a, f)), m.pow(a, e + f));
+    }
+
+    #[test]
+    fn mod64_matches_mod128(q in 2u64..(1u64 << 63), a in any::<u64>(), b in any::<u64>()) {
+        let m64 = Modulus64::new(q).expect("in range");
+        let m128 = Modulus128::new(q as u128).expect("in range");
+        let (a, b) = (a % q, b % q);
+        prop_assert_eq!(m64.mul(a, b) as u128, m128.mul(a as u128, b as u128));
+        prop_assert_eq!(m64.add(a, b) as u128, m128.add(a as u128, b as u128));
+        prop_assert_eq!(m64.sub(a, b) as u128, m128.sub(a as u128, b as u128));
+    }
+
+    #[test]
+    fn mod64_shoup_agrees(m in arb_mod64(), a in any::<u64>(), w in any::<u64>()) {
+        let q = m.value();
+        let (a, w) = (a % q, w % q);
+        let ws = m.shoup(w);
+        prop_assert_eq!(m.mul_shoup(a, w, ws), m.mul(a, w));
+    }
+
+    #[test]
+    fn mod64_reduce_wide_matches(m in arb_mod64(), x in any::<u128>()) {
+        prop_assert_eq!(m.reduce_wide(x) as u128, x % m.value() as u128);
+    }
+
+    #[test]
+    fn rns_round_trips_small(v in any::<u128>()) {
+        // Coprime triple spanning > 128 bits so any u128 round-trips.
+        let basis = RnsBasis::new(vec![
+            (1u128 << 61) - 1,       // Mersenne prime
+            (1u128 << 45) - 229,     // prime-ish; only coprimality matters
+            (1u128 << 31) - 1,       // Mersenne prime
+        ]).expect("pairwise coprime");
+        let r = basis.decompose_u128(v);
+        let back = basis.reconstruct(&r);
+        prop_assert_eq!(back, {
+            let qprod = basis.product();
+            let v_mod = UBig::from_u128(v);
+            if v_mod < qprod { v_mod } else { unreachable!("Q > 2^128") }
+        });
+    }
+
+    #[test]
+    fn ubig_mul_rem_consistent(a in any::<u128>(), b in any::<u128>(), m in 1u128..) {
+        let big = UBig::from_u128(a).mul_u128(b);
+        let expect = U256::mul_wide(a, b).rem_u128(m);
+        prop_assert_eq!(big.rem_u128(m), expect);
+    }
+}

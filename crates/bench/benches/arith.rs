@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the modular-arithmetic substrate:
+//! the software cost of the operations a single LAW engine lane performs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rpu_arith::{Modulus128, Modulus64, U256};
+
+fn bench_mod64(c: &mut Criterion) {
+    let q = rpu_arith::find_ntt_prime_u64(60, 1 << 17).expect("prime exists");
+    let m = Modulus64::new(q).expect("in range");
+    let a = q / 3;
+    let b = q / 7;
+    let w = q / 11;
+    let ws = m.shoup(w);
+
+    let mut g = c.benchmark_group("mod64");
+    g.bench_function("mul_barrett", |bench| {
+        bench.iter(|| m.mul(black_box(a), black_box(b)))
+    });
+    g.bench_function("mul_shoup", |bench| {
+        bench.iter(|| m.mul_shoup(black_box(a), w, ws))
+    });
+    g.bench_function("add", |bench| bench.iter(|| m.add(black_box(a), black_box(b))));
+    g.bench_function("pow", |bench| bench.iter(|| m.pow(black_box(a), 65537)));
+    g.finish();
+}
+
+fn bench_mod128(c: &mut Criterion) {
+    let q = rpu_arith::find_ntt_prime_u128(126, 1 << 17).expect("prime exists");
+    let m = Modulus128::new(q).expect("in range");
+    let a = q / 3;
+    let b = q / 7;
+    let am = m.to_mont(a);
+    let bm = m.to_mont(b);
+
+    let mut g = c.benchmark_group("mod128");
+    g.bench_function("mul_double_montgomery", |bench| {
+        bench.iter(|| m.mul(black_box(a), black_box(b)))
+    });
+    g.bench_function("mont_mul_raw", |bench| {
+        bench.iter(|| m.mont_mul_raw(black_box(am), black_box(bm)))
+    });
+    g.bench_function("mul_wide_then_divide", |bench| {
+        bench.iter(|| U256::mul_wide(black_box(a), black_box(b)).rem_u128(q))
+    });
+    g.bench_function("add", |bench| bench.iter(|| m.add(black_box(a), black_box(b))));
+    g.finish();
+}
+
+fn bench_primes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primes");
+    g.sample_size(20);
+    g.bench_function("miller_rabin_u128_126bit", |bench| {
+        let q = rpu_arith::find_ntt_prime_u128(126, 1 << 17).expect("prime exists");
+        bench.iter(|| rpu_arith::is_prime_u128(black_box(q)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mod64, bench_mod128, bench_primes);
+criterion_main!(benches);

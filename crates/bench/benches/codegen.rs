@@ -1,0 +1,48 @@
+//! Criterion benchmarks for kernel generation — the SPIRAL-substitute
+//! compile time, including the dependence-DAG list scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpu_codegen::{list_schedule, CodegenStyle, Direction, NttKernel};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate_forward");
+    g.sample_size(10);
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+        g.bench_with_input(BenchmarkId::new("optimized", n), &n, |bench, &n| {
+            bench.iter(|| {
+                black_box(
+                    NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Optimized)
+                        .expect("generates"),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("unoptimized", n), &n, |bench, &n| {
+            bench.iter(|| {
+                black_box(
+                    NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Unoptimized)
+                        .expect("generates"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let n = 4096usize;
+    let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+    let kernel =
+        NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Unoptimized).expect("ok");
+    c.bench_function("list_schedule_4k_program", |bench| {
+        bench.iter(|| black_box(list_schedule(kernel.program())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generate, bench_scheduler
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the reference NTT library — the software
+//! that both validates the RPU and serves as the Fig. 10 CPU baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpu_ntt::{Ntt128Plan, Ntt64Plan, PeaseSchedule};
+
+fn bench_forward_64(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt64_forward");
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let q = rpu_arith::find_ntt_prime_u64(60, 2 * n as u64).expect("prime exists");
+        let plan = Ntt64Plan::new(n, q).expect("valid");
+        let data: Vec<u64> = (0..n as u64).map(|i| i % q).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter_batched(
+                || data.clone(),
+                |mut x| {
+                    plan.forward(&mut x);
+                    black_box(x)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_forward_128(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt128_forward");
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+        let plan = Ntt128Plan::new(n, q).expect("valid");
+        let data: Vec<u128> = (0..n as u128).map(|i| i % q).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter_batched(
+                || data.clone(),
+                |mut x| {
+                    plan.forward(&mut x);
+                    black_box(x)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_pease_reference(c: &mut Criterion) {
+    // the scalar constant-geometry model that anchors the RPU kernels
+    let n = 4096usize;
+    let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+    let sched = PeaseSchedule::new(n, q).expect("valid");
+    let data: Vec<u128> = (0..n as u128).map(|i| i % q).collect();
+    c.bench_function("pease128_forward_4096", |bench| {
+        bench.iter(|| black_box(sched.forward(black_box(&data))))
+    });
+}
+
+criterion_group!(benches, bench_forward_64, bench_forward_128, bench_pease_reference);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the simulators themselves: how fast the
+//! cycle model and the functional model chew through kernels (the
+//! design-space exploration cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rpu_codegen::{CodegenStyle, Direction, NttKernel};
+use rpu_sim::{CycleSim, FunctionalSim, RpuConfig};
+
+fn kernel(n: usize) -> NttKernel {
+    let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+    NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Optimized).expect("generates")
+}
+
+fn bench_cycle_sim(c: &mut Criterion) {
+    let k64 = kernel(65536);
+    let sim = CycleSim::new(RpuConfig::pareto_128x128()).expect("valid");
+    c.bench_function("cycle_sim_64k_kernel", |bench| {
+        bench.iter(|| black_box(sim.simulate(k64.program())))
+    });
+
+    // a full Fig. 3-style sweep re-times the same kernel 28 times
+    c.bench_function("cycle_sim_design_sweep_4k", |bench| {
+        let k = kernel(4096);
+        bench.iter(|| {
+            let mut total = 0u64;
+            for h in [4usize, 8, 16, 32, 64, 128, 256] {
+                for b in [32usize, 64, 128, 256] {
+                    let sim = CycleSim::new(RpuConfig::with_geometry(h, b)).expect("valid");
+                    total += sim.simulate(k.program()).cycles;
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_functional_sim(c: &mut Criterion) {
+    let k = kernel(1024);
+    let input: Vec<u128> = (0..1024u128).collect();
+    let image = k.vdm_image(&input);
+    let sdm = k.sdm_image();
+    c.bench_function("functional_sim_1k_kernel", |bench| {
+        bench.iter(|| {
+            let mut sim = FunctionalSim::new(k.layout().total_elements, 16);
+            sim.write_vdm(0, &image);
+            sim.write_sdm(0, &sdm);
+            sim.run(k.program()).expect("executes");
+            black_box(sim.read_vdm(0, 8))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cycle_sim, bench_functional_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 3: 64K NTT area–latency trade-off varying HPLEs and VDM banks;
+//! Pareto-optimal designs marked as (HPLEs, banks).
+
+use rpu::model::pareto_frontier;
+use rpu::{explore_design_space, PAPER_BANKS, PAPER_HPLES};
+use rpu_bench::{print_comparison, PaperRow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 65536usize;
+    eprintln!("sweeping {}x{} configurations for the 64K NTT...", PAPER_HPLES.len(), PAPER_BANKS.len());
+    let points = explore_design_space(n, &PAPER_HPLES, &PAPER_BANKS)?;
+
+    println!("\nFig. 3 scatter (runtime us vs area mm2):");
+    println!("{:>6} {:>6} {:>12} {:>10}", "HPLEs", "banks", "runtime", "area");
+    for p in &points {
+        println!(
+            "{:>6} {:>6} {:>9.2} us {:>7.1} mm2",
+            p.hples, p.banks, p.runtime_us, p.area_mm2
+        );
+    }
+
+    let frontier = pareto_frontier(&points);
+    let ours: Vec<String> = frontier
+        .iter()
+        .map(|p| format!("({},{})", p.hples, p.banks))
+        .collect();
+
+    // sanity trend checks from the Fig. 3 prose
+    let get = |h: usize, b: usize| {
+        points
+            .iter()
+            .find(|p| p.hples == h && p.banks == b)
+            .copied()
+            .expect("swept")
+    };
+    let a_ratio = get(4, 256).area_mm2 / get(4, 32).area_mm2;
+    let t_ratio = get(4, 256).runtime_us / get(4, 32).runtime_us;
+    let a256 = get(256, 256).area_mm2 / get(256, 32).area_mm2;
+    let t256 = get(256, 32).runtime_us / get(256, 256).runtime_us;
+
+    let rows = vec![
+        PaperRow {
+            metric: "Pareto points".into(),
+            paper: "(4,32)(8,32)(8,64)(16,32)(16,64)(32,32)...(256,256)".into(),
+            measured: ours.join(""),
+        },
+        PaperRow {
+            metric: "(4,256) vs (4,32) area".into(),
+            paper: "2.5x".into(),
+            measured: format!("{a_ratio:.2}x"),
+        },
+        PaperRow {
+            metric: "(4,256) vs (4,32) runtime".into(),
+            paper: "0.75x".into(),
+            measured: format!("{t_ratio:.2}x"),
+        },
+        PaperRow {
+            metric: "(256,256) vs (256,32) area".into(),
+            paper: "+20%".into(),
+            measured: format!("+{:.0}%", (a256 - 1.0) * 100.0),
+        },
+        PaperRow {
+            metric: "(256,256) vs (256,32) speedup".into(),
+            paper: "3.5x".into(),
+            measured: format!("{t256:.2}x"),
+        },
+    ];
+    print_comparison("Fig. 3 (64K NTT area-latency)", &rows);
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Figure 4: performance per area (P/A) of the 64K NTT across RPU
+//! configurations. The paper finds (128, 128) best and (64, 64) second.
+
+use rpu::model::best_perf_per_area;
+use rpu::{explore_design_space, PAPER_BANKS, PAPER_HPLES};
+use rpu_bench::{print_comparison, PaperRow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 65536usize;
+    eprintln!("sweeping configurations for the 64K NTT P/A surface...");
+    let points = explore_design_space(n, &PAPER_HPLES, &PAPER_BANKS)?;
+
+    // P/A heat table (rows: HPLEs, cols: banks), like the Fig. 4 surface.
+    println!("\nFig. 4 P/A surface (higher is better):");
+    print!("{:>6}", "H\\B");
+    for b in PAPER_BANKS {
+        print!("{b:>9}");
+    }
+    println!();
+    for h in PAPER_HPLES {
+        print!("{h:>6}");
+        for b in PAPER_BANKS {
+            let p = points
+                .iter()
+                .find(|p| p.hples == h && p.banks == b)
+                .expect("swept");
+            print!("{:>9.2}", p.perf_per_area());
+        }
+        println!();
+    }
+
+    let best = best_perf_per_area(&points).expect("non-empty");
+    let mut sorted = points.clone();
+    sorted.sort_by(|a, b| b.perf_per_area().total_cmp(&a.perf_per_area()));
+    let second = sorted[1];
+
+    // trends from the Fig. 4 prose
+    let pa = |h: usize, b: usize| {
+        points
+            .iter()
+            .find(|p| p.hples == h && p.banks == b)
+            .expect("swept")
+            .perf_per_area()
+    };
+    let rows = vec![
+        PaperRow {
+            metric: "best P/A config".into(),
+            paper: "(128, 128)".into(),
+            measured: format!("({}, {})", best.hples, best.banks),
+        },
+        PaperRow {
+            metric: "second-best".into(),
+            paper: "(64, 64)".into(),
+            measured: format!("({}, {})", second.hples, second.banks),
+        },
+        PaperRow {
+            metric: "P/A drops at (128,256)?".into(),
+            paper: "yes (VBAR 2x)".into(),
+            measured: format!("{}", pa(128, 256) < pa(128, 128)),
+        },
+        PaperRow {
+            metric: "P/A drops at (256,128)?".into(),
+            paper: "yes (+16% perf, 2x HPLE area)".into(),
+            measured: format!("{}", pa(256, 128) < pa(128, 128)),
+        },
+    ];
+    print_comparison("Fig. 4 (64K NTT performance per area)", &rows);
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation section and prints the measured values next to the
+//! published ones. EXPERIMENTS.md records a captured run.
+
+use rpu::{CodegenStyle, Direction, NttKernel};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Kernel cache: figure sweeps re-time the same program under many
+/// configurations; generation (especially for 64K) is the slow part.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    kernels: Mutex<HashMap<(usize, Direction, CodegenStyle), std::sync::Arc<NttKernel>>>,
+}
+
+impl KernelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the kernel for `(n, direction, style)`, generating it on
+    /// first use with an automatically chosen ~126-bit prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if generation fails (figure parameters are all valid).
+    pub fn get(
+        &self,
+        n: usize,
+        direction: Direction,
+        style: CodegenStyle,
+    ) -> std::sync::Arc<NttKernel> {
+        let mut guard = self.kernels.lock().expect("cache poisoned");
+        guard
+            .entry((n, direction, style))
+            .or_insert_with(|| {
+                let q = rpu::arith::find_ntt_prime_u128(126, 2 * n as u128)
+                    .expect("prime exists for paper ring sizes");
+                std::sync::Arc::new(
+                    NttKernel::generate(n, q, direction, style).expect("valid parameters"),
+                )
+            })
+            .clone()
+    }
+}
+
+/// One measured-vs-published comparison row.
+#[derive(Debug, Clone, Serialize)]
+pub struct PaperRow {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's value (as printed).
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+}
+
+/// Prints a paper-vs-measured table and optionally dumps it as JSON when
+/// `RPU_BENCH_JSON` is set (for scripting).
+pub fn print_comparison(title: &str, rows: &[PaperRow]) {
+    println!("\n== {title}: paper vs. this reproduction ==");
+    let w = rows.iter().map(|r| r.metric.len()).max().unwrap_or(10).max(10);
+    println!("{:<w$}  {:>18}  {:>18}", "metric", "paper", "measured");
+    for r in rows {
+        println!("{:<w$}  {:>18}  {:>18}", r.metric, r.paper, r.measured);
+    }
+    if std::env::var("RPU_BENCH_JSON").is_ok() {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(rows).unwrap_or_else(|_| "{}".into())
+        );
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_same_kernel() {
+        let c = KernelCache::new();
+        let a = c.get(1024, Direction::Forward, CodegenStyle::Optimized);
+        let b = c.get(1024, Direction::Forward, CodegenStyle::Optimized);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,590 @@
+//! The NTT kernel generators — our stand-in for the paper's SPIRAL
+//! backend (Section V).
+//!
+//! Two program flavours are produced for every (n, direction):
+//!
+//! * [`CodegenStyle::Unoptimized`] — block-sequential emission through a
+//!   fixed 8-register window, reloading twiddles every block. This is
+//!   the "program with no knowledge of the RPU micro-architecture" of
+//!   Fig. 6: register reuse creates busyboard WAR/WAW stalls and the
+//!   decoupled pipelines starve.
+//! * [`CodegenStyle::Optimized`] — the hardware-aware program: precise
+//!   live-range register allocation over a 47-register pool (renaming),
+//!   per-stage twiddle caching in dedicated registers, and a software
+//!   pipeline that issues the loads of butterfly group `g+1` before the
+//!   compute/shuffle/store phase of group `g` — the "rectangles"
+//!   decomposition of Section V — followed by a greedy time-aware list
+//!   scheduling pass.
+
+use crate::layout::KernelLayout;
+use crate::sched::list_schedule;
+use crate::{CodegenError, CodegenStyle, Direction};
+use rpu_isa::consts::{VECTOR_LEN, VDM_MAX_BYTES};
+use rpu_isa::{AReg, AddrMode, Instruction, MReg, Program, SReg, VReg};
+use rpu_ntt::PeaseSchedule;
+use std::collections::VecDeque;
+
+/// How many distinct twiddle vectors a stage may cache in registers.
+const TW_CACHE_MAX: usize = 16;
+/// First register of the twiddle cache window (v48..v63).
+const TW_CACHE_BASE: u8 = 48;
+/// Software-pipeline group size (butterfly blocks per "rectangle").
+const GROUP: usize = 4;
+
+/// A generated NTT kernel: program plus memory images and metadata.
+#[derive(Debug, Clone)]
+pub struct NttKernel {
+    program: Program,
+    layout: KernelLayout,
+    schedule: PeaseSchedule,
+    direction: Direction,
+    style: CodegenStyle,
+}
+
+/// The base address register all kernels use (host sets it to relocate).
+const BASE: AReg = AReg::at(0);
+/// The modulus register all kernels use.
+const MOD: MReg = MReg::at(0);
+/// Scalar register holding `n^{-1}` for inverse kernels.
+const NINV: SReg = SReg::at(0);
+
+/// Free-list register allocator with precise live ranges: values are
+/// freed after their last consumer is emitted, and the FIFO free list
+/// maximizes reuse distance so busyboard WAR stalls stay short.
+#[derive(Debug)]
+struct RegPool {
+    free: VecDeque<VReg>,
+}
+
+impl RegPool {
+    fn new(lo: u8, hi: u8) -> Self {
+        RegPool {
+            free: (lo..hi).map(VReg::at).collect(),
+        }
+    }
+
+    fn alloc(&mut self) -> VReg {
+        self.free
+            .pop_front()
+            .expect("register pool exhausted: GROUP sized beyond capacity")
+    }
+
+    fn release(&mut self, r: VReg) {
+        self.free.push_back(r);
+    }
+}
+
+impl NttKernel {
+    /// Generates a kernel for ring degree `n` (power of two, ≥ 1024 so a
+    /// butterfly block fills the 512-lane vectors) and prime `q ≡ 1
+    /// (mod 2n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError`] for unsupported degrees/moduli or if the
+    /// working set would not fit the 32 MiB architectural VDM.
+    pub fn generate(
+        n: usize,
+        q: u128,
+        direction: Direction,
+        style: CodegenStyle,
+    ) -> Result<Self, CodegenError> {
+        if n < 2 * VECTOR_LEN || !n.is_power_of_two() {
+            return Err(CodegenError::UnsupportedDegree(n));
+        }
+        let schedule = PeaseSchedule::new(n, q)?;
+        let stages = schedule.stages();
+        let twiddle_counts: Vec<usize> = (0..stages)
+            .map(|s| ((1usize << s) / VECTOR_LEN).max(1))
+            .collect();
+        let layout = KernelLayout::new(n, twiddle_counts);
+        if layout.total_bytes() > VDM_MAX_BYTES {
+            return Err(CodegenError::WorkingSetTooLarge {
+                bytes: layout.total_bytes(),
+            });
+        }
+        let mut kernel = NttKernel {
+            program: Program::new(format!("ntt{}x{}_{}_{}", n, VECTOR_LEN, direction, style)),
+            layout,
+            schedule,
+            direction,
+            style,
+        };
+        match (direction, style) {
+            (Direction::Forward, CodegenStyle::Unoptimized) => kernel.emit_forward_unoptimized(),
+            (Direction::Forward, _) => kernel.emit_forward_optimized(),
+            (Direction::Inverse, CodegenStyle::Unoptimized) => kernel.emit_inverse_unoptimized(),
+            (Direction::Inverse, _) => kernel.emit_inverse_optimized(),
+        }
+        if style != CodegenStyle::Unoptimized {
+            kernel.program = list_schedule(&kernel.program);
+        }
+        Ok(kernel)
+    }
+
+    /// The generated B512 program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The VDM layout.
+    pub fn layout(&self) -> &KernelLayout {
+        &self.layout
+    }
+
+    /// The underlying constant-geometry schedule.
+    pub fn schedule(&self) -> &PeaseSchedule {
+        &self.schedule
+    }
+
+    /// Transform direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Codegen style.
+    pub fn style(&self) -> CodegenStyle {
+        self.style
+    }
+
+    /// Ring degree.
+    pub fn degree(&self) -> usize {
+        self.layout.n
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> u128 {
+        self.schedule.modulus().value()
+    }
+
+    /// Builds the initial VDM image for an input polynomial: input in
+    /// buffer A, twiddle tables in place, everything else zero.
+    ///
+    /// Forward kernels take natural-order coefficients; inverse kernels
+    /// take Pease-ordered evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.degree()`.
+    pub fn vdm_image(&self, input: &[u128]) -> Vec<u128> {
+        assert_eq!(input.len(), self.layout.n, "input length must equal n");
+        let mut image = vec![0u128; self.layout.total_elements];
+        image[..self.layout.n].copy_from_slice(input);
+        for s in 0..self.schedule.stages() {
+            let vectors = match self.direction {
+                Direction::Forward => self.schedule.twiddle_vectors(s, VECTOR_LEN),
+                Direction::Inverse => self.schedule.twiddle_inv_vectors(s, VECTOR_LEN),
+            };
+            for (v, vector) in vectors.iter().enumerate() {
+                let base = self.layout.twiddle_vector_offset(s, v);
+                image[base..base + VECTOR_LEN].copy_from_slice(vector);
+            }
+        }
+        image
+    }
+
+    /// Builds the SDM image: `[n^{-1}, q]`.
+    pub fn sdm_image(&self) -> Vec<u128> {
+        vec![self.schedule.n_inv(), self.schedule.modulus().value()]
+    }
+
+    /// Where the kernel's output lives in the VDM (element offset, length).
+    pub fn output_range(&self) -> (usize, usize) {
+        (self.layout.output_offset, self.layout.n)
+    }
+
+    /// Golden output for a given input, from the scalar schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.degree()`.
+    pub fn expected_output(&self, input: &[u128]) -> Vec<u128> {
+        match self.direction {
+            Direction::Forward => self.schedule.forward(input),
+            Direction::Inverse => self.schedule.inverse(input),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // emission helpers
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, i: Instruction) {
+        self.program.push(i);
+    }
+
+    fn prologue(&mut self) {
+        // MRF[0] <- q, SRF[0] <- n^{-1}; SDM image is [n_inv, q].
+        self.push(Instruction::MLoad { rt: MOD, base: BASE, offset: 1 });
+        if self.direction == Direction::Inverse {
+            self.push(Instruction::SLoad { rt: NINV, base: BASE, offset: 0 });
+        }
+    }
+
+    /// Number of 512-pair butterfly blocks per stage.
+    fn blocks(&self) -> usize {
+        self.layout.n / (2 * VECTOR_LEN)
+    }
+
+    fn load_instr(vd: VReg, offset: usize) -> Instruction {
+        Instruction::VLoad {
+            vd,
+            base: BASE,
+            offset: offset as u32,
+            mode: AddrMode::Unit,
+        }
+    }
+
+    fn store_instr(vs: VReg, offset: usize) -> Instruction {
+        Instruction::VStore {
+            vs,
+            base: BASE,
+            offset: offset as u32,
+            mode: AddrMode::Unit,
+        }
+    }
+
+    /// Loads the per-stage twiddle cache; returns the cache registers
+    /// (empty when the stage has too many distinct vectors to cache).
+    fn load_twiddle_cache(&mut self, s: u32, broadcast_stage0: bool) -> Vec<VReg> {
+        let count = self.layout.twiddle_counts[s as usize];
+        if count > TW_CACHE_MAX {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|v| {
+                let reg = VReg::at(TW_CACHE_BASE + v as u8);
+                let off = self.layout.twiddle_vector_offset(s, v);
+                let instr = if s == 0 && broadcast_stage0 {
+                    // stage 0 has a single scalar twiddle: exercise the
+                    // broadcast path like Listing 1 does
+                    Instruction::VBroadcast { vd: reg, base: BASE, offset: off as u32 }
+                } else {
+                    Self::load_instr(reg, off)
+                };
+                self.push(instr);
+                reg
+            })
+            .collect()
+    }
+
+    /// Emits the twiddle fetch for (stage, block): `(register, pooled?)`.
+    fn fetch_twiddle(
+        &mut self,
+        s: u32,
+        block: usize,
+        cached: &[VReg],
+        pool: &mut RegPool,
+    ) -> (VReg, bool) {
+        let v = self.schedule.twiddle_vector_index(s, block, VECTOR_LEN);
+        if !cached.is_empty() {
+            (cached[v], false)
+        } else {
+            let reg = pool.alloc();
+            let off = self.layout.twiddle_vector_offset(s, v);
+            self.push(Self::load_instr(reg, off));
+            (reg, true)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // forward kernels
+    // ------------------------------------------------------------------
+
+    fn emit_forward_optimized(&mut self) {
+        self.emit_forward(true);
+    }
+
+    /// Emits the forward kernel. With `pipelined = true` (the optimized
+    /// program), loads of butterfly group `g+1` are dispatched before the
+    /// compute/shuffle/store phase of group `g`; without it (the Fig. 6
+    /// baseline) each group is emitted in plain dependency order and the
+    /// in-order frontend stalls on every chain.
+    fn emit_forward(&mut self, pipelined: bool) {
+        self.prologue();
+        let half = self.layout.n / 2;
+        let blocks = self.blocks();
+        let mut pool = RegPool::new(1, TW_CACHE_BASE);
+        for s in 0..self.schedule.stages() {
+            let (inb, outb) = self.layout.stage_buffers(s);
+            let cached = self.load_twiddle_cache(s, true);
+
+            let mut prev: Option<Vec<FwdBlock>> = None;
+            let mut m = 0;
+            while m < blocks {
+                let g = GROUP.min(blocks - m);
+                let mut cur = Vec::with_capacity(g);
+                for i in 0..g {
+                    let blk = m + i;
+                    let a = pool.alloc();
+                    let b = pool.alloc();
+                    self.push(Self::load_instr(a, inb + blk * VECTOR_LEN));
+                    self.push(Self::load_instr(b, inb + half + blk * VECTOR_LEN));
+                    let (tw, pooled) = self.fetch_twiddle(s, blk, &cached, &mut pool);
+                    cur.push(FwdBlock { a, b, tw, pooled, blk });
+                }
+                if pipelined {
+                    if let Some(group) = prev.take() {
+                        self.forward_compute_and_store(group, outb, &mut pool);
+                    }
+                    prev = Some(cur);
+                } else {
+                    self.forward_compute_and_store(cur, outb, &mut pool);
+                }
+                m += g;
+            }
+            if let Some(group) = prev.take() {
+                self.forward_compute_and_store(group, outb, &mut pool);
+            }
+        }
+    }
+
+    /// Butterfly + interleave + store phase for one group of blocks.
+    ///
+    /// The `StridedMemory` ablation skips the SBAR entirely: butterfly
+    /// halves go straight to the VDM with stride-2 stores, pushing the
+    /// interleave work onto the banks.
+    fn forward_compute_and_store(
+        &mut self,
+        group: Vec<FwdBlock>,
+        outb: usize,
+        pool: &mut RegPool,
+    ) {
+        let strided = self.style == CodegenStyle::StridedMemory;
+        let mut outs = Vec::with_capacity(group.len());
+        for FwdBlock { a, b, tw, pooled, blk } in group {
+            let lo = pool.alloc();
+            let hi = pool.alloc();
+            self.push(Instruction::Bfly { vd: lo, vd1: hi, vs: a, vt: b, vt1: tw, rm: MOD });
+            pool.release(a);
+            pool.release(b);
+            if pooled {
+                pool.release(tw);
+            }
+            outs.push((lo, hi, blk));
+        }
+        if strided {
+            for (lo, hi, blk) in outs {
+                let base = outb + 2 * blk * VECTOR_LEN;
+                // lo[i] -> base + 2i (positions 2j), hi[i] -> base + 1 + 2i
+                self.push(Instruction::VStore {
+                    vs: lo,
+                    base: BASE,
+                    offset: base as u32,
+                    mode: AddrMode::Strided { log2_stride: 1 },
+                });
+                self.push(Instruction::VStore {
+                    vs: hi,
+                    base: BASE,
+                    offset: (base + 1) as u32,
+                    mode: AddrMode::Strided { log2_stride: 1 },
+                });
+                pool.release(lo);
+                pool.release(hi);
+            }
+            return;
+        }
+        let mut stores = Vec::with_capacity(outs.len());
+        for (lo, hi, blk) in outs {
+            let u1 = pool.alloc();
+            let u2 = pool.alloc();
+            self.push(Instruction::UnpkLo { vd: u1, vs: lo, vt: hi });
+            self.push(Instruction::UnpkHi { vd: u2, vs: lo, vt: hi });
+            pool.release(lo);
+            pool.release(hi);
+            stores.push((u1, u2, blk));
+        }
+        for (u1, u2, blk) in stores {
+            self.push(Self::store_instr(u1, outb + 2 * blk * VECTOR_LEN));
+            self.push(Self::store_instr(u2, outb + (2 * blk + 1) * VECTOR_LEN));
+            pool.release(u1);
+            pool.release(u2);
+        }
+    }
+
+    fn emit_forward_unoptimized(&mut self) {
+        // The Fig. 6 baseline: the same SPIRAL computation — renamed
+        // registers, cached twiddles — emitted in plain dependency order
+        // with no knowledge of the microarchitecture: no software
+        // pipelining and no list scheduling, so "the shuffle, like other
+        // instructions, is always stalled waiting for the result of the
+        // previous instruction".
+        self.emit_forward(false);
+    }
+
+    // ------------------------------------------------------------------
+    // inverse kernels
+    // ------------------------------------------------------------------
+
+    fn emit_inverse_optimized(&mut self) {
+        self.emit_inverse(true);
+    }
+
+    /// Emits the inverse kernel; `pipelined` as in
+    /// [`emit_forward`](Self::emit_forward).
+    fn emit_inverse(&mut self, pipelined: bool) {
+        self.prologue();
+        let half = self.layout.n / 2;
+        let blocks = self.blocks();
+        let stages = self.schedule.stages();
+        let mut pool = RegPool::new(1, TW_CACHE_BASE);
+        for (pass, s) in (0..stages).rev().enumerate() {
+            let (inb, outb) = self.layout.stage_buffers(pass as u32);
+            let cached = self.load_twiddle_cache(s, false);
+
+            let mut prev: Option<Vec<InvBlock>> = None;
+            let mut m = 0;
+            while m < blocks {
+                let g = GROUP.min(blocks - m);
+                let mut cur = Vec::with_capacity(g);
+                for i in 0..g {
+                    let blk = m + i;
+                    let y1 = pool.alloc();
+                    let y2 = pool.alloc();
+                    let base = inb + 2 * blk * VECTOR_LEN;
+                    if self.style == CodegenStyle::StridedMemory {
+                        // gather even/odd positions directly from the VDM
+                        self.push(Instruction::VLoad {
+                            vd: y1,
+                            base: BASE,
+                            offset: base as u32,
+                            mode: AddrMode::Strided { log2_stride: 1 },
+                        });
+                        self.push(Instruction::VLoad {
+                            vd: y2,
+                            base: BASE,
+                            offset: (base + 1) as u32,
+                            mode: AddrMode::Strided { log2_stride: 1 },
+                        });
+                    } else {
+                        self.push(Self::load_instr(y1, base));
+                        self.push(Self::load_instr(y2, base + VECTOR_LEN));
+                    }
+                    let (tw, pooled) = self.fetch_twiddle(s, blk, &cached, &mut pool);
+                    cur.push(InvBlock { y1, y2, tw, pooled, blk });
+                }
+                if pipelined {
+                    if let Some(group) = prev.take() {
+                        self.inverse_compute_and_store(group, outb, half, &mut pool);
+                    }
+                    prev = Some(cur);
+                } else {
+                    self.inverse_compute_and_store(cur, outb, half, &mut pool);
+                }
+                m += g;
+            }
+            if let Some(group) = prev.take() {
+                self.inverse_compute_and_store(group, outb, half, &mut pool);
+            }
+        }
+        self.emit_final_scale(&mut pool);
+    }
+
+    /// De-interleave + GS butterfly + store phase for one inverse group.
+    fn inverse_compute_and_store(
+        &mut self,
+        group: Vec<InvBlock>,
+        outb: usize,
+        half: usize,
+        pool: &mut RegPool,
+    ) {
+        let strided = self.style == CodegenStyle::StridedMemory;
+        let mut split = Vec::with_capacity(group.len());
+        for InvBlock { y1, y2, tw, pooled, blk } in group {
+            if strided {
+                // strided loads already separated even/odd positions
+                split.push((y1, y2, tw, pooled, blk));
+                continue;
+            }
+            let ev = pool.alloc();
+            let od = pool.alloc();
+            self.push(Instruction::PkLo { vd: ev, vs: y1, vt: y2 });
+            self.push(Instruction::PkHi { vd: od, vs: y1, vt: y2 });
+            pool.release(y1);
+            pool.release(y2);
+            split.push((ev, od, tw, pooled, blk));
+        }
+        let mut outs = Vec::with_capacity(split.len());
+        for (ev, od, tw, pooled, blk) in split {
+            let u = pool.alloc();
+            let d = pool.alloc();
+            self.push(Instruction::VAddMod { vd: u, vs: ev, vt: od, rm: MOD });
+            self.push(Instruction::VSubMod { vd: d, vs: ev, vt: od, rm: MOD });
+            pool.release(ev);
+            pool.release(od);
+            let v = pool.alloc();
+            self.push(Instruction::VMulMod { vd: v, vs: d, vt: tw, rm: MOD });
+            pool.release(d);
+            if pooled {
+                pool.release(tw);
+            }
+            outs.push((u, v, blk));
+        }
+        for (u, v, blk) in outs {
+            self.push(Self::store_instr(u, outb + blk * VECTOR_LEN));
+            self.push(Self::store_instr(v, outb + half + blk * VECTOR_LEN));
+            pool.release(u);
+            pool.release(v);
+        }
+    }
+
+    fn emit_inverse_unoptimized(&mut self) {
+        // Same philosophy as the forward baseline: plain dependency
+        // order, no pipelining, no scheduling.
+        self.emit_inverse(false);
+    }
+
+    /// Scales the output buffer by `n^{-1}` (SRF[0]) in place — the /n of
+    /// the inverse transform, folded out of the per-stage butterflies.
+    fn emit_final_scale(&mut self, pool: &mut RegPool) {
+        let out = self.layout.output_offset;
+        for v in 0..(self.layout.n / VECTOR_LEN) {
+            let reg = pool.alloc();
+            self.push(Self::load_instr(reg, out + v * VECTOR_LEN));
+            let scaled = pool.alloc();
+            self.push(Instruction::VSMulMod { vd: scaled, vs: reg, rt: NINV, rm: MOD });
+            self.push(Self::store_instr(scaled, out + v * VECTOR_LEN));
+            pool.release(reg);
+            pool.release(scaled);
+        }
+    }
+}
+
+/// Loaded operands of one forward butterfly block.
+#[derive(Debug)]
+struct FwdBlock {
+    a: VReg,
+    b: VReg,
+    tw: VReg,
+    pooled: bool,
+    blk: usize,
+}
+
+/// Loaded operands of one inverse butterfly block.
+#[derive(Debug)]
+struct InvBlock {
+    y1: VReg,
+    y2: VReg,
+    tw: VReg,
+    pooled: bool,
+    blk: usize,
+}
+
+impl core::fmt::Display for Direction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Direction::Forward => write!(f, "fwd"),
+            Direction::Inverse => write!(f, "inv"),
+        }
+    }
+}
+
+impl core::fmt::Display for CodegenStyle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodegenStyle::Optimized => write!(f, "opt"),
+            CodegenStyle::Unoptimized => write!(f, "unopt"),
+            CodegenStyle::StridedMemory => write!(f, "strided"),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! # rpu-codegen — SPIRAL-style B512 program generation for the NTT
+//!
+//! The paper programs the RPU through a new SPIRAL backend (Section V):
+//! the Pease/Korn–Lambiotte constant-geometry NTT breakdown, register
+//! allocation, store-to-load-aware emission, and a greedy instruction
+//! scheduler. This crate reproduces that flow in Rust:
+//!
+//! * [`NttKernel::generate`] emits forward/inverse negacyclic NTT kernels
+//!   for ring degrees 1K–64K (and beyond, VDM permitting) directly from
+//!   the shared [`rpu_ntt::PeaseSchedule`], in two styles:
+//!   hardware-aware **optimized** (register renaming, twiddle caching,
+//!   software-pipelined "rectangles", list scheduling) and naive
+//!   **unoptimized** (the Fig. 6 baseline).
+//! * [`list_schedule`] is the standalone scheduling pass.
+//!
+//! Generated kernels carry their VDM/SDM memory images and golden
+//! outputs, so the functional simulator can verify them end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpu_codegen::{CodegenStyle, Direction, NttKernel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let q = rpu_arith::find_ntt_prime_u128(126, 2048).expect("prime exists");
+//! let k = NttKernel::generate(1024, q, Direction::Forward, CodegenStyle::Optimized)?;
+//! assert!(k.program().len() > 0);
+//! println!("{}", k.program().to_asm());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gen;
+mod layout;
+mod sched;
+
+pub use gen::NttKernel;
+pub use layout::KernelLayout;
+pub use sched::list_schedule;
+
+/// Transform direction of a generated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Natural-order coefficients → Pease-ordered evaluations.
+    Forward,
+    /// Pease-ordered evaluations → natural-order coefficients.
+    Inverse,
+}
+
+/// Code-generation style (the two programs of Fig. 6, plus an ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodegenStyle {
+    /// Hardware-aware: renaming, twiddle caching, software pipelining,
+    /// list scheduling.
+    Optimized,
+    /// No knowledge of the microarchitecture: same computation, emitted
+    /// in plain dependency order with no pipelining or scheduling.
+    Unoptimized,
+    /// Ablation: like `Optimized` but *shuffle-free* — butterfly halves
+    /// are written with stride-2 VDM stores (and the inverse reads with
+    /// stride-2 loads) instead of SBAR pack/unpack shuffles. This sends
+    /// the interleaving through the VDM, doubling bank pressure —
+    /// quantifying why B512 has shuffle instructions at all
+    /// (Section III: shuffles "take pressure off the VDM").
+    StridedMemory,
+}
+
+/// Error generating a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// Ring degree not a power of two, or smaller than `2 * VLEN = 1024`
+    /// (one butterfly block must fill a vector).
+    UnsupportedDegree(usize),
+    /// The modulus does not admit the transform.
+    Schedule(rpu_ntt::NttError),
+    /// The kernel working set exceeds the 32 MiB architectural VDM.
+    WorkingSetTooLarge {
+        /// Required bytes.
+        bytes: usize,
+    },
+}
+
+impl core::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodegenError::UnsupportedDegree(n) => {
+                write!(f, "ring degree {n} unsupported (need a power of two >= 1024)")
+            }
+            CodegenError::Schedule(e) => write!(f, "schedule construction failed: {e}"),
+            CodegenError::WorkingSetTooLarge { bytes } => {
+                write!(f, "kernel working set of {bytes} bytes exceeds the 32 MiB VDM")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodegenError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rpu_ntt::NttError> for CodegenError {
+    fn from(e: rpu_ntt::NttError) -> Self {
+        CodegenError::Schedule(e)
+    }
+}

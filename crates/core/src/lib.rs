@@ -1,0 +1,103 @@
+//! # rpu — the Ring Processing Unit
+//!
+//! A from-scratch Rust reproduction of *"RPU: The Ring Processing Unit"*
+//! (ISPASS 2023): the B512 vector ISA, a cycle-level model of the RPU
+//! microarchitecture, a SPIRAL-style NTT code generator, large-word
+//! modular arithmetic, a reference RLWE polynomial library, and GF 12nm
+//! area/energy models — everything needed to regenerate the paper's
+//! evaluation (see EXPERIMENTS.md).
+//!
+//! This crate is the facade: it re-exports the workspace and adds the
+//! high-level [`Rpu`] object plus design-space exploration helpers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rpu::{CodegenStyle, Direction, Rpu, RpuConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's best design point: 128 HPLEs, 128 VDM banks.
+//! let rpu = Rpu::new(RpuConfig::pareto_128x128())?;
+//! let run = rpu.run_ntt(4096, Direction::Forward, CodegenStyle::Optimized)?;
+//! assert!(run.verified); // matched the golden NTT model
+//! println!(
+//!     "4K NTT: {} cycles = {:.2} us, {:.1} uJ on {:.1} mm2",
+//!     run.stats.cycles,
+//!     run.runtime_us,
+//!     run.energy.total_uj(),
+//!     rpu.area().total(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod explore;
+mod run;
+
+pub use explore::{
+    evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES,
+};
+pub use run::{NttRun, Rpu};
+
+// Re-export the component crates under stable names.
+pub use rpu_arith as arith;
+pub use rpu_codegen as codegen;
+pub use rpu_isa as isa;
+pub use rpu_model as model;
+pub use rpu_ntt as ntt;
+pub use rpu_sim as sim;
+
+// And the most-used types at the top level.
+pub use rpu_codegen::{CodegenStyle, Direction, NttKernel};
+pub use rpu_model::{AreaModel, DesignPoint, EnergyModel, F1Comparison};
+pub use rpu_ntt::{Ntt128Plan, Ntt64Plan, PeaseSchedule, Polynomial, RnsPolynomial};
+pub use rpu_sim::{CycleSim, FunctionalSim, HbmModel, RpuConfig, SimStats};
+
+/// Errors from the high-level API.
+#[derive(Debug)]
+pub enum RpuError {
+    /// Invalid microarchitectural configuration.
+    Config(String),
+    /// No NTT-friendly prime exists below the default width for this
+    /// ring degree.
+    NoPrime {
+        /// The requested ring degree.
+        degree: usize,
+    },
+    /// Kernel generation failed.
+    Codegen(rpu_codegen::CodegenError),
+    /// The generated program faulted in the functional simulator.
+    Exec(rpu_sim::ExecError),
+}
+
+impl core::fmt::Display for RpuError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RpuError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            RpuError::NoPrime { degree } => {
+                write!(f, "no NTT prime found for ring degree {degree}")
+            }
+            RpuError::Codegen(e) => write!(f, "code generation failed: {e}"),
+            RpuError::Exec(e) => write!(f, "kernel execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpuError::Codegen(e) => Some(e),
+            RpuError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rpu_codegen::CodegenError> for RpuError {
+    fn from(e: rpu_codegen::CodegenError) -> Self {
+        RpuError::Codegen(e)
+    }
+}

@@ -1,0 +1,205 @@
+//! The high-level `Rpu` object: one handle that ties together code
+//! generation, functional validation, cycle simulation, and the
+//! area/energy models.
+
+use crate::RpuError;
+use rpu_codegen::{CodegenStyle, Direction, NttKernel};
+use rpu_model::{AreaBreakdown, AreaModel, EnergyBreakdown, EnergyModel};
+use rpu_sim::{CycleSim, FunctionalSim, RpuConfig, SimStats};
+
+/// A configured Ring Processing Unit instance.
+///
+/// # Examples
+///
+/// ```
+/// use rpu::{Rpu, RpuConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rpu = Rpu::new(RpuConfig::pareto_128x128())?;
+/// let run = rpu.run_ntt(1024, rpu::Direction::Forward, rpu::CodegenStyle::Optimized)?;
+/// assert!(run.verified);
+/// assert!(run.runtime_us > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Rpu {
+    config: RpuConfig,
+    cycle_sim: CycleSim,
+    area_model: AreaModel,
+    energy_model: EnergyModel,
+}
+
+/// The result of running a kernel on an [`Rpu`].
+#[derive(Debug, Clone)]
+pub struct NttRun {
+    /// Ring degree.
+    pub n: usize,
+    /// The modulus used.
+    pub q: u128,
+    /// Cycle-level statistics.
+    pub stats: SimStats,
+    /// Runtime in microseconds at the configuration's clock.
+    pub runtime_us: f64,
+    /// Energy breakdown for the run.
+    pub energy: EnergyBreakdown,
+    /// `true` if the functional simulation matched the golden model.
+    pub verified: bool,
+    /// Instruction mix of the executed program.
+    pub mix: rpu_isa::InstructionMix,
+}
+
+impl Rpu {
+    /// Creates an RPU with the given microarchitectural configuration and
+    /// default (paper-calibrated) area/energy models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] for invalid configurations.
+    pub fn new(config: RpuConfig) -> Result<Self, RpuError> {
+        let cycle_sim = CycleSim::new(config).map_err(RpuError::Config)?;
+        Ok(Rpu {
+            config,
+            cycle_sim,
+            area_model: AreaModel::default(),
+            energy_model: EnergyModel::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RpuConfig {
+        &self.config
+    }
+
+    /// The area breakdown of this instance.
+    pub fn area(&self) -> AreaBreakdown {
+        self.area_model
+            .breakdown(self.config.num_hples, self.config.vdm_banks)
+    }
+
+    /// The area model (for sweeps with custom parameters).
+    pub fn area_model(&self) -> &AreaModel {
+        &self.area_model
+    }
+
+    /// The energy model.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+
+    /// Generates, validates, and times an NTT kernel for ring degree `n`
+    /// with an automatically chosen ~126-bit NTT prime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation fails or no prime exists.
+    pub fn run_ntt(
+        &self,
+        n: usize,
+        direction: Direction,
+        style: CodegenStyle,
+    ) -> Result<NttRun, RpuError> {
+        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128)
+            .ok_or(RpuError::NoPrime { degree: n })?;
+        self.run_ntt_with_modulus(n, q, direction, style)
+    }
+
+    /// Like [`run_ntt`](Rpu::run_ntt) with an explicit modulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation or functional execution fails.
+    pub fn run_ntt_with_modulus(
+        &self,
+        n: usize,
+        q: u128,
+        direction: Direction,
+        style: CodegenStyle,
+    ) -> Result<NttRun, RpuError> {
+        let kernel = NttKernel::generate(n, q, direction, style)?;
+        let verified = self.verify_kernel(&kernel)?;
+        Ok(self.time_kernel(&kernel, verified))
+    }
+
+    /// Cycle-times an already-generated kernel (no functional run).
+    pub fn time_only(&self, kernel: &NttKernel) -> NttRun {
+        self.time_kernel(kernel, false)
+    }
+
+    /// Runs a kernel through the functional simulator against its golden
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Exec`] if the program faults.
+    pub fn verify_kernel(&self, kernel: &NttKernel) -> Result<bool, RpuError> {
+        let n = kernel.degree();
+        let q = kernel.modulus();
+        let input: Vec<u128> = (0..n as u128).map(|i| (i * 0x9E37_79B9 + 12345) % q).collect();
+        let mut sim = FunctionalSim::new(kernel.layout().total_elements, 16);
+        sim.write_vdm(0, &kernel.vdm_image(&input));
+        sim.write_sdm(0, &kernel.sdm_image());
+        sim.run(kernel.program()).map_err(RpuError::Exec)?;
+        let (off, len) = kernel.output_range();
+        Ok(sim.read_vdm(off, len) == kernel.expected_output(&input))
+    }
+
+    fn time_kernel(&self, kernel: &NttKernel, verified: bool) -> NttRun {
+        let stats = self.cycle_sim.simulate(kernel.program());
+        let runtime_us = self.config.cycles_to_us(stats.cycles);
+        let energy = self.energy_model.breakdown(&stats);
+        NttRun {
+            n: kernel.degree(),
+            q: kernel.modulus(),
+            mix: kernel.program().mix(),
+            runtime_us,
+            energy,
+            verified,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_run() {
+        let rpu = Rpu::new(RpuConfig::pareto_128x128()).unwrap();
+        let run = rpu
+            .run_ntt(1024, Direction::Forward, CodegenStyle::Optimized)
+            .unwrap();
+        assert!(run.verified, "functional validation must pass");
+        assert!(run.runtime_us > 0.0);
+        assert!(run.energy.total_uj() > 0.0);
+        assert_eq!(run.mix.compute, 10); // (1024/1024) * log2(1024)
+    }
+
+    #[test]
+    fn headline_area() {
+        let rpu = Rpu::new(RpuConfig::pareto_128x128()).unwrap();
+        let area = rpu.area().total();
+        assert!((area - 20.5).abs() < 0.5, "got {area:.2}");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(matches!(
+            Rpu::new(RpuConfig::with_geometry(3, 32)),
+            Err(RpuError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn optimized_beats_unoptimized() {
+        let rpu = Rpu::new(RpuConfig::pareto_128x128()).unwrap();
+        let opt = rpu
+            .run_ntt(2048, Direction::Forward, CodegenStyle::Optimized)
+            .unwrap();
+        let unopt = rpu
+            .run_ntt(2048, Direction::Forward, CodegenStyle::Unoptimized)
+            .unwrap();
+        assert!(unopt.stats.cycles > opt.stats.cycles);
+    }
+}

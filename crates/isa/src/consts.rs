@@ -1,0 +1,67 @@
+//! Architectural constants of the B512 ISA (Section III of the paper).
+
+/// Vector length: elements per architectural vector register.
+pub const VECTOR_LEN: usize = 512;
+
+/// Element width in bits (the paper's 128b datapath).
+pub const ELEM_BITS: usize = 128;
+
+/// Element width in bytes.
+pub const ELEM_BYTES: usize = ELEM_BITS / 8;
+
+/// Number of vector registers in the VRF.
+pub const NUM_VREGS: usize = 64;
+
+/// Number of scalar registers in the SRF.
+pub const NUM_SREGS: usize = 64;
+
+/// Number of address registers in the ARF.
+pub const NUM_AREGS: usize = 64;
+
+/// Number of modulus registers in the MRF.
+pub const NUM_MREGS: usize = 64;
+
+/// Maximum Vector Data Memory capacity (32 MiB).
+pub const VDM_MAX_BYTES: usize = 32 << 20;
+
+/// Default VDM instantiation (4 MiB — "sufficient to double buffer
+/// off-chip data loading with the execution of a kernel").
+pub const VDM_DEFAULT_BYTES: usize = 4 << 20;
+
+/// Maximum Scalar Data Memory capacity per the ISA (16 MiB).
+pub const SDM_MAX_BYTES: usize = 16 << 20;
+
+/// Default SDM instantiation (32 KiB, Section IV-B.5).
+pub const SDM_DEFAULT_BYTES: usize = 32 << 10;
+
+/// Instruction Memory size (512 KiB).
+pub const IM_BYTES: usize = 512 << 10;
+
+/// Instruction width in bits.
+pub const INSTR_BITS: usize = 64;
+
+/// Maximum number of instructions the IM can hold.
+pub const IM_MAX_INSTRS: usize = IM_BYTES / (INSTR_BITS / 8);
+
+/// Number of distinct instructions in B512.
+pub const NUM_INSTRUCTIONS: usize = 17;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vdm_holds_one_64k_instance() {
+        // "the VDM supports storing at least one complete instance of data
+        // for the 64K NTT workload"
+        let ring_bytes = 65536 * ELEM_BYTES;
+        assert!(VDM_DEFAULT_BYTES >= ring_bytes);
+        // and the max VDM can double-buffer it many times over
+        assert!(VDM_MAX_BYTES >= 2 * ring_bytes);
+    }
+
+    #[test]
+    fn im_capacity() {
+        assert_eq!(IM_MAX_INSTRS, 65536);
+    }
+}

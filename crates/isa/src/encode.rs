@@ -1,0 +1,468 @@
+//! 64-bit binary encoding of B512 instructions, following Table I.
+//!
+//! Field layout (bit ranges inclusive):
+//!
+//! ```text
+//! [63:55] [54:49] [48]  [47:44] [43:24]  [23:18] [17:12]   [11:6]      [5:0]
+//!   VD1     VT1   BFLY  Opcode  Address    VD    VS/Mode  VT/RT/Value   RM
+//! ```
+//!
+//! Sixteen opcode values plus the BFLY bit cover the 17 instructions.
+//! Decoding is strict: any bits that an instruction does not use must be
+//! zero, so `decode(encode(i)) == i` and every valid word has exactly one
+//! meaning.
+
+use crate::instr::{AddrMode, Instruction};
+use crate::regs::{AReg, MReg, SReg, VReg};
+
+/// Error decoding a 64-bit instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Bits that must be zero for the decoded opcode were set.
+    NonCanonical {
+        /// The offending word.
+        word: u64,
+    },
+    /// The BFLY bit was set on a non-butterfly opcode.
+    StrayButterflyBit {
+        /// The offending word.
+        word: u64,
+    },
+    /// An addressing-mode field combination was invalid.
+    InvalidAddrMode {
+        /// The offending word.
+        word: u64,
+    },
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::NonCanonical { word } => {
+                write!(f, "non-canonical encoding: {word:#018x}")
+            }
+            DecodeError::StrayButterflyBit { word } => {
+                write!(f, "BFLY bit set on non-butterfly opcode: {word:#018x}")
+            }
+            DecodeError::InvalidAddrMode { word } => {
+                write!(f, "invalid addressing mode fields: {word:#018x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode assignments (4-bit field).
+const OP_VLOAD: u64 = 0;
+const OP_VSTORE: u64 = 1;
+const OP_VBROADCAST: u64 = 2;
+const OP_SLOAD: u64 = 3;
+const OP_MLOAD: u64 = 4;
+const OP_ALOAD: u64 = 5;
+const OP_VADDMOD: u64 = 6; // BFLY bit turns this into `bfly`
+const OP_VSUBMOD: u64 = 7;
+const OP_VMULMOD: u64 = 8;
+const OP_VSADDMOD: u64 = 9;
+const OP_VSSUBMOD: u64 = 10;
+const OP_VSMULMOD: u64 = 11;
+const OP_UNPKLO: u64 = 12;
+const OP_UNPKHI: u64 = 13;
+const OP_PKLO: u64 = 14;
+const OP_PKHI: u64 = 15;
+
+const ADDR_MASK: u32 = (1 << 20) - 1;
+
+#[derive(Default)]
+struct Fields {
+    vd1: u64,
+    vt1: u64,
+    bfly: u64,
+    opcode: u64,
+    address: u64,
+    vd: u64,
+    vs_mode: u64,
+    vt_rt_value: u64,
+    rm: u64,
+}
+
+impl Fields {
+    fn pack(&self) -> u64 {
+        debug_assert!(self.vd1 < 64 && self.vt1 < 64 && self.bfly < 2);
+        debug_assert!(self.opcode < 16 && self.address < (1 << 20));
+        debug_assert!(self.vd < 64 && self.vs_mode < 64 && self.vt_rt_value < 64 && self.rm < 64);
+        (self.vd1 << 55)
+            | (self.vt1 << 49)
+            | (self.bfly << 48)
+            | (self.opcode << 44)
+            | (self.address << 24)
+            | (self.vd << 18)
+            | (self.vs_mode << 12)
+            | (self.vt_rt_value << 6)
+            | self.rm
+    }
+
+    fn unpack(word: u64) -> Fields {
+        Fields {
+            vd1: (word >> 55) & 0x1FF,
+            vt1: (word >> 49) & 0x3F,
+            bfly: (word >> 48) & 1,
+            opcode: (word >> 44) & 0xF,
+            address: (word >> 24) & 0xF_FFFF,
+            vd: (word >> 18) & 0x3F,
+            vs_mode: (word >> 12) & 0x3F,
+            vt_rt_value: (word >> 6) & 0x3F,
+            rm: word & 0x3F,
+        }
+    }
+}
+
+/// Encodes an instruction into its 64-bit word.
+///
+/// The `offset` of memory instructions is truncated to the 20-bit address
+/// field; callers must keep offsets in range (the assembler and code
+/// generator do).
+pub fn encode(instr: &Instruction) -> u64 {
+    use Instruction::*;
+    let mut f = Fields::default();
+    match *instr {
+        VLoad { vd, base, offset, mode } => {
+            f.opcode = OP_VLOAD;
+            f.address = (offset & ADDR_MASK) as u64;
+            f.vd = vd.index() as u64;
+            f.vs_mode = mode.mode_bits() as u64;
+            f.vt_rt_value = mode.value_bits() as u64;
+            f.rm = base.index() as u64;
+        }
+        VStore { vs, base, offset, mode } => {
+            f.opcode = OP_VSTORE;
+            f.address = (offset & ADDR_MASK) as u64;
+            f.vd = vs.index() as u64; // VD field carries the source for stores
+            f.vs_mode = mode.mode_bits() as u64;
+            f.vt_rt_value = mode.value_bits() as u64;
+            f.rm = base.index() as u64;
+        }
+        VBroadcast { vd, base, offset } => {
+            f.opcode = OP_VBROADCAST;
+            f.address = (offset & ADDR_MASK) as u64;
+            f.vd = vd.index() as u64;
+            f.rm = base.index() as u64;
+        }
+        SLoad { rt, base, offset } => {
+            f.opcode = OP_SLOAD;
+            f.address = (offset & ADDR_MASK) as u64;
+            f.vt_rt_value = rt.index() as u64;
+            f.rm = base.index() as u64;
+        }
+        MLoad { rt, base, offset } => {
+            f.opcode = OP_MLOAD;
+            f.address = (offset & ADDR_MASK) as u64;
+            f.vt_rt_value = rt.index() as u64;
+            f.rm = base.index() as u64;
+        }
+        ALoad { rt, base, offset } => {
+            f.opcode = OP_ALOAD;
+            f.address = (offset & ADDR_MASK) as u64;
+            f.vt_rt_value = rt.index() as u64;
+            f.rm = base.index() as u64;
+        }
+        VAddMod { vd, vs, vt, rm } => {
+            f.opcode = OP_VADDMOD;
+            ci_fields(&mut f, vd, vs, vt, rm);
+        }
+        VSubMod { vd, vs, vt, rm } => {
+            f.opcode = OP_VSUBMOD;
+            ci_fields(&mut f, vd, vs, vt, rm);
+        }
+        VMulMod { vd, vs, vt, rm } => {
+            f.opcode = OP_VMULMOD;
+            ci_fields(&mut f, vd, vs, vt, rm);
+        }
+        VSAddMod { vd, vs, rt, rm } => {
+            f.opcode = OP_VSADDMOD;
+            vsi_fields(&mut f, vd, vs, rt, rm);
+        }
+        VSSubMod { vd, vs, rt, rm } => {
+            f.opcode = OP_VSSUBMOD;
+            vsi_fields(&mut f, vd, vs, rt, rm);
+        }
+        VSMulMod { vd, vs, rt, rm } => {
+            f.opcode = OP_VSMULMOD;
+            vsi_fields(&mut f, vd, vs, rt, rm);
+        }
+        Bfly { vd, vd1, vs, vt, vt1, rm } => {
+            f.opcode = OP_VADDMOD;
+            f.bfly = 1;
+            f.vd1 = vd1.index() as u64;
+            f.vt1 = vt1.index() as u64;
+            ci_fields(&mut f, vd, vs, vt, rm);
+        }
+        UnpkLo { vd, vs, vt } => {
+            f.opcode = OP_UNPKLO;
+            si_fields(&mut f, vd, vs, vt);
+        }
+        UnpkHi { vd, vs, vt } => {
+            f.opcode = OP_UNPKHI;
+            si_fields(&mut f, vd, vs, vt);
+        }
+        PkLo { vd, vs, vt } => {
+            f.opcode = OP_PKLO;
+            si_fields(&mut f, vd, vs, vt);
+        }
+        PkHi { vd, vs, vt } => {
+            f.opcode = OP_PKHI;
+            si_fields(&mut f, vd, vs, vt);
+        }
+    }
+    f.pack()
+}
+
+fn ci_fields(f: &mut Fields, vd: VReg, vs: VReg, vt: VReg, rm: MReg) {
+    f.vd = vd.index() as u64;
+    f.vs_mode = vs.index() as u64;
+    f.vt_rt_value = vt.index() as u64;
+    f.rm = rm.index() as u64;
+}
+
+fn vsi_fields(f: &mut Fields, vd: VReg, vs: VReg, rt: SReg, rm: MReg) {
+    f.vd = vd.index() as u64;
+    f.vs_mode = vs.index() as u64;
+    f.vt_rt_value = rt.index() as u64;
+    f.rm = rm.index() as u64;
+}
+
+fn si_fields(f: &mut Fields, vd: VReg, vs: VReg, vt: VReg) {
+    f.vd = vd.index() as u64;
+    f.vs_mode = vs.index() as u64;
+    f.vt_rt_value = vt.index() as u64;
+}
+
+/// Decodes a 64-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for non-canonical words (unused bits set,
+/// stray BFLY bit, or invalid addressing-mode fields).
+pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
+    let f = Fields::unpack(word);
+    // VD1 field is 9 bits wide in the layout but registers are 6 bits; the
+    // top 3 bits must always be zero.
+    if f.vd1 >= 64 {
+        return Err(DecodeError::NonCanonical { word });
+    }
+    let vd1_vt1_zero = f.vd1 == 0 && f.vt1 == 0;
+    if f.bfly == 1 && f.opcode != OP_VADDMOD {
+        return Err(DecodeError::StrayButterflyBit { word });
+    }
+    let vreg = |v: u64| VReg::new(v as u8).expect("6-bit field");
+    let sreg = |v: u64| SReg::new(v as u8).expect("6-bit field");
+    let areg = |v: u64| AReg::new(v as u8).expect("6-bit field");
+    let mreg = |v: u64| MReg::new(v as u8).expect("6-bit field");
+    let require = |cond: bool| {
+        if cond {
+            Ok(())
+        } else {
+            Err(DecodeError::NonCanonical { word })
+        }
+    };
+
+    use Instruction::*;
+    let instr = match f.opcode {
+        OP_VLOAD | OP_VSTORE => {
+            require(vd1_vt1_zero)?;
+            let mode = AddrMode::from_bits(f.vs_mode as u8, f.vt_rt_value as u8)
+                .ok_or(DecodeError::InvalidAddrMode { word })?;
+            if f.opcode == OP_VLOAD {
+                VLoad {
+                    vd: vreg(f.vd),
+                    base: areg(f.rm),
+                    offset: f.address as u32,
+                    mode,
+                }
+            } else {
+                VStore {
+                    vs: vreg(f.vd),
+                    base: areg(f.rm),
+                    offset: f.address as u32,
+                    mode,
+                }
+            }
+        }
+        OP_VBROADCAST => {
+            require(vd1_vt1_zero && f.vs_mode == 0 && f.vt_rt_value == 0)?;
+            VBroadcast {
+                vd: vreg(f.vd),
+                base: areg(f.rm),
+                offset: f.address as u32,
+            }
+        }
+        OP_SLOAD | OP_MLOAD | OP_ALOAD => {
+            require(vd1_vt1_zero && f.vd == 0 && f.vs_mode == 0)?;
+            let base = areg(f.rm);
+            let offset = f.address as u32;
+            match f.opcode {
+                OP_SLOAD => SLoad { rt: sreg(f.vt_rt_value), base, offset },
+                OP_MLOAD => MLoad { rt: mreg(f.vt_rt_value), base, offset },
+                _ => ALoad { rt: areg(f.vt_rt_value), base, offset },
+            }
+        }
+        OP_VADDMOD if f.bfly == 1 => {
+            require(f.address == 0)?;
+            Bfly {
+                vd: vreg(f.vd),
+                vd1: vreg(f.vd1),
+                vs: vreg(f.vs_mode),
+                vt: vreg(f.vt_rt_value),
+                vt1: vreg(f.vt1),
+                rm: mreg(f.rm),
+            }
+        }
+        OP_VADDMOD | OP_VSUBMOD | OP_VMULMOD => {
+            require(vd1_vt1_zero && f.address == 0)?;
+            let (vd, vs, vt, rm) = (
+                vreg(f.vd),
+                vreg(f.vs_mode),
+                vreg(f.vt_rt_value),
+                mreg(f.rm),
+            );
+            match f.opcode {
+                OP_VADDMOD => VAddMod { vd, vs, vt, rm },
+                OP_VSUBMOD => VSubMod { vd, vs, vt, rm },
+                _ => VMulMod { vd, vs, vt, rm },
+            }
+        }
+        OP_VSADDMOD | OP_VSSUBMOD | OP_VSMULMOD => {
+            require(vd1_vt1_zero && f.address == 0)?;
+            let (vd, vs, rt, rm) = (
+                vreg(f.vd),
+                vreg(f.vs_mode),
+                sreg(f.vt_rt_value),
+                mreg(f.rm),
+            );
+            match f.opcode {
+                OP_VSADDMOD => VSAddMod { vd, vs, rt, rm },
+                OP_VSSUBMOD => VSSubMod { vd, vs, rt, rm },
+                _ => VSMulMod { vd, vs, rt, rm },
+            }
+        }
+        OP_UNPKLO | OP_UNPKHI | OP_PKLO | OP_PKHI => {
+            require(vd1_vt1_zero && f.address == 0 && f.rm == 0)?;
+            let (vd, vs, vt) = (vreg(f.vd), vreg(f.vs_mode), vreg(f.vt_rt_value));
+            match f.opcode {
+                OP_UNPKLO => UnpkLo { vd, vs, vt },
+                OP_UNPKHI => UnpkHi { vd, vs, vt },
+                OP_PKLO => PkLo { vd, vs, vt },
+                _ => PkHi { vd, vs, vt },
+            }
+        }
+        _ => unreachable!("4-bit opcode space is fully covered"),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::AddrMode;
+
+    fn all_sample_instructions() -> Vec<Instruction> {
+        use Instruction::*;
+        let v = |i| VReg::at(i);
+        let a = AReg::at(9);
+        let m = MReg::at(4);
+        let s = SReg::at(17);
+        vec![
+            VLoad { vd: v(60), base: a, offset: 8192, mode: AddrMode::Unit },
+            VLoad { vd: v(1), base: a, offset: 0, mode: AddrMode::StridedSkip { log2_block: 5 } },
+            VLoad { vd: v(2), base: a, offset: 7, mode: AddrMode::Repeated { log2_block: 3 } },
+            VStore { vs: v(21), base: a, offset: 16, mode: AddrMode::Strided { log2_stride: 1 } },
+            VBroadcast { vd: v(19), base: a, offset: 1 },
+            SLoad { rt: s, base: a, offset: 3 },
+            MLoad { rt: m, base: a, offset: 4 },
+            ALoad { rt: AReg::at(5), base: a, offset: 5 },
+            VAddMod { vd: v(58), vs: v(60), vt: v(59), rm: m },
+            VSubMod { vd: v(57), vs: v(60), vt: v(59), rm: m },
+            VMulMod { vd: v(59), vs: v(20), vt: v(19), rm: m },
+            VSAddMod { vd: v(3), vs: v(4), rt: s, rm: m },
+            VSSubMod { vd: v(5), vs: v(6), rt: s, rm: m },
+            VSMulMod { vd: v(7), vs: v(8), rt: s, rm: m },
+            Bfly { vd: v(10), vd1: v(11), vs: v(12), vt: v(13), vt1: v(14), rm: m },
+            UnpkLo { vd: v(56), vs: v(58), vt: v(57) },
+            UnpkHi { vd: v(55), vs: v(58), vt: v(57) },
+        ]
+    }
+
+    #[test]
+    fn covers_all_17_instructions() {
+        let mut sample = all_sample_instructions();
+        sample.push(Instruction::PkLo { vd: VReg::at(0), vs: VReg::at(1), vt: VReg::at(2) });
+        sample.push(Instruction::PkHi { vd: VReg::at(0), vs: VReg::at(1), vt: VReg::at(2) });
+        let mnemonics: std::collections::HashSet<_> =
+            sample.iter().map(|i| i.mnemonic()).collect();
+        assert_eq!(mnemonics.len(), crate::consts::NUM_INSTRUCTIONS);
+    }
+
+    #[test]
+    fn round_trip_all() {
+        for i in all_sample_instructions() {
+            let w = encode(&i);
+            assert_eq!(decode(w), Ok(i), "word={w:#018x}");
+        }
+    }
+
+    #[test]
+    fn butterfly_uses_flag_bit() {
+        let b = Instruction::Bfly {
+            vd: VReg::at(1),
+            vd1: VReg::at(2),
+            vs: VReg::at(3),
+            vt: VReg::at(4),
+            vt1: VReg::at(5),
+            rm: MReg::at(0),
+        };
+        let w = encode(&b);
+        assert_eq!((w >> 48) & 1, 1, "BFLY bit");
+        assert_eq!((w >> 44) & 0xF, 6, "shares the vaddmod opcode");
+    }
+
+    #[test]
+    fn stray_bfly_bit_rejected() {
+        let i = Instruction::UnpkLo { vd: VReg::at(0), vs: VReg::at(1), vt: VReg::at(2) };
+        let w = encode(&i) | (1 << 48);
+        assert_eq!(decode(w), Err(DecodeError::StrayButterflyBit { word: w }));
+    }
+
+    #[test]
+    fn noncanonical_rejected() {
+        // set VT1 bits on a plain vaddmod
+        let i = Instruction::VAddMod {
+            vd: VReg::at(0),
+            vs: VReg::at(1),
+            vt: VReg::at(2),
+            rm: MReg::at(3),
+        };
+        let w = encode(&i) | (5 << 49);
+        assert_eq!(decode(w), Err(DecodeError::NonCanonical { word: w }));
+        // unit-mode vload with a nonzero VALUE field
+        let l = Instruction::VLoad {
+            vd: VReg::at(0),
+            base: AReg::at(0),
+            offset: 0,
+            mode: AddrMode::Unit,
+        };
+        let w = encode(&l) | (3 << 6);
+        assert_eq!(decode(w), Err(DecodeError::InvalidAddrMode { word: w }));
+    }
+
+    #[test]
+    fn address_field_width() {
+        let i = Instruction::VLoad {
+            vd: VReg::at(0),
+            base: AReg::at(0),
+            offset: (1 << 20) - 1,
+            mode: AddrMode::Unit,
+        };
+        let w = encode(&i);
+        assert_eq!(decode(w), Ok(i));
+    }
+}

@@ -1,0 +1,412 @@
+//! The 17 B512 instructions and their semantics metadata.
+
+use crate::regs::{AReg, MReg, SReg, VReg};
+
+/// Vector load/store addressing modes (Section III, "MODE and VALUE
+/// together implement four different addressing modes").
+///
+/// Element `i` of the architectural vector maps to the VDM element offset
+/// given by [`AddrMode::element_offset`], relative to `ARF[base] + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrMode {
+    /// Consecutive elements.
+    Unit,
+    /// Elements at stride `2^log2_stride`.
+    Strided {
+        /// log2 of the element stride (0..=63 encodable; ≤ 20 meaningful).
+        log2_stride: u8,
+    },
+    /// Transfer `2^log2_block` contiguous elements, then skip the next
+    /// `2^log2_block`, and repeat — the NTT gather pattern.
+    StridedSkip {
+        /// log2 of the transfer/skip block size.
+        log2_block: u8,
+    },
+    /// Repeat the first `2^log2_block` elements for the whole vector —
+    /// used to replicate short twiddle patterns.
+    Repeated {
+        /// log2 of the repeated block size.
+        log2_block: u8,
+    },
+}
+
+impl AddrMode {
+    /// VDM element offset (relative to the effective base) accessed by
+    /// architectural lane `i`.
+    #[inline]
+    pub fn element_offset(self, i: usize) -> usize {
+        match self {
+            AddrMode::Unit => i,
+            AddrMode::Strided { log2_stride } => i << log2_stride,
+            AddrMode::StridedSkip { log2_block } => {
+                let b = 1usize << log2_block;
+                let chunk = i / b;
+                let pos = i % b;
+                chunk * 2 * b + pos
+            }
+            AddrMode::Repeated { log2_block } => i % (1usize << log2_block),
+        }
+    }
+
+    /// The MODE field encoding.
+    pub(crate) fn mode_bits(self) -> u8 {
+        match self {
+            AddrMode::Unit => 0,
+            AddrMode::Strided { .. } => 1,
+            AddrMode::StridedSkip { .. } => 2,
+            AddrMode::Repeated { .. } => 3,
+        }
+    }
+
+    /// The VALUE field encoding.
+    pub(crate) fn value_bits(self) -> u8 {
+        match self {
+            AddrMode::Unit => 0,
+            AddrMode::Strided { log2_stride } => log2_stride,
+            AddrMode::StridedSkip { log2_block } => log2_block,
+            AddrMode::Repeated { log2_block } => log2_block,
+        }
+    }
+
+    pub(crate) fn from_bits(mode: u8, value: u8) -> Option<Self> {
+        match mode {
+            0 if value == 0 => Some(AddrMode::Unit),
+            0 => None, // non-canonical: unit mode must encode value 0
+            1 => Some(AddrMode::Strided { log2_stride: value }),
+            2 => Some(AddrMode::StridedSkip { log2_block: value }),
+            3 => Some(AddrMode::Repeated { log2_block: value }),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for AddrMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AddrMode::Unit => write!(f, "unit"),
+            AddrMode::Strided { log2_stride } => write!(f, "stride:{}", 1u64 << log2_stride),
+            AddrMode::StridedSkip { log2_block } => write!(f, "skip:{}", 1u64 << log2_block),
+            AddrMode::Repeated { log2_block } => write!(f, "rep:{}", 1u64 << log2_block),
+        }
+    }
+}
+
+/// Which decoupled backend pipeline an instruction dispatches to
+/// (Section IV-A: load/store, compute, shuffle queues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipeClass {
+    /// Load/Store Instructions — VDM/SDM ↔ register files via the VBAR.
+    LoadStore,
+    /// Compute Instructions — HPLE modular arithmetic.
+    Compute,
+    /// Shuffle Instructions — register-register moves via the SBAR.
+    Shuffle,
+}
+
+impl core::fmt::Display for PipeClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PipeClass::LoadStore => write!(f, "load/store"),
+            PipeClass::Compute => write!(f, "compute"),
+            PipeClass::Shuffle => write!(f, "shuffle"),
+        }
+    }
+}
+
+/// A B512 instruction.
+///
+/// Semantics summary (`VL` = 512 lanes, all arithmetic mod `MRF[rm]`):
+///
+/// | Mnemonic | Effect |
+/// |---|---|
+/// | `vload`  | `VRF[vd][i] = VDM[ARF[base] + offset + mode(i)]` |
+/// | `vstore` | `VDM[ARF[base] + offset + mode(i)] = VRF[vs][i]` |
+/// | `vbroadcast` | `VRF[vd][i] = VDM[ARF[base] + offset]` |
+/// | `sload`  | `SRF[rt] = SDM[ARF[base] + offset]` |
+/// | `mload`  | `MRF[rt] = SDM[ARF[base] + offset]` |
+/// | `aload`  | `ARF[rt] = SDM[ARF[base] + offset]` |
+/// | `vaddmod`/`vsubmod`/`vmulmod` | lane-wise `vd = vs ∘ vt` |
+/// | `vsaddmod`/`vssubmod`/`vsmulmod` | lane-wise `vd = vs ∘ SRF[rt]` |
+/// | `bfly`   | `vd = vs + vt1·vt`, `vd1 = vs − vt1·vt` |
+/// | `unpklo` | interleave first halves of `vs`,`vt` |
+/// | `unpkhi` | interleave second halves of `vs`,`vt` |
+/// | `pklo`   | even lanes of `vs` ‖ even lanes of `vt` |
+/// | `pkhi`   | odd lanes of `vs` ‖ odd lanes of `vt` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings documented in the table above
+pub enum Instruction {
+    // --- Load/Store Instructions (LSI) ---
+    VLoad { vd: VReg, base: AReg, offset: u32, mode: AddrMode },
+    VStore { vs: VReg, base: AReg, offset: u32, mode: AddrMode },
+    VBroadcast { vd: VReg, base: AReg, offset: u32 },
+    SLoad { rt: SReg, base: AReg, offset: u32 },
+    MLoad { rt: MReg, base: AReg, offset: u32 },
+    ALoad { rt: AReg, base: AReg, offset: u32 },
+    // --- Compute Instructions (CI) ---
+    VAddMod { vd: VReg, vs: VReg, vt: VReg, rm: MReg },
+    VSubMod { vd: VReg, vs: VReg, vt: VReg, rm: MReg },
+    VMulMod { vd: VReg, vs: VReg, vt: VReg, rm: MReg },
+    VSAddMod { vd: VReg, vs: VReg, rt: SReg, rm: MReg },
+    VSSubMod { vd: VReg, vs: VReg, rt: SReg, rm: MReg },
+    VSMulMod { vd: VReg, vs: VReg, rt: SReg, rm: MReg },
+    Bfly { vd: VReg, vd1: VReg, vs: VReg, vt: VReg, vt1: VReg, rm: MReg },
+    // --- Shuffle Instructions (SI) ---
+    UnpkLo { vd: VReg, vs: VReg, vt: VReg },
+    UnpkHi { vd: VReg, vs: VReg, vt: VReg },
+    PkLo { vd: VReg, vs: VReg, vt: VReg },
+    PkHi { vd: VReg, vs: VReg, vt: VReg },
+}
+
+impl Instruction {
+    /// The backend pipeline this instruction dispatches to.
+    pub fn pipe_class(&self) -> PipeClass {
+        use Instruction::*;
+        match self {
+            VLoad { .. } | VStore { .. } | VBroadcast { .. } | SLoad { .. } | MLoad { .. }
+            | ALoad { .. } => PipeClass::LoadStore,
+            VAddMod { .. } | VSubMod { .. } | VMulMod { .. } | VSAddMod { .. }
+            | VSSubMod { .. } | VSMulMod { .. } | Bfly { .. } => PipeClass::Compute,
+            UnpkLo { .. } | UnpkHi { .. } | PkLo { .. } | PkHi { .. } => PipeClass::Shuffle,
+        }
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        use Instruction::*;
+        match self {
+            VLoad { .. } => "vload",
+            VStore { .. } => "vstore",
+            VBroadcast { .. } => "vbroadcast",
+            SLoad { .. } => "sload",
+            MLoad { .. } => "mload",
+            ALoad { .. } => "aload",
+            VAddMod { .. } => "vaddmod",
+            VSubMod { .. } => "vsubmod",
+            VMulMod { .. } => "vmulmod",
+            VSAddMod { .. } => "vsaddmod",
+            VSSubMod { .. } => "vssubmod",
+            VSMulMod { .. } => "vsmulmod",
+            Bfly { .. } => "bfly",
+            UnpkLo { .. } => "unpklo",
+            UnpkHi { .. } => "unpkhi",
+            PkLo { .. } => "pklo",
+            PkHi { .. } => "pkhi",
+        }
+    }
+
+    /// Vector registers read by this instruction (up to 3).
+    pub fn src_vregs(&self) -> [Option<VReg>; 3] {
+        use Instruction::*;
+        match *self {
+            VStore { vs, .. } => [Some(vs), None, None],
+            VAddMod { vs, vt, .. } | VSubMod { vs, vt, .. } | VMulMod { vs, vt, .. } => {
+                [Some(vs), Some(vt), None]
+            }
+            VSAddMod { vs, .. } | VSSubMod { vs, .. } | VSMulMod { vs, .. } => {
+                [Some(vs), None, None]
+            }
+            Bfly { vs, vt, vt1, .. } => [Some(vs), Some(vt), Some(vt1)],
+            UnpkLo { vs, vt, .. } | UnpkHi { vs, vt, .. } | PkLo { vs, vt, .. }
+            | PkHi { vs, vt, .. } => [Some(vs), Some(vt), None],
+            _ => [None, None, None],
+        }
+    }
+
+    /// Vector registers written by this instruction (up to 2).
+    pub fn dst_vregs(&self) -> [Option<VReg>; 2] {
+        use Instruction::*;
+        match *self {
+            VLoad { vd, .. } | VBroadcast { vd, .. } => [Some(vd), None],
+            VAddMod { vd, .. } | VSubMod { vd, .. } | VMulMod { vd, .. }
+            | VSAddMod { vd, .. } | VSSubMod { vd, .. } | VSMulMod { vd, .. } => {
+                [Some(vd), None]
+            }
+            Bfly { vd, vd1, .. } => [Some(vd), Some(vd1)],
+            UnpkLo { vd, .. } | UnpkHi { vd, .. } | PkLo { vd, .. } | PkHi { vd, .. } => {
+                [Some(vd), None]
+            }
+            _ => [None, None],
+        }
+    }
+
+    /// Scalar register read, if any.
+    pub fn src_sreg(&self) -> Option<SReg> {
+        use Instruction::*;
+        match *self {
+            VSAddMod { rt, .. } | VSSubMod { rt, .. } | VSMulMod { rt, .. } => Some(rt),
+            _ => None,
+        }
+    }
+
+    /// Scalar register written, if any.
+    pub fn dst_sreg(&self) -> Option<SReg> {
+        match *self {
+            Instruction::SLoad { rt, .. } => Some(rt),
+            _ => None,
+        }
+    }
+
+    /// Address register read (the load/store base), if any.
+    pub fn src_areg(&self) -> Option<AReg> {
+        use Instruction::*;
+        match *self {
+            VLoad { base, .. } | VStore { base, .. } | VBroadcast { base, .. }
+            | SLoad { base, .. } | MLoad { base, .. } | ALoad { base, .. } => Some(base),
+            _ => None,
+        }
+    }
+
+    /// Address register written, if any.
+    pub fn dst_areg(&self) -> Option<AReg> {
+        match *self {
+            Instruction::ALoad { rt, .. } => Some(rt),
+            _ => None,
+        }
+    }
+
+    /// Modulus register read, if any.
+    pub fn src_mreg(&self) -> Option<MReg> {
+        use Instruction::*;
+        match *self {
+            VAddMod { rm, .. } | VSubMod { rm, .. } | VMulMod { rm, .. }
+            | VSAddMod { rm, .. } | VSSubMod { rm, .. } | VSMulMod { rm, .. }
+            | Bfly { rm, .. } => Some(rm),
+            _ => None,
+        }
+    }
+
+    /// Modulus register written, if any.
+    pub fn dst_mreg(&self) -> Option<MReg> {
+        match *self {
+            Instruction::MLoad { rt, .. } => Some(rt),
+            _ => None,
+        }
+    }
+
+    /// `true` if this instruction performs a modular multiplication
+    /// (relevant to the multiplier-latency sensitivity study of Fig. 7).
+    pub fn uses_multiplier(&self) -> bool {
+        matches!(
+            self,
+            Instruction::VMulMod { .. } | Instruction::VSMulMod { .. } | Instruction::Bfly { .. }
+        )
+    }
+}
+
+impl core::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        use Instruction::*;
+        match *self {
+            VLoad { vd, base, offset, mode } => {
+                write!(f, "vload   {vd}, [{base} + {offset}], {mode}")
+            }
+            VStore { vs, base, offset, mode } => {
+                write!(f, "vstore  {vs}, [{base} + {offset}], {mode}")
+            }
+            VBroadcast { vd, base, offset } => {
+                write!(f, "vbroadcast {vd}, [{base} + {offset}]")
+            }
+            SLoad { rt, base, offset } => write!(f, "sload   {rt}, [{base} + {offset}]"),
+            MLoad { rt, base, offset } => write!(f, "mload   {rt}, [{base} + {offset}]"),
+            ALoad { rt, base, offset } => write!(f, "aload   {rt}, [{base} + {offset}]"),
+            VAddMod { vd, vs, vt, rm } => write!(f, "vaddmod {vd}, {vs}, {vt}, {rm}"),
+            VSubMod { vd, vs, vt, rm } => write!(f, "vsubmod {vd}, {vs}, {vt}, {rm}"),
+            VMulMod { vd, vs, vt, rm } => write!(f, "vmulmod {vd}, {vs}, {vt}, {rm}"),
+            VSAddMod { vd, vs, rt, rm } => write!(f, "vsaddmod {vd}, {vs}, {rt}, {rm}"),
+            VSSubMod { vd, vs, rt, rm } => write!(f, "vssubmod {vd}, {vs}, {rt}, {rm}"),
+            VSMulMod { vd, vs, rt, rm } => write!(f, "vsmulmod {vd}, {vs}, {rt}, {rm}"),
+            Bfly { vd, vd1, vs, vt, vt1, rm } => {
+                write!(f, "bfly    {vd}, {vd1}, {vs}, {vt}, {vt1}, {rm}")
+            }
+            UnpkLo { vd, vs, vt } => write!(f, "unpklo  {vd}, {vs}, {vt}"),
+            UnpkHi { vd, vs, vt } => write!(f, "unpkhi  {vd}, {vs}, {vt}"),
+            PkLo { vd, vs, vt } => write!(f, "pklo    {vd}, {vs}, {vt}"),
+            PkHi { vd, vs, vt } => write!(f, "pkhi    {vd}, {vs}, {vt}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_mode_offsets() {
+        assert_eq!(AddrMode::Unit.element_offset(5), 5);
+        assert_eq!(AddrMode::Strided { log2_stride: 2 }.element_offset(3), 12);
+        // StridedSkip with block 4: elements 0..4 from offsets 0..4,
+        // elements 4..8 from offsets 8..12 (skipping 4..8).
+        let ss = AddrMode::StridedSkip { log2_block: 2 };
+        assert_eq!(ss.element_offset(0), 0);
+        assert_eq!(ss.element_offset(3), 3);
+        assert_eq!(ss.element_offset(4), 8);
+        assert_eq!(ss.element_offset(7), 11);
+        assert_eq!(ss.element_offset(8), 16);
+        // Repeated block 2: 0,1,0,1,...
+        let r = AddrMode::Repeated { log2_block: 1 };
+        assert_eq!(r.element_offset(0), 0);
+        assert_eq!(r.element_offset(1), 1);
+        assert_eq!(r.element_offset(2), 0);
+        assert_eq!(r.element_offset(513), 1);
+    }
+
+    #[test]
+    fn pipe_classes_partition_isa() {
+        let v = VReg::at(0);
+        let a = AReg::at(0);
+        let m = MReg::at(0);
+        let s = SReg::at(0);
+        let samples = [
+            Instruction::VLoad { vd: v, base: a, offset: 0, mode: AddrMode::Unit },
+            Instruction::SLoad { rt: s, base: a, offset: 0 },
+            Instruction::VAddMod { vd: v, vs: v, vt: v, rm: m },
+            Instruction::Bfly { vd: v, vd1: v, vs: v, vt: v, vt1: v, rm: m },
+            Instruction::PkHi { vd: v, vs: v, vt: v },
+        ];
+        use PipeClass::*;
+        let expect = [LoadStore, LoadStore, Compute, Compute, Shuffle];
+        for (i, e) in samples.iter().zip(expect) {
+            assert_eq!(i.pipe_class(), e);
+        }
+    }
+
+    #[test]
+    fn bfly_register_sets() {
+        let i = Instruction::Bfly {
+            vd: VReg::at(1),
+            vd1: VReg::at(2),
+            vs: VReg::at(3),
+            vt: VReg::at(4),
+            vt1: VReg::at(5),
+            rm: MReg::at(0),
+        };
+        assert_eq!(i.src_vregs(), [Some(VReg::at(3)), Some(VReg::at(4)), Some(VReg::at(5))]);
+        assert_eq!(i.dst_vregs(), [Some(VReg::at(1)), Some(VReg::at(2))]);
+        assert!(i.uses_multiplier());
+        assert_eq!(i.src_mreg(), Some(MReg::at(0)));
+    }
+
+    #[test]
+    fn store_reads_its_vector() {
+        let i = Instruction::VStore {
+            vs: VReg::at(7),
+            base: AReg::at(1),
+            offset: 42,
+            mode: AddrMode::Unit,
+        };
+        assert_eq!(i.src_vregs()[0], Some(VReg::at(7)));
+        assert_eq!(i.dst_vregs(), [None, None]);
+        assert_eq!(i.src_areg(), Some(AReg::at(1)));
+    }
+
+    #[test]
+    fn display_is_parseable_shape() {
+        let i = Instruction::VMulMod {
+            vd: VReg::at(59),
+            vs: VReg::at(20),
+            vt: VReg::at(19),
+            rm: MReg::at(1),
+        };
+        assert_eq!(i.to_string(), "vmulmod v59, v20, v19, m1");
+    }
+}

@@ -1,0 +1,218 @@
+//! Program container and instruction-mix statistics.
+
+use crate::consts::IM_MAX_INSTRS;
+use crate::encode::{decode, encode, DecodeError};
+use crate::instr::{Instruction, PipeClass};
+
+/// A B512 program: an ordered list of instructions plus a name.
+///
+/// Programs are what the code generator emits, the assembler parses, and
+/// both simulators execute.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_isa::{Instruction, Program, VReg, AReg, AddrMode};
+///
+/// let mut p = Program::new("demo");
+/// p.push(Instruction::VLoad {
+///     vd: VReg::at(0),
+///     base: AReg::at(0),
+///     offset: 0,
+///     mode: AddrMode::Unit,
+/// });
+/// assert_eq!(p.len(), 1);
+/// let binary = p.to_words();
+/// let back = Program::from_words("demo", &binary).unwrap();
+/// assert_eq!(back.instructions(), p.instructions());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    name: String,
+    instructions: Vec<Instruction>,
+}
+
+/// Per-pipeline instruction counts (the CI/SI/LSI mix the paper quotes,
+/// e.g. "the 64K NTT has 1024 CIs and 1920 SIs").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstructionMix {
+    /// Load/store instruction count.
+    pub load_store: usize,
+    /// Compute instruction count.
+    pub compute: usize,
+    /// Shuffle instruction count.
+    pub shuffle: usize,
+}
+
+impl InstructionMix {
+    /// Total instruction count.
+    pub fn total(&self) -> usize {
+        self.load_store + self.compute + self.shuffle
+    }
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            instructions: Vec::new(),
+        }
+    }
+
+    /// The program name (kernel identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: Instruction) {
+        self.instructions.push(instr);
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// `true` if the program fits in the 512 KiB instruction memory.
+    pub fn fits_instruction_memory(&self) -> bool {
+        self.len() <= IM_MAX_INSTRS
+    }
+
+    /// Counts instructions per pipeline class.
+    pub fn mix(&self) -> InstructionMix {
+        let mut mix = InstructionMix::default();
+        for i in &self.instructions {
+            match i.pipe_class() {
+                PipeClass::LoadStore => mix.load_store += 1,
+                PipeClass::Compute => mix.compute += 1,
+                PipeClass::Shuffle => mix.shuffle += 1,
+            }
+        }
+        mix
+    }
+
+    /// Encodes to 64-bit instruction words (the IM image).
+    pub fn to_words(&self) -> Vec<u64> {
+        self.instructions.iter().map(encode).collect()
+    }
+
+    /// Decodes a program from instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] encountered.
+    pub fn from_words(name: impl Into<String>, words: &[u64]) -> Result<Self, DecodeError> {
+        let instructions = words.iter().map(|&w| decode(w)).collect::<Result<_, _>>()?;
+        Ok(Program {
+            name: name.into(),
+            instructions,
+        })
+    }
+
+    /// Renders the program as assembly text (one instruction per line,
+    /// with a header comment). Parseable by
+    /// [`parse_asm`](crate::parse_asm).
+    pub fn to_asm(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("; kernel {}\n", self.name));
+        for i in &self.instructions {
+            out.push_str(&i.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program {
+            name: String::from("anonymous"),
+            instructions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::{AReg, MReg, VReg};
+    use crate::AddrMode;
+
+    fn sample() -> Program {
+        let mut p = Program::new("k");
+        p.push(Instruction::VLoad {
+            vd: VReg::at(0),
+            base: AReg::at(0),
+            offset: 0,
+            mode: AddrMode::Unit,
+        });
+        p.push(Instruction::VMulMod {
+            vd: VReg::at(1),
+            vs: VReg::at(0),
+            vt: VReg::at(0),
+            rm: MReg::at(0),
+        });
+        p.push(Instruction::UnpkLo {
+            vd: VReg::at(2),
+            vs: VReg::at(1),
+            vt: VReg::at(1),
+        });
+        p
+    }
+
+    #[test]
+    fn mix_counts() {
+        let p = sample();
+        let m = p.mix();
+        assert_eq!(m, InstructionMix { load_store: 1, compute: 1, shuffle: 1 });
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let p = sample();
+        let words = p.to_words();
+        let back = Program::from_words("k", &words).unwrap();
+        assert_eq!(back.instructions(), p.instructions());
+    }
+
+    #[test]
+    fn im_capacity_check() {
+        let p = sample();
+        assert!(p.fits_instruction_memory());
+        let big: Program = (0..IM_MAX_INSTRS + 1)
+            .map(|_| Instruction::UnpkLo {
+                vd: VReg::at(0),
+                vs: VReg::at(0),
+                vt: VReg::at(0),
+            })
+            .collect();
+        assert!(!big.fits_instruction_memory());
+    }
+
+    #[test]
+    fn asm_renders_every_instruction() {
+        let text = sample().to_asm();
+        assert!(text.contains("vload"));
+        assert!(text.contains("vmulmod"));
+        assert!(text.contains("unpklo"));
+    }
+}

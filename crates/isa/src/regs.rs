@@ -1,0 +1,121 @@
+//! Register-file index newtypes.
+//!
+//! B512 names four register files (Section III): vector (VRF), scalar
+//! (SRF), address (ARF), and modulus (MRF), each with 64 entries. The
+//! newtypes make it impossible to pass, say, an ARF index where a vector
+//! register is expected — mirroring how the encoding keeps them in
+//! distinct fields.
+
+use crate::consts::{NUM_AREGS, NUM_MREGS, NUM_SREGS, NUM_VREGS};
+
+macro_rules! reg_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $count:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Creates a register index; returns `None` if out of range.
+            pub const fn new(index: u8) -> Option<Self> {
+                if (index as usize) < $count {
+                    Some($name(index))
+                } else {
+                    None
+                }
+            }
+
+            /// Creates a register index without bounds checking the
+            /// architectural file size.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` is out of range (this is a convenience
+            /// for literals in generated code, not an unchecked escape
+            /// hatch).
+            #[track_caller]
+            pub const fn at(index: u8) -> Self {
+                assert!((index as usize) < $count, "register index out of range");
+                $name(index)
+            }
+
+            /// The raw index.
+            #[inline]
+            pub const fn index(self) -> u8 {
+                self.0
+            }
+
+            /// Total number of registers in this file.
+            pub const COUNT: usize = $count;
+
+            /// Iterates over every register in the file.
+            pub fn all() -> impl Iterator<Item = Self> {
+                (0..$count as u8).map($name)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+reg_newtype!(
+    /// A vector register (VRF index, 64 × 512 × 128b).
+    VReg,
+    "v",
+    NUM_VREGS
+);
+reg_newtype!(
+    /// A scalar register (SRF index, 64 × 128b).
+    SReg,
+    "s",
+    NUM_SREGS
+);
+reg_newtype!(
+    /// An address register (ARF index, used for indirect VDM/SDM access).
+    AReg,
+    "a",
+    NUM_AREGS
+);
+reg_newtype!(
+    /// A modulus register (MRF index, selects the modulus per instruction).
+    MReg,
+    "m",
+    NUM_MREGS
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_enforced() {
+        assert!(VReg::new(63).is_some());
+        assert!(VReg::new(64).is_none());
+        assert!(SReg::new(64).is_none());
+        assert!(AReg::new(0).is_some());
+        assert!(MReg::new(255).is_none());
+    }
+
+    #[test]
+    fn display_uses_file_prefix() {
+        assert_eq!(VReg::at(60).to_string(), "v60");
+        assert_eq!(SReg::at(1).to_string(), "s1");
+        assert_eq!(AReg::at(2).to_string(), "a2");
+        assert_eq!(MReg::at(3).to_string(), "m3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn at_panics_out_of_range() {
+        let _ = VReg::at(64);
+    }
+
+    #[test]
+    fn all_covers_file() {
+        assert_eq!(VReg::all().count(), 64);
+        assert_eq!(VReg::all().next(), Some(VReg::at(0)));
+    }
+}

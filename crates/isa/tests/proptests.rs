@@ -1,0 +1,119 @@
+//! Property tests: every encodable instruction round-trips through the
+//! 64-bit word format and through assembly text.
+
+use proptest::prelude::*;
+use rpu_isa::{decode, encode, parse_asm, AddrMode, Instruction, Program};
+use rpu_isa::{AReg, MReg, SReg, VReg};
+
+fn arb_vreg() -> impl Strategy<Value = VReg> {
+    (0u8..64).prop_map(VReg::at)
+}
+fn arb_sreg() -> impl Strategy<Value = SReg> {
+    (0u8..64).prop_map(SReg::at)
+}
+fn arb_areg() -> impl Strategy<Value = AReg> {
+    (0u8..64).prop_map(AReg::at)
+}
+fn arb_mreg() -> impl Strategy<Value = MReg> {
+    (0u8..64).prop_map(MReg::at)
+}
+fn arb_offset() -> impl Strategy<Value = u32> {
+    0u32..(1 << 20)
+}
+
+fn arb_mode() -> impl Strategy<Value = AddrMode> {
+    prop_oneof![
+        Just(AddrMode::Unit),
+        (0u8..20).prop_map(|l| AddrMode::Strided { log2_stride: l }),
+        (0u8..20).prop_map(|l| AddrMode::StridedSkip { log2_block: l }),
+        (0u8..10).prop_map(|l| AddrMode::Repeated { log2_block: l }),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_vreg(), arb_areg(), arb_offset(), arb_mode())
+            .prop_map(|(vd, base, offset, mode)| Instruction::VLoad { vd, base, offset, mode }),
+        (arb_vreg(), arb_areg(), arb_offset(), arb_mode())
+            .prop_map(|(vs, base, offset, mode)| Instruction::VStore { vs, base, offset, mode }),
+        (arb_vreg(), arb_areg(), arb_offset())
+            .prop_map(|(vd, base, offset)| Instruction::VBroadcast { vd, base, offset }),
+        (arb_sreg(), arb_areg(), arb_offset())
+            .prop_map(|(rt, base, offset)| Instruction::SLoad { rt, base, offset }),
+        (arb_mreg(), arb_areg(), arb_offset())
+            .prop_map(|(rt, base, offset)| Instruction::MLoad { rt, base, offset }),
+        (arb_areg(), arb_areg(), arb_offset())
+            .prop_map(|(rt, base, offset)| Instruction::ALoad { rt, base, offset }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), arb_mreg())
+            .prop_map(|(vd, vs, vt, rm)| Instruction::VAddMod { vd, vs, vt, rm }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), arb_mreg())
+            .prop_map(|(vd, vs, vt, rm)| Instruction::VSubMod { vd, vs, vt, rm }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), arb_mreg())
+            .prop_map(|(vd, vs, vt, rm)| Instruction::VMulMod { vd, vs, vt, rm }),
+        (arb_vreg(), arb_vreg(), arb_sreg(), arb_mreg())
+            .prop_map(|(vd, vs, rt, rm)| Instruction::VSAddMod { vd, vs, rt, rm }),
+        (arb_vreg(), arb_vreg(), arb_sreg(), arb_mreg())
+            .prop_map(|(vd, vs, rt, rm)| Instruction::VSSubMod { vd, vs, rt, rm }),
+        (arb_vreg(), arb_vreg(), arb_sreg(), arb_mreg())
+            .prop_map(|(vd, vs, rt, rm)| Instruction::VSMulMod { vd, vs, rt, rm }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg(), arb_mreg()).prop_map(
+            |(vd, vd1, vs, vt, vt1, rm)| Instruction::Bfly { vd, vd1, vs, vt, vt1, rm }
+        ),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(|(vd, vs, vt)| Instruction::UnpkLo { vd, vs, vt }),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(|(vd, vs, vt)| Instruction::UnpkHi { vd, vs, vt }),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(|(vd, vs, vt)| Instruction::PkLo { vd, vs, vt }),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(|(vd, vs, vt)| Instruction::PkHi { vd, vs, vt }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn binary_round_trip(instr in arb_instruction()) {
+        let word = encode(&instr);
+        prop_assert_eq!(decode(word), Ok(instr));
+    }
+
+    #[test]
+    fn asm_round_trip(instrs in prop::collection::vec(arb_instruction(), 1..40)) {
+        let program: Program = instrs.iter().copied().collect();
+        let text = program.to_asm();
+        let parsed = parse_asm("rt", &text).expect("generated asm must parse");
+        prop_assert_eq!(parsed.instructions(), program.instructions());
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        let _ = decode(word); // may error, must not panic
+    }
+
+    #[test]
+    fn decoded_reencodes_to_same_word(word in any::<u64>()) {
+        if let Ok(instr) = decode(word) {
+            prop_assert_eq!(encode(&instr), word);
+        }
+    }
+
+    #[test]
+    fn register_dependency_metadata_consistent(instr in arb_instruction()) {
+        // every dst also appears in the encoding's register space; and an
+        // instruction never lists the same vreg twice as a destination
+        let dsts: Vec<_> = instr.dst_vregs().into_iter().flatten().collect();
+        if dsts.len() == 2 {
+            // bfly's two destinations are the only dual-writer; they may
+            // coincide only if the generator chose the same register, which
+            // is architecturally legal but the metadata must report both.
+            let is_bfly = matches!(instr, Instruction::Bfly { .. });
+            prop_assert!(is_bfly);
+        }
+        let class = instr.pipe_class();
+        match class {
+            rpu_isa::PipeClass::Compute => prop_assert!(!dsts.is_empty()),
+            rpu_isa::PipeClass::Shuffle => prop_assert_eq!(dsts.len(), 1),
+            rpu_isa::PipeClass::LoadStore => prop_assert!(dsts.len() <= 1),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Energy model (Fig. 5(c)).
+//!
+//! Per-event energies are fitted so that the simulator's event counts
+//! for the 64K NTT on the (128, 128) design reproduce the paper's
+//! published total of 49.18 µJ with the published component fractions
+//! (LAW 66.7%, VRF 19.3%, VDM 10.5%, VBAR 2.3%, SBAR 1.0%, IM 0.1%).
+//! The fitted multiplier energy (≈ 59 pJ/op) is consistent with the
+//! paper's independent 104 mW-per-multiplier figure at 1.68 GHz
+//! (62 pJ/op), which is a good sanity check on the calibration.
+
+use rpu_sim::SimStats;
+
+/// Per-component energy in microjoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// LAW engines (modular multiplies + adds).
+    pub law: f64,
+    /// Vector register file accesses.
+    pub vrf: f64,
+    /// Vector data memory accesses.
+    pub vdm: f64,
+    /// Vector crossbar traversals.
+    pub vbar: f64,
+    /// Shuffle crossbar traversals.
+    pub sbar: f64,
+    /// Instruction memory fetches.
+    pub im: f64,
+    /// Scalar memory accesses.
+    pub sdm: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in µJ.
+    pub fn total_uj(&self) -> f64 {
+        self.law + self.vrf + self.vdm + self.vbar + self.sbar + self.im + self.sdm
+    }
+
+    /// Fraction contributed by a component value.
+    pub fn fraction(&self, component: f64) -> f64 {
+        component / self.total_uj()
+    }
+}
+
+/// The fitted per-event energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per 128-bit modular multiplication (pJ).
+    pub mult_pj: f64,
+    /// Energy per 128-bit modular addition/subtraction (pJ).
+    pub add_pj: f64,
+    /// Energy per 128-bit VRF element access (pJ).
+    pub vrf_access_pj: f64,
+    /// Energy per 128-bit VDM element access (pJ).
+    pub vdm_access_pj: f64,
+    /// Energy per element moved through the VBAR (pJ).
+    pub vbar_elem_pj: f64,
+    /// Energy per element moved through the SBAR (pJ).
+    pub sbar_elem_pj: f64,
+    /// Energy per instruction fetch, including the IM's share of static
+    /// power (pJ).
+    pub im_fetch_pj: f64,
+    /// Energy per SDM access (pJ).
+    pub sdm_access_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            mult_pj: 58.6,
+            add_pj: 2.0,
+            vrf_access_pj: 1.38,
+            vdm_access_pj: 2.36,
+            vbar_elem_pj: 0.52,
+            sbar_elem_pj: 0.47,
+            im_fetch_pj: 6.7,
+            sdm_access_pj: 5.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Converts simulator event counts into an energy breakdown.
+    pub fn breakdown(&self, stats: &SimStats) -> EnergyBreakdown {
+        let pj_to_uj = 1e-6;
+        EnergyBreakdown {
+            law: (stats.mult_ops as f64 * self.mult_pj + stats.add_ops as f64 * self.add_pj)
+                * pj_to_uj,
+            vrf: (stats.vrf_elem_reads + stats.vrf_elem_writes) as f64
+                * self.vrf_access_pj
+                * pj_to_uj,
+            vdm: (stats.vdm_elem_reads + stats.vdm_elem_writes) as f64
+                * self.vdm_access_pj
+                * pj_to_uj,
+            vbar: stats.vbar_elems as f64 * self.vbar_elem_pj * pj_to_uj,
+            sbar: stats.sbar_elems as f64 * self.sbar_elem_pj * pj_to_uj,
+            im: stats.im_fetches as f64 * self.im_fetch_pj * pj_to_uj,
+            sdm: stats.sdm_elem_accesses as f64 * self.sdm_access_pj * pj_to_uj,
+        }
+    }
+
+    /// Average power in watts for a run at the given runtime.
+    pub fn average_power_w(&self, stats: &SimStats, runtime_us: f64) -> f64 {
+        self.breakdown(stats).total_uj() / runtime_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic event counts shaped like the 64K NTT on (128,128):
+    /// 1024 butterflies, 2048 shuffles, ~4.3K transfers.
+    fn ntt64k_stats() -> SimStats {
+        SimStats {
+            cycles: 9030,
+            mult_ops: 1024 * 512,
+            add_ops: 2 * 1024 * 512,
+            vrf_elem_reads: (3 * 1024 + 2048 + 2048) * 512,
+            vrf_elem_writes: (2 * 1024 + 2048 + 2217) * 512,
+            vdm_elem_reads: 2217 * 512,
+            vdm_elem_writes: 2048 * 512,
+            vbar_elems: (2217 + 2048) * 512,
+            sbar_elems: 2048 * 512,
+            im_fetches: 7337,
+            sdm_elem_accesses: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn total_matches_published_49uj() {
+        let e = EnergyModel::default().breakdown(&ntt64k_stats());
+        let total = e.total_uj();
+        assert!(
+            (total - 49.18).abs() < 3.0,
+            "64K NTT energy should be ~49.18 uJ, got {total:.2}"
+        );
+    }
+
+    #[test]
+    fn fractions_match_figure_5c() {
+        let e = EnergyModel::default().breakdown(&ntt64k_stats());
+        let frac = |c: f64| e.fraction(c);
+        assert!((frac(e.law) - 0.667).abs() < 0.05, "LAW {:.3}", frac(e.law));
+        assert!((frac(e.vrf) - 0.193).abs() < 0.04, "VRF {:.3}", frac(e.vrf));
+        assert!((frac(e.vdm) - 0.105).abs() < 0.03, "VDM {:.3}", frac(e.vdm));
+        assert!(frac(e.vbar) < 0.04, "VBAR {:.3}", frac(e.vbar));
+        assert!(frac(e.sbar) < 0.03, "SBAR {:.3}", frac(e.sbar));
+        assert!(frac(e.im) < 0.005, "IM {:.4}", frac(e.im));
+    }
+
+    #[test]
+    fn average_power_near_7_44w() {
+        let m = EnergyModel::default();
+        let stats = ntt64k_stats();
+        // paper runtime: 6.7 us
+        let p = m.average_power_w(&stats, 6.7);
+        assert!((p - 7.44).abs() < 1.0, "power should be ~7.44 W, got {p:.2}");
+    }
+
+    #[test]
+    fn multiplier_energy_consistent_with_104mw() {
+        // 104 mW at 1.68 GHz = 61.9 pJ/op; our fit must be within 10%.
+        let fitted = EnergyModel::default().mult_pj;
+        let independent = 104e-3 / 1.68e9 * 1e12;
+        assert!(
+            (fitted - independent).abs() / independent < 0.10,
+            "fitted {fitted:.1} pJ vs independent {independent:.1} pJ"
+        );
+    }
+
+    #[test]
+    fn empty_stats_zero_energy() {
+        let e = EnergyModel::default().breakdown(&SimStats::default());
+        assert_eq!(e.total_uj(), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Design-space exploration helpers: Pareto frontiers and
+//! performance-per-area, the machinery behind Figs. 3 and 4.
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// HPLE count.
+    pub hples: usize,
+    /// VDM bank count.
+    pub banks: usize,
+    /// Kernel runtime in microseconds.
+    pub runtime_us: f64,
+    /// Total area in mm².
+    pub area_mm2: f64,
+}
+
+impl DesignPoint {
+    /// Performance per area: `1 / (runtime × area)`, the Fig. 4 metric
+    /// (higher is better).
+    pub fn perf_per_area(&self) -> f64 {
+        1.0 / (self.runtime_us * self.area_mm2) * 1000.0
+    }
+
+    /// `true` if `self` dominates `other` (no worse in both objectives,
+    /// strictly better in at least one).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        self.runtime_us <= other.runtime_us
+            && self.area_mm2 <= other.area_mm2
+            && (self.runtime_us < other.runtime_us || self.area_mm2 < other.area_mm2)
+    }
+}
+
+/// Extracts the Pareto-optimal subset (minimal runtime and area),
+/// sorted by increasing area.
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut frontier: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .copied()
+        .collect();
+    frontier.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2));
+    frontier.dedup_by(|a, b| a.hples == b.hples && a.banks == b.banks);
+    frontier
+}
+
+/// Returns the point with the best performance-per-area.
+pub fn best_perf_per_area(points: &[DesignPoint]) -> Option<DesignPoint> {
+    points
+        .iter()
+        .copied()
+        .max_by(|a, b| a.perf_per_area().total_cmp(&b.perf_per_area()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(h: usize, b: usize, t: f64, a: f64) -> DesignPoint {
+        DesignPoint { hples: h, banks: b, runtime_us: t, area_mm2: a }
+    }
+
+    #[test]
+    fn domination() {
+        let fast_small = p(128, 128, 5.0, 20.0);
+        let slow_big = p(4, 256, 50.0, 25.0);
+        assert!(fast_small.dominates(&slow_big));
+        assert!(!slow_big.dominates(&fast_small));
+        // incomparable points do not dominate each other
+        let fast_big = p(256, 256, 4.0, 40.0);
+        assert!(!fast_small.dominates(&fast_big));
+        assert!(!fast_big.dominates(&fast_small));
+    }
+
+    #[test]
+    fn frontier_removes_dominated() {
+        let pts = vec![
+            p(4, 32, 100.0, 5.0),
+            p(64, 64, 10.0, 12.0),
+            p(4, 256, 90.0, 12.5), // dominated by (64,64)
+            p(256, 256, 4.0, 40.0),
+        ];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|pt| !(pt.hples == 4 && pt.banks == 256)));
+        // sorted by area
+        assert!(f.windows(2).all(|w| w[0].area_mm2 <= w[1].area_mm2));
+    }
+
+    #[test]
+    fn perf_per_area_prefers_balanced() {
+        let pts = vec![
+            p(128, 128, 5.38, 20.5),   // ~9.07
+            p(256, 256, 5.0, 41.0),    // ~4.9
+            p(4, 32, 170.0, 5.0),      // ~1.2
+        ];
+        let best = best_perf_per_area(&pts).unwrap();
+        assert_eq!((best.hples, best.banks), (128, 128));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(pareto_frontier(&[]).is_empty());
+        assert!(best_perf_per_area(&[]).is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! Timed CPU NTT baselines — the comparator of Fig. 10.
+//!
+//! The paper measured OpenFHE NTTs on a 32-core AMD EPYC 7502 for 64-bit
+//! and 128-bit data. We reproduce the *shape* of that comparison on the
+//! host CPU: a Harvey/Shoup 64-bit transform and a Montgomery 128-bit
+//! transform, single-threaded or multi-threaded (one thread per
+//! contiguous block of butterfly work inside every stage).
+//!
+//! Absolute numbers differ from the paper's testbed, which EXPERIMENTS.md
+//! records; the qualitative findings — speedup grows with ring size and
+//! 128-bit CPU arithmetic widens the accelerator's advantage — are
+//! host-independent.
+
+use crate::{Ntt128Plan, Ntt64Plan, NttError};
+use std::time::{Duration, Instant};
+
+/// Which CPU data width to benchmark (the two series of Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuWidth {
+    /// 64-bit residues with Harvey/Shoup butterflies.
+    Bits64,
+    /// 128-bit residues with Montgomery butterflies.
+    Bits128,
+}
+
+impl core::fmt::Display for CpuWidth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CpuWidth::Bits64 => write!(f, "CPU-64b"),
+            CpuWidth::Bits128 => write!(f, "CPU-128b"),
+        }
+    }
+}
+
+/// Result of a timed baseline run.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineMeasurement {
+    /// Data width used.
+    pub width: CpuWidth,
+    /// Ring degree.
+    pub degree: usize,
+    /// Threads used.
+    pub threads: usize,
+    /// Wall-clock time per forward transform (averaged over iterations).
+    pub time_per_ntt: Duration,
+}
+
+/// A reusable CPU NTT baseline for one ring degree.
+#[derive(Debug)]
+pub struct CpuBaseline {
+    plan64: Ntt64Plan,
+    plan128: Ntt128Plan,
+}
+
+impl CpuBaseline {
+    /// Plans baselines for degree `n`, choosing a ~60-bit and a ~126-bit
+    /// NTT prime automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError`] if `n` is not a power of two ≥ 2.
+    pub fn new(n: usize) -> Result<Self, NttError> {
+        let q64 = rpu_arith::find_ntt_prime_u64(60, 2 * n as u64)
+            .ok_or(NttError::NoRootOfUnity { degree: n })?;
+        let q128 = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128)
+            .ok_or(NttError::NoRootOfUnity { degree: n })?;
+        Ok(CpuBaseline {
+            plan64: Ntt64Plan::new(n, q64)?,
+            plan128: Ntt128Plan::new(n, q128)?,
+        })
+    }
+
+    /// The 64-bit plan.
+    pub fn plan64(&self) -> &Ntt64Plan {
+        &self.plan64
+    }
+
+    /// The 128-bit plan.
+    pub fn plan128(&self) -> &Ntt128Plan {
+        &self.plan128
+    }
+
+    /// Times `iters` forward transforms at the given width, multi-threaded
+    /// across `threads` worker threads (each thread transforms its own
+    /// polynomial instance, modelling the throughput-oriented OpenFHE
+    /// benchmark setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters == 0` or `threads == 0`.
+    pub fn measure(&self, width: CpuWidth, threads: usize, iters: usize) -> BaselineMeasurement {
+        assert!(iters > 0, "need at least one iteration");
+        assert!(threads > 0, "need at least one thread");
+        let n = self.plan64.degree();
+        let elapsed = match width {
+            CpuWidth::Bits64 => {
+                let q = self.plan64.modulus().value();
+                let data: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % q).collect();
+                run_threads(threads, || {
+                    let mut x = data.clone();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        self.plan64.forward(&mut x);
+                        std::hint::black_box(&x);
+                    }
+                    start.elapsed()
+                })
+            }
+            CpuWidth::Bits128 => {
+                let q = self.plan128.modulus().value();
+                let data: Vec<u128> = (0..n as u128).map(|i| (i * 7 + 3) % q).collect();
+                run_threads(threads, || {
+                    let mut x = data.clone();
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        self.plan128.forward(&mut x);
+                        std::hint::black_box(&x);
+                    }
+                    start.elapsed()
+                })
+            }
+        };
+        // Throughput view: `threads * iters` transforms completed in the
+        // max thread time.
+        let per_ntt = elapsed / (iters as u32 * threads as u32);
+        BaselineMeasurement {
+            width,
+            degree: n,
+            threads,
+            time_per_ntt: per_ntt,
+        }
+    }
+}
+
+/// Runs `f` on `threads` threads, returning the maximum wall time.
+fn run_threads(threads: usize, f: impl Fn() -> Duration + Sync) -> Duration {
+    if threads == 1 {
+        return f();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(&f)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("baseline worker panicked"))
+            .max()
+            .unwrap_or_default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_sane_durations() {
+        let b = CpuBaseline::new(1024).unwrap();
+        let m64 = b.measure(CpuWidth::Bits64, 1, 3);
+        let m128 = b.measure(CpuWidth::Bits128, 1, 3);
+        assert!(m64.time_per_ntt > Duration::ZERO);
+        assert!(m128.time_per_ntt > Duration::ZERO);
+        // 128-bit butterflies are strictly more work than 64-bit ones.
+        assert!(
+            m128.time_per_ntt > m64.time_per_ntt,
+            "128b ({:?}) should be slower than 64b ({:?})",
+            m128.time_per_ntt,
+            m64.time_per_ntt
+        );
+    }
+
+    #[test]
+    fn multithreaded_runs() {
+        let b = CpuBaseline::new(256).unwrap();
+        let m = b.measure(CpuWidth::Bits64, 2, 2);
+        assert_eq!(m.threads, 2);
+        assert!(m.time_per_ntt > Duration::ZERO);
+    }
+
+    #[test]
+    fn display_names_match_figure() {
+        assert_eq!(CpuWidth::Bits64.to_string(), "CPU-64b");
+        assert_eq!(CpuWidth::Bits128.to_string(), "CPU-128b");
+    }
+}

@@ -1,0 +1,32 @@
+//! Error type shared by the NTT planners.
+
+/// Error constructing an NTT plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NttError {
+    /// The ring degree was not a power of two, or was smaller than 2.
+    InvalidDegree(usize),
+    /// The modulus was rejected (out of range for the arithmetic backend).
+    InvalidModulus,
+    /// The modulus does not support a primitive `2n`-th root of unity,
+    /// i.e. `q ≢ 1 (mod 2n)`.
+    NoRootOfUnity {
+        /// The ring degree that was requested.
+        degree: usize,
+    },
+}
+
+impl core::fmt::Display for NttError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NttError::InvalidDegree(n) => {
+                write!(f, "ring degree {n} must be a power of two >= 2")
+            }
+            NttError::InvalidModulus => write!(f, "modulus out of range for backend"),
+            NttError::NoRootOfUnity { degree } => {
+                write!(f, "modulus lacks a primitive {}th root of unity", 2 * degree)
+            }
+        }
+    }
+}
+
+impl std::error::Error for NttError {}

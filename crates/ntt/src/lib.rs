@@ -1,0 +1,38 @@
+//! # rpu-ntt — reference NTT and RLWE polynomial library
+//!
+//! The OpenFHE substitute of this reproduction: a scalar, CPU-side
+//! implementation of the Number Theoretic Transform and the polynomial
+//! operations RLWE workloads are built from. It serves three roles:
+//!
+//! 1. **Golden model** — the RPU functional simulator's outputs are
+//!    checked against [`PeaseSchedule::forward`]/[`PeaseSchedule::inverse`]
+//!    (and those against [`Ntt128Plan`] and O(n²) direct evaluation).
+//! 2. **CPU baseline** — [`baseline`] provides the timed 64-bit and
+//!    128-bit CPU NTTs for the paper's Fig. 10 speedup comparison.
+//! 3. **Workload substrate** — [`Polynomial`]/[`RnsPolynomial`] implement
+//!    the ring operations (negacyclic multiplication, RNS towers) that the
+//!    examples and benches exercise end-to-end.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod pease;
+mod poly;
+mod rns_poly;
+mod plan128;
+pub mod rlwe;
+mod plan64;
+pub mod baseline;
+
+#[doc(hidden)]
+pub mod testutil;
+
+pub use error::NttError;
+pub use pease::PeaseSchedule;
+pub use poly::{Domain, Polynomial};
+pub use rns_poly::{RnsContext, RnsPolynomial};
+pub use plan128::Ntt128Plan;
+pub use plan64::Ntt64Plan;
+
+

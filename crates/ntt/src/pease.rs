@@ -1,0 +1,455 @@
+//! Pease constant-geometry negacyclic NTT.
+//!
+//! Section V of the paper explains that the long 512-element vectors of
+//! the RPU forced a reformulation of the NTT dataflow, and that the
+//! Pease and Korn–Lambiotte algorithms were added to SPIRAL as breakdown
+//! rules. The Pease form is ideal for a long-vector machine because
+//! **every stage has identical geometry**: butterflies always pair
+//! element `j` with element `j + n/2`, and outputs are written
+//! interleaved at `2j` / `2j+1` — precisely an `UNPKLO`/`UNPKHI` pair on
+//! vector registers.
+//!
+//! This module is the *scalar golden model* of that schedule. The
+//! `rpu-codegen` crate emits B512 programs stage-for-stage from the same
+//! [`PeaseSchedule`], so the functional simulator can be checked
+//! element-exactly against [`PeaseSchedule::forward`], which in turn is
+//! checked here against the standard in-place NTT and an O(n²) direct
+//! evaluation.
+//!
+//! # The ring-splitting view
+//!
+//! Working in `Z_q[x]/(x^n + 1)` with `psi` a primitive `2n`-th root of
+//! unity, note `x^n + 1 = x^n - psi^n`. Reduction modulo
+//! `(x^m - psi^e)` splits into `(x^{m/2} - psi^{e/2})` and
+//! `(x^{m/2} - psi^{e/2 + n})`, and the reduction of coefficients is the
+//! Cooley–Tukey butterfly `a ± psi^{e/2}·b` — multiply **then** add/sub,
+//! which is exactly the RPU's fused `bfly` instruction. Each sub-ring at
+//! stage `s` uses a *single* twiddle, which is why small stages can
+//! broadcast a scalar twiddle (Listing 1's `_vbroadcast`).
+
+use crate::NttError;
+use rpu_arith::{bit_reverse, primitive_root_of_unity, Modulus128};
+
+/// The constant-geometry NTT schedule: per-stage twiddles plus scalar
+/// forward/inverse reference transforms.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_ntt::PeaseSchedule;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = rpu_arith::find_ntt_prime_u128(126, 2048).expect("prime exists");
+/// let sched = PeaseSchedule::new(1024, q)?;
+/// let x: Vec<u128> = (0..1024).collect();
+/// let f = sched.forward(&x);
+/// assert_eq!(sched.inverse(&f), x);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeaseSchedule {
+    n: usize,
+    log_n: u32,
+    q: Modulus128,
+    psi: u128,
+    /// `stage_tw[s][r]` = twiddle for sub-ring `r` at stage `s`
+    /// (`r = j mod 2^s` for pair index `j`), in the normal domain.
+    stage_tw: Vec<Vec<u128>>,
+    /// Montgomery-form copies for the fast scalar reference.
+    stage_tw_mont: Vec<Vec<u128>>,
+    /// Inverses of `stage_tw` (normal domain).
+    stage_tw_inv: Vec<Vec<u128>>,
+    stage_tw_inv_mont: Vec<Vec<u128>>,
+    /// Final-position evaluation exponents: output `p` is the input
+    /// polynomial evaluated at `psi^final_exp[p]`.
+    final_exp: Vec<u128>,
+    n_inv: u128,
+}
+
+impl PeaseSchedule {
+    /// Builds the schedule for ring degree `n` (power of two ≥ 2) and odd
+    /// prime `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError`] if the degree or modulus is unsupported.
+    pub fn new(n: usize, q: u128) -> Result<Self, NttError> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(NttError::InvalidDegree(n));
+        }
+        let modulus = Modulus128::new(q).ok_or(NttError::InvalidModulus)?;
+        if !modulus.is_odd() {
+            return Err(NttError::InvalidModulus);
+        }
+        let psi = primitive_root_of_unity(modulus, 2 * n as u128)
+            .map_err(|_| NttError::NoRootOfUnity { degree: n })?;
+        let log_n = n.trailing_zeros();
+
+        // Exponent tree: the ring at stage 0 is (x^n - psi^n); the
+        // sub-ring with id bits r at stage s is (x^{n/2^s} - psi^{e(s,r)}),
+        // and children ids append their branch bit at the LSB:
+        //   e(s+1, (r<<1)|b) = e(s,r)/2 + b*n.
+        let mut exps: Vec<Vec<u128>> = Vec::with_capacity(log_n as usize + 1);
+        exps.push(vec![n as u128]);
+        for s in 0..log_n as usize {
+            let prev = &exps[s];
+            let mut next = vec![0u128; prev.len() * 2];
+            for (r, &e) in prev.iter().enumerate() {
+                debug_assert_eq!(e % 2, 0, "exponent must stay even pre-leaf");
+                next[r << 1] = e / 2;
+                next[(r << 1) | 1] = e / 2 + n as u128;
+            }
+            exps.push(next);
+        }
+        let final_exp = exps.pop().expect("log_n+1 levels were pushed");
+
+        let psi_inv = modulus.inv(psi);
+        let mut stage_tw = Vec::with_capacity(log_n as usize);
+        let mut stage_tw_mont = Vec::with_capacity(log_n as usize);
+        let mut stage_tw_inv = Vec::with_capacity(log_n as usize);
+        let mut stage_tw_inv_mont = Vec::with_capacity(log_n as usize);
+        for stage_exps in &exps {
+            let tw: Vec<u128> = stage_exps
+                .iter()
+                .map(|&e| modulus.pow(psi, e / 2))
+                .collect();
+            let tw_inv: Vec<u128> = stage_exps
+                .iter()
+                .map(|&e| modulus.pow(psi_inv, e / 2))
+                .collect();
+            stage_tw_mont.push(tw.iter().map(|&t| modulus.to_mont(t)).collect());
+            stage_tw_inv_mont.push(tw_inv.iter().map(|&t| modulus.to_mont(t)).collect());
+            stage_tw.push(tw);
+            stage_tw_inv.push(tw_inv);
+        }
+        let n_inv = modulus.inv(n as u128 % q);
+        Ok(PeaseSchedule {
+            n,
+            log_n,
+            q: modulus,
+            psi,
+            stage_tw,
+            stage_tw_mont,
+            stage_tw_inv,
+            stage_tw_inv_mont,
+            final_exp,
+            n_inv,
+        })
+    }
+
+    /// Ring degree `n`.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stages, `log2(n)`.
+    pub fn stages(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> Modulus128 {
+        self.q
+    }
+
+    /// The primitive `2n`-th root of unity.
+    pub fn psi(&self) -> u128 {
+        self.psi
+    }
+
+    /// `n^{-1} mod q` (the inverse-transform scale factor).
+    pub fn n_inv(&self) -> u128 {
+        self.n_inv
+    }
+
+    /// Forward twiddle for butterfly pair `j` at stage `s` (normal domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.stages()` or `j >= n/2`.
+    #[inline]
+    pub fn twiddle(&self, s: u32, j: usize) -> u128 {
+        assert!(j < self.n / 2, "pair index out of range");
+        let tw = &self.stage_tw[s as usize];
+        tw[j & (tw.len() - 1)]
+    }
+
+    /// Inverse twiddle for butterfly pair `j` at stage `s` (normal domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.stages()` or `j >= n/2`.
+    #[inline]
+    pub fn twiddle_inv(&self, s: u32, j: usize) -> u128 {
+        assert!(j < self.n / 2, "pair index out of range");
+        let tw = &self.stage_tw_inv[s as usize];
+        tw[j & (tw.len() - 1)]
+    }
+
+    /// The distinct twiddle vectors needed at stage `s` for vector length
+    /// `vlen`: entry `v` holds the twiddles for pair block `j0 = m*vlen`
+    /// with `m ≡ v (mod len)`. Stages with `2^s <= vlen` need exactly one
+    /// vector (the pattern repeats); larger stages need `2^s / vlen`.
+    ///
+    /// This is the layout the code generator materializes into the VDM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vlen` is not a power of two or `s >= self.stages()`.
+    pub fn twiddle_vectors(&self, s: u32, vlen: usize) -> Vec<Vec<u128>> {
+        self.twiddle_vectors_from(&self.stage_tw, s, vlen)
+    }
+
+    /// Inverse-twiddle analogue of
+    /// [`twiddle_vectors`](PeaseSchedule::twiddle_vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vlen` is not a power of two or `s >= self.stages()`.
+    pub fn twiddle_inv_vectors(&self, s: u32, vlen: usize) -> Vec<Vec<u128>> {
+        self.twiddle_vectors_from(&self.stage_tw_inv, s, vlen)
+    }
+
+    fn twiddle_vectors_from(&self, table: &[Vec<u128>], s: u32, vlen: usize) -> Vec<Vec<u128>> {
+        assert!(vlen.is_power_of_two(), "vector length must be a power of two");
+        let tw = &table[s as usize];
+        let period = tw.len(); // 2^s
+        let count = (period / vlen).max(1);
+        (0..count)
+            .map(|v| {
+                (0..vlen)
+                    .map(|i| tw[(v * vlen + i) & (period - 1)])
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Which distinct twiddle vector (index into
+    /// [`twiddle_vectors`](PeaseSchedule::twiddle_vectors)) pair block `m`
+    /// (pairs `m*vlen .. (m+1)*vlen`) uses at stage `s`.
+    pub fn twiddle_vector_index(&self, s: u32, block: usize, vlen: usize) -> usize {
+        let period = self.stage_tw[s as usize].len();
+        let count = (period / vlen).max(1);
+        block % count
+    }
+
+    /// Scalar reference forward transform (out-of-place): natural-order
+    /// coefficients in, **Pease order** out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.degree()`.
+    pub fn forward(&self, x: &[u128]) -> Vec<u128> {
+        assert_eq!(x.len(), self.n, "input length must equal ring degree");
+        let q = self.q;
+        let half = self.n / 2;
+        let mut cur = x.to_vec();
+        let mut next = vec![0u128; self.n];
+        for s in 0..self.log_n {
+            let tw = &self.stage_tw_mont[s as usize];
+            let mask = tw.len() - 1;
+            for j in 0..half {
+                // Montgomery-form twiddle × normal-domain data gives a
+                // normal-domain product in one reduction.
+                let t = q.mont_mul_raw(cur[j + half], tw[j & mask]);
+                next[2 * j] = q.add(cur[j], t);
+                next[2 * j + 1] = q.sub(cur[j], t);
+            }
+            core::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Scalar reference inverse transform: Pease order in, natural-order
+    /// coefficients out (including the `n^{-1}` scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.degree()`.
+    pub fn inverse(&self, x: &[u128]) -> Vec<u128> {
+        assert_eq!(x.len(), self.n, "input length must equal ring degree");
+        let q = self.q;
+        let half = self.n / 2;
+        let mut cur = x.to_vec();
+        let mut next = vec![0u128; self.n];
+        for s in (0..self.log_n).rev() {
+            let tw = &self.stage_tw_inv_mont[s as usize];
+            let mask = tw.len() - 1;
+            for j in 0..half {
+                // Undo: y0 = a + t b, y1 = a - t b (the /2 is folded into
+                // the final n^{-1} scale).
+                let u = q.add(cur[2 * j], cur[2 * j + 1]);
+                let v = q.mont_mul_raw(q.sub(cur[2 * j], cur[2 * j + 1]), tw[j & mask]);
+                next[j] = u;
+                next[j + half] = v;
+            }
+            core::mem::swap(&mut cur, &mut next);
+        }
+        let n_inv_mont = q.to_mont(self.n_inv);
+        for v in cur.iter_mut() {
+            *v = q.mont_mul_raw(*v, n_inv_mont);
+        }
+        cur
+    }
+
+    /// Permutation mapping Pease output positions to the standard
+    /// bit-reversed order produced by
+    /// [`Ntt128Plan::forward`](crate::Ntt128Plan::forward):
+    /// `standard[perm[p]] == pease[p]`.
+    pub fn to_standard_permutation(&self) -> Vec<usize> {
+        // Pease position p evaluates at psi^final_exp[p]; the standard
+        // in-place CT leaves the evaluation at psi^(2i+1) in position
+        // bitrev(i). Equate exponents.
+        (0..self.n)
+            .map(|p| {
+                let e = self.final_exp[p];
+                debug_assert_eq!(e % 2, 1, "leaf exponents are odd");
+                let i = ((e - 1) / 2) as usize;
+                bit_reverse(i, self.log_n)
+            })
+            .collect()
+    }
+
+    /// Evaluation exponent of output position `p`: the forward transform
+    /// leaves `x(psi^exponent)` there.
+    pub fn output_exponent(&self, p: usize) -> u128 {
+        self.final_exp[p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{pease128, plan128, test_vector};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            PeaseSchedule::new(3, 97),
+            Err(NttError::InvalidDegree(3))
+        ));
+        assert!(matches!(
+            PeaseSchedule::new(8, 97), // 97 ≢ 1 mod 16? 96 = 16*6 -> actually OK
+            Ok(_)
+        ));
+        assert!(matches!(
+            PeaseSchedule::new(64, 97), // 97 ≢ 1 mod 128
+            Err(NttError::NoRootOfUnity { degree: 64 })
+        ));
+    }
+
+    #[test]
+    fn first_stage_twiddle_is_sqrt_minus_one() {
+        let s = pease128(16);
+        let q = s.modulus();
+        let t0 = s.twiddle(0, 0);
+        // stage-0 twiddle is psi^{n/2}, whose square is psi^n = -1.
+        assert_eq!(q.mul(t0, t0), q.value() - 1);
+        // all pairs share it
+        for j in 0..8 {
+            assert_eq!(s.twiddle(0, j), t0);
+        }
+    }
+
+    #[test]
+    fn forward_is_evaluation_at_leaf_exponents() {
+        let n = 16usize;
+        let s = pease128(n);
+        let q = s.modulus();
+        let x = test_vector(n, q.value(), 7);
+        let f = s.forward(&x);
+        for p in 0..n {
+            let point = q.pow(s.psi(), s.output_exponent(p));
+            let mut acc = 0u128;
+            for j in (0..n).rev() {
+                acc = q.add(q.mul(acc, point), x[j]);
+            }
+            assert_eq!(f[p], acc, "p={p}");
+        }
+    }
+
+    #[test]
+    fn round_trip_many_sizes() {
+        for log_n in [1u32, 2, 4, 7, 10] {
+            let n = 1usize << log_n;
+            let s = pease128(n);
+            let x = test_vector(n, s.modulus().value(), log_n as u64);
+            assert_eq!(s.inverse(&s.forward(&x)), x, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_standard_plan_up_to_permutation() {
+        for n in [8usize, 64, 512, 2048] {
+            let s = pease128(n);
+            let plan = plan128(n);
+            assert_eq!(s.modulus().value(), plan.modulus().value());
+            // Plans find roots deterministically, so psi matches too.
+            assert_eq!(s.psi(), plan.psi());
+            let x = test_vector(n, s.modulus().value(), 99);
+            let pease_out = s.forward(&x);
+            let mut std_out = x.clone();
+            plan.forward(&mut std_out);
+            let perm = s.to_standard_permutation();
+            for p in 0..n {
+                assert_eq!(pease_out[p], std_out[perm[p]], "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let s = pease128(256);
+        let perm = s.to_standard_permutation();
+        let mut seen = vec![false; 256];
+        for &p in &perm {
+            assert!(!seen[p], "duplicate target {p}");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn twiddle_vectors_dedup_counts() {
+        let s = pease128(1 << 12); // n=4096, 12 stages, half = 2048
+        let vlen = 512;
+        for stage in 0..s.stages() {
+            let vecs = s.twiddle_vectors(stage, vlen);
+            let expect = ((1usize << stage) / vlen).max(1);
+            assert_eq!(vecs.len(), expect, "stage {stage}");
+            // spot-check contents against the scalar accessor
+            for (v, vecv) in vecs.iter().enumerate() {
+                for i in (0..vlen).step_by(97) {
+                    assert_eq!(vecv[i], s.twiddle(stage, v * vlen + i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn twiddle_vector_index_wraps() {
+        let s = pease128(1 << 12);
+        let vlen = 512;
+        // stage 11: period 2048 -> 4 distinct vectors
+        assert_eq!(s.twiddle_vector_index(11, 0, vlen), 0);
+        assert_eq!(s.twiddle_vector_index(11, 5, vlen), 1);
+        // stage 3: one vector for all blocks
+        assert_eq!(s.twiddle_vector_index(3, 3, vlen), 0);
+    }
+
+    #[test]
+    fn negacyclic_product_via_pease_domain() {
+        // Pointwise multiplication in the Pease domain implements
+        // negacyclic convolution, same as the standard domain.
+        let n = 64usize;
+        let s = pease128(n);
+        let q = s.modulus();
+        let a = test_vector(n, q.value(), 1);
+        let b = test_vector(n, q.value(), 2);
+        let fa = s.forward(&a);
+        let fb = s.forward(&b);
+        let prod: Vec<u128> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        let c = s.inverse(&prod);
+        assert_eq!(c, crate::testutil::schoolbook_negacyclic(q, &a, &b));
+    }
+}

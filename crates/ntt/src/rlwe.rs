@@ -1,0 +1,286 @@
+//! A minimal RLWE symmetric encryption scheme — the workload the RPU
+//! exists to accelerate (Section II-A and Fig. 1 of the paper).
+//!
+//! This is the textbook BFV-style symmetric construction: a ciphertext
+//! is a pair `(a, b = a·s + e + Δ·m)` over `Z_q[x]/(x^n + 1)` with a
+//! small ternary secret `s`, small error `e`, and scaling factor
+//! `Δ = ⌊q/t⌋`. It supports the homomorphic operations that do not need
+//! key switching: ciphertext addition and plaintext multiplication.
+//! Every polynomial product runs through the NTT — exactly the dataflow
+//! the RPU accelerates (and `examples/poly_mult_pipeline.rs` runs those
+//! NTTs on the simulated RPU itself).
+//!
+//! This is a pedagogical implementation for driving realistic RLWE
+//! traffic through the stack; it makes no constant-time or
+//! parameter-security claims.
+
+use crate::{Ntt128Plan, NttError, Polynomial};
+use std::sync::Arc;
+
+/// Parameters of the toy scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RlweParams {
+    /// Ring degree (power of two ≥ 2).
+    pub n: usize,
+    /// Ciphertext modulus (an NTT prime for `2n`).
+    pub q: u128,
+    /// Plaintext modulus `t << q`.
+    pub t: u128,
+}
+
+/// A secret key: a ternary polynomial in NTT (evaluation) form.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    s: Polynomial,
+}
+
+/// A symmetric RLWE ciphertext `(a, b)`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    a: Polynomial,
+    b: Polynomial,
+}
+
+/// The encryption/decryption context.
+#[derive(Debug)]
+pub struct RlweContext {
+    params: RlweParams,
+    plan: Arc<Ntt128Plan>,
+    delta: u128,
+}
+
+/// A tiny deterministic PRNG (splitmix64) so tests and examples are
+/// reproducible without external dependencies.
+#[derive(Debug, Clone)]
+pub struct Splitmix {
+    state: u64,
+}
+
+impl Splitmix {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Splitmix { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform residue below `bound`.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        (((self.next_u64() as u128) << 64) | self.next_u64() as u128) % bound
+    }
+
+    /// A ternary value in `{-1, 0, 1}` represented mod `q`.
+    fn ternary(&mut self, q: u128) -> u128 {
+        match self.next_u64() % 3 {
+            0 => 0,
+            1 => 1,
+            _ => q - 1,
+        }
+    }
+
+    /// A small centred error in `[-4, 4]` represented mod `q`.
+    fn small_error(&mut self, q: u128) -> u128 {
+        let e = (self.next_u64() % 9) as i64 - 4;
+        if e >= 0 {
+            e as u128
+        } else {
+            q - (-e) as u128
+        }
+    }
+}
+
+impl RlweContext {
+    /// Builds a context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError`] if `q` does not admit a degree-`n` negacyclic
+    /// NTT, or if `t >= q` (no room for noise).
+    pub fn new(params: RlweParams) -> Result<Self, NttError> {
+        if params.t >= params.q || params.t < 2 {
+            return Err(NttError::InvalidModulus);
+        }
+        let plan = Polynomial::context(params.n, params.q)?;
+        let delta = params.q / params.t;
+        Ok(RlweContext { params, plan, delta })
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> RlweParams {
+        self.params
+    }
+
+    /// Samples a ternary secret key.
+    pub fn keygen(&self, rng: &mut Splitmix) -> SecretKey {
+        let coeffs: Vec<u128> = (0..self.params.n)
+            .map(|_| rng.ternary(self.params.q))
+            .collect();
+        let mut s = Polynomial::from_coeffs(&self.plan, coeffs).expect("length matches");
+        s.to_evaluation();
+        SecretKey { s }
+    }
+
+    /// Encrypts a plaintext vector (coefficients mod `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != n`.
+    pub fn encrypt(&self, sk: &SecretKey, message: &[u128], rng: &mut Splitmix) -> Ciphertext {
+        assert_eq!(message.len(), self.params.n, "message length must equal n");
+        let n = self.params.n;
+        let q = self.params.q;
+        // uniform a
+        let a_coeffs: Vec<u128> = (0..n).map(|_| rng.below(q)).collect();
+        let mut a = Polynomial::from_coeffs(&self.plan, a_coeffs).expect("length matches");
+        a.to_evaluation();
+        // b = a*s + e + delta*m
+        let scaled: Vec<u128> = message
+            .iter()
+            .map(|&m| (m % self.params.t) * self.delta % q)
+            .collect();
+        let noise: Vec<u128> = (0..n).map(|_| rng.small_error(q)).collect();
+        let mut payload = Polynomial::from_coeffs(
+            &self.plan,
+            scaled
+                .iter()
+                .zip(&noise)
+                .map(|(&m, &e)| (m + e) % q)
+                .collect(),
+        )
+        .expect("length matches");
+        payload.to_evaluation();
+        let b = a.mul(&sk.s).add(&payload);
+        Ciphertext { a, b }
+    }
+
+    /// Decrypts a ciphertext back to coefficients mod `t`.
+    pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Vec<u128> {
+        let t = self.params.t;
+        // m~ = b - a*s, then round(m~ / delta) mod t
+        let noisy = ct.b.sub(&ct.a.mul(&sk.s));
+        noisy
+            .coeffs()
+            .iter()
+            .map(|&c| {
+                // centred rounding: (c + delta/2) / delta
+                let rounded = (c + self.delta / 2) / self.delta;
+                rounded % t
+            })
+            .collect()
+    }
+
+    /// Homomorphic addition.
+    pub fn add(&self, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            a: x.a.add(&y.a),
+            b: x.b.add(&y.b),
+        }
+    }
+
+    /// Multiplication by a *plaintext* polynomial with small coefficients
+    /// (noise grows with the plaintext's size; keep entries tiny).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plain.len() != n`.
+    pub fn mul_plain(&self, x: &Ciphertext, plain: &[u128]) -> Ciphertext {
+        assert_eq!(plain.len(), self.params.n, "plaintext length must equal n");
+        let mut p =
+            Polynomial::from_coeffs(&self.plan, plain.to_vec()).expect("length matches");
+        p.to_evaluation();
+        Ciphertext {
+            a: x.a.mul(&p),
+            b: x.b.mul(&p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::cached_prime;
+
+    fn ctx(n: usize) -> RlweContext {
+        let q = cached_prime(100, 2 * n as u128);
+        RlweContext::new(RlweParams { n, q, t: 65537 }).expect("valid params")
+    }
+
+    #[test]
+    fn rejects_bad_plaintext_modulus() {
+        let q = cached_prime(100, 64);
+        assert!(RlweContext::new(RlweParams { n: 32, q, t: q }).is_err());
+        assert!(RlweContext::new(RlweParams { n: 32, q, t: 1 }).is_err());
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let c = ctx(64);
+        let mut rng = Splitmix::new(7);
+        let sk = c.keygen(&mut rng);
+        let msg: Vec<u128> = (0..64).map(|i| (i * 31) % 65537).collect();
+        let ct = c.encrypt(&sk, &msg, &mut rng);
+        assert_eq!(c.decrypt(&sk, &ct), msg);
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let c = ctx(32);
+        let mut rng = Splitmix::new(1);
+        let sk = c.keygen(&mut rng);
+        let msg = vec![5u128; 32];
+        let ct1 = c.encrypt(&sk, &msg, &mut rng);
+        let ct2 = c.encrypt(&sk, &msg, &mut rng);
+        assert_ne!(ct1.a.coeffs(), ct2.a.coeffs(), "fresh randomness per ct");
+        assert_eq!(c.decrypt(&sk, &ct1), c.decrypt(&sk, &ct2));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let c = ctx(64);
+        let mut rng = Splitmix::new(42);
+        let sk = c.keygen(&mut rng);
+        let m1: Vec<u128> = (0..64).map(|i| i % 100).collect();
+        let m2: Vec<u128> = (0..64).map(|i| (i * 7 + 1) % 100).collect();
+        let ct = c.add(&c.encrypt(&sk, &m1, &mut rng), &c.encrypt(&sk, &m2, &mut rng));
+        let expect: Vec<u128> = m1.iter().zip(&m2).map(|(&a, &b)| (a + b) % 65537).collect();
+        assert_eq!(c.decrypt(&sk, &ct), expect);
+    }
+
+    #[test]
+    fn plaintext_multiplication_by_monomial() {
+        // multiply by x: a negacyclic rotation of the message
+        let n = 32usize;
+        let c = ctx(n);
+        let mut rng = Splitmix::new(3);
+        let sk = c.keygen(&mut rng);
+        let msg: Vec<u128> = (1..=n as u128).collect();
+        let ct = c.encrypt(&sk, &msg, &mut rng);
+        let mut x_poly = vec![0u128; n];
+        x_poly[1] = 1;
+        let rotated = c.mul_plain(&ct, &x_poly);
+        let got = c.decrypt(&sk, &rotated);
+        // x * sum(m_i x^i) = -m_{n-1} + m_0 x + ...; mod t the sign flip
+        // is t - m_{n-1}
+        assert_eq!(got[0], 65537 - n as u128);
+        assert_eq!(got[1], msg[0]);
+        assert_eq!(got[n - 1], msg[n - 2]);
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let c = ctx(64);
+        let mut rng = Splitmix::new(9);
+        let sk = c.keygen(&mut rng);
+        let other = c.keygen(&mut rng);
+        let msg = vec![123u128; 64];
+        let ct = c.encrypt(&sk, &msg, &mut rng);
+        assert_ne!(c.decrypt(&other, &ct), msg);
+    }
+}

@@ -1,0 +1,276 @@
+//! RNS ("tower") polynomials — the ciphertext representation of Fig. 1.
+//!
+//! A wide-coefficient polynomial is held as residue polynomials modulo a
+//! chain of NTT-friendly primes. Every tower operates independently
+//! during multiplication (the paper: "During polynomial multiplication,
+//! each tower operates independently"), which is also the unit of work
+//! dispatched to an RPU.
+
+use crate::{Ntt128Plan, NttError, Polynomial};
+use rpu_arith::{RnsBasis, UBig};
+use std::sync::Arc;
+
+/// A polynomial over `Z_Q[x]/(x^n + 1)` stored as RNS towers.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_ntt::RnsPolynomial;
+/// use rpu_arith::find_ntt_prime_chain;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let primes = find_ntt_prime_chain(60, 32, 3); // 3 towers for n=16
+/// let ctx = RnsPolynomial::context(16, &primes)?;
+/// let a = RnsPolynomial::from_u128_coeffs(&ctx, &(0..16u128).collect::<Vec<_>>())?;
+/// let b = RnsPolynomial::from_u128_coeffs(&ctx, &vec![2u128; 16])?;
+/// let c = a.mul(&b);
+/// assert_eq!(c.towers().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsPolynomial {
+    ctx: Arc<RnsContext>,
+    towers: Vec<Polynomial>,
+}
+
+/// Shared parameters for a tower decomposition: one NTT plan per prime
+/// plus the CRT basis for reconstruction.
+#[derive(Debug)]
+pub struct RnsContext {
+    plans: Vec<Arc<Ntt128Plan>>,
+    basis: RnsBasis,
+    degree: usize,
+}
+
+impl RnsContext {
+    /// Ring degree `n`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The tower NTT plans.
+    pub fn plans(&self) -> &[Arc<Ntt128Plan>] {
+        &self.plans
+    }
+
+    /// The CRT basis over the tower moduli.
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+}
+
+impl RnsPolynomial {
+    /// Builds a shared context for degree `n` over the given tower primes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError`] if any prime does not admit a degree-`n`
+    /// negacyclic NTT, or if the primes are not pairwise coprime.
+    pub fn context(n: usize, primes: &[u128]) -> Result<Arc<RnsContext>, NttError> {
+        let basis = RnsBasis::new(primes.to_vec()).map_err(|_| NttError::InvalidModulus)?;
+        let plans = primes
+            .iter()
+            .map(|&q| Ntt128Plan::new(n, q).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Arc::new(RnsContext {
+            plans,
+            basis,
+            degree: n,
+        }))
+    }
+
+    /// Creates a tower polynomial from `u128` coefficients (each reduced
+    /// into every tower).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidDegree`] on length mismatch.
+    pub fn from_u128_coeffs(ctx: &Arc<RnsContext>, coeffs: &[u128]) -> Result<Self, NttError> {
+        if coeffs.len() != ctx.degree {
+            return Err(NttError::InvalidDegree(coeffs.len()));
+        }
+        let towers = ctx
+            .plans
+            .iter()
+            .map(|plan| {
+                let q = plan.modulus();
+                let residues = coeffs.iter().map(|&c| q.reduce(c)).collect();
+                Polynomial::from_coeffs(plan, residues)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RnsPolynomial {
+            ctx: Arc::clone(ctx),
+            towers,
+        })
+    }
+
+    /// Creates a tower polynomial from big-integer coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidDegree`] on length mismatch.
+    pub fn from_big_coeffs(ctx: &Arc<RnsContext>, coeffs: &[UBig]) -> Result<Self, NttError> {
+        if coeffs.len() != ctx.degree {
+            return Err(NttError::InvalidDegree(coeffs.len()));
+        }
+        let towers = ctx
+            .plans
+            .iter()
+            .map(|plan| {
+                let q = plan.modulus().value();
+                let residues = coeffs.iter().map(|c| c.rem_u128(q)).collect();
+                Polynomial::from_coeffs(plan, residues)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RnsPolynomial {
+            ctx: Arc::clone(ctx),
+            towers,
+        })
+    }
+
+    /// The tower polynomials.
+    pub fn towers(&self) -> &[Polynomial] {
+        &self.towers
+    }
+
+    /// The shared context.
+    pub fn rns_context(&self) -> &Arc<RnsContext> {
+        &self.ctx
+    }
+
+    /// Tower-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands use different contexts.
+    pub fn add(&self, rhs: &RnsPolynomial) -> RnsPolynomial {
+        self.zip_with(rhs, |a, b| a.add(b))
+    }
+
+    /// Tower-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands use different contexts.
+    pub fn sub(&self, rhs: &RnsPolynomial) -> RnsPolynomial {
+        self.zip_with(rhs, |a, b| a.sub(b))
+    }
+
+    /// Tower-wise negacyclic multiplication (each tower independent,
+    /// exactly as the paper describes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands use different contexts.
+    pub fn mul(&self, rhs: &RnsPolynomial) -> RnsPolynomial {
+        self.zip_with(rhs, |a, b| a.mul(b))
+    }
+
+    /// Reconstructs the big-integer coefficients in `[0, Q)` via CRT.
+    pub fn to_big_coeffs(&self) -> Vec<UBig> {
+        let tower_coeffs: Vec<Vec<u128>> = self.towers.iter().map(|t| t.coeffs()).collect();
+        (0..self.ctx.degree)
+            .map(|i| {
+                let residues: Vec<u128> = tower_coeffs.iter().map(|t| t[i]).collect();
+                self.ctx.basis.reconstruct(&residues)
+            })
+            .collect()
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &RnsPolynomial,
+        f: impl Fn(&Polynomial, &Polynomial) -> Polynomial,
+    ) -> RnsPolynomial {
+        assert!(
+            Arc::ptr_eq(&self.ctx, &rhs.ctx),
+            "operands must share an RNS context"
+        );
+        let towers = self
+            .towers
+            .iter()
+            .zip(&rhs.towers)
+            .map(|(a, b)| f(a, b))
+            .collect();
+        RnsPolynomial {
+            ctx: Arc::clone(&self.ctx),
+            towers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_arith::find_ntt_prime_chain;
+
+    fn ctx(n: usize, towers: usize) -> Arc<RnsContext> {
+        let primes = find_ntt_prime_chain(60, 2 * n as u128, towers);
+        RnsPolynomial::context(n, &primes).unwrap()
+    }
+
+    #[test]
+    fn towers_multiply_independently() {
+        let c = ctx(16, 3);
+        let a = RnsPolynomial::from_u128_coeffs(&c, &(0..16u128).collect::<Vec<_>>()).unwrap();
+        let b = RnsPolynomial::from_u128_coeffs(&c, &(16..32u128).collect::<Vec<_>>()).unwrap();
+        let prod = a.mul(&b);
+        for (i, tower) in prod.towers().iter().enumerate() {
+            // each tower equals the standalone product in that field
+            let pa = a.towers()[i].clone();
+            let pb = b.towers()[i].clone();
+            assert_eq!(tower.coeffs(), pa.mul(&pb).coeffs(), "tower {i}");
+        }
+    }
+
+    #[test]
+    fn crt_reconstruction_of_wide_product() {
+        // Multiply polynomials whose product coefficients exceed any single
+        // tower modulus; CRT must still recover them exactly. With two
+        // ~60-bit towers, Q fits in u128 so the ground truth is plain
+        // schoolbook arithmetic modulo Q.
+        let n = 8usize;
+        let c = ctx(n, 2);
+        let q_prod = c
+            .basis()
+            .product()
+            .to_u128()
+            .expect("two 60-bit towers fit in u128");
+        let big = (1u128 << 100) + 12345;
+        let a_coeffs = vec![big; n];
+        let b_coeffs: Vec<u128> = (1..=n as u128).collect();
+        let a = RnsPolynomial::from_u128_coeffs(&c, &a_coeffs).unwrap();
+        let b = RnsPolynomial::from_u128_coeffs(&c, &b_coeffs).unwrap();
+        let prod = a.mul(&b).to_big_coeffs();
+
+        let m = rpu_arith::Modulus128::new(q_prod).unwrap();
+        let expect = crate::testutil::schoolbook_negacyclic(m, &a_coeffs, &b_coeffs);
+        for (k, want) in expect.iter().enumerate() {
+            assert_eq!(prod[k].to_u128(), Some(*want), "coefficient {k}");
+        }
+    }
+
+    #[test]
+    fn add_then_reconstruct() {
+        let n = 8usize;
+        let c = ctx(n, 2);
+        let a = RnsPolynomial::from_u128_coeffs(&c, &vec![7u128; n]).unwrap();
+        let b = RnsPolynomial::from_u128_coeffs(&c, &vec![5u128; n]).unwrap();
+        let sum = a.add(&b).to_big_coeffs();
+        for v in sum {
+            assert_eq!(v.to_u128(), Some(12));
+        }
+    }
+
+    #[test]
+    fn big_coeff_round_trip() {
+        let n = 4usize;
+        let c = ctx(n, 3);
+        let coeffs: Vec<UBig> = (0..n as u128)
+            .map(|i| UBig::from_u128(u128::MAX).mul_u128(i + 1))
+            .collect();
+        let p = RnsPolynomial::from_big_coeffs(&c, &coeffs).unwrap();
+        assert_eq!(p.to_big_coeffs(), coeffs);
+    }
+}

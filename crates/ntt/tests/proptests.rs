@@ -1,0 +1,108 @@
+//! Property-based tests for the NTT library: transform laws that must
+//! hold for arbitrary inputs and ring sizes.
+
+use proptest::prelude::*;
+use rpu_ntt::testutil::{cached_prime, pease128, plan128, schoolbook_negacyclic};
+use rpu_ntt::{Ntt64Plan, PeaseSchedule};
+
+/// A random ring degree 2^k for k in 1..=9 and a seed.
+fn arb_ring() -> impl Strategy<Value = (usize, u64)> {
+    ((1u32..=9), any::<u64>()).prop_map(|(k, seed)| (1usize << k, seed))
+}
+
+fn random_residues(n: usize, q: u128, seed: u64) -> Vec<u128> {
+    rpu_ntt::testutil::test_vector(n, q, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plan128_round_trip((n, seed) in arb_ring()) {
+        let p = plan128(n);
+        let orig = random_residues(n, p.modulus().value(), seed);
+        let mut x = orig.clone();
+        p.forward(&mut x);
+        p.inverse(&mut x);
+        prop_assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn pease_round_trip((n, seed) in arb_ring()) {
+        let s = pease128(n);
+        let x = random_residues(n, s.modulus().value(), seed);
+        prop_assert_eq!(s.inverse(&s.forward(&x)), x);
+    }
+
+    #[test]
+    fn pease_equals_standard_under_permutation((n, seed) in arb_ring()) {
+        let s = pease128(n);
+        let p = plan128(n);
+        let x = random_residues(n, s.modulus().value(), seed);
+        let pease = s.forward(&x);
+        let mut std_out = x.clone();
+        p.forward(&mut std_out);
+        let perm = s.to_standard_permutation();
+        for i in 0..n {
+            prop_assert_eq!(pease[i], std_out[perm[i]]);
+        }
+    }
+
+    #[test]
+    fn ntt_is_linear((n, seed) in arb_ring(), c in any::<u128>()) {
+        let p = plan128(n);
+        let q = p.modulus();
+        let c = q.reduce(c);
+        let a = random_residues(n, q.value(), seed);
+        let scaled: Vec<u128> = a.iter().map(|&v| q.mul(v, c)).collect();
+        let mut fa = a.clone();
+        let mut fs = scaled.clone();
+        p.forward(&mut fa);
+        p.forward(&mut fs);
+        for i in 0..n {
+            prop_assert_eq!(fs[i], q.mul(fa[i], c));
+        }
+    }
+
+    #[test]
+    fn convolution_theorem((seed_a, seed_b) in (any::<u64>(), any::<u64>())) {
+        let n = 32usize;
+        let p = plan128(n);
+        let q = p.modulus();
+        let a = random_residues(n, q.value(), seed_a);
+        let b = random_residues(n, q.value(), seed_b);
+        prop_assert_eq!(
+            p.negacyclic_mul(&a, &b),
+            schoolbook_negacyclic(q, &a, &b)
+        );
+    }
+
+    #[test]
+    fn plan64_and_plan128_agree(seed in any::<u64>()) {
+        let n = 128usize;
+        let q = cached_prime(59, 2 * n as u128) as u64;
+        let p64 = Ntt64Plan::new(n, q).expect("valid parameters");
+        let p128 = rpu_ntt::Ntt128Plan::new(n, q as u128).expect("valid parameters");
+        let a: Vec<u64> = random_residues(n, q as u128, seed)
+            .into_iter().map(|v| v as u64).collect();
+        let mut x64 = a.clone();
+        let mut x128: Vec<u128> = a.iter().map(|&v| v as u128).collect();
+        p64.forward(&mut x64);
+        p128.forward(&mut x128);
+        let widened: Vec<u128> = x64.iter().map(|&v| v as u128).collect();
+        prop_assert_eq!(widened, x128);
+    }
+
+    #[test]
+    fn pease_pointwise_is_negacyclic_convolution(seed in any::<u64>()) {
+        let n = 16usize;
+        let s: PeaseSchedule = pease128(n);
+        let q = s.modulus();
+        let a = random_residues(n, q.value(), seed);
+        let b = random_residues(n, q.value(), seed ^ 0xABCD);
+        let fa = s.forward(&a);
+        let fb = s.forward(&b);
+        let prod: Vec<u128> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        prop_assert_eq!(s.inverse(&prod), schoolbook_negacyclic(q, &a, &b));
+    }
+}

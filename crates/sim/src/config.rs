@@ -1,0 +1,187 @@
+//! RPU configuration — the parameters the paper's design-space
+//! exploration sweeps (Section VI).
+
+use rpu_isa::consts::{SDM_DEFAULT_BYTES, VDM_DEFAULT_BYTES};
+
+/// A full microarchitectural configuration of the RPU.
+///
+/// Defaults correspond to the paper's best design point: 128 HPLEs,
+/// 128 VDM banks, a fully-pipelined multiplier (II = 1) of depth 4, and
+/// crossbar latencies of 4 cycles.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_sim::RpuConfig;
+///
+/// let best = RpuConfig::pareto_128x128();
+/// assert_eq!(best.num_hples, 128);
+/// assert!((best.frequency_ghz() - 1.68).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpuConfig {
+    /// Number of High-Performance LAW Engines (compute lanes).
+    pub num_hples: usize,
+    /// Number of VDM banks.
+    pub vdm_banks: usize,
+    /// VDM capacity in bytes.
+    pub vdm_bytes: usize,
+    /// SDM capacity in bytes.
+    pub sdm_bytes: usize,
+    /// Modular-multiplier pipeline depth in cycles (Fig. 7 sweeps 2..=8).
+    pub mult_latency: u32,
+    /// Modular-multiplier initiation interval (Fig. 7 sweeps 1..=7).
+    pub mult_ii: u32,
+    /// Modular adder/subtractor pipeline depth in cycles.
+    pub add_latency: u32,
+    /// Load/store latency through the VBAR in cycles (Fig. 8 sweeps 4..=10).
+    pub ls_latency: u32,
+    /// Shuffle latency through the SBAR in cycles (Fig. 8 sweeps 4..=10).
+    pub shuffle_latency: u32,
+    /// Depth of each decoupled instruction queue.
+    pub queue_depth: usize,
+}
+
+impl Default for RpuConfig {
+    fn default() -> Self {
+        RpuConfig::pareto_128x128()
+    }
+}
+
+impl RpuConfig {
+    /// The paper's best performance-per-area configuration:
+    /// (128 HPLEs, 128 banks).
+    pub const fn pareto_128x128() -> Self {
+        RpuConfig {
+            num_hples: 128,
+            vdm_banks: 128,
+            vdm_bytes: VDM_DEFAULT_BYTES,
+            sdm_bytes: SDM_DEFAULT_BYTES,
+            mult_latency: 4,
+            mult_ii: 1,
+            add_latency: 2,
+            ls_latency: 4,
+            shuffle_latency: 4,
+            queue_depth: 16,
+        }
+    }
+
+    /// A configuration with the given lane/bank counts and default IP
+    /// parameters — the axes of Figs. 3 and 4.
+    pub const fn with_geometry(num_hples: usize, vdm_banks: usize) -> Self {
+        let mut c = RpuConfig::pareto_128x128();
+        c.num_hples = num_hples;
+        c.vdm_banks = vdm_banks;
+        c
+    }
+
+    /// Validates that the configuration is one the microarchitecture
+    /// supports (power-of-two lanes/banks within the studied ranges).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.num_hples.is_power_of_two() || !(4..=512).contains(&self.num_hples) {
+            return Err(format!(
+                "num_hples must be a power of two in [4, 512], got {}",
+                self.num_hples
+            ));
+        }
+        if !self.vdm_banks.is_power_of_two() || !(8..=512).contains(&self.vdm_banks) {
+            return Err(format!(
+                "vdm_banks must be a power of two in [8, 512], got {}",
+                self.vdm_banks
+            ));
+        }
+        if self.num_hples > rpu_isa::consts::VECTOR_LEN {
+            return Err("more HPLEs than vector lanes is meaningless".into());
+        }
+        if self.mult_ii == 0 || self.mult_latency == 0 {
+            return Err("multiplier latency and II must be at least 1".into());
+        }
+        if self.queue_depth == 0 {
+            return Err("queue depth must be at least 1".into());
+        }
+        if self.vdm_bytes > rpu_isa::consts::VDM_MAX_BYTES {
+            return Err(format!(
+                "VDM capacity {} exceeds the 32 MiB architectural maximum",
+                self.vdm_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Clock frequency in GHz. The VDM limits the clock (Section IV-B.3):
+    /// 1.29 GHz at 32 banks, 1.53 GHz at 64, 1.68 GHz at 128 and above
+    /// (smaller macros are faster until wire delay flattens the curve).
+    pub fn frequency_ghz(&self) -> f64 {
+        match self.vdm_banks {
+            0..=32 => 1.29,
+            33..=64 => 1.53,
+            _ => 1.68,
+        }
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn period_ns(&self) -> f64 {
+        1.0 / self.frequency_ghz()
+    }
+
+    /// Converts a cycle count to microseconds at this configuration's
+    /// clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.period_ns() / 1000.0
+    }
+
+    /// VDM capacity in 128-bit elements.
+    pub fn vdm_elements(&self) -> usize {
+        self.vdm_bytes / rpu_isa::consts::ELEM_BYTES
+    }
+
+    /// SDM capacity in 128-bit elements.
+    pub fn sdm_elements(&self) -> usize {
+        self.sdm_bytes / rpu_isa::consts::ELEM_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_best() {
+        let c = RpuConfig::default();
+        assert_eq!((c.num_hples, c.vdm_banks), (128, 128));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn frequency_matches_paper_table() {
+        for (banks, ghz) in [(32, 1.29), (64, 1.53), (128, 1.68), (256, 1.68)] {
+            let c = RpuConfig::with_geometry(128, banks);
+            assert!((c.frequency_ghz() - ghz).abs() < 1e-12, "banks={banks}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        assert!(RpuConfig::with_geometry(3, 32).validate().is_err());
+        assert!(RpuConfig::with_geometry(1024, 32).validate().is_err());
+        assert!(RpuConfig::with_geometry(128, 7).validate().is_err());
+        let mut c = RpuConfig::default();
+        c.mult_ii = 0;
+        assert!(c.validate().is_err());
+        c = RpuConfig::default();
+        c.vdm_bytes = 64 << 20;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cycle_time_conversion() {
+        let c = RpuConfig::with_geometry(128, 128);
+        // 11,256 cycles at 1.68 GHz ≈ 6.7 us — the headline number.
+        let us = c.cycles_to_us(11_256);
+        assert!((us - 6.7).abs() < 0.01, "got {us}");
+    }
+}

@@ -1,0 +1,565 @@
+//! Functional (architectural) simulator for B512.
+//!
+//! Executes programs against full architectural state — VRF, SRF, ARF,
+//! MRF, VDM, SDM — with no timing. This is the component the paper used
+//! to check SPIRAL-generated code against OpenFHE before ever caring
+//! about cycles; here it validates `rpu-codegen` kernels against
+//! `rpu-ntt`.
+
+use rpu_arith::Modulus128;
+use rpu_isa::consts::{NUM_AREGS, NUM_MREGS, NUM_SREGS, NUM_VREGS, VECTOR_LEN};
+use rpu_isa::{AReg, Instruction, MReg, Program, SReg, VReg};
+use std::collections::HashMap;
+
+/// Error raised during functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A VDM access fell outside the configured capacity.
+    VdmOutOfBounds {
+        /// Element address that was accessed.
+        address: usize,
+        /// VDM capacity in elements.
+        capacity: usize,
+        /// Index of the offending instruction.
+        pc: usize,
+    },
+    /// An SDM access fell outside the configured capacity.
+    SdmOutOfBounds {
+        /// Element address that was accessed.
+        address: usize,
+        /// SDM capacity in elements.
+        capacity: usize,
+        /// Index of the offending instruction.
+        pc: usize,
+    },
+    /// A compute instruction named an MRF entry holding an invalid
+    /// modulus (zero, one, or ≥ 2^127).
+    InvalidModulus {
+        /// The MRF index.
+        mreg: u8,
+        /// Index of the offending instruction.
+        pc: usize,
+    },
+}
+
+impl core::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExecError::VdmOutOfBounds { address, capacity, pc } => write!(
+                f,
+                "instruction {pc}: VDM access at element {address} exceeds capacity {capacity}"
+            ),
+            ExecError::SdmOutOfBounds { address, capacity, pc } => write!(
+                f,
+                "instruction {pc}: SDM access at element {address} exceeds capacity {capacity}"
+            ),
+            ExecError::InvalidModulus { mreg, pc } => {
+                write!(f, "instruction {pc}: MRF[{mreg}] does not hold a valid modulus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Architectural state of an RPU plus the functional executor.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_sim::FunctionalSim;
+/// use rpu_isa::{parse_asm, AReg, MReg, VReg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = FunctionalSim::new(1 << 20, 1 << 10);
+/// sim.set_mrf(MReg::at(0), 97);
+/// sim.write_vdm(0, &vec![5u128; 512]);
+/// sim.write_vdm(512, &vec![6u128; 512]);
+/// let p = parse_asm(
+///     "add",
+///     "vload v0, [a0 + 0], unit\n\
+///      vload v1, [a0 + 512], unit\n\
+///      vaddmod v2, v0, v1, m0\n\
+///      vstore v2, [a0 + 1024], unit",
+/// )?;
+/// sim.run(&p)?;
+/// assert_eq!(sim.read_vdm(1024, 512), vec![11u128; 512]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalSim {
+    vrf: Vec<Vec<u128>>,
+    srf: [u128; NUM_SREGS],
+    arf: [u64; NUM_AREGS],
+    mrf: [u128; NUM_MREGS],
+    vdm: Vec<u128>,
+    sdm: Vec<u128>,
+    /// Cache of prepared moduli (Montgomery constants are expensive).
+    modulus_cache: HashMap<u128, Modulus128>,
+}
+
+impl FunctionalSim {
+    /// Creates a simulator with the given VDM and SDM capacities in
+    /// 128-bit **elements**.
+    pub fn new(vdm_elements: usize, sdm_elements: usize) -> Self {
+        FunctionalSim {
+            vrf: vec![vec![0u128; VECTOR_LEN]; NUM_VREGS],
+            srf: [0; NUM_SREGS],
+            arf: [0; NUM_AREGS],
+            mrf: [0; NUM_MREGS],
+            vdm: vec![0; vdm_elements],
+            sdm: vec![0; sdm_elements],
+            modulus_cache: HashMap::new(),
+        }
+    }
+
+    /// Creates a simulator sized from an [`RpuConfig`](crate::RpuConfig).
+    pub fn for_config(config: &crate::RpuConfig) -> Self {
+        FunctionalSim::new(config.vdm_elements(), config.sdm_elements())
+    }
+
+    /// Writes elements into the VDM at an element offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write exceeds VDM capacity.
+    pub fn write_vdm(&mut self, offset: usize, data: &[u128]) {
+        self.vdm[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` elements from the VDM at an element offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read exceeds VDM capacity.
+    pub fn read_vdm(&self, offset: usize, len: usize) -> Vec<u128> {
+        self.vdm[offset..offset + len].to_vec()
+    }
+
+    /// Writes elements into the SDM at an element offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write exceeds SDM capacity.
+    pub fn write_sdm(&mut self, offset: usize, data: &[u128]) {
+        self.sdm[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Sets a modulus register directly (hosts do this before launching a
+    /// kernel, like the controlling RISC-V core in Section IV-A).
+    pub fn set_mrf(&mut self, reg: MReg, value: u128) {
+        self.mrf[reg.index() as usize] = value;
+    }
+
+    /// Sets an address register directly.
+    pub fn set_arf(&mut self, reg: AReg, value: u64) {
+        self.arf[reg.index() as usize] = value;
+    }
+
+    /// Sets a scalar register directly.
+    pub fn set_srf(&mut self, reg: SReg, value: u128) {
+        self.srf[reg.index() as usize] = value;
+    }
+
+    /// Reads a vector register.
+    pub fn vreg(&self, reg: VReg) -> &[u128] {
+        &self.vrf[reg.index() as usize]
+    }
+
+    /// Reads a scalar register.
+    pub fn sreg(&self, reg: SReg) -> u128 {
+        self.srf[reg.index() as usize]
+    }
+
+    /// Executes a program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on out-of-bounds memory access or invalid
+    /// modulus; architectural state up to the faulting instruction is
+    /// retained.
+    pub fn run(&mut self, program: &Program) -> Result<(), ExecError> {
+        for (pc, instr) in program.instructions().iter().enumerate() {
+            self.step(instr, pc)?;
+        }
+        Ok(())
+    }
+
+    fn modulus(&mut self, rm: MReg, pc: usize) -> Result<Modulus128, ExecError> {
+        let value = self.mrf[rm.index() as usize];
+        if let Some(m) = self.modulus_cache.get(&value) {
+            return Ok(*m);
+        }
+        let m = Modulus128::new(value).ok_or(ExecError::InvalidModulus {
+            mreg: rm.index(),
+            pc,
+        })?;
+        self.modulus_cache.insert(value, m);
+        Ok(m)
+    }
+
+    fn vdm_addr(&self, base: AReg, offset: u32, lane_off: usize, pc: usize) -> Result<usize, ExecError> {
+        let addr = self.arf[base.index() as usize] as usize + offset as usize + lane_off;
+        if addr >= self.vdm.len() {
+            return Err(ExecError::VdmOutOfBounds {
+                address: addr,
+                capacity: self.vdm.len(),
+                pc,
+            });
+        }
+        Ok(addr)
+    }
+
+    fn sdm_addr(&self, base: AReg, offset: u32, pc: usize) -> Result<usize, ExecError> {
+        let addr = self.arf[base.index() as usize] as usize + offset as usize;
+        if addr >= self.sdm.len() {
+            return Err(ExecError::SdmOutOfBounds {
+                address: addr,
+                capacity: self.sdm.len(),
+                pc,
+            });
+        }
+        Ok(addr)
+    }
+
+    fn step(&mut self, instr: &Instruction, pc: usize) -> Result<(), ExecError> {
+        use Instruction::*;
+        match *instr {
+            VLoad { vd, base, offset, mode } => {
+                for i in 0..VECTOR_LEN {
+                    let addr = self.vdm_addr(base, offset, mode.element_offset(i), pc)?;
+                    self.vrf[vd.index() as usize][i] = self.vdm[addr];
+                }
+            }
+            VStore { vs, base, offset, mode } => {
+                for i in 0..VECTOR_LEN {
+                    let addr = self.vdm_addr(base, offset, mode.element_offset(i), pc)?;
+                    self.vdm[addr] = self.vrf[vs.index() as usize][i];
+                }
+            }
+            VBroadcast { vd, base, offset } => {
+                let addr = self.vdm_addr(base, offset, 0, pc)?;
+                let value = self.vdm[addr];
+                self.vrf[vd.index() as usize].fill(value);
+            }
+            SLoad { rt, base, offset } => {
+                let addr = self.sdm_addr(base, offset, pc)?;
+                self.srf[rt.index() as usize] = self.sdm[addr];
+            }
+            MLoad { rt, base, offset } => {
+                let addr = self.sdm_addr(base, offset, pc)?;
+                self.mrf[rt.index() as usize] = self.sdm[addr];
+            }
+            ALoad { rt, base, offset } => {
+                let addr = self.sdm_addr(base, offset, pc)?;
+                self.arf[rt.index() as usize] = self.sdm[addr] as u64;
+            }
+            VAddMod { vd, vs, vt, rm } => {
+                let m = self.modulus(rm, pc)?;
+                self.lanewise_vv(vd, vs, vt, |a, b| m.add(m.reduce(a), m.reduce(b)));
+            }
+            VSubMod { vd, vs, vt, rm } => {
+                let m = self.modulus(rm, pc)?;
+                self.lanewise_vv(vd, vs, vt, |a, b| m.sub(m.reduce(a), m.reduce(b)));
+            }
+            VMulMod { vd, vs, vt, rm } => {
+                let m = self.modulus(rm, pc)?;
+                self.lanewise_vv(vd, vs, vt, |a, b| m.mul(m.reduce(a), m.reduce(b)));
+            }
+            VSAddMod { vd, vs, rt, rm } => {
+                let m = self.modulus(rm, pc)?;
+                let s = m.reduce(self.srf[rt.index() as usize]);
+                self.lanewise_vs(vd, vs, |a| m.add(m.reduce(a), s));
+            }
+            VSSubMod { vd, vs, rt, rm } => {
+                let m = self.modulus(rm, pc)?;
+                let s = m.reduce(self.srf[rt.index() as usize]);
+                self.lanewise_vs(vd, vs, |a| m.sub(m.reduce(a), s));
+            }
+            VSMulMod { vd, vs, rt, rm } => {
+                let m = self.modulus(rm, pc)?;
+                let s = m.reduce(self.srf[rt.index() as usize]);
+                self.lanewise_vs(vd, vs, |a| m.mul(m.reduce(a), s));
+            }
+            Bfly { vd, vd1, vs, vt, vt1, rm } => {
+                let m = self.modulus(rm, pc)?;
+                // vd = vs + vt1*vt ; vd1 = vs - vt1*vt (CT butterfly).
+                // Read all sources before writing: vd/vd1 may alias them.
+                let a: Vec<u128> = self.vrf[vs.index() as usize].clone();
+                let b: Vec<u128> = self.vrf[vt.index() as usize].clone();
+                let t: Vec<u128> = self.vrf[vt1.index() as usize].clone();
+                for i in 0..VECTOR_LEN {
+                    let prod = m.mul(m.reduce(b[i]), m.reduce(t[i]));
+                    let ai = m.reduce(a[i]);
+                    self.vrf[vd.index() as usize][i] = m.add(ai, prod);
+                    self.vrf[vd1.index() as usize][i] = m.sub(ai, prod);
+                }
+            }
+            UnpkLo { vd, vs, vt } => self.shuffle(vd, vs, vt, ShuffleKind::UnpkLo),
+            UnpkHi { vd, vs, vt } => self.shuffle(vd, vs, vt, ShuffleKind::UnpkHi),
+            PkLo { vd, vs, vt } => self.shuffle(vd, vs, vt, ShuffleKind::PkLo),
+            PkHi { vd, vs, vt } => self.shuffle(vd, vs, vt, ShuffleKind::PkHi),
+        }
+        Ok(())
+    }
+
+    fn lanewise_vv(&mut self, vd: VReg, vs: VReg, vt: VReg, f: impl Fn(u128, u128) -> u128) {
+        for i in 0..VECTOR_LEN {
+            let a = self.vrf[vs.index() as usize][i];
+            let b = self.vrf[vt.index() as usize][i];
+            self.vrf[vd.index() as usize][i] = f(a, b);
+        }
+    }
+
+    fn lanewise_vs(&mut self, vd: VReg, vs: VReg, f: impl Fn(u128) -> u128) {
+        for i in 0..VECTOR_LEN {
+            let a = self.vrf[vs.index() as usize][i];
+            self.vrf[vd.index() as usize][i] = f(a);
+        }
+    }
+
+    fn shuffle(&mut self, vd: VReg, vs: VReg, vt: VReg, kind: ShuffleKind) {
+        let s = self.vrf[vs.index() as usize].clone();
+        let t = self.vrf[vt.index() as usize].clone();
+        let out = &mut self.vrf[vd.index() as usize];
+        shuffle_into(&s, &t, kind, out);
+    }
+}
+
+/// The four SBAR shuffle operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShuffleKind {
+    UnpkLo,
+    UnpkHi,
+    PkLo,
+    PkHi,
+}
+
+/// Applies a shuffle to full-length source vectors (Section III's
+/// definitions):
+///
+/// * `UNPKLO`: interleave the first halves of `vs` and `vt`.
+/// * `UNPKHI`: interleave the second halves of `vs` and `vt`.
+/// * `PKLO`: even-indexed `vs` elements then even-indexed `vt` elements.
+/// * `PKHI`: odd-indexed `vs` elements then odd-indexed `vt` elements.
+pub(crate) fn shuffle_into(s: &[u128], t: &[u128], kind: ShuffleKind, out: &mut [u128]) {
+    let n = s.len();
+    let half = n / 2;
+    match kind {
+        ShuffleKind::UnpkLo => {
+            for i in 0..half {
+                out[2 * i] = s[i];
+                out[2 * i + 1] = t[i];
+            }
+        }
+        ShuffleKind::UnpkHi => {
+            for i in 0..half {
+                out[2 * i] = s[half + i];
+                out[2 * i + 1] = t[half + i];
+            }
+        }
+        ShuffleKind::PkLo => {
+            for i in 0..half {
+                out[i] = s[2 * i];
+                out[half + i] = t[2 * i];
+            }
+        }
+        ShuffleKind::PkHi => {
+            for i in 0..half {
+                out[i] = s[2 * i + 1];
+                out[half + i] = t[2 * i + 1];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_isa::parse_asm;
+
+    fn sim() -> FunctionalSim {
+        let mut s = FunctionalSim::new(1 << 16, 1 << 10);
+        s.set_mrf(MReg::at(0), 0xFFFF_FFFF_0000_0001u128); // any valid odd modulus
+        s
+    }
+
+    #[test]
+    fn shuffle_semantics_small() {
+        // check the four kinds on an 8-lane example
+        let s: Vec<u128> = (0..8).collect();
+        let t: Vec<u128> = (8..16).collect();
+        let mut out = vec![0u128; 8];
+        shuffle_into(&s, &t, ShuffleKind::UnpkLo, &mut out);
+        assert_eq!(out, vec![0, 8, 1, 9, 2, 10, 3, 11]);
+        shuffle_into(&s, &t, ShuffleKind::UnpkHi, &mut out);
+        assert_eq!(out, vec![4, 12, 5, 13, 6, 14, 7, 15]);
+        shuffle_into(&s, &t, ShuffleKind::PkLo, &mut out);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        shuffle_into(&s, &t, ShuffleKind::PkHi, &mut out);
+        assert_eq!(out, vec![1, 3, 5, 7, 9, 11, 13, 15]);
+    }
+
+    #[test]
+    fn pack_inverts_unpack() {
+        let mut f = sim();
+        let a: Vec<u128> = (0..512).collect();
+        let b: Vec<u128> = (512..1024).collect();
+        f.write_vdm(0, &a);
+        f.write_vdm(512, &b);
+        let p = parse_asm(
+            "inv",
+            "vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             unpklo v2, v0, v1\n\
+             unpkhi v3, v0, v1\n\
+             pklo v4, v2, v3\n\
+             pkhi v5, v2, v3\n",
+        )
+        .unwrap();
+        f.run(&p).unwrap();
+        assert_eq!(f.vreg(VReg::at(4)), &a[..]);
+        assert_eq!(f.vreg(VReg::at(5)), &b[..]);
+    }
+
+    #[test]
+    fn bfly_matches_mul_add_sub_sequence() {
+        let mut f1 = sim();
+        let mut f2 = sim();
+        let q = 0xFFFF_FFFF_0000_0001u128;
+        let a: Vec<u128> = (0..512u128).map(|i| i * 999 % q).collect();
+        let b: Vec<u128> = (0..512u128).map(|i| (i * 777 + 5) % q).collect();
+        let t: Vec<u128> = (0..512u128).map(|i| (i * 31 + 1) % q).collect();
+        for f in [&mut f1, &mut f2] {
+            f.write_vdm(0, &a);
+            f.write_vdm(512, &b);
+            f.write_vdm(1024, &t);
+        }
+        let fused = parse_asm(
+            "fused",
+            "vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             vload v2, [a0 + 1024], unit\n\
+             bfly v3, v4, v0, v1, v2, m0\n",
+        )
+        .unwrap();
+        let split = parse_asm(
+            "split",
+            "vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             vload v2, [a0 + 1024], unit\n\
+             vmulmod v5, v1, v2, m0\n\
+             vaddmod v3, v0, v5, m0\n\
+             vsubmod v4, v0, v5, m0\n",
+        )
+        .unwrap();
+        f1.run(&fused).unwrap();
+        f2.run(&split).unwrap();
+        assert_eq!(f1.vreg(VReg::at(3)), f2.vreg(VReg::at(3)));
+        assert_eq!(f1.vreg(VReg::at(4)), f2.vreg(VReg::at(4)));
+    }
+
+    #[test]
+    fn addressing_modes_load() {
+        let mut f = sim();
+        let data: Vec<u128> = (0..2048).collect();
+        f.write_vdm(0, &data);
+        let p = parse_asm(
+            "modes",
+            "vload v0, [a0 + 0], stride:2\n\
+             vload v1, [a0 + 0], skip:256\n\
+             vload v2, [a0 + 0], rep:4\n",
+        )
+        .unwrap();
+        f.run(&p).unwrap();
+        assert_eq!(f.vreg(VReg::at(0))[5], 10);
+        // skip:256 -> lanes 0..256 from 0..256, lanes 256..512 from 512..768
+        assert_eq!(f.vreg(VReg::at(1))[255], 255);
+        assert_eq!(f.vreg(VReg::at(1))[256], 512);
+        assert_eq!(f.vreg(VReg::at(2))[7], 3); // repeats 0,1,2,3
+    }
+
+    #[test]
+    fn scalar_and_modulus_loads() {
+        let mut f = sim();
+        f.write_sdm(0, &[41, 97, 7]);
+        let p = parse_asm(
+            "scalar",
+            "sload s1, [a0 + 0]\n\
+             mload m2, [a0 + 1]\n\
+             aload a3, [a0 + 2]\n",
+        )
+        .unwrap();
+        f.run(&p).unwrap();
+        assert_eq!(f.sreg(SReg::at(1)), 41);
+        // use m2 in a computation to observe it
+        let p2 = parse_asm("use", "vsaddmod v1, v0, s1, m2\n").unwrap();
+        f.run(&p2).unwrap();
+        assert_eq!(f.vreg(VReg::at(1))[0], 41); // 0 + 41 mod 97
+    }
+
+    #[test]
+    fn vector_scalar_ops() {
+        let mut f = sim();
+        f.set_mrf(MReg::at(1), 101);
+        f.set_srf(SReg::at(0), 100);
+        f.write_vdm(0, &vec![3u128; 512]);
+        let p = parse_asm(
+            "vs",
+            "vload v0, [a0 + 0], unit\n\
+             vsaddmod v1, v0, s0, m1\n\
+             vssubmod v2, v0, s0, m1\n\
+             vsmulmod v3, v0, s0, m1\n",
+        )
+        .unwrap();
+        f.run(&p).unwrap();
+        assert_eq!(f.vreg(VReg::at(1))[0], 2); // 3+100 mod 101
+        assert_eq!(f.vreg(VReg::at(2))[0], 4); // 3-100 mod 101
+        assert_eq!(f.vreg(VReg::at(3))[0], 300 % 101);
+    }
+
+    #[test]
+    fn broadcast_replicates() {
+        let mut f = sim();
+        f.write_vdm(7, &[1234]);
+        let p = parse_asm("b", "vbroadcast v9, [a0 + 7]\n").unwrap();
+        f.run(&p).unwrap();
+        assert!(f.vreg(VReg::at(9)).iter().all(|&v| v == 1234));
+    }
+
+    #[test]
+    fn oob_vdm_detected() {
+        let mut f = FunctionalSim::new(600, 16);
+        f.set_mrf(MReg::at(0), 97);
+        let p = parse_asm("oob", "vload v0, [a0 + 512], unit\n").unwrap();
+        let err = f.run(&p).unwrap_err();
+        assert!(matches!(err, ExecError::VdmOutOfBounds { pc: 0, .. }));
+    }
+
+    #[test]
+    fn invalid_modulus_detected() {
+        let mut f = FunctionalSim::new(1024, 16);
+        // MRF[0] left at zero
+        let p = parse_asm("bad", "vaddmod v0, v1, v2, m0\n").unwrap();
+        let err = f.run(&p).unwrap_err();
+        assert_eq!(err, ExecError::InvalidModulus { mreg: 0, pc: 0 });
+    }
+
+    #[test]
+    fn arf_indirection_moves_data_window() {
+        // Same program, different ARF base: the paper's motivation for
+        // the ARF ("moving the location of stored data in the VDM
+        // without changing instructions").
+        let p = parse_asm("win", "vload v0, [a1 + 0], unit\n").unwrap();
+        let mut f = sim();
+        f.write_vdm(0, &vec![1u128; 512]);
+        f.write_vdm(512, &vec![2u128; 512]);
+        f.set_arf(AReg::at(1), 0);
+        f.run(&p).unwrap();
+        assert_eq!(f.vreg(VReg::at(0))[0], 1);
+        f.set_arf(AReg::at(1), 512);
+        f.run(&p).unwrap();
+        assert_eq!(f.vreg(VReg::at(0))[0], 2);
+    }
+}

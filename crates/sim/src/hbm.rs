@@ -1,0 +1,81 @@
+//! Off-chip HBM2 model (Fig. 9's methodology).
+//!
+//! The paper assumes a 512 GB/s HBM2 link between the VDM and off-chip
+//! memory, as in F1 and A100-class designs, and asks whether kernel
+//! execution can hide the load of inputs and store of results. This
+//! module provides that arithmetic.
+
+/// HBM2 bandwidth/latency model.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_sim::HbmModel;
+///
+/// let hbm = HbmModel::default(); // 512 GB/s
+/// let t = hbm.transfer_time_us(65536); // one 64K ring of 128-bit words
+/// assert!(t > 1.9 && t < 2.2, "about 2 us, got {t}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmModel {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed per-transfer latency in microseconds (burst setup).
+    pub fixed_latency_us: f64,
+}
+
+impl Default for HbmModel {
+    fn default() -> Self {
+        HbmModel {
+            bandwidth_bytes_per_s: 512e9,
+            fixed_latency_us: 0.0,
+        }
+    }
+}
+
+impl HbmModel {
+    /// Time to move `elements` 128-bit words in one direction, in
+    /// microseconds.
+    pub fn transfer_time_us(&self, elements: usize) -> f64 {
+        let bytes = elements as f64 * rpu_isa::consts::ELEM_BYTES as f64;
+        self.fixed_latency_us + bytes / self.bandwidth_bytes_per_s * 1e6
+    }
+
+    /// `true` if a kernel of the given runtime hides the input load for a
+    /// ring of `elements` (double buffering: next input streams while the
+    /// current kernel runs).
+    pub fn load_hidden_by(&self, elements: usize, kernel_us: f64) -> bool {
+        self.transfer_time_us(elements) <= kernel_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_math() {
+        let hbm = HbmModel::default();
+        // 64K * 16 B = 1 MiB; at 512 GB/s that's ~2.05 us.
+        let t = hbm.transfer_time_us(65536);
+        assert!((t - 2.048).abs() < 0.01, "got {t}");
+        // halving the ring halves the time
+        assert!((hbm.transfer_time_us(32768) - t / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hiding_threshold() {
+        let hbm = HbmModel::default();
+        assert!(hbm.load_hidden_by(65536, 6.7)); // 64K NTT runtime
+        assert!(!hbm.load_hidden_by(65536, 1.0));
+    }
+
+    #[test]
+    fn fixed_latency_added() {
+        let hbm = HbmModel {
+            bandwidth_bytes_per_s: 512e9,
+            fixed_latency_us: 0.5,
+        };
+        assert!(hbm.transfer_time_us(0) >= 0.5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the cycle-level simulator: resource-monotonicity
+//! and accounting invariants that must hold for arbitrary valid
+//! programs, not just NTT kernels.
+
+use proptest::prelude::*;
+use rpu_isa::{AReg, AddrMode, Instruction, MReg, Program, VReg};
+use rpu_sim::{CycleSim, RpuConfig};
+
+fn arb_vreg() -> impl Strategy<Value = VReg> {
+    (0u8..64).prop_map(VReg::at)
+}
+
+fn arb_mode() -> impl Strategy<Value = AddrMode> {
+    prop_oneof![
+        Just(AddrMode::Unit),
+        (1u8..4).prop_map(|l| AddrMode::Strided { log2_stride: l }),
+        (3u8..9).prop_map(|l| AddrMode::StridedSkip { log2_block: l }),
+        (0u8..9).prop_map(|l| AddrMode::Repeated { log2_block: l }),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let m = MReg::at(0);
+    let a = AReg::at(0);
+    prop_oneof![
+        (arb_vreg(), 0u32..4096, arb_mode())
+            .prop_map(move |(vd, offset, mode)| Instruction::VLoad { vd, base: a, offset, mode }),
+        (arb_vreg(), 0u32..4096, arb_mode())
+            .prop_map(move |(vs, offset, mode)| Instruction::VStore { vs, base: a, offset, mode }),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(move |(vd, vs, vt)| Instruction::VMulMod { vd, vs, vt, rm: m }),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(move |(vd, vs, vt)| Instruction::VAddMod { vd, vs, vt, rm: m }),
+        (arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg()).prop_map(
+            move |(vd, vd1, vs, vt, vt1)| Instruction::Bfly { vd, vd1, vs, vt, vt1, rm: m }
+        ),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(|(vd, vs, vt)| Instruction::UnpkLo { vd, vs, vt }),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(|(vd, vs, vt)| Instruction::PkHi { vd, vs, vt }),
+    ]
+}
+
+fn cycles(program: &Program, config: RpuConfig) -> u64 {
+    CycleSim::new(config)
+        .expect("valid config")
+        .simulate(program)
+        .cycles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn more_hples_never_hurt(instrs in prop::collection::vec(arb_instruction(), 1..60)) {
+        let p: Program = instrs.into_iter().collect();
+        let slow = cycles(&p, RpuConfig::with_geometry(16, 128));
+        let fast = cycles(&p, RpuConfig::with_geometry(256, 128));
+        prop_assert!(fast <= slow, "256 HPLEs {fast} vs 16 HPLEs {slow}");
+    }
+
+    #[test]
+    fn more_banks_never_hurt(instrs in prop::collection::vec(arb_instruction(), 1..60)) {
+        let p: Program = instrs.into_iter().collect();
+        let slow = cycles(&p, RpuConfig::with_geometry(128, 32));
+        let fast = cycles(&p, RpuConfig::with_geometry(128, 256));
+        prop_assert!(fast <= slow, "256 banks {fast} vs 32 banks {slow}");
+    }
+
+    #[test]
+    fn deeper_queues_never_hurt(instrs in prop::collection::vec(arb_instruction(), 1..60)) {
+        let p: Program = instrs.into_iter().collect();
+        let mut shallow = RpuConfig::pareto_128x128();
+        shallow.queue_depth = 1;
+        let mut deep = shallow;
+        deep.queue_depth = 64;
+        prop_assert!(cycles(&p, deep) <= cycles(&p, shallow));
+    }
+
+    #[test]
+    fn lower_latencies_never_hurt(instrs in prop::collection::vec(arb_instruction(), 1..60)) {
+        let p: Program = instrs.into_iter().collect();
+        let mut fast_ip = RpuConfig::pareto_128x128();
+        fast_ip.mult_latency = 2;
+        fast_ip.ls_latency = 4;
+        fast_ip.shuffle_latency = 4;
+        let mut slow_ip = fast_ip;
+        slow_ip.mult_latency = 8;
+        slow_ip.mult_ii = 4;
+        slow_ip.ls_latency = 10;
+        slow_ip.shuffle_latency = 10;
+        prop_assert!(cycles(&p, fast_ip) <= cycles(&p, slow_ip));
+    }
+
+    #[test]
+    fn accounting_invariants(instrs in prop::collection::vec(arb_instruction(), 1..80)) {
+        let p: Program = instrs.into_iter().collect();
+        let sim = CycleSim::new(RpuConfig::pareto_128x128()).expect("valid");
+        let stats = sim.simulate(&p);
+        prop_assert_eq!(stats.instructions(), p.len() as u64);
+        prop_assert_eq!(stats.im_fetches, p.len() as u64);
+        // every instruction completes: makespan covers all busy time of
+        // the busiest pipeline
+        let busiest = stats.busy_compute.max(stats.busy_shuffle);
+        prop_assert!(stats.cycles >= busiest);
+        // event counts consistent with the instruction mix
+        let mix = p.mix();
+        prop_assert!(stats.sbar_elems == 512 * mix.shuffle as u64);
+    }
+
+    #[test]
+    fn trace_times_are_consistent(instrs in prop::collection::vec(arb_instruction(), 1..40)) {
+        let p: Program = instrs.into_iter().collect();
+        let sim = CycleSim::new(RpuConfig::pareto_128x128()).expect("valid");
+        let (stats, trace) = sim.simulate_traced(&p);
+        prop_assert_eq!(trace.len(), p.len());
+        let mut prev_dispatch = 0u64;
+        for e in &trace {
+            prop_assert!(e.dispatch >= prev_dispatch, "in-order dispatch");
+            prop_assert!(e.issue >= e.dispatch);
+            prop_assert!(e.complete > e.issue);
+            prev_dispatch = e.dispatch;
+        }
+        prop_assert_eq!(stats.cycles, trace.iter().map(|e| e.complete).max().unwrap_or(0));
+    }
+}

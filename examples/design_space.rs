@@ -1,0 +1,49 @@
+//! Design-space exploration: sweep HPLE and VDM bank counts for the 16K
+//! NTT, print the area-runtime scatter, the Pareto frontier (Fig. 3),
+//! and the performance-per-area ranking (Fig. 4).
+//!
+//! Run with: `cargo run --release --example design_space`
+//! (pass a ring degree to sweep something other than 16384, e.g.
+//! `-- 65536` for the paper's full 64K workload)
+
+use rpu::model::{best_perf_per_area, pareto_frontier};
+use rpu::{explore_design_space, PAPER_BANKS, PAPER_HPLES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(16384);
+
+    println!("sweeping {} x {} configurations, n = {n}", PAPER_HPLES.len(), PAPER_BANKS.len());
+    let points = explore_design_space(n, &PAPER_HPLES, &PAPER_BANKS)?;
+
+    println!("\n{:>6} {:>6} {:>12} {:>10} {:>8}", "HPLEs", "banks", "runtime", "area", "P/A");
+    for p in &points {
+        println!(
+            "{:>6} {:>6} {:>9.2} us {:>7.1} mm2 {:>8.2}",
+            p.hples,
+            p.banks,
+            p.runtime_us,
+            p.area_mm2,
+            p.perf_per_area()
+        );
+    }
+
+    let frontier = pareto_frontier(&points);
+    println!("\nPareto-optimal designs (Fig. 3's red line):");
+    for p in &frontier {
+        println!(
+            "  ({}, {}): {:.2} us, {:.1} mm2",
+            p.hples, p.banks, p.runtime_us, p.area_mm2
+        );
+    }
+
+    let best = best_perf_per_area(&points).expect("sweep is non-empty");
+    println!(
+        "\nbest performance/area: ({}, {}) — the paper finds (128, 128)",
+        best.hples, best.banks
+    );
+    Ok(())
+}

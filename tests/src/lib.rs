@@ -1,0 +1,1 @@
+//! Cross-crate integration tests for the RPU workspace live in `tests/`.
