@@ -46,7 +46,7 @@ pub struct Modulus128 {
 impl Modulus128 {
     /// Creates a new modulus. Returns `None` if `q < 2` or `q >= 2^127`.
     pub fn new(q: u128) -> Option<Self> {
-        if q < 2 || q >= 1u128 << 127 {
+        if !(2..1u128 << 127).contains(&q) {
             return None;
         }
         let odd = q & 1 == 1;

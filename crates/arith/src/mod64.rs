@@ -32,7 +32,7 @@ pub struct Modulus64 {
 impl Modulus64 {
     /// Creates a new modulus. Returns `None` if `q < 2` or `q >= 2^63`.
     pub fn new(q: u64) -> Option<Self> {
-        if q < 2 || q >= 1u64 << 63 {
+        if !(2..1u64 << 63).contains(&q) {
             return None;
         }
         // floor(2^128 / q) via 128-bit long division in two steps:

@@ -16,8 +16,8 @@ const WITNESSES_64: [u64; 7] = [2, 325, 9375, 28178, 450775, 9780504, 1795265022
 /// bound below `2^-80`, far past any practical concern for generated test
 /// parameters.
 const WITNESSES_128: [u128; 40] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
 ];
 
 /// Returns `true` if `n` is prime (exact for all `n < 2^63`).
@@ -29,7 +29,7 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -76,7 +76,7 @@ pub fn is_prime_u128(n: u128) -> bool {
         if n == *p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(*p) {
             return false;
         }
     }

@@ -91,7 +91,10 @@ impl RnsBasis {
             }
             inverses.push(row);
         }
-        Ok(RnsBasis { moduli: ms, inverses })
+        Ok(RnsBasis {
+            moduli: ms,
+            inverses,
+        })
     }
 
     /// Number of towers `L`.

@@ -62,7 +62,7 @@ pub fn primitive_root_of_unity(q: Modulus128, order: u128) -> Result<u128, FindR
     if order == 1 {
         return Ok(1);
     }
-    if (q.value() - 1) % order != 0 {
+    if !(q.value() - 1).is_multiple_of(order) {
         return Err(FindRootError::OrderDoesNotDivide);
     }
     let exp = (q.value() - 1) / order;
@@ -103,9 +103,7 @@ pub fn power_table_bitrev(q: Modulus128, w: u128, count: usize) -> Vec<u128> {
     assert!(count.is_power_of_two(), "count must be a power of two");
     let bits = count.trailing_zeros();
     let plain = power_table(q, w, count);
-    (0..count)
-        .map(|i| plain[bit_reverse(i, bits)])
-        .collect()
+    (0..count).map(|i| plain[bit_reverse(i, bits)]).collect()
 }
 
 /// Reverses the low `bits` bits of `i`.

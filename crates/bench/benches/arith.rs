@@ -19,7 +19,9 @@ fn bench_mod64(c: &mut Criterion) {
     g.bench_function("mul_shoup", |bench| {
         bench.iter(|| m.mul_shoup(black_box(a), w, ws))
     });
-    g.bench_function("add", |bench| bench.iter(|| m.add(black_box(a), black_box(b))));
+    g.bench_function("add", |bench| {
+        bench.iter(|| m.add(black_box(a), black_box(b)))
+    });
     g.bench_function("pow", |bench| bench.iter(|| m.pow(black_box(a), 65537)));
     g.finish();
 }
@@ -42,7 +44,9 @@ fn bench_mod128(c: &mut Criterion) {
     g.bench_function("mul_wide_then_divide", |bench| {
         bench.iter(|| U256::mul_wide(black_box(a), black_box(b)).rem_u128(q))
     });
-    g.bench_function("add", |bench| bench.iter(|| m.add(black_box(a), black_box(b))));
+    g.bench_function("add", |bench| {
+        bench.iter(|| m.add(black_box(a), black_box(b)))
+    });
     g.finish();
 }
 

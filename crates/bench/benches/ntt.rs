@@ -59,5 +59,10 @@ fn bench_pease_reference(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_forward_64, bench_forward_128, bench_pease_reference);
+criterion_group!(
+    benches,
+    bench_forward_64,
+    bench_forward_128,
+    bench_pease_reference
+);
 criterion_main!(benches);

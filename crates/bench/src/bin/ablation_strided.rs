@@ -6,10 +6,10 @@
 //! instead of `unpklo`/`unpkhi`.
 
 use rpu::{CodegenStyle, CycleSim, Direction, RpuConfig};
-use rpu_bench::{print_comparison, KernelCache, PaperRow};
+use rpu_bench::{cap_n, print_comparison, KernelCache, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 65536usize;
+    let n = cap_n(65536);
     let cache = KernelCache::new();
     eprintln!("generating shuffle-based and strided-memory 64K kernels...");
     let shuffled = cache.get(n, Direction::Forward, CodegenStyle::Optimized);

@@ -3,15 +3,22 @@
 
 use rpu::model::pareto_frontier;
 use rpu::{explore_design_space, PAPER_BANKS, PAPER_HPLES};
-use rpu_bench::{print_comparison, PaperRow};
+use rpu_bench::{cap_n, print_comparison, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 65536usize;
-    eprintln!("sweeping {}x{} configurations for the 64K NTT...", PAPER_HPLES.len(), PAPER_BANKS.len());
+    let n = cap_n(65536);
+    eprintln!(
+        "sweeping {}x{} configurations for the 64K NTT...",
+        PAPER_HPLES.len(),
+        PAPER_BANKS.len()
+    );
     let points = explore_design_space(n, &PAPER_HPLES, &PAPER_BANKS)?;
 
     println!("\nFig. 3 scatter (runtime us vs area mm2):");
-    println!("{:>6} {:>6} {:>12} {:>10}", "HPLEs", "banks", "runtime", "area");
+    println!(
+        "{:>6} {:>6} {:>12} {:>10}",
+        "HPLEs", "banks", "runtime", "area"
+    );
     for p in &points {
         println!(
             "{:>6} {:>6} {:>9.2} us {:>7.1} mm2",

@@ -3,10 +3,10 @@
 
 use rpu::model::best_perf_per_area;
 use rpu::{explore_design_space, PAPER_BANKS, PAPER_HPLES};
-use rpu_bench::{print_comparison, PaperRow};
+use rpu_bench::{cap_n, print_comparison, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 65536usize;
+    let n = cap_n(65536);
     eprintln!("sweeping configurations for the 64K NTT P/A surface...");
     let points = explore_design_space(n, &PAPER_HPLES, &PAPER_BANKS)?;
 

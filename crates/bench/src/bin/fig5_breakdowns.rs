@@ -4,7 +4,7 @@
 
 use rpu::model::{AreaModel, EnergyModel};
 use rpu::{CodegenStyle, CycleSim, Direction, RpuConfig};
-use rpu_bench::{print_comparison, KernelCache, PaperRow};
+use rpu_bench::{cap_n, print_comparison, KernelCache, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let area = AreaModel::default();
@@ -19,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let d = area.breakdown(128, b);
         println!(
             "{b:>6} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
-            d.im, d.vdm, d.vrf, d.law, d.vbar, d.sbar, d.total()
+            d.im,
+            d.vdm,
+            d.vrf,
+            d.law,
+            d.vbar,
+            d.sbar,
+            d.total()
         );
     }
 
@@ -33,26 +39,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let d = area.breakdown(h, 128);
         println!(
             "{h:>6} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
-            d.im, d.vdm, d.vrf, d.law, d.vbar, d.sbar, d.total()
+            d.im,
+            d.vdm,
+            d.vrf,
+            d.law,
+            d.vbar,
+            d.sbar,
+            d.total()
         );
     }
 
     // (c) energy breakdown of the 64K NTT on (128, 128)
     let cache = KernelCache::new();
-    let kernel = cache.get(65536, Direction::Forward, CodegenStyle::Optimized);
+    let kernel = cache.get(cap_n(65536), Direction::Forward, CodegenStyle::Optimized);
     let config = RpuConfig::pareto_128x128();
-    let stats = CycleSim::new(config).map_err(rpu::RpuError::Config)?.simulate(kernel.program());
+    let stats = CycleSim::new(config)
+        .map_err(rpu::RpuError::Config)?
+        .simulate(kernel.program());
     let e = EnergyModel::default().breakdown(&stats);
     let frac = |c: f64| format!("{:.1}%", 100.0 * c / e.total_uj());
 
     let rows = vec![
-        PaperRow { metric: "total energy".into(), paper: "49.18 uJ".into(), measured: format!("{:.2} uJ", e.total_uj()) },
-        PaperRow { metric: "LAW engine".into(), paper: "66.7%".into(), measured: frac(e.law) },
-        PaperRow { metric: "VRF".into(), paper: "19.3%".into(), measured: frac(e.vrf) },
-        PaperRow { metric: "VDM".into(), paper: "10.5%".into(), measured: frac(e.vdm) },
-        PaperRow { metric: "VBAR".into(), paper: "2.3%".into(), measured: frac(e.vbar) },
-        PaperRow { metric: "SBAR".into(), paper: "1.0%".into(), measured: frac(e.sbar) },
-        PaperRow { metric: "IM".into(), paper: "0.1%".into(), measured: frac(e.im) },
+        PaperRow {
+            metric: "total energy".into(),
+            paper: "49.18 uJ".into(),
+            measured: format!("{:.2} uJ", e.total_uj()),
+        },
+        PaperRow {
+            metric: "LAW engine".into(),
+            paper: "66.7%".into(),
+            measured: frac(e.law),
+        },
+        PaperRow {
+            metric: "VRF".into(),
+            paper: "19.3%".into(),
+            measured: frac(e.vrf),
+        },
+        PaperRow {
+            metric: "VDM".into(),
+            paper: "10.5%".into(),
+            measured: frac(e.vdm),
+        },
+        PaperRow {
+            metric: "VBAR".into(),
+            paper: "2.3%".into(),
+            measured: frac(e.vbar),
+        },
+        PaperRow {
+            metric: "SBAR".into(),
+            paper: "1.0%".into(),
+            measured: frac(e.sbar),
+        },
+        PaperRow {
+            metric: "IM".into(),
+            paper: "0.1%".into(),
+            measured: frac(e.im),
+        },
         PaperRow {
             metric: "average power".into(),
             paper: "7.44 W".into(),

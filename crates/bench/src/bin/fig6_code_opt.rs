@@ -4,10 +4,10 @@
 //! highlights how unoptimized shuffles sit blocked at the busyboard.
 
 use rpu::{CodegenStyle, CycleSim, Direction, RpuConfig};
-use rpu_bench::{print_comparison, KernelCache, PaperRow};
+use rpu_bench::{cap_n, print_comparison, KernelCache, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 65536usize;
+    let n = cap_n(65536);
     let cache = KernelCache::new();
     eprintln!("generating optimized and unoptimized 64K kernels...");
     let opt = cache.get(n, Direction::Forward, CodegenStyle::Optimized);

@@ -4,11 +4,11 @@
 //! costs only ~16%, and deeper IIs cost up to ~1.5×.
 
 use rpu::{CodegenStyle, CycleSim, Direction, RpuConfig};
-use rpu_bench::{print_comparison, KernelCache, PaperRow};
+use rpu_bench::{cap_n, print_comparison, KernelCache, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = KernelCache::new();
-    let kernel = cache.get(65536, Direction::Forward, CodegenStyle::Optimized);
+    let kernel = cache.get(cap_n(65536), Direction::Forward, CodegenStyle::Optimized);
 
     let cycles_at = |latency: u32, ii: u32| -> u64 {
         let mut cfg = RpuConfig::pareto_128x128();

@@ -4,11 +4,11 @@
 //! shuffle latency is nearly free up to 7.
 
 use rpu::{CodegenStyle, CycleSim, Direction, RpuConfig};
-use rpu_bench::{print_comparison, KernelCache, PaperRow};
+use rpu_bench::{cap_n, print_comparison, KernelCache, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = KernelCache::new();
-    let kernel = cache.get(65536, Direction::Forward, CodegenStyle::Optimized);
+    let kernel = cache.get(cap_n(65536), Direction::Forward, CodegenStyle::Optimized);
 
     let cycles_at = |ls: u32, sh: u32| -> u64 {
         let mut cfg = RpuConfig::pareto_128x128();
@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PaperRow {
             metric: "more sensitive to".into(),
             paper: "LS latency".into(),
-            measured: if ls10 >= sh10 { "LS latency".into() } else { "shuffle latency".into() },
+            measured: if ls10 >= sh10 {
+                "LS latency".into()
+            } else {
+                "shuffle latency".into()
+            },
         },
     ];
     print_comparison("Fig. 8 (crossbar latency sensitivity)", &rows);

@@ -4,7 +4,7 @@
 //! 1.38× at 64K, and a 512 GB/s HBM2 keeps up with kernel execution.
 
 use rpu::{CodegenStyle, CycleSim, Direction, HbmModel, RpuConfig};
-use rpu_bench::{print_comparison, KernelCache, PaperRow};
+use rpu_bench::{cap_n, print_comparison, KernelCache, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = RpuConfig::pareto_128x128();
@@ -20,20 +20,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut first_ratio = 0.0;
     let mut last_ratio = 0.0;
     let mut all_hidden_at_large = true;
-    for log_n in 10..=16u32 {
+    let max_log = cap_n(1 << 16).ilog2();
+    for log_n in 10..=max_log {
         let n = 1usize << log_n;
         let kernel = cache.get(n, Direction::Forward, CodegenStyle::Optimized);
         let stats = sim.simulate(kernel.program());
         let us = config.cycles_to_us(stats.cycles);
         // theoretical latency: n*log2(n) butterflies' lanes spread over
         // the HPLEs at the clock rate (the paper's formula)
-        let theo = (n as f64 * log_n as f64)
-            / (config.num_hples as f64 * config.frequency_ghz() * 1000.0);
+        let theo =
+            (n as f64 * log_n as f64) / (config.num_hples as f64 * config.frequency_ghz() * 1000.0);
         let ratio = us / theo;
         if log_n == 10 {
             first_ratio = ratio;
         }
-        if log_n == 16 {
+        if log_n == max_log {
             last_ratio = ratio;
         }
         let load = hbm.transfer_time_us(n);

@@ -4,13 +4,16 @@
 
 use rpu::ntt::baseline::{CpuBaseline, CpuWidth};
 use rpu::{CodegenStyle, Direction, Rpu, RpuConfig};
-use rpu_bench::{fmt2, print_comparison, PaperRow};
+use rpu_bench::{cap_n, fmt2, print_comparison, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 65536usize;
+    let n = cap_n(65536);
     let rpu = Rpu::new(RpuConfig::pareto_128x128())?;
     let run = rpu.run_ntt(n, Direction::Forward, CodegenStyle::Optimized)?;
-    assert!(run.verified, "kernel must validate against the golden model");
+    assert!(
+        run.verified,
+        "kernel must validate against the golden model"
+    );
 
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let cpu = CpuBaseline::new(n)?;
@@ -59,6 +62,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             measured: format!("{}", run.mix.shuffle),
         },
     ];
-    print_comparison("Headline (64K NTT on (128,128))", &rows);
+    print_comparison(&format!("Headline ({}K NTT on (128,128))", n / 1024), &rows);
     Ok(())
 }

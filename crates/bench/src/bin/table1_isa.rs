@@ -11,44 +11,118 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = MReg::at(1);
     let s = SReg::at(2);
     let all: Vec<Instruction> = vec![
-        Instruction::VLoad { vd: v(60), base: a, offset: 0, mode: AddrMode::Unit },
+        Instruction::VLoad {
+            vd: v(60),
+            base: a,
+            offset: 0,
+            mode: AddrMode::Unit,
+        },
         Instruction::VLoad {
             vd: v(20),
             base: a,
             offset: 8192,
             mode: AddrMode::StridedSkip { log2_block: 8 },
         },
-        Instruction::VBroadcast { vd: v(19), base: AReg::at(3), offset: 1 },
+        Instruction::VBroadcast {
+            vd: v(19),
+            base: AReg::at(3),
+            offset: 1,
+        },
         Instruction::VStore {
             vs: v(21),
             base: AReg::at(2),
             offset: 16,
             mode: AddrMode::Strided { log2_stride: 1 },
         },
-        Instruction::SLoad { rt: s, base: a, offset: 0 },
-        Instruction::MLoad { rt: m, base: a, offset: 1 },
-        Instruction::ALoad { rt: AReg::at(4), base: a, offset: 2 },
-        Instruction::VMulMod { vd: v(59), vs: v(20), vt: v(19), rm: m },
-        Instruction::VAddMod { vd: v(58), vs: v(60), vt: v(59), rm: m },
-        Instruction::VSubMod { vd: v(57), vs: v(60), vt: v(59), rm: m },
-        Instruction::VSMulMod { vd: v(1), vs: v(2), rt: s, rm: m },
-        Instruction::VSAddMod { vd: v(3), vs: v(4), rt: s, rm: m },
-        Instruction::VSSubMod { vd: v(5), vs: v(6), rt: s, rm: m },
-        Instruction::Bfly { vd: v(7), vd1: v(8), vs: v(9), vt: v(10), vt1: v(11), rm: m },
-        Instruction::UnpkLo { vd: v(56), vs: v(58), vt: v(57) },
-        Instruction::UnpkHi { vd: v(55), vs: v(58), vt: v(57) },
-        Instruction::PkLo { vd: v(12), vs: v(13), vt: v(14) },
+        Instruction::SLoad {
+            rt: s,
+            base: a,
+            offset: 0,
+        },
+        Instruction::MLoad {
+            rt: m,
+            base: a,
+            offset: 1,
+        },
+        Instruction::ALoad {
+            rt: AReg::at(4),
+            base: a,
+            offset: 2,
+        },
+        Instruction::VMulMod {
+            vd: v(59),
+            vs: v(20),
+            vt: v(19),
+            rm: m,
+        },
+        Instruction::VAddMod {
+            vd: v(58),
+            vs: v(60),
+            vt: v(59),
+            rm: m,
+        },
+        Instruction::VSubMod {
+            vd: v(57),
+            vs: v(60),
+            vt: v(59),
+            rm: m,
+        },
+        Instruction::VSMulMod {
+            vd: v(1),
+            vs: v(2),
+            rt: s,
+            rm: m,
+        },
+        Instruction::VSAddMod {
+            vd: v(3),
+            vs: v(4),
+            rt: s,
+            rm: m,
+        },
+        Instruction::VSSubMod {
+            vd: v(5),
+            vs: v(6),
+            rt: s,
+            rm: m,
+        },
+        Instruction::Bfly {
+            vd: v(7),
+            vd1: v(8),
+            vs: v(9),
+            vt: v(10),
+            vt1: v(11),
+            rm: m,
+        },
+        Instruction::UnpkLo {
+            vd: v(56),
+            vs: v(58),
+            vt: v(57),
+        },
+        Instruction::UnpkHi {
+            vd: v(55),
+            vs: v(58),
+            vt: v(57),
+        },
+        Instruction::PkLo {
+            vd: v(12),
+            vs: v(13),
+            vt: v(14),
+        },
     ];
 
     println!("Table I: B512 instruction encodings ([63:0] per the field layout)\n");
-    println!("{:<18} {:<20} {}", "word", "class", "assembly");
+    println!("{:<18} {:<20} assembly", "word", "class");
     for i in &all {
         let w = encode(i);
         assert_eq!(decode(w)?, *i, "round trip");
-        println!("{w:#018x} {:<20} {i}", format!("{}", i.pipe_class()));
+        println!("{w:#018x} {:<20} {i}", i.pipe_class().to_string());
     }
     // plus PkHi to reach all 17 distinct mnemonics
-    let pkhi = Instruction::PkHi { vd: v(15), vs: v(16), vt: v(17) };
+    let pkhi = Instruction::PkHi {
+        vd: v(15),
+        vs: v(16),
+        vt: v(17),
+    };
     let w = encode(&pkhi);
     println!("{w:#018x} {:<20} {pkhi}", format!("{}", pkhi.pipe_class()));
 

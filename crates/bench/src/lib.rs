@@ -63,7 +63,12 @@ pub struct PaperRow {
 /// `RPU_BENCH_JSON` is set (for scripting).
 pub fn print_comparison(title: &str, rows: &[PaperRow]) {
     println!("\n== {title}: paper vs. this reproduction ==");
-    let w = rows.iter().map(|r| r.metric.len()).max().unwrap_or(10).max(10);
+    let w = rows
+        .iter()
+        .map(|r| r.metric.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
     println!("{:<w$}  {:>18}  {:>18}", "metric", "paper", "measured");
     for r in rows {
         println!("{:<w$}  {:>18}  {:>18}", r.metric, r.paper, r.measured);
@@ -79,6 +84,39 @@ pub fn print_comparison(title: &str, rows: &[PaperRow]) {
 /// Formats a float with sensible precision for tables.
 pub fn fmt2(v: f64) -> String {
     format!("{v:.2}")
+}
+
+/// The reduced problem-size cap for smoke/CI runs, if any: a `--n <N>`
+/// (or `--n=N`) command-line flag takes precedence over the `RPU_MAX_N`
+/// environment variable. `None` means run the full paper sizes.
+pub fn size_cap() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--n" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return Some(v);
+            }
+        } else if let Some(v) = a.strip_prefix("--n=").and_then(|v| v.parse().ok()) {
+            return Some(v);
+        }
+    }
+    std::env::var("RPU_MAX_N").ok().and_then(|v| v.parse().ok())
+}
+
+/// Caps a paper ring size for reduced-size runs; the clamping rule is
+/// [`rpu::clamp_ring_size`] (power-of-two floor, ≥ the generator's
+/// minimum degree).
+pub fn cap_n(full: usize) -> usize {
+    match size_cap() {
+        Some(cap) => rpu::clamp_ring_size(full, cap),
+        None => full,
+    }
+}
+
+/// True when a reduced-size cap is active (figure binaries shorten their
+/// host-CPU timing loops accordingly).
+pub fn smoke_mode() -> bool {
+    size_cap().is_some()
 }
 
 #[cfg(test)]

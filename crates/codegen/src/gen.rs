@@ -19,7 +19,7 @@
 use crate::layout::KernelLayout;
 use crate::sched::list_schedule;
 use crate::{CodegenError, CodegenStyle, Direction};
-use rpu_isa::consts::{VECTOR_LEN, VDM_MAX_BYTES};
+use rpu_isa::consts::{VDM_MAX_BYTES, VECTOR_LEN};
 use rpu_isa::{AReg, AddrMode, Instruction, MReg, Program, SReg, VReg};
 use rpu_ntt::PeaseSchedule;
 use std::collections::VecDeque;
@@ -215,9 +215,17 @@ impl NttKernel {
 
     fn prologue(&mut self) {
         // MRF[0] <- q, SRF[0] <- n^{-1}; SDM image is [n_inv, q].
-        self.push(Instruction::MLoad { rt: MOD, base: BASE, offset: 1 });
+        self.push(Instruction::MLoad {
+            rt: MOD,
+            base: BASE,
+            offset: 1,
+        });
         if self.direction == Direction::Inverse {
-            self.push(Instruction::SLoad { rt: NINV, base: BASE, offset: 0 });
+            self.push(Instruction::SLoad {
+                rt: NINV,
+                base: BASE,
+                offset: 0,
+            });
         }
     }
 
@@ -258,7 +266,11 @@ impl NttKernel {
                 let instr = if s == 0 && broadcast_stage0 {
                     // stage 0 has a single scalar twiddle: exercise the
                     // broadcast path like Listing 1 does
-                    Instruction::VBroadcast { vd: reg, base: BASE, offset: off as u32 }
+                    Instruction::VBroadcast {
+                        vd: reg,
+                        base: BASE,
+                        offset: off as u32,
+                    }
                 } else {
                     Self::load_instr(reg, off)
                 };
@@ -321,7 +333,13 @@ impl NttKernel {
                     self.push(Self::load_instr(a, inb + blk * VECTOR_LEN));
                     self.push(Self::load_instr(b, inb + half + blk * VECTOR_LEN));
                     let (tw, pooled) = self.fetch_twiddle(s, blk, &cached, &mut pool);
-                    cur.push(FwdBlock { a, b, tw, pooled, blk });
+                    cur.push(FwdBlock {
+                        a,
+                        b,
+                        tw,
+                        pooled,
+                        blk,
+                    });
                 }
                 if pipelined {
                     if let Some(group) = prev.take() {
@@ -344,18 +362,27 @@ impl NttKernel {
     /// The `StridedMemory` ablation skips the SBAR entirely: butterfly
     /// halves go straight to the VDM with stride-2 stores, pushing the
     /// interleave work onto the banks.
-    fn forward_compute_and_store(
-        &mut self,
-        group: Vec<FwdBlock>,
-        outb: usize,
-        pool: &mut RegPool,
-    ) {
+    fn forward_compute_and_store(&mut self, group: Vec<FwdBlock>, outb: usize, pool: &mut RegPool) {
         let strided = self.style == CodegenStyle::StridedMemory;
         let mut outs = Vec::with_capacity(group.len());
-        for FwdBlock { a, b, tw, pooled, blk } in group {
+        for FwdBlock {
+            a,
+            b,
+            tw,
+            pooled,
+            blk,
+        } in group
+        {
             let lo = pool.alloc();
             let hi = pool.alloc();
-            self.push(Instruction::Bfly { vd: lo, vd1: hi, vs: a, vt: b, vt1: tw, rm: MOD });
+            self.push(Instruction::Bfly {
+                vd: lo,
+                vd1: hi,
+                vs: a,
+                vt: b,
+                vt1: tw,
+                rm: MOD,
+            });
             pool.release(a);
             pool.release(b);
             if pooled {
@@ -388,8 +415,16 @@ impl NttKernel {
         for (lo, hi, blk) in outs {
             let u1 = pool.alloc();
             let u2 = pool.alloc();
-            self.push(Instruction::UnpkLo { vd: u1, vs: lo, vt: hi });
-            self.push(Instruction::UnpkHi { vd: u2, vs: lo, vt: hi });
+            self.push(Instruction::UnpkLo {
+                vd: u1,
+                vs: lo,
+                vt: hi,
+            });
+            self.push(Instruction::UnpkHi {
+                vd: u2,
+                vs: lo,
+                vt: hi,
+            });
             pool.release(lo);
             pool.release(hi);
             stores.push((u1, u2, blk));
@@ -461,7 +496,13 @@ impl NttKernel {
                         self.push(Self::load_instr(y2, base + VECTOR_LEN));
                     }
                     let (tw, pooled) = self.fetch_twiddle(s, blk, &cached, &mut pool);
-                    cur.push(InvBlock { y1, y2, tw, pooled, blk });
+                    cur.push(InvBlock {
+                        y1,
+                        y2,
+                        tw,
+                        pooled,
+                        blk,
+                    });
                 }
                 if pipelined {
                     if let Some(group) = prev.take() {
@@ -490,7 +531,14 @@ impl NttKernel {
     ) {
         let strided = self.style == CodegenStyle::StridedMemory;
         let mut split = Vec::with_capacity(group.len());
-        for InvBlock { y1, y2, tw, pooled, blk } in group {
+        for InvBlock {
+            y1,
+            y2,
+            tw,
+            pooled,
+            blk,
+        } in group
+        {
             if strided {
                 // strided loads already separated even/odd positions
                 split.push((y1, y2, tw, pooled, blk));
@@ -498,8 +546,16 @@ impl NttKernel {
             }
             let ev = pool.alloc();
             let od = pool.alloc();
-            self.push(Instruction::PkLo { vd: ev, vs: y1, vt: y2 });
-            self.push(Instruction::PkHi { vd: od, vs: y1, vt: y2 });
+            self.push(Instruction::PkLo {
+                vd: ev,
+                vs: y1,
+                vt: y2,
+            });
+            self.push(Instruction::PkHi {
+                vd: od,
+                vs: y1,
+                vt: y2,
+            });
             pool.release(y1);
             pool.release(y2);
             split.push((ev, od, tw, pooled, blk));
@@ -508,12 +564,27 @@ impl NttKernel {
         for (ev, od, tw, pooled, blk) in split {
             let u = pool.alloc();
             let d = pool.alloc();
-            self.push(Instruction::VAddMod { vd: u, vs: ev, vt: od, rm: MOD });
-            self.push(Instruction::VSubMod { vd: d, vs: ev, vt: od, rm: MOD });
+            self.push(Instruction::VAddMod {
+                vd: u,
+                vs: ev,
+                vt: od,
+                rm: MOD,
+            });
+            self.push(Instruction::VSubMod {
+                vd: d,
+                vs: ev,
+                vt: od,
+                rm: MOD,
+            });
             pool.release(ev);
             pool.release(od);
             let v = pool.alloc();
-            self.push(Instruction::VMulMod { vd: v, vs: d, vt: tw, rm: MOD });
+            self.push(Instruction::VMulMod {
+                vd: v,
+                vs: d,
+                vt: tw,
+                rm: MOD,
+            });
             pool.release(d);
             if pooled {
                 pool.release(tw);
@@ -542,7 +613,12 @@ impl NttKernel {
             let reg = pool.alloc();
             self.push(Self::load_instr(reg, out + v * VECTOR_LEN));
             let scaled = pool.alloc();
-            self.push(Instruction::VSMulMod { vd: scaled, vs: reg, rt: NINV, rm: MOD });
+            self.push(Instruction::VSMulMod {
+                vd: scaled,
+                vs: reg,
+                rt: NINV,
+                rm: MOD,
+            });
             self.push(Self::store_instr(scaled, out + v * VECTOR_LEN));
             pool.release(reg);
             pool.release(scaled);

@@ -46,7 +46,7 @@ impl KernelLayout {
             twiddle_bases.push(next);
             next += c * VECTOR_LEN;
         }
-        let output_offset = if stages % 2 == 0 { 0 } else { n };
+        let output_offset = if stages.is_multiple_of(2) { 0 } else { n };
         KernelLayout {
             n,
             buffer_a: 0,
@@ -60,7 +60,7 @@ impl KernelLayout {
 
     /// The input/output buffer offsets at stage `s` (ping-pong parity).
     pub fn stage_buffers(&self, s: u32) -> (usize, usize) {
-        if s % 2 == 0 {
+        if s.is_multiple_of(2) {
             (self.buffer_a, self.buffer_b)
         } else {
             (self.buffer_b, self.buffer_a)

@@ -87,11 +87,17 @@ impl core::fmt::Display for CodegenError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CodegenError::UnsupportedDegree(n) => {
-                write!(f, "ring degree {n} unsupported (need a power of two >= 1024)")
+                write!(
+                    f,
+                    "ring degree {n} unsupported (need a power of two >= 1024)"
+                )
             }
             CodegenError::Schedule(e) => write!(f, "schedule construction failed: {e}"),
             CodegenError::WorkingSetTooLarge { bytes } => {
-                write!(f, "kernel working set of {bytes} bytes exceeds the 32 MiB VDM")
+                write!(
+                    f,
+                    "kernel working set of {bytes} bytes exceeds the 32 MiB VDM"
+                )
             }
         }
     }

@@ -11,6 +11,7 @@
 
 use rpu_isa::consts::VECTOR_LEN;
 use rpu_isa::{Instruction, PipeClass, Program};
+use rpu_sim::{CycleSim, RpuConfig};
 
 /// Reschedules a program, preserving semantics exactly.
 ///
@@ -83,8 +84,8 @@ pub fn list_schedule(program: &Program) -> Program {
     // original program order, so a well-pipelined input is preserved and
     // a naive one is repaired.
     let mut ready: Vec<usize> = Vec::new();
-    for i in 0..n {
-        if indeg[i] == 0 {
+    for (i, &d) in indeg.iter().enumerate() {
+        if d == 0 {
             ready.push(i);
         }
     }
@@ -119,7 +120,20 @@ pub fn list_schedule(program: &Program) -> Program {
             }
         }
     }
-    out
+
+    // The greedy heuristic approximates the machine with `ref_timing`
+    // and is not globally optimal, so it can occasionally disturb an
+    // input that was already well pipelined. Score both orders under
+    // the real (128, 128) reference machine and keep the faster one:
+    // scheduling then never regresses *on the reference config* (other
+    // geometries may still prefer the original order). The two extra
+    // simulations are single-pass and cheap next to kernel emission.
+    let sim = CycleSim::new(RpuConfig::pareto_128x128()).expect("reference config is valid");
+    if sim.simulate(&out).cycles <= sim.simulate(program).cycles {
+        out
+    } else {
+        program.clone()
+    }
 }
 
 /// Reference timing used for scheduling decisions: the (128, 128) design

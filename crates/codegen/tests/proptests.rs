@@ -35,31 +35,77 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
     let m = MReg::at(0);
     let a = AReg::at(0);
     prop_oneof![
-        (arb_vreg(), arb_offset(), arb_mode())
-            .prop_map(move |(vd, offset, mode)| Instruction::VLoad { vd, base: a, offset, mode }),
-        (arb_vreg(), arb_offset(), arb_mode())
-            .prop_map(move |(vs, offset, mode)| Instruction::VStore { vs, base: a, offset, mode }),
-        (arb_vreg(), arb_offset())
-            .prop_map(move |(vd, offset)| Instruction::VBroadcast { vd, base: a, offset }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(move |(vd, vs, vt)| Instruction::VAddMod { vd, vs, vt, rm: m }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(move |(vd, vs, vt)| Instruction::VSubMod { vd, vs, vt, rm: m }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(move |(vd, vs, vt)| Instruction::VMulMod { vd, vs, vt, rm: m }),
+        (arb_vreg(), arb_offset(), arb_mode()).prop_map(move |(vd, offset, mode)| {
+            Instruction::VLoad {
+                vd,
+                base: a,
+                offset,
+                mode,
+            }
+        }),
+        (arb_vreg(), arb_offset(), arb_mode()).prop_map(move |(vs, offset, mode)| {
+            Instruction::VStore {
+                vs,
+                base: a,
+                offset,
+                mode,
+            }
+        }),
+        (arb_vreg(), arb_offset()).prop_map(move |(vd, offset)| Instruction::VBroadcast {
+            vd,
+            base: a,
+            offset
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(move |(vd, vs, vt)| Instruction::VAddMod {
+            vd,
+            vs,
+            vt,
+            rm: m
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(move |(vd, vs, vt)| Instruction::VSubMod {
+            vd,
+            vs,
+            vt,
+            rm: m
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(move |(vd, vs, vt)| Instruction::VMulMod {
+            vd,
+            vs,
+            vt,
+            rm: m
+        }),
         (arb_vreg(), arb_vreg(), (0u8..4).prop_map(SReg::at))
             .prop_map(move |(vd, vs, rt)| Instruction::VSAddMod { vd, vs, rt, rm: m }),
         (arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg()).prop_map(
-            move |(vd, vd1, vs, vt, vt1)| Instruction::Bfly { vd, vd1, vs, vt, vt1, rm: m }
+            move |(vd, vd1, vs, vt, vt1)| Instruction::Bfly {
+                vd,
+                vd1,
+                vs,
+                vt,
+                vt1,
+                rm: m
+            }
         ),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::UnpkLo { vd, vs, vt }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::UnpkHi { vd, vs, vt }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::PkLo { vd, vs, vt }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::PkHi { vd, vs, vt }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::UnpkLo {
+            vd,
+            vs,
+            vt
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::UnpkHi {
+            vd,
+            vs,
+            vt
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::PkLo {
+            vd,
+            vs,
+            vt
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::PkHi {
+            vd,
+            vs,
+            vt
+        }),
     ]
 }
 
@@ -72,7 +118,9 @@ fn fresh_sim() -> FunctionalSim {
         sim.set_srf(SReg::at(i), (i as u128 * 7919 + 3) % Q);
     }
     // deterministic non-trivial memory image
-    let image: Vec<u128> = (0..MEM_ELEMS as u128).map(|i| (i * 2654435761) % Q).collect();
+    let image: Vec<u128> = (0..MEM_ELEMS as u128)
+        .map(|i| (i * 2654435761) % Q)
+        .collect();
     sim.write_vdm(0, &image);
     sim
 }

@@ -37,9 +37,7 @@
 mod explore;
 mod run;
 
-pub use explore::{
-    evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES,
-};
+pub use explore::{evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES};
 pub use run::{NttRun, Rpu};
 
 // Re-export the component crates under stable names.
@@ -55,6 +53,27 @@ pub use rpu_codegen::{CodegenStyle, Direction, NttKernel};
 pub use rpu_model::{AreaModel, DesignPoint, EnergyModel, F1Comparison};
 pub use rpu_ntt::{Ntt128Plan, Ntt64Plan, PeaseSchedule, Polynomial, RnsPolynomial};
 pub use rpu_sim::{CycleSim, FunctionalSim, HbmModel, RpuConfig, SimStats};
+
+/// Clamps a requested ring size to `cap` for reduced-size smoke runs:
+/// the cap is floored to a power of two and raised to the kernel
+/// generator's minimum supported degree (1024 = 2 × the vector length).
+///
+/// This is the single definition of the cap rule shared by the examples
+/// and the `rpu-bench` figure binaries.
+pub fn clamp_ring_size(full: usize, cap: usize) -> usize {
+    let cap = cap.max(2 * rpu_isa::consts::VECTOR_LEN);
+    full.min(1 << cap.ilog2())
+}
+
+/// Applies the `RPU_MAX_N` environment cap to a paper ring size, if the
+/// variable is set and parses; full size otherwise. See
+/// [`clamp_ring_size`] for the clamping rule.
+pub fn smoke_cap(full: usize) -> usize {
+    std::env::var("RPU_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(full, |cap| clamp_ring_size(full, cap))
+}
 
 /// Errors from the high-level API.
 #[derive(Debug)]

@@ -135,7 +135,9 @@ impl Rpu {
     pub fn verify_kernel(&self, kernel: &NttKernel) -> Result<bool, RpuError> {
         let n = kernel.degree();
         let q = kernel.modulus();
-        let input: Vec<u128> = (0..n as u128).map(|i| (i * 0x9E37_79B9 + 12345) % q).collect();
+        let input: Vec<u128> = (0..n as u128)
+            .map(|i| (i * 0x9E37_79B9 + 12345) % q)
+            .collect();
         let mut sim = FunctionalSim::new(kernel.layout().total_elements, 16);
         sim.write_vdm(0, &kernel.vdm_image(&input));
         sim.write_sdm(0, &kernel.sdm_image());

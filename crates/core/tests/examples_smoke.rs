@@ -1,0 +1,66 @@
+//! Smoke tests: every `examples/` binary must run to completion on a
+//! reduced problem size (`RPU_MAX_N=1024`). Cargo builds a package's
+//! examples before running its integration tests, so the binaries are
+//! guaranteed to exist under `target/<profile>/examples/` here.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// `target/<profile>/examples/<name>`, derived from the test
+/// executable's own location (`target/<profile>/deps/<test>-<hash>`).
+fn example_exe(name: &str) -> PathBuf {
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // <test>-<hash>
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("examples");
+    p.push(name);
+    p
+}
+
+fn run_example(name: &str) {
+    let exe = example_exe(name);
+    assert!(
+        exe.exists(),
+        "{} not found — run via `cargo test` so examples are built",
+        exe.display()
+    );
+    let out = Command::new(&exe)
+        .env("RPU_MAX_N", "1024")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", exe.display()));
+    assert!(
+        out.status.success(),
+        "{} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        exe.display(),
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn smoke_quickstart() {
+    run_example("quickstart");
+}
+
+#[test]
+fn smoke_design_space() {
+    run_example("design_space");
+}
+
+#[test]
+fn smoke_inspect_kernel() {
+    run_example("inspect_kernel");
+}
+
+#[test]
+fn smoke_he_workload() {
+    run_example("he_workload");
+}
+
+#[test]
+fn smoke_poly_mult_pipeline() {
+    run_example("poly_mult_pipeline");
+}

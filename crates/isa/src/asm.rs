@@ -32,6 +32,24 @@ impl std::error::Error for ParseAsmError {}
 /// syntax is exactly what [`Program::to_asm`](crate::Program::to_asm)
 /// emits; see [`Instruction`]'s `Display` impl for the grammar.
 ///
+/// # Examples
+///
+/// ```
+/// use rpu_isa::parse_asm;
+///
+/// let program = parse_asm(
+///     "pointwise",
+///     "; v2 <- v0 * v1 (mod m0), then spill to the VDM\n\
+///      vmulmod v2, v0, v1, m0\n\
+///      vstore v2, [a0 + 512], unit\n",
+/// )?;
+/// assert_eq!(program.len(), 2);
+/// // The printed form round-trips through the parser.
+/// assert_eq!(parse_asm("rt", &program.to_asm())?.instructions(),
+///            program.instructions());
+/// # Ok::<(), rpu_isa::ParseAsmError>(())
+/// ```
+///
 /// # Errors
 ///
 /// Returns a [`ParseAsmError`] identifying the first malformed line.
@@ -79,30 +97,56 @@ fn parse_line(line: &str) -> Result<Instruction, String> {
             let (base, offset) = mem_operand(ops[1])?;
             let mode = addr_mode(ops[2])?;
             if mnemonic == "vload" {
-                VLoad { vd: v, base, offset, mode }
+                VLoad {
+                    vd: v,
+                    base,
+                    offset,
+                    mode,
+                }
             } else {
-                VStore { vs: v, base, offset, mode }
+                VStore {
+                    vs: v,
+                    base,
+                    offset,
+                    mode,
+                }
             }
         }
         "vbroadcast" => {
             argc(2)?;
             let (base, offset) = mem_operand(ops[1])?;
-            VBroadcast { vd: vreg(ops[0])?, base, offset }
+            VBroadcast {
+                vd: vreg(ops[0])?,
+                base,
+                offset,
+            }
         }
         "sload" => {
             argc(2)?;
             let (base, offset) = mem_operand(ops[1])?;
-            SLoad { rt: sreg(ops[0])?, base, offset }
+            SLoad {
+                rt: sreg(ops[0])?,
+                base,
+                offset,
+            }
         }
         "mload" => {
             argc(2)?;
             let (base, offset) = mem_operand(ops[1])?;
-            MLoad { rt: mreg(ops[0])?, base, offset }
+            MLoad {
+                rt: mreg(ops[0])?,
+                base,
+                offset,
+            }
         }
         "aload" => {
             argc(2)?;
             let (base, offset) = mem_operand(ops[1])?;
-            ALoad { rt: areg(ops[0])?, base, offset }
+            ALoad {
+                rt: areg(ops[0])?,
+                base,
+                offset,
+            }
         }
         "vaddmod" | "vsubmod" | "vmulmod" => {
             argc(4)?;

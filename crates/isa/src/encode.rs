@@ -126,7 +126,12 @@ pub fn encode(instr: &Instruction) -> u64 {
     use Instruction::*;
     let mut f = Fields::default();
     match *instr {
-        VLoad { vd, base, offset, mode } => {
+        VLoad {
+            vd,
+            base,
+            offset,
+            mode,
+        } => {
             f.opcode = OP_VLOAD;
             f.address = (offset & ADDR_MASK) as u64;
             f.vd = vd.index() as u64;
@@ -134,7 +139,12 @@ pub fn encode(instr: &Instruction) -> u64 {
             f.vt_rt_value = mode.value_bits() as u64;
             f.rm = base.index() as u64;
         }
-        VStore { vs, base, offset, mode } => {
+        VStore {
+            vs,
+            base,
+            offset,
+            mode,
+        } => {
             f.opcode = OP_VSTORE;
             f.address = (offset & ADDR_MASK) as u64;
             f.vd = vs.index() as u64; // VD field carries the source for stores
@@ -190,7 +200,14 @@ pub fn encode(instr: &Instruction) -> u64 {
             f.opcode = OP_VSMULMOD;
             vsi_fields(&mut f, vd, vs, rt, rm);
         }
-        Bfly { vd, vd1, vs, vt, vt1, rm } => {
+        Bfly {
+            vd,
+            vd1,
+            vs,
+            vt,
+            vt1,
+            rm,
+        } => {
             f.opcode = OP_VADDMOD;
             f.bfly = 1;
             f.vd1 = vd1.index() as u64;
@@ -301,9 +318,21 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
             let base = areg(f.rm);
             let offset = f.address as u32;
             match f.opcode {
-                OP_SLOAD => SLoad { rt: sreg(f.vt_rt_value), base, offset },
-                OP_MLOAD => MLoad { rt: mreg(f.vt_rt_value), base, offset },
-                _ => ALoad { rt: areg(f.vt_rt_value), base, offset },
+                OP_SLOAD => SLoad {
+                    rt: sreg(f.vt_rt_value),
+                    base,
+                    offset,
+                },
+                OP_MLOAD => MLoad {
+                    rt: mreg(f.vt_rt_value),
+                    base,
+                    offset,
+                },
+                _ => ALoad {
+                    rt: areg(f.vt_rt_value),
+                    base,
+                    offset,
+                },
             }
         }
         OP_VADDMOD if f.bfly == 1 => {
@@ -319,12 +348,7 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
         }
         OP_VADDMOD | OP_VSUBMOD | OP_VMULMOD => {
             require(vd1_vt1_zero && f.address == 0)?;
-            let (vd, vs, vt, rm) = (
-                vreg(f.vd),
-                vreg(f.vs_mode),
-                vreg(f.vt_rt_value),
-                mreg(f.rm),
-            );
+            let (vd, vs, vt, rm) = (vreg(f.vd), vreg(f.vs_mode), vreg(f.vt_rt_value), mreg(f.rm));
             match f.opcode {
                 OP_VADDMOD => VAddMod { vd, vs, vt, rm },
                 OP_VSUBMOD => VSubMod { vd, vs, vt, rm },
@@ -333,12 +357,7 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
         }
         OP_VSADDMOD | OP_VSSUBMOD | OP_VSMULMOD => {
             require(vd1_vt1_zero && f.address == 0)?;
-            let (vd, vs, rt, rm) = (
-                vreg(f.vd),
-                vreg(f.vs_mode),
-                sreg(f.vt_rt_value),
-                mreg(f.rm),
-            );
+            let (vd, vs, rt, rm) = (vreg(f.vd), vreg(f.vs_mode), sreg(f.vt_rt_value), mreg(f.rm));
             match f.opcode {
                 OP_VSADDMOD => VSAddMod { vd, vs, rt, rm },
                 OP_VSSUBMOD => VSSubMod { vd, vs, rt, rm },
@@ -372,33 +391,121 @@ mod tests {
         let m = MReg::at(4);
         let s = SReg::at(17);
         vec![
-            VLoad { vd: v(60), base: a, offset: 8192, mode: AddrMode::Unit },
-            VLoad { vd: v(1), base: a, offset: 0, mode: AddrMode::StridedSkip { log2_block: 5 } },
-            VLoad { vd: v(2), base: a, offset: 7, mode: AddrMode::Repeated { log2_block: 3 } },
-            VStore { vs: v(21), base: a, offset: 16, mode: AddrMode::Strided { log2_stride: 1 } },
-            VBroadcast { vd: v(19), base: a, offset: 1 },
-            SLoad { rt: s, base: a, offset: 3 },
-            MLoad { rt: m, base: a, offset: 4 },
-            ALoad { rt: AReg::at(5), base: a, offset: 5 },
-            VAddMod { vd: v(58), vs: v(60), vt: v(59), rm: m },
-            VSubMod { vd: v(57), vs: v(60), vt: v(59), rm: m },
-            VMulMod { vd: v(59), vs: v(20), vt: v(19), rm: m },
-            VSAddMod { vd: v(3), vs: v(4), rt: s, rm: m },
-            VSSubMod { vd: v(5), vs: v(6), rt: s, rm: m },
-            VSMulMod { vd: v(7), vs: v(8), rt: s, rm: m },
-            Bfly { vd: v(10), vd1: v(11), vs: v(12), vt: v(13), vt1: v(14), rm: m },
-            UnpkLo { vd: v(56), vs: v(58), vt: v(57) },
-            UnpkHi { vd: v(55), vs: v(58), vt: v(57) },
+            VLoad {
+                vd: v(60),
+                base: a,
+                offset: 8192,
+                mode: AddrMode::Unit,
+            },
+            VLoad {
+                vd: v(1),
+                base: a,
+                offset: 0,
+                mode: AddrMode::StridedSkip { log2_block: 5 },
+            },
+            VLoad {
+                vd: v(2),
+                base: a,
+                offset: 7,
+                mode: AddrMode::Repeated { log2_block: 3 },
+            },
+            VStore {
+                vs: v(21),
+                base: a,
+                offset: 16,
+                mode: AddrMode::Strided { log2_stride: 1 },
+            },
+            VBroadcast {
+                vd: v(19),
+                base: a,
+                offset: 1,
+            },
+            SLoad {
+                rt: s,
+                base: a,
+                offset: 3,
+            },
+            MLoad {
+                rt: m,
+                base: a,
+                offset: 4,
+            },
+            ALoad {
+                rt: AReg::at(5),
+                base: a,
+                offset: 5,
+            },
+            VAddMod {
+                vd: v(58),
+                vs: v(60),
+                vt: v(59),
+                rm: m,
+            },
+            VSubMod {
+                vd: v(57),
+                vs: v(60),
+                vt: v(59),
+                rm: m,
+            },
+            VMulMod {
+                vd: v(59),
+                vs: v(20),
+                vt: v(19),
+                rm: m,
+            },
+            VSAddMod {
+                vd: v(3),
+                vs: v(4),
+                rt: s,
+                rm: m,
+            },
+            VSSubMod {
+                vd: v(5),
+                vs: v(6),
+                rt: s,
+                rm: m,
+            },
+            VSMulMod {
+                vd: v(7),
+                vs: v(8),
+                rt: s,
+                rm: m,
+            },
+            Bfly {
+                vd: v(10),
+                vd1: v(11),
+                vs: v(12),
+                vt: v(13),
+                vt1: v(14),
+                rm: m,
+            },
+            UnpkLo {
+                vd: v(56),
+                vs: v(58),
+                vt: v(57),
+            },
+            UnpkHi {
+                vd: v(55),
+                vs: v(58),
+                vt: v(57),
+            },
         ]
     }
 
     #[test]
     fn covers_all_17_instructions() {
         let mut sample = all_sample_instructions();
-        sample.push(Instruction::PkLo { vd: VReg::at(0), vs: VReg::at(1), vt: VReg::at(2) });
-        sample.push(Instruction::PkHi { vd: VReg::at(0), vs: VReg::at(1), vt: VReg::at(2) });
-        let mnemonics: std::collections::HashSet<_> =
-            sample.iter().map(|i| i.mnemonic()).collect();
+        sample.push(Instruction::PkLo {
+            vd: VReg::at(0),
+            vs: VReg::at(1),
+            vt: VReg::at(2),
+        });
+        sample.push(Instruction::PkHi {
+            vd: VReg::at(0),
+            vs: VReg::at(1),
+            vt: VReg::at(2),
+        });
+        let mnemonics: std::collections::HashSet<_> = sample.iter().map(|i| i.mnemonic()).collect();
         assert_eq!(mnemonics.len(), crate::consts::NUM_INSTRUCTIONS);
     }
 
@@ -427,7 +534,11 @@ mod tests {
 
     #[test]
     fn stray_bfly_bit_rejected() {
-        let i = Instruction::UnpkLo { vd: VReg::at(0), vs: VReg::at(1), vt: VReg::at(2) };
+        let i = Instruction::UnpkLo {
+            vd: VReg::at(0),
+            vs: VReg::at(1),
+            vt: VReg::at(2),
+        };
         let w = encode(&i) | (1 << 48);
         assert_eq!(decode(w), Err(DecodeError::StrayButterflyBit { word: w }));
     }

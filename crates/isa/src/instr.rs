@@ -136,25 +136,104 @@ impl core::fmt::Display for PipeClass {
 #[allow(missing_docs)] // field meanings documented in the table above
 pub enum Instruction {
     // --- Load/Store Instructions (LSI) ---
-    VLoad { vd: VReg, base: AReg, offset: u32, mode: AddrMode },
-    VStore { vs: VReg, base: AReg, offset: u32, mode: AddrMode },
-    VBroadcast { vd: VReg, base: AReg, offset: u32 },
-    SLoad { rt: SReg, base: AReg, offset: u32 },
-    MLoad { rt: MReg, base: AReg, offset: u32 },
-    ALoad { rt: AReg, base: AReg, offset: u32 },
+    VLoad {
+        vd: VReg,
+        base: AReg,
+        offset: u32,
+        mode: AddrMode,
+    },
+    VStore {
+        vs: VReg,
+        base: AReg,
+        offset: u32,
+        mode: AddrMode,
+    },
+    VBroadcast {
+        vd: VReg,
+        base: AReg,
+        offset: u32,
+    },
+    SLoad {
+        rt: SReg,
+        base: AReg,
+        offset: u32,
+    },
+    MLoad {
+        rt: MReg,
+        base: AReg,
+        offset: u32,
+    },
+    ALoad {
+        rt: AReg,
+        base: AReg,
+        offset: u32,
+    },
     // --- Compute Instructions (CI) ---
-    VAddMod { vd: VReg, vs: VReg, vt: VReg, rm: MReg },
-    VSubMod { vd: VReg, vs: VReg, vt: VReg, rm: MReg },
-    VMulMod { vd: VReg, vs: VReg, vt: VReg, rm: MReg },
-    VSAddMod { vd: VReg, vs: VReg, rt: SReg, rm: MReg },
-    VSSubMod { vd: VReg, vs: VReg, rt: SReg, rm: MReg },
-    VSMulMod { vd: VReg, vs: VReg, rt: SReg, rm: MReg },
-    Bfly { vd: VReg, vd1: VReg, vs: VReg, vt: VReg, vt1: VReg, rm: MReg },
+    VAddMod {
+        vd: VReg,
+        vs: VReg,
+        vt: VReg,
+        rm: MReg,
+    },
+    VSubMod {
+        vd: VReg,
+        vs: VReg,
+        vt: VReg,
+        rm: MReg,
+    },
+    VMulMod {
+        vd: VReg,
+        vs: VReg,
+        vt: VReg,
+        rm: MReg,
+    },
+    VSAddMod {
+        vd: VReg,
+        vs: VReg,
+        rt: SReg,
+        rm: MReg,
+    },
+    VSSubMod {
+        vd: VReg,
+        vs: VReg,
+        rt: SReg,
+        rm: MReg,
+    },
+    VSMulMod {
+        vd: VReg,
+        vs: VReg,
+        rt: SReg,
+        rm: MReg,
+    },
+    Bfly {
+        vd: VReg,
+        vd1: VReg,
+        vs: VReg,
+        vt: VReg,
+        vt1: VReg,
+        rm: MReg,
+    },
     // --- Shuffle Instructions (SI) ---
-    UnpkLo { vd: VReg, vs: VReg, vt: VReg },
-    UnpkHi { vd: VReg, vs: VReg, vt: VReg },
-    PkLo { vd: VReg, vs: VReg, vt: VReg },
-    PkHi { vd: VReg, vs: VReg, vt: VReg },
+    UnpkLo {
+        vd: VReg,
+        vs: VReg,
+        vt: VReg,
+    },
+    UnpkHi {
+        vd: VReg,
+        vs: VReg,
+        vt: VReg,
+    },
+    PkLo {
+        vd: VReg,
+        vs: VReg,
+        vt: VReg,
+    },
+    PkHi {
+        vd: VReg,
+        vs: VReg,
+        vt: VReg,
+    },
 }
 
 impl Instruction {
@@ -162,10 +241,19 @@ impl Instruction {
     pub fn pipe_class(&self) -> PipeClass {
         use Instruction::*;
         match self {
-            VLoad { .. } | VStore { .. } | VBroadcast { .. } | SLoad { .. } | MLoad { .. }
+            VLoad { .. }
+            | VStore { .. }
+            | VBroadcast { .. }
+            | SLoad { .. }
+            | MLoad { .. }
             | ALoad { .. } => PipeClass::LoadStore,
-            VAddMod { .. } | VSubMod { .. } | VMulMod { .. } | VSAddMod { .. }
-            | VSSubMod { .. } | VSMulMod { .. } | Bfly { .. } => PipeClass::Compute,
+            VAddMod { .. }
+            | VSubMod { .. }
+            | VMulMod { .. }
+            | VSAddMod { .. }
+            | VSSubMod { .. }
+            | VSMulMod { .. }
+            | Bfly { .. } => PipeClass::Compute,
             UnpkLo { .. } | UnpkHi { .. } | PkLo { .. } | PkHi { .. } => PipeClass::Shuffle,
         }
     }
@@ -206,7 +294,9 @@ impl Instruction {
                 [Some(vs), None, None]
             }
             Bfly { vs, vt, vt1, .. } => [Some(vs), Some(vt), Some(vt1)],
-            UnpkLo { vs, vt, .. } | UnpkHi { vs, vt, .. } | PkLo { vs, vt, .. }
+            UnpkLo { vs, vt, .. }
+            | UnpkHi { vs, vt, .. }
+            | PkLo { vs, vt, .. }
             | PkHi { vs, vt, .. } => [Some(vs), Some(vt), None],
             _ => [None, None, None],
         }
@@ -217,10 +307,12 @@ impl Instruction {
         use Instruction::*;
         match *self {
             VLoad { vd, .. } | VBroadcast { vd, .. } => [Some(vd), None],
-            VAddMod { vd, .. } | VSubMod { vd, .. } | VMulMod { vd, .. }
-            | VSAddMod { vd, .. } | VSSubMod { vd, .. } | VSMulMod { vd, .. } => {
-                [Some(vd), None]
-            }
+            VAddMod { vd, .. }
+            | VSubMod { vd, .. }
+            | VMulMod { vd, .. }
+            | VSAddMod { vd, .. }
+            | VSSubMod { vd, .. }
+            | VSMulMod { vd, .. } => [Some(vd), None],
             Bfly { vd, vd1, .. } => [Some(vd), Some(vd1)],
             UnpkLo { vd, .. } | UnpkHi { vd, .. } | PkLo { vd, .. } | PkHi { vd, .. } => {
                 [Some(vd), None]
@@ -250,8 +342,12 @@ impl Instruction {
     pub fn src_areg(&self) -> Option<AReg> {
         use Instruction::*;
         match *self {
-            VLoad { base, .. } | VStore { base, .. } | VBroadcast { base, .. }
-            | SLoad { base, .. } | MLoad { base, .. } | ALoad { base, .. } => Some(base),
+            VLoad { base, .. }
+            | VStore { base, .. }
+            | VBroadcast { base, .. }
+            | SLoad { base, .. }
+            | MLoad { base, .. }
+            | ALoad { base, .. } => Some(base),
             _ => None,
         }
     }
@@ -268,8 +364,12 @@ impl Instruction {
     pub fn src_mreg(&self) -> Option<MReg> {
         use Instruction::*;
         match *self {
-            VAddMod { rm, .. } | VSubMod { rm, .. } | VMulMod { rm, .. }
-            | VSAddMod { rm, .. } | VSSubMod { rm, .. } | VSMulMod { rm, .. }
+            VAddMod { rm, .. }
+            | VSubMod { rm, .. }
+            | VMulMod { rm, .. }
+            | VSAddMod { rm, .. }
+            | VSSubMod { rm, .. }
+            | VSMulMod { rm, .. }
             | Bfly { rm, .. } => Some(rm),
             _ => None,
         }
@@ -297,10 +397,20 @@ impl core::fmt::Display for Instruction {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         use Instruction::*;
         match *self {
-            VLoad { vd, base, offset, mode } => {
+            VLoad {
+                vd,
+                base,
+                offset,
+                mode,
+            } => {
                 write!(f, "vload   {vd}, [{base} + {offset}], {mode}")
             }
-            VStore { vs, base, offset, mode } => {
+            VStore {
+                vs,
+                base,
+                offset,
+                mode,
+            } => {
                 write!(f, "vstore  {vs}, [{base} + {offset}], {mode}")
             }
             VBroadcast { vd, base, offset } => {
@@ -315,7 +425,14 @@ impl core::fmt::Display for Instruction {
             VSAddMod { vd, vs, rt, rm } => write!(f, "vsaddmod {vd}, {vs}, {rt}, {rm}"),
             VSSubMod { vd, vs, rt, rm } => write!(f, "vssubmod {vd}, {vs}, {rt}, {rm}"),
             VSMulMod { vd, vs, rt, rm } => write!(f, "vsmulmod {vd}, {vs}, {rt}, {rm}"),
-            Bfly { vd, vd1, vs, vt, vt1, rm } => {
+            Bfly {
+                vd,
+                vd1,
+                vs,
+                vt,
+                vt1,
+                rm,
+            } => {
                 write!(f, "bfly    {vd}, {vd1}, {vs}, {vt}, {vt1}, {rm}")
             }
             UnpkLo { vd, vs, vt } => write!(f, "unpklo  {vd}, {vs}, {vt}"),
@@ -357,11 +474,36 @@ mod tests {
         let m = MReg::at(0);
         let s = SReg::at(0);
         let samples = [
-            Instruction::VLoad { vd: v, base: a, offset: 0, mode: AddrMode::Unit },
-            Instruction::SLoad { rt: s, base: a, offset: 0 },
-            Instruction::VAddMod { vd: v, vs: v, vt: v, rm: m },
-            Instruction::Bfly { vd: v, vd1: v, vs: v, vt: v, vt1: v, rm: m },
-            Instruction::PkHi { vd: v, vs: v, vt: v },
+            Instruction::VLoad {
+                vd: v,
+                base: a,
+                offset: 0,
+                mode: AddrMode::Unit,
+            },
+            Instruction::SLoad {
+                rt: s,
+                base: a,
+                offset: 0,
+            },
+            Instruction::VAddMod {
+                vd: v,
+                vs: v,
+                vt: v,
+                rm: m,
+            },
+            Instruction::Bfly {
+                vd: v,
+                vd1: v,
+                vs: v,
+                vt: v,
+                vt1: v,
+                rm: m,
+            },
+            Instruction::PkHi {
+                vd: v,
+                vs: v,
+                vt: v,
+            },
         ];
         use PipeClass::*;
         let expect = [LoadStore, LoadStore, Compute, Compute, Shuffle];
@@ -380,7 +522,10 @@ mod tests {
             vt1: VReg::at(5),
             rm: MReg::at(0),
         };
-        assert_eq!(i.src_vregs(), [Some(VReg::at(3)), Some(VReg::at(4)), Some(VReg::at(5))]);
+        assert_eq!(
+            i.src_vregs(),
+            [Some(VReg::at(3)), Some(VReg::at(4)), Some(VReg::at(5))]
+        );
         assert_eq!(i.dst_vregs(), [Some(VReg::at(1)), Some(VReg::at(2))]);
         assert!(i.uses_multiplier());
         assert_eq!(i.src_mreg(), Some(MReg::at(0)));

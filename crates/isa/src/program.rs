@@ -182,7 +182,14 @@ mod tests {
     fn mix_counts() {
         let p = sample();
         let m = p.mix();
-        assert_eq!(m, InstructionMix { load_store: 1, compute: 1, shuffle: 1 });
+        assert_eq!(
+            m,
+            InstructionMix {
+                load_store: 1,
+                compute: 1,
+                shuffle: 1
+            }
+        );
         assert_eq!(m.total(), 3);
     }
 

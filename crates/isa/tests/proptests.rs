@@ -32,18 +32,39 @@ fn arb_mode() -> impl Strategy<Value = AddrMode> {
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
-        (arb_vreg(), arb_areg(), arb_offset(), arb_mode())
-            .prop_map(|(vd, base, offset, mode)| Instruction::VLoad { vd, base, offset, mode }),
-        (arb_vreg(), arb_areg(), arb_offset(), arb_mode())
-            .prop_map(|(vs, base, offset, mode)| Instruction::VStore { vs, base, offset, mode }),
+        (arb_vreg(), arb_areg(), arb_offset(), arb_mode()).prop_map(|(vd, base, offset, mode)| {
+            Instruction::VLoad {
+                vd,
+                base,
+                offset,
+                mode,
+            }
+        }),
+        (arb_vreg(), arb_areg(), arb_offset(), arb_mode()).prop_map(|(vs, base, offset, mode)| {
+            Instruction::VStore {
+                vs,
+                base,
+                offset,
+                mode,
+            }
+        }),
         (arb_vreg(), arb_areg(), arb_offset())
             .prop_map(|(vd, base, offset)| Instruction::VBroadcast { vd, base, offset }),
-        (arb_sreg(), arb_areg(), arb_offset())
-            .prop_map(|(rt, base, offset)| Instruction::SLoad { rt, base, offset }),
-        (arb_mreg(), arb_areg(), arb_offset())
-            .prop_map(|(rt, base, offset)| Instruction::MLoad { rt, base, offset }),
-        (arb_areg(), arb_areg(), arb_offset())
-            .prop_map(|(rt, base, offset)| Instruction::ALoad { rt, base, offset }),
+        (arb_sreg(), arb_areg(), arb_offset()).prop_map(|(rt, base, offset)| Instruction::SLoad {
+            rt,
+            base,
+            offset
+        }),
+        (arb_mreg(), arb_areg(), arb_offset()).prop_map(|(rt, base, offset)| Instruction::MLoad {
+            rt,
+            base,
+            offset
+        }),
+        (arb_areg(), arb_areg(), arb_offset()).prop_map(|(rt, base, offset)| Instruction::ALoad {
+            rt,
+            base,
+            offset
+        }),
         (arb_vreg(), arb_vreg(), arb_vreg(), arb_mreg())
             .prop_map(|(vd, vs, vt, rm)| Instruction::VAddMod { vd, vs, vt, rm }),
         (arb_vreg(), arb_vreg(), arb_vreg(), arb_mreg())
@@ -56,17 +77,42 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             .prop_map(|(vd, vs, rt, rm)| Instruction::VSSubMod { vd, vs, rt, rm }),
         (arb_vreg(), arb_vreg(), arb_sreg(), arb_mreg())
             .prop_map(|(vd, vs, rt, rm)| Instruction::VSMulMod { vd, vs, rt, rm }),
-        (arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg(), arb_mreg()).prop_map(
-            |(vd, vd1, vs, vt, vt1, rm)| Instruction::Bfly { vd, vd1, vs, vt, vt1, rm }
-        ),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::UnpkLo { vd, vs, vt }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::UnpkHi { vd, vs, vt }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::PkLo { vd, vs, vt }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::PkHi { vd, vs, vt }),
+        (
+            arb_vreg(),
+            arb_vreg(),
+            arb_vreg(),
+            arb_vreg(),
+            arb_vreg(),
+            arb_mreg()
+        )
+            .prop_map(|(vd, vd1, vs, vt, vt1, rm)| Instruction::Bfly {
+                vd,
+                vd1,
+                vs,
+                vt,
+                vt1,
+                rm
+            }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::UnpkLo {
+            vd,
+            vs,
+            vt
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::UnpkHi {
+            vd,
+            vs,
+            vt
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::PkLo {
+            vd,
+            vs,
+            vt
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::PkHi {
+            vd,
+            vs,
+            vt
+        }),
     ]
 }
 

@@ -155,7 +155,10 @@ mod tests {
         let stats = ntt64k_stats();
         // paper runtime: 6.7 us
         let p = m.average_power_w(&stats, 6.7);
-        assert!((p - 7.44).abs() < 1.0, "power should be ~7.44 W, got {p:.2}");
+        assert!(
+            (p - 7.44).abs() < 1.0,
+            "power should be ~7.44 W, got {p:.2}"
+        );
     }
 
     #[test]

@@ -56,7 +56,12 @@ mod tests {
     use super::*;
 
     fn p(h: usize, b: usize, t: f64, a: f64) -> DesignPoint {
-        DesignPoint { hples: h, banks: b, runtime_us: t, area_mm2: a }
+        DesignPoint {
+            hples: h,
+            banks: b,
+            runtime_us: t,
+            area_mm2: a,
+        }
     }
 
     #[test]
@@ -89,9 +94,9 @@ mod tests {
     #[test]
     fn perf_per_area_prefers_balanced() {
         let pts = vec![
-            p(128, 128, 5.38, 20.5),   // ~9.07
-            p(256, 256, 5.0, 41.0),    // ~4.9
-            p(4, 32, 170.0, 5.0),      // ~1.2
+            p(128, 128, 5.38, 20.5), // ~9.07
+            p(256, 256, 5.0, 41.0),  // ~4.9
+            p(4, 32, 170.0, 5.0),    // ~1.2
         ];
         let best = best_perf_per_area(&pts).unwrap();
         assert_eq!((best.hples, best.banks), (128, 128));

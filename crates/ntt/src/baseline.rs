@@ -12,7 +12,57 @@
 //! host-independent.
 
 use crate::{Ntt128Plan, Ntt64Plan, NttError};
+use rpu_arith::Modulus128;
 use std::time::{Duration, Instant};
+
+/// Naive `O(n²)` negacyclic forward transform — the golden-vector
+/// reference every fast path is cross-checked against.
+///
+/// Returns `X` in natural index order: `X[i] = x(psi^(2i+1))`, i.e. the
+/// polynomial evaluated at the odd powers of the primitive `2n`-th root
+/// `psi`. Note [`Ntt128Plan::forward`] leaves this value at position
+/// `bit_reverse(i)` and [`crate::PeaseSchedule::forward`] at the
+/// position given by [`crate::PeaseSchedule::output_exponent`].
+///
+/// # Panics
+///
+/// Panics if `psi` is not invertible or `x` is empty.
+pub fn naive_forward(m: Modulus128, psi: u128, x: &[u128]) -> Vec<u128> {
+    assert!(!x.is_empty());
+    (0..x.len())
+        .map(|i| {
+            let point = m.pow(psi, (2 * i + 1) as u128);
+            // Horner evaluation, highest coefficient first.
+            x.iter()
+                .rev()
+                .fold(0u128, |acc, &c| m.add(m.mul(acc, point), c))
+        })
+        .collect()
+}
+
+/// Naive `O(n²)` negacyclic inverse transform: consumes natural-order
+/// evaluations (`X[i] = x(psi^(2i+1))`, the [`naive_forward`] layout)
+/// and returns the coefficients, including the `n^{-1}` scale.
+///
+/// # Panics
+///
+/// Panics if `psi` is not invertible or `x` is empty.
+pub fn naive_inverse(m: Modulus128, psi: u128, x: &[u128]) -> Vec<u128> {
+    assert!(!x.is_empty());
+    let n = x.len();
+    let n_inv = m.inv(n as u128 % m.value());
+    let psi_inv = m.inv(psi);
+    (0..n)
+        .map(|j| {
+            let mut acc = 0u128;
+            for (i, &v) in x.iter().enumerate() {
+                let w = m.pow(psi_inv, ((2 * i + 1) * j) as u128);
+                acc = m.add(acc, m.mul(v, w));
+            }
+            m.mul(acc, n_inv)
+        })
+        .collect()
+}
 
 /// Which CPU data width to benchmark (the two series of Fig. 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

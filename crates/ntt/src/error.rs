@@ -23,7 +23,11 @@ impl core::fmt::Display for NttError {
             }
             NttError::InvalidModulus => write!(f, "modulus out of range for backend"),
             NttError::NoRootOfUnity { degree } => {
-                write!(f, "modulus lacks a primitive {}th root of unity", 2 * degree)
+                write!(
+                    f,
+                    "modulus lacks a primitive {}th root of unity",
+                    2 * degree
+                )
             }
         }
     }

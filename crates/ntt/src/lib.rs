@@ -16,23 +16,21 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline;
 mod error;
 mod pease;
-mod poly;
-mod rns_poly;
 mod plan128;
-pub mod rlwe;
 mod plan64;
-pub mod baseline;
+mod poly;
+pub mod rlwe;
+mod rns_poly;
 
 #[doc(hidden)]
 pub mod testutil;
 
 pub use error::NttError;
 pub use pease::PeaseSchedule;
-pub use poly::{Domain, Polynomial};
-pub use rns_poly::{RnsContext, RnsPolynomial};
 pub use plan128::Ntt128Plan;
 pub use plan64::Ntt64Plan;
-
-
+pub use poly::{Domain, Polynomial};
+pub use rns_poly::{RnsContext, RnsPolynomial};

@@ -212,7 +212,10 @@ impl PeaseSchedule {
     }
 
     fn twiddle_vectors_from(&self, table: &[Vec<u128>], s: u32, vlen: usize) -> Vec<Vec<u128>> {
-        assert!(vlen.is_power_of_two(), "vector length must be a power of two");
+        assert!(
+            vlen.is_power_of_two(),
+            "vector length must be a power of two"
+        );
         let tw = &table[s as usize];
         let period = tw.len(); // 2^s
         let count = (period / vlen).max(1);
@@ -329,10 +332,8 @@ mod tests {
             PeaseSchedule::new(3, 97),
             Err(NttError::InvalidDegree(3))
         ));
-        assert!(matches!(
-            PeaseSchedule::new(8, 97), // 97 ≢ 1 mod 16? 96 = 16*6 -> actually OK
-            Ok(_)
-        ));
+        // 97 ≡ 1 mod 16 (96 = 16·6), so n = 8 is accepted.
+        assert!(PeaseSchedule::new(8, 97).is_ok());
         assert!(matches!(
             PeaseSchedule::new(64, 97), // 97 ≢ 1 mod 128
             Err(NttError::NoRootOfUnity { degree: 64 })
@@ -359,13 +360,13 @@ mod tests {
         let q = s.modulus();
         let x = test_vector(n, q.value(), 7);
         let f = s.forward(&x);
-        for p in 0..n {
+        for (p, &fp) in f.iter().enumerate() {
             let point = q.pow(s.psi(), s.output_exponent(p));
             let mut acc = 0u128;
             for j in (0..n).rev() {
                 acc = q.add(q.mul(acc, point), x[j]);
             }
-            assert_eq!(f[p], acc, "p={p}");
+            assert_eq!(fp, acc, "p={p}");
         }
     }
 

@@ -37,6 +37,7 @@ pub struct Ntt64Plan {
     n: usize,
     log_n: u32,
     q: Modulus64,
+    psi: u64,
     /// `psi^bitrev(i)` for CT stages, with Shoup companions.
     fwd: Vec<u64>,
     fwd_shoup: Vec<u64>,
@@ -90,6 +91,7 @@ impl Ntt64Plan {
             n,
             log_n,
             q: modulus,
+            psi,
             fwd,
             fwd_shoup,
             inv,
@@ -112,6 +114,11 @@ impl Ntt64Plan {
     /// The modulus.
     pub fn modulus(&self) -> Modulus64 {
         self.q
+    }
+
+    /// The primitive `2n`-th root of unity used by this plan.
+    pub fn psi(&self) -> u64 {
+        self.psi
     }
 
     /// In-place forward negacyclic NTT (natural order → bit-reversed).
@@ -218,8 +225,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_degree() {
-        assert_eq!(Ntt64Plan::new(3, 97).unwrap_err(), NttError::InvalidDegree(3));
-        assert_eq!(Ntt64Plan::new(0, 97).unwrap_err(), NttError::InvalidDegree(0));
+        assert_eq!(
+            Ntt64Plan::new(3, 97).unwrap_err(),
+            NttError::InvalidDegree(3)
+        );
+        assert_eq!(
+            Ntt64Plan::new(0, 97).unwrap_err(),
+            NttError::InvalidDegree(0)
+        );
     }
 
     #[test]
@@ -236,7 +249,10 @@ mod tests {
         for log_n in [1usize, 2, 5, 10, 12] {
             let n = 1 << log_n;
             let p = plan(n);
-            let orig: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9)).map(|v| v % p.modulus().value()).collect();
+            let orig: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9))
+                .map(|v| v % p.modulus().value())
+                .collect();
             let mut x = orig.clone();
             p.forward(&mut x);
             assert_ne!(x, orig, "transform must not be identity");
@@ -271,9 +287,9 @@ mod tests {
         // schoolbook negacyclic
         let mut slow = vec![0u64; n];
         let m = p.modulus();
-        for i in 0..n {
-            for j in 0..n {
-                let prod = m.mul(a[i], b[j]);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = m.mul(ai, bj);
                 let k = (i + j) % n;
                 if i + j < n {
                     slow[k] = m.add(slow[k], prod);

@@ -109,7 +109,11 @@ impl RlweContext {
         }
         let plan = Polynomial::context(params.n, params.q)?;
         let delta = params.q / params.t;
-        Ok(RlweContext { params, plan, delta })
+        Ok(RlweContext {
+            params,
+            plan,
+            delta,
+        })
     }
 
     /// The parameters.
@@ -192,8 +196,7 @@ impl RlweContext {
     /// Panics if `plain.len() != n`.
     pub fn mul_plain(&self, x: &Ciphertext, plain: &[u128]) -> Ciphertext {
         assert_eq!(plain.len(), self.params.n, "plaintext length must equal n");
-        let mut p =
-            Polynomial::from_coeffs(&self.plan, plain.to_vec()).expect("length matches");
+        let mut p = Polynomial::from_coeffs(&self.plan, plain.to_vec()).expect("length matches");
         p.to_evaluation();
         Ciphertext {
             a: x.a.mul(&p),
@@ -248,7 +251,10 @@ mod tests {
         let sk = c.keygen(&mut rng);
         let m1: Vec<u128> = (0..64).map(|i| i % 100).collect();
         let m2: Vec<u128> = (0..64).map(|i| (i * 7 + 1) % 100).collect();
-        let ct = c.add(&c.encrypt(&sk, &m1, &mut rng), &c.encrypt(&sk, &m2, &mut rng));
+        let ct = c.add(
+            &c.encrypt(&sk, &m1, &mut rng),
+            &c.encrypt(&sk, &m2, &mut rng),
+        );
         let expect: Vec<u128> = m1.iter().zip(&m2).map(|(&a, &b)| (a + b) % 65537).collect();
         assert_eq!(c.decrypt(&sk, &ct), expect);
     }

@@ -37,9 +37,9 @@ pub fn schoolbook_negacyclic(m: Modulus128, a: &[u128], b: &[u128]) -> Vec<u128>
     let n = a.len();
     assert_eq!(b.len(), n);
     let mut out = vec![0u128; n];
-    for i in 0..n {
-        for j in 0..n {
-            let prod = m.mul(a[i] % m.value(), b[j] % m.value());
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = m.mul(ai % m.value(), bj % m.value());
             let k = (i + j) % n;
             if i + j < n {
                 out[k] = m.add(out[k], prod);

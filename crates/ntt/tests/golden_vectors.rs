@@ -1,0 +1,171 @@
+//! Golden-vector tests: every fast transform (the iterative 64- and
+//! 128-bit plans and the Pease constant-geometry schedule) is checked
+//! element-for-element against the naive `O(n²)` reference in
+//! `rpu_ntt::baseline`, for small rings in both directions.
+
+use rpu_arith::{bit_reverse, Modulus128};
+use rpu_ntt::baseline::{naive_forward, naive_inverse};
+use rpu_ntt::{Ntt128Plan, Ntt64Plan, PeaseSchedule};
+
+const SIZES: [usize; 3] = [8, 16, 64];
+
+/// A deterministic non-trivial input polynomial.
+fn input(n: usize, q: u128) -> Vec<u128> {
+    (0..n as u128)
+        .map(|i| (i * i * 2654435761 + 40503 * i + 17) % q)
+        .collect()
+}
+
+#[test]
+fn naive_reference_round_trips() {
+    for n in SIZES {
+        let q = rpu_arith::find_ntt_prime_u128(40, 2 * n as u128).expect("prime exists");
+        let m = Modulus128::new(q).unwrap();
+        let plan = Ntt128Plan::new(n, q).unwrap();
+        let x = input(n, q);
+        assert_eq!(
+            naive_inverse(m, plan.psi(), &naive_forward(m, plan.psi(), &x)),
+            x,
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn plan128_forward_matches_naive() {
+    for n in SIZES {
+        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+        let plan = Ntt128Plan::new(n, q).unwrap();
+        let m = plan.modulus();
+        let x = input(n, q);
+        let golden = naive_forward(m, plan.psi(), &x);
+        let mut fast = x.clone();
+        plan.forward(&mut fast);
+        // plan output is bit-reversed: fast[bitrev(i)] = X_i
+        for i in 0..n {
+            assert_eq!(
+                fast[bit_reverse(i, plan.log_degree())],
+                golden[i],
+                "n={n} i={i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan128_inverse_matches_naive() {
+    for n in SIZES {
+        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+        let plan = Ntt128Plan::new(n, q).unwrap();
+        let m = plan.modulus();
+        // An arbitrary "spectrum", laid out in the plan's bit-reversed order.
+        let spectrum = input(n, q);
+        let mut fast = vec![0u128; n];
+        for i in 0..n {
+            fast[bit_reverse(i, plan.log_degree())] = spectrum[i];
+        }
+        plan.inverse(&mut fast);
+        assert_eq!(fast, naive_inverse(m, plan.psi(), &spectrum), "n={n}");
+    }
+}
+
+#[test]
+fn plan64_forward_matches_naive() {
+    for n in SIZES {
+        let q = rpu_arith::find_ntt_prime_u64(59, 2 * n as u64).expect("prime exists");
+        let plan = Ntt64Plan::new(n, q).unwrap();
+        let m = Modulus128::new(q as u128).unwrap();
+        let x64: Vec<u64> = input(n, q as u128).iter().map(|&v| v as u64).collect();
+        let x: Vec<u128> = x64.iter().map(|&v| v as u128).collect();
+        let golden = naive_forward(m, plan.psi() as u128, &x);
+        let mut fast = x64.clone();
+        plan.forward(&mut fast);
+        for i in 0..n {
+            assert_eq!(
+                fast[bit_reverse(i, plan.log_degree())] as u128,
+                golden[i],
+                "n={n} i={i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan64_inverse_matches_naive() {
+    for n in SIZES {
+        let q = rpu_arith::find_ntt_prime_u64(59, 2 * n as u64).expect("prime exists");
+        let plan = Ntt64Plan::new(n, q).unwrap();
+        let m = Modulus128::new(q as u128).unwrap();
+        let spectrum64: Vec<u64> = input(n, q as u128).iter().map(|&v| v as u64).collect();
+        let spectrum: Vec<u128> = spectrum64.iter().map(|&v| v as u128).collect();
+        let mut fast = vec![0u64; n];
+        for i in 0..n {
+            fast[bit_reverse(i, plan.log_degree())] = spectrum64[i];
+        }
+        plan.inverse(&mut fast);
+        let widened: Vec<u128> = fast.iter().map(|&v| v as u128).collect();
+        assert_eq!(
+            widened,
+            naive_inverse(m, plan.psi() as u128, &spectrum),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn pease_forward_matches_naive() {
+    for n in SIZES {
+        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+        let sched = PeaseSchedule::new(n, q).unwrap();
+        let m = sched.modulus();
+        let x = input(n, q);
+        let golden = naive_forward(m, sched.psi(), &x);
+        let pease = sched.forward(&x);
+        // Pease position p holds the evaluation at psi^output_exponent(p);
+        // exponents are odd, so golden index is (e - 1) / 2.
+        for (p, &v) in pease.iter().enumerate() {
+            let e = sched.output_exponent(p);
+            assert_eq!(e % 2, 1, "leaf exponents are odd");
+            assert_eq!(v, golden[((e - 1) / 2) as usize], "n={n} p={p}");
+        }
+    }
+}
+
+#[test]
+fn pease_inverse_matches_naive() {
+    for n in SIZES {
+        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+        let sched = PeaseSchedule::new(n, q).unwrap();
+        let m = sched.modulus();
+        // Arbitrary spectrum in natural order, scattered into Pease order.
+        let spectrum = input(n, q);
+        let mut pease_order = vec![0u128; n];
+        for p in 0..n {
+            pease_order[p] = spectrum[((sched.output_exponent(p) - 1) / 2) as usize];
+        }
+        assert_eq!(
+            sched.inverse(&pease_order),
+            naive_inverse(m, sched.psi(), &spectrum),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn pease_standard_permutation_consistent_with_naive() {
+    // The documented bridge between the two fast layouts, validated via
+    // the naive reference: standard[perm[p]] == pease[p].
+    for n in SIZES {
+        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+        let sched = PeaseSchedule::new(n, q).unwrap();
+        let plan = Ntt128Plan::new(n, q).unwrap();
+        let x = input(n, q);
+        let pease = sched.forward(&x);
+        let mut standard = x.clone();
+        plan.forward(&mut standard);
+        let perm = sched.to_standard_permutation();
+        for p in 0..n {
+            assert_eq!(standard[perm[p]], pease[p], "n={n} p={p}");
+        }
+    }
+}

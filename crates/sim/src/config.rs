@@ -169,11 +169,15 @@ mod tests {
         assert!(RpuConfig::with_geometry(3, 32).validate().is_err());
         assert!(RpuConfig::with_geometry(1024, 32).validate().is_err());
         assert!(RpuConfig::with_geometry(128, 7).validate().is_err());
-        let mut c = RpuConfig::default();
-        c.mult_ii = 0;
+        let c = RpuConfig {
+            mult_ii: 0,
+            ..RpuConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = RpuConfig::default();
-        c.vdm_bytes = 64 << 20;
+        let c = RpuConfig {
+            vdm_bytes: 64 << 20,
+            ..RpuConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

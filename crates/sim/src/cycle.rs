@@ -114,7 +114,11 @@ impl CycleSim {
         (stats, trace)
     }
 
-    fn simulate_inner(&self, program: &Program, mut trace: Option<&mut Vec<InstrTrace>>) -> SimStats {
+    fn simulate_inner(
+        &self,
+        program: &Program,
+        mut trace: Option<&mut Vec<InstrTrace>>,
+    ) -> SimStats {
         let mut stats = SimStats::default();
         let cfg = &self.config;
         let lanes_cycles = VECTOR_LEN.div_ceil(cfg.num_hples) as u64;
@@ -403,10 +407,8 @@ impl MemAccess {
         if self.hi <= other.lo || other.hi <= self.lo {
             return false;
         }
-        if let (
-            AddrMode::Strided { log2_stride: s1 },
-            AddrMode::Strided { log2_stride: s2 },
-        ) = (self.mode, other.mode)
+        if let (AddrMode::Strided { log2_stride: s1 }, AddrMode::Strided { log2_stride: s2 }) =
+            (self.mode, other.mode)
         {
             if s1 == s2 {
                 let stride = 1usize << s1;
@@ -483,17 +485,17 @@ mod tests {
     fn dependent_chain_serializes() {
         // v1 <- v0*v0 ; v2 <- v1*v1 : the second mul must wait for the
         // first one's full latency.
-        let p = parse_asm(
-            "chain",
-            "vmulmod v1, v0, v0, m0\nvmulmod v2, v1, v1, m0\n",
-        )
-        .unwrap();
+        let p = parse_asm("chain", "vmulmod v1, v0, v0, m0\nvmulmod v2, v1, v1, m0\n").unwrap();
         let s = sim(128, 128).simulate(&p);
         let cfg = RpuConfig::with_geometry(128, 128);
         let occ = 512 / 128;
         // issue1 at 1, done at 1+occ+lat; issue2 >= that +1
         let min_cycles = (1 + occ + cfg.mult_latency as u64) + occ + cfg.mult_latency as u64;
-        assert!(s.cycles >= min_cycles, "cycles={} min={min_cycles}", s.cycles);
+        assert!(
+            s.cycles >= min_cycles,
+            "cycles={} min={min_cycles}",
+            s.cycles
+        );
         assert!(s.stall_hazard > 0);
     }
 
@@ -672,11 +674,8 @@ mod memory_ordering_tests {
     #[test]
     fn aliasing_store_load_serialize() {
         let s = CycleSim::new(RpuConfig::with_geometry(128, 128)).unwrap();
-        let aliased = parse_asm(
-            "a",
-            "vstore v0, [a0 + 0], unit\nvload v1, [a0 + 0], unit\n",
-        )
-        .unwrap();
+        let aliased =
+            parse_asm("a", "vstore v0, [a0 + 0], unit\nvload v1, [a0 + 0], unit\n").unwrap();
         let disjoint = parse_asm(
             "d",
             "vstore v0, [a0 + 0], unit\nvload v1, [a0 + 512], unit\n",
@@ -737,7 +736,11 @@ mod trace_tests {
 
     #[test]
     fn makespan_equals_last_completion() {
-        let p = parse_asm("m", "vload v0, [a0 + 0], unit\nvload v1, [a0 + 512], unit\n").unwrap();
+        let p = parse_asm(
+            "m",
+            "vload v0, [a0 + 0], unit\nvload v1, [a0 + 512], unit\n",
+        )
+        .unwrap();
         let sim = CycleSim::new(RpuConfig::pareto_128x128()).unwrap();
         let (stats, trace) = sim.simulate_traced(&p);
         let max_complete = trace.iter().map(|e| e.complete).max().unwrap();

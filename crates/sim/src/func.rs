@@ -45,16 +45,27 @@ pub enum ExecError {
 impl core::fmt::Display for ExecError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            ExecError::VdmOutOfBounds { address, capacity, pc } => write!(
+            ExecError::VdmOutOfBounds {
+                address,
+                capacity,
+                pc,
+            } => write!(
                 f,
                 "instruction {pc}: VDM access at element {address} exceeds capacity {capacity}"
             ),
-            ExecError::SdmOutOfBounds { address, capacity, pc } => write!(
+            ExecError::SdmOutOfBounds {
+                address,
+                capacity,
+                pc,
+            } => write!(
                 f,
                 "instruction {pc}: SDM access at element {address} exceeds capacity {capacity}"
             ),
             ExecError::InvalidModulus { mreg, pc } => {
-                write!(f, "instruction {pc}: MRF[{mreg}] does not hold a valid modulus")
+                write!(
+                    f,
+                    "instruction {pc}: MRF[{mreg}] does not hold a valid modulus"
+                )
             }
         }
     }
@@ -199,7 +210,13 @@ impl FunctionalSim {
         Ok(m)
     }
 
-    fn vdm_addr(&self, base: AReg, offset: u32, lane_off: usize, pc: usize) -> Result<usize, ExecError> {
+    fn vdm_addr(
+        &self,
+        base: AReg,
+        offset: u32,
+        lane_off: usize,
+        pc: usize,
+    ) -> Result<usize, ExecError> {
         let addr = self.arf[base.index() as usize] as usize + offset as usize + lane_off;
         if addr >= self.vdm.len() {
             return Err(ExecError::VdmOutOfBounds {
@@ -226,13 +243,23 @@ impl FunctionalSim {
     fn step(&mut self, instr: &Instruction, pc: usize) -> Result<(), ExecError> {
         use Instruction::*;
         match *instr {
-            VLoad { vd, base, offset, mode } => {
+            VLoad {
+                vd,
+                base,
+                offset,
+                mode,
+            } => {
                 for i in 0..VECTOR_LEN {
                     let addr = self.vdm_addr(base, offset, mode.element_offset(i), pc)?;
                     self.vrf[vd.index() as usize][i] = self.vdm[addr];
                 }
             }
-            VStore { vs, base, offset, mode } => {
+            VStore {
+                vs,
+                base,
+                offset,
+                mode,
+            } => {
                 for i in 0..VECTOR_LEN {
                     let addr = self.vdm_addr(base, offset, mode.element_offset(i), pc)?;
                     self.vdm[addr] = self.vrf[vs.index() as usize][i];
@@ -282,7 +309,14 @@ impl FunctionalSim {
                 let s = m.reduce(self.srf[rt.index() as usize]);
                 self.lanewise_vs(vd, vs, |a| m.mul(m.reduce(a), s));
             }
-            Bfly { vd, vd1, vs, vt, vt1, rm } => {
+            Bfly {
+                vd,
+                vd1,
+                vs,
+                vt,
+                vt1,
+                rm,
+            } => {
                 let m = self.modulus(rm, pc)?;
                 // vd = vs + vt1*vt ; vd1 = vs - vt1*vt (CT butterfly).
                 // Read all sources before writing: vd/vd1 may alias them.

@@ -23,21 +23,54 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
     let m = MReg::at(0);
     let a = AReg::at(0);
     prop_oneof![
-        (arb_vreg(), 0u32..4096, arb_mode())
-            .prop_map(move |(vd, offset, mode)| Instruction::VLoad { vd, base: a, offset, mode }),
-        (arb_vreg(), 0u32..4096, arb_mode())
-            .prop_map(move |(vs, offset, mode)| Instruction::VStore { vs, base: a, offset, mode }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(move |(vd, vs, vt)| Instruction::VMulMod { vd, vs, vt, rm: m }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(move |(vd, vs, vt)| Instruction::VAddMod { vd, vs, vt, rm: m }),
+        (arb_vreg(), 0u32..4096, arb_mode()).prop_map(move |(vd, offset, mode)| {
+            Instruction::VLoad {
+                vd,
+                base: a,
+                offset,
+                mode,
+            }
+        }),
+        (arb_vreg(), 0u32..4096, arb_mode()).prop_map(move |(vs, offset, mode)| {
+            Instruction::VStore {
+                vs,
+                base: a,
+                offset,
+                mode,
+            }
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(move |(vd, vs, vt)| Instruction::VMulMod {
+            vd,
+            vs,
+            vt,
+            rm: m
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(move |(vd, vs, vt)| Instruction::VAddMod {
+            vd,
+            vs,
+            vt,
+            rm: m
+        }),
         (arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg(), arb_vreg()).prop_map(
-            move |(vd, vd1, vs, vt, vt1)| Instruction::Bfly { vd, vd1, vs, vt, vt1, rm: m }
+            move |(vd, vd1, vs, vt, vt1)| Instruction::Bfly {
+                vd,
+                vd1,
+                vs,
+                vt,
+                vt1,
+                rm: m
+            }
         ),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::UnpkLo { vd, vs, vt }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs, vt)| Instruction::PkHi { vd, vs, vt }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::UnpkLo {
+            vd,
+            vs,
+            vt
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs, vt)| Instruction::PkHi {
+            vd,
+            vs,
+            vt
+        }),
     ]
 }
 

@@ -15,11 +15,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(16384);
+    // Smoke runs cap the sweep size via RPU_MAX_N.
+    let n = rpu::smoke_cap(n);
 
-    println!("sweeping {} x {} configurations, n = {n}", PAPER_HPLES.len(), PAPER_BANKS.len());
+    println!(
+        "sweeping {} x {} configurations, n = {n}",
+        PAPER_HPLES.len(),
+        PAPER_BANKS.len()
+    );
     let points = explore_design_space(n, &PAPER_HPLES, &PAPER_BANKS)?;
 
-    println!("\n{:>6} {:>6} {:>12} {:>10} {:>8}", "HPLEs", "banks", "runtime", "area", "P/A");
+    println!(
+        "\n{:>6} {:>6} {:>12} {:>10} {:>8}",
+        "HPLEs", "banks", "runtime", "area", "P/A"
+    );
     for p in &points {
         println!(
             "{:>6} {:>6} {:>9.2} us {:>7.1} mm2 {:>8.2}",

@@ -11,7 +11,8 @@ use rpu::{CodegenStyle, Direction, Rpu, RpuConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ring parameters: n = 2048 (a realistic lattice dimension the RPU
     // kernel generator supports directly), 100-bit ciphertext modulus.
-    let n = 2048usize;
+    // Smoke runs may cap this via RPU_MAX_N.
+    let n = rpu::smoke_cap(2048);
     let q = rpu::arith::find_ntt_prime_u128(100, 2 * n as u128).expect("prime exists");
     let params = RlweParams { n, q, t: 65537 };
     let ctx = RlweContext::new(params)?;
@@ -26,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|r| ctx.encrypt(&sk, r, &mut rng))
         .collect();
-    println!("encrypted {} vectors of {n} values each (q ~ 2^100, t = 65537)", cts.len());
+    println!(
+        "encrypted {} vectors of {n} values each (q ~ 2^100, t = 65537)",
+        cts.len()
+    );
 
     // Encrypted computation: weighted sum 1*x0 + 2*x1 + 3*x2, the weights
     // applied as tiny plaintext polynomials (constant term only).

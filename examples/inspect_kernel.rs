@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Optimized)?;
     let program = kernel.program();
 
-    println!("// {} — SPIRAL-style generated radix-2 {n}-point NTT", program.name());
+    println!(
+        "// {} — SPIRAL-style generated radix-2 {n}-point NTT",
+        program.name()
+    );
     println!("// modulus q = {q:#034x}");
     let mix = program.mix();
     println!(

@@ -26,7 +26,8 @@ fn run_on_rpu(kernel: &NttKernel, input: &[u128]) -> Vec<u128> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 2048usize;
+    // Smoke runs may cap the ring size via RPU_MAX_N.
+    let n = rpu::smoke_cap(2048);
     let towers = 3usize;
     // RNS tower primes, each supporting the negacyclic NTT (q ≡ 1 mod 2n).
     let primes = find_ntt_prime_chain(120, 2 * n as u128, towers);

@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>8} {:>10} {:>12} {:>10} {:>10}  verified",
         "n", "cycles", "runtime", "energy", "power"
     );
-    for log_n in 10..=16 {
+    // rpu::smoke_cap honours the RPU_MAX_N override for quick runs.
+    for log_n in 10..=rpu::smoke_cap(1 << 16).ilog2() {
         let n = 1usize << log_n;
         let run = rpu.run_ntt(n, Direction::Forward, CodegenStyle::Optimized)?;
         println!(

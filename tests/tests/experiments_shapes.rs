@@ -4,7 +4,9 @@
 //! showing up in EXPERIMENTS.md.
 
 use rpu::model::{best_perf_per_area, pareto_frontier, AreaModel, EnergyModel};
-use rpu::{explore_design_space, CodegenStyle, CycleSim, Direction, HbmModel, NttKernel, RpuConfig};
+use rpu::{
+    explore_design_space, CodegenStyle, CycleSim, Direction, HbmModel, NttKernel, RpuConfig,
+};
 
 fn kernel(n: usize, style: CodegenStyle) -> NttKernel {
     let q = rpu::arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
@@ -112,8 +114,8 @@ fn fig9_shape_efficiency_grows_with_n() {
     let ratio = |n: usize| {
         let k = kernel(n, CodegenStyle::Optimized);
         let us = cfg.cycles_to_us(sim.simulate(k.program()).cycles);
-        let theo = (n as f64 * (n as f64).log2())
-            / (cfg.num_hples as f64 * cfg.frequency_ghz() * 1000.0);
+        let theo =
+            (n as f64 * (n as f64).log2()) / (cfg.num_hples as f64 * cfg.frequency_ghz() * 1000.0);
         us / theo
     };
     let small = ratio(1024);

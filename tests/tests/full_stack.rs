@@ -122,10 +122,30 @@ fn mixed_tower_moduli_via_mrf() {
     use rpu::isa::{AReg, AddrMode, Instruction, MReg, VReg};
     let mut p = rpu::isa::Program::new("two-towers");
     let v = VReg::at;
-    p.push(Instruction::VLoad { vd: v(0), base: AReg::at(0), offset: 0, mode: AddrMode::Unit });
-    p.push(Instruction::VLoad { vd: v(1), base: AReg::at(0), offset: 512, mode: AddrMode::Unit });
-    p.push(Instruction::VAddMod { vd: v(2), vs: v(0), vt: v(1), rm: MReg::at(0) });
-    p.push(Instruction::VAddMod { vd: v(3), vs: v(0), vt: v(1), rm: MReg::at(1) });
+    p.push(Instruction::VLoad {
+        vd: v(0),
+        base: AReg::at(0),
+        offset: 0,
+        mode: AddrMode::Unit,
+    });
+    p.push(Instruction::VLoad {
+        vd: v(1),
+        base: AReg::at(0),
+        offset: 512,
+        mode: AddrMode::Unit,
+    });
+    p.push(Instruction::VAddMod {
+        vd: v(2),
+        vs: v(0),
+        vt: v(1),
+        rm: MReg::at(0),
+    });
+    p.push(Instruction::VAddMod {
+        vd: v(3),
+        vs: v(0),
+        vt: v(1),
+        rm: MReg::at(1),
+    });
 
     let mut sim = FunctionalSim::new(2048, 16);
     sim.set_mrf(MReg::at(0), 97);

@@ -1,0 +1,101 @@
+//! `#[derive(Serialize)]` for the vendored serde subset.
+//!
+//! Supports structs with named fields; each field type must itself
+//! implement `serde::Serialize`. Written against `proc_macro` alone
+//! (no `syn`/`quote` — the build environment is offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored JSON-rendering trait) for a
+/// named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name>` and the brace-delimited field group.
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                // Skip generics/where clauses until the brace group.
+                for tt2 in iter.by_ref() {
+                    if let TokenTree::Group(g) = tt2 {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let (name, body) = match (name, body) {
+        (Some(n), Some(b)) => (n, b),
+        _ => panic!("#[derive(Serialize)] (vendored) supports only structs with named fields"),
+    };
+
+    // Collect field names: idents immediately followed by `:` while not
+    // inside a generic-argument list (tracked via `<`/`>` depth; groups
+    // are single token trees so parens/brackets need no tracking).
+    let mut fields = Vec::new();
+    let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut angle_depth = 0i32;
+    let mut i = 0;
+    while i < body_tokens.len() {
+        match &body_tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Ident(id) if angle_depth == 0 => {
+                let is_field = matches!(
+                    body_tokens.get(i + 1),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' && p.to_string() == ":"
+                );
+                // `::` paths appear inside types; a field ident is
+                // preceded by start-of-stream, `,`, or `pub`.
+                let prev_ok = match body_tokens.get(i.wrapping_sub(1)) {
+                    None => true,
+                    Some(TokenTree::Punct(p)) => p.as_char() == ',',
+                    Some(TokenTree::Ident(p)) => p.to_string() == "pub",
+                    Some(TokenTree::Group(_)) => true, // after an attr or pub(..)
+                    _ => false,
+                };
+                // Reject the second colon of `::`.
+                let single_colon = !matches!(
+                    body_tokens.get(i + 2),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':'
+                );
+                if is_field && prev_ok && single_colon && id.to_string() != "pub" {
+                    fields.push(id.to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let mut push_fields = String::new();
+    for (idx, f) in fields.iter().enumerate() {
+        if idx > 0 {
+            push_fields.push_str("out.push(',');");
+        }
+        push_fields.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\"); ::serde::Serialize::serialize_json(&self.{f}, out);"
+        ));
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize_json(&self, out: &mut String) {{\n\
+                out.push('{{'); {push_fields} out.push('}}');\n\
+            }}\n\
+        }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
