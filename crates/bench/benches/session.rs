@@ -1,0 +1,54 @@
+//! Session-API benchmark: cold (generate + verify + time) versus warm
+//! (kernel-cache hit, time only) runs of the same spec.
+//!
+//! The warm/cold ratio is the amortization the session layer buys for
+//! traffic-shaped use — the measured numbers are recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu::{CodegenStyle, ConvolutionSpec, Direction, NttSpec, PrimeTable, Rpu};
+
+fn session_cold_vs_warm(c: &mut Criterion) {
+    let rpu = Rpu::builder().build().expect("valid config");
+    let q = PrimeTable::new().ntt_prime(4096).expect("prime exists");
+    let ntt = NttSpec::new(4096, q, Direction::Forward, CodegenStyle::Optimized);
+    let conv = ConvolutionSpec::new(
+        1024,
+        PrimeTable::new().ntt_prime(1024).unwrap(),
+        CodegenStyle::Optimized,
+    );
+
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+
+    // Cold: a fresh session per iteration regenerates and re-verifies.
+    group.bench_function("cold_4k_ntt", |b| {
+        b.iter(|| {
+            let mut session = rpu.session();
+            session.run(&ntt).expect("runs")
+        })
+    });
+
+    // Warm: one long-lived session; every iteration is a cache hit.
+    let mut warm = rpu.session();
+    warm.run(&ntt).expect("prime the cache");
+    group.bench_function("warm_4k_ntt", |b| b.iter(|| warm.run(&ntt).expect("runs")));
+
+    // Same contrast for the fused negacyclic-convolution pipeline.
+    group.bench_function("cold_1k_negacyclic_mul", |b| {
+        b.iter(|| {
+            let mut session = rpu.session();
+            session.run(&conv).expect("runs")
+        })
+    });
+    let mut warm_conv = rpu.session();
+    warm_conv.run(&conv).expect("prime the cache");
+    group.bench_function("warm_1k_negacyclic_mul", |b| {
+        b.iter(|| warm_conv.run(&conv).expect("runs"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, session_cold_vs_warm);
+criterion_main!(benches);

@@ -3,13 +3,15 @@
 //! a 1485× speedup over a 32-core CPU.
 
 use rpu::ntt::baseline::{CpuBaseline, CpuWidth};
-use rpu::{CodegenStyle, Direction, Rpu, RpuConfig};
+use rpu::{CodegenStyle, Direction, Rpu};
 use rpu_bench::{cap_n, fmt2, print_comparison, PaperRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = cap_n(65536);
-    let rpu = Rpu::new(RpuConfig::pareto_128x128())?;
-    let run = rpu.run_ntt(n, Direction::Forward, CodegenStyle::Optimized)?;
+    let rpu = Rpu::builder().geometry(128, 128).build()?;
+    let run = rpu
+        .session()
+        .ntt(n, Direction::Forward, CodegenStyle::Optimized)?;
     assert!(
         run.verified,
         "kernel must validate against the golden model"

@@ -4,12 +4,12 @@
 //! a broadcast twiddle, multiply/add/sub butterfly arithmetic, an
 //! `unpklo`, and a strided-capable store path.
 
-use rpu::{CodegenStyle, Direction, FunctionalSim, NttKernel};
+use rpu::{CodegenStyle, Direction, KernelSpec, NttSpec, PrimeTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1024usize;
-    let q = rpu::arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
-    let kernel = NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Optimized)?;
+    let q = PrimeTable::new().ntt_prime(n)?;
+    let kernel = NttSpec::new(n, q, Direction::Forward, CodegenStyle::Optimized).generate()?;
 
     println!("// SPIRAL-style generated NTT code for the RPU vector architecture");
     println!("// kernel {} (q = {q:#x})", kernel.program().name());
@@ -33,12 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // and it actually computes the NTT
     let input: Vec<u128> = (0..n as u128).collect();
-    let mut sim = FunctionalSim::new(kernel.layout().total_elements, 16);
-    sim.write_vdm(0, &kernel.vdm_image(&input));
-    sim.write_sdm(0, &kernel.sdm_image());
-    sim.run(kernel.program())?;
-    let (off, len) = kernel.output_range();
-    assert_eq!(sim.read_vdm(off, len), kernel.expected_output(&input));
+    let out = kernel.execute(&[&input])?;
+    assert_eq!(out, kernel.expected_output(&[&input]));
     println!("// functional check vs the golden model: PASS");
     Ok(())
 }

@@ -4,16 +4,19 @@
 //! paper's evaluation section and prints the measured values next to the
 //! published ones. EXPERIMENTS.md records a captured run.
 
-use rpu::{CodegenStyle, Direction, NttKernel};
+use rpu::{CodegenStyle, Direction, Kernel, NttSpec, PrimeTable};
 use serde::Serialize;
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Kernel cache: figure sweeps re-time the same program under many
 /// configurations; generation (especially for 64K) is the slow part.
+///
+/// A thread-safe wrapper over the session layer's [`rpu::KernelCache`]
+/// and [`PrimeTable`], so the figure binaries share the exact cache and
+/// prime-lookup machinery production sessions use.
 #[derive(Debug, Default)]
 pub struct KernelCache {
-    kernels: Mutex<HashMap<(usize, Direction, CodegenStyle), std::sync::Arc<NttKernel>>>,
+    inner: Mutex<(rpu::KernelCache, PrimeTable)>,
 }
 
 impl KernelCache {
@@ -28,23 +31,18 @@ impl KernelCache {
     /// # Panics
     ///
     /// Panics if generation fails (figure parameters are all valid).
-    pub fn get(
-        &self,
-        n: usize,
-        direction: Direction,
-        style: CodegenStyle,
-    ) -> std::sync::Arc<NttKernel> {
-        let mut guard = self.kernels.lock().expect("cache poisoned");
-        guard
-            .entry((n, direction, style))
-            .or_insert_with(|| {
-                let q = rpu::arith::find_ntt_prime_u128(126, 2 * n as u128)
-                    .expect("prime exists for paper ring sizes");
-                std::sync::Arc::new(
-                    NttKernel::generate(n, q, direction, style).expect("valid parameters"),
-                )
-            })
-            .clone()
+    pub fn get(&self, n: usize, direction: Direction, style: CodegenStyle) -> Arc<Kernel> {
+        let mut guard = self.inner.lock().expect("cache poisoned");
+        let (cache, primes) = &mut *guard;
+        let q = primes
+            .ntt_prime(n)
+            .expect("prime exists for paper ring sizes");
+        let spec = NttSpec::new(n, q, direction, style);
+        // Figure sweeps only re-time programs; skip functional verification.
+        let (entry, _) = cache
+            .get_or_generate(&spec, false)
+            .expect("valid parameters");
+        entry.kernel
     }
 }
 
@@ -128,6 +126,6 @@ mod tests {
         let c = KernelCache::new();
         let a = c.get(1024, Direction::Forward, CodegenStyle::Optimized);
         let b = c.get(1024, Direction::Forward, CodegenStyle::Optimized);
-        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

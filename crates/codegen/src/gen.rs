@@ -52,24 +52,24 @@ const NINV: SReg = SReg::at(0);
 /// freed after their last consumer is emitted, and the FIFO free list
 /// maximizes reuse distance so busyboard WAR stalls stay short.
 #[derive(Debug)]
-struct RegPool {
+pub(crate) struct RegPool {
     free: VecDeque<VReg>,
 }
 
 impl RegPool {
-    fn new(lo: u8, hi: u8) -> Self {
+    pub(crate) fn new(lo: u8, hi: u8) -> Self {
         RegPool {
             free: (lo..hi).map(VReg::at).collect(),
         }
     }
 
-    fn alloc(&mut self) -> VReg {
+    pub(crate) fn alloc(&mut self) -> VReg {
         self.free
             .pop_front()
             .expect("register pool exhausted: GROUP sized beyond capacity")
     }
 
-    fn release(&mut self, r: VReg) {
+    pub(crate) fn release(&mut self, r: VReg) {
         self.free.push_back(r);
     }
 }
@@ -125,6 +125,11 @@ impl NttKernel {
     /// The generated B512 program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Consumes the kernel, yielding the program without a clone.
+    pub fn into_program(self) -> Program {
+        self.program
     }
 
     /// The VDM layout.

@@ -1,0 +1,445 @@
+//! The uniform spec → kernel contract behind which all generators live.
+//!
+//! The paper's RPU is not an NTT ASIC: the B512 ISA runs arbitrary
+//! vectorized modular arithmetic, and RLWE traffic mixes transforms with
+//! pointwise ciphertext operations (Section II-A, Fig. 1). This module
+//! generalizes the original one-shot NTT facade into that shape:
+//!
+//! * [`Kernel`] — a generated program together with everything needed to
+//!   run and check it: VDM/SDM memory images, operand input ranges, the
+//!   output range, and a scalar golden model.
+//! * [`KernelSpec`] — the object-safe trait each workload generator
+//!   implements ([`NttSpec`], [`ElementwiseSpec`](crate::ElementwiseSpec),
+//!   [`ConvolutionSpec`](crate::ConvolutionSpec)); a spec is a pure value
+//!   whose [`KernelKey`] identifies the generated kernel for caching.
+
+use crate::{CodegenError, CodegenStyle, Direction, NttKernel};
+use rpu_isa::{Instruction, Program};
+use rpu_sim::{ExecError, FunctionalSim};
+
+/// The workload class of a generated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelOp {
+    /// A forward or inverse negacyclic NTT.
+    Ntt,
+    /// Lane-wise modular multiplication of two VDM vectors.
+    PointwiseMul,
+    /// Lane-wise modular addition of two VDM vectors.
+    PointwiseAdd,
+    /// The full negacyclic polynomial product: forward NTT of both
+    /// operands, pointwise multiply, inverse NTT — one B512 program.
+    NegacyclicMul,
+}
+
+impl core::fmt::Display for KernelOp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KernelOp::Ntt => write!(f, "ntt"),
+            KernelOp::PointwiseMul => write!(f, "pwmul"),
+            KernelOp::PointwiseAdd => write!(f, "pwadd"),
+            KernelOp::NegacyclicMul => write!(f, "negamul"),
+        }
+    }
+}
+
+/// The identity of a generated kernel — the cache key of the session
+/// layer. Two specs with equal keys generate interchangeable kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    /// Workload class.
+    pub op: KernelOp,
+    /// Ring degree / vector length.
+    pub n: usize,
+    /// The modulus.
+    pub q: u128,
+    /// Transform direction ([`Direction::Forward`] for non-NTT ops).
+    pub direction: Direction,
+    /// Code-generation style.
+    pub style: CodegenStyle,
+}
+
+/// A specification of one RPU workload: a pure value that knows its
+/// [`KernelKey`] and how to generate the corresponding [`Kernel`].
+///
+/// The trait is object-safe so heterogeneous workloads can be batched
+/// (`&[&dyn KernelSpec]`); see `RpuSession::run_batch` in the `rpu`
+/// facade crate.
+pub trait KernelSpec {
+    /// The cache identity of the kernel this spec generates.
+    fn key(&self) -> KernelKey;
+
+    /// Generates the kernel (the expensive step the session cache
+    /// amortizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError`] for unsupported parameters.
+    fn generate(&self) -> Result<Kernel, CodegenError>;
+}
+
+/// The golden-model closure: operand slices in, expected output out.
+pub(crate) type GoldenFn = Box<dyn Fn(&[&[u128]]) -> Vec<u128> + Send + Sync>;
+
+/// A generated kernel: the B512 program plus its memory images, operand
+/// map, and golden model — everything needed to execute and verify it on
+/// a simulated RPU without knowing which generator produced it.
+pub struct Kernel {
+    key: KernelKey,
+    program: Program,
+    /// Full VDM image with all operand regions zeroed (constant tables
+    /// such as twiddles are pre-placed).
+    base_image: Vec<u128>,
+    sdm: Vec<u128>,
+    /// `(element offset, length)` of each operand in the VDM.
+    input_ranges: Vec<(usize, usize)>,
+    output_range: (usize, usize),
+    golden: GoldenFn,
+}
+
+impl core::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("key", &self.key)
+            .field("instructions", &self.program.len())
+            .field("total_elements", &self.base_image.len())
+            .field("inputs", &self.input_ranges)
+            .field("output_range", &self.output_range)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Kernel {
+    /// Assembles a kernel from its parts (generator-internal).
+    pub(crate) fn new(
+        key: KernelKey,
+        program: Program,
+        base_image: Vec<u128>,
+        sdm: Vec<u128>,
+        input_ranges: Vec<(usize, usize)>,
+        output_range: (usize, usize),
+        golden: GoldenFn,
+    ) -> Self {
+        Kernel {
+            key,
+            program,
+            base_image,
+            sdm,
+            input_ranges,
+            output_range,
+            golden,
+        }
+    }
+
+    /// The cache identity of this kernel.
+    pub fn key(&self) -> KernelKey {
+        self.key
+    }
+
+    /// The workload class.
+    pub fn op(&self) -> KernelOp {
+        self.key.op
+    }
+
+    /// Ring degree / vector length.
+    pub fn degree(&self) -> usize {
+        self.key.n
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> u128 {
+        self.key.q
+    }
+
+    /// The generated B512 program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of input operands the kernel consumes.
+    pub fn arity(&self) -> usize {
+        self.input_ranges.len()
+    }
+
+    /// `(element offset, length)` of each operand in the VDM.
+    pub fn input_ranges(&self) -> &[(usize, usize)] {
+        &self.input_ranges
+    }
+
+    /// Where the kernel's output lives in the VDM (element offset, length).
+    pub fn output_range(&self) -> (usize, usize) {
+        self.output_range
+    }
+
+    /// Total VDM elements the kernel's working set occupies.
+    pub fn total_elements(&self) -> usize {
+        self.base_image.len()
+    }
+
+    /// Builds the initial VDM image for the given operands: constant
+    /// tables pre-placed, each operand copied into its input range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count or any operand length does not match
+    /// [`input_ranges`](Kernel::input_ranges).
+    pub fn vdm_image(&self, operands: &[&[u128]]) -> Vec<u128> {
+        assert_eq!(
+            operands.len(),
+            self.input_ranges.len(),
+            "kernel takes {} operand(s)",
+            self.input_ranges.len()
+        );
+        let mut image = self.base_image.clone();
+        for (op, &(off, len)) in operands.iter().zip(&self.input_ranges) {
+            assert_eq!(op.len(), len, "operand length must match its range");
+            image[off..off + len].copy_from_slice(op);
+        }
+        image
+    }
+
+    /// The SDM image (scalar constants such as `q` and `n^{-1}`).
+    pub fn sdm_image(&self) -> Vec<u128> {
+        self.sdm.clone()
+    }
+
+    /// Golden output for the given operands, from the scalar model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count or lengths mismatch the kernel.
+    pub fn expected_output(&self, operands: &[&[u128]]) -> Vec<u128> {
+        assert_eq!(
+            operands.len(),
+            self.input_ranges.len(),
+            "kernel takes {} operand(s)",
+            self.input_ranges.len()
+        );
+        (self.golden)(operands)
+    }
+
+    /// Runs the kernel on a functional RPU with the given operands and
+    /// returns the output range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count or lengths mismatch the kernel.
+    pub fn execute(&self, operands: &[&[u128]]) -> Result<Vec<u128>, ExecError> {
+        let mut sim = FunctionalSim::new(self.total_elements(), self.sdm.len().max(16));
+        sim.write_vdm(0, &self.vdm_image(operands));
+        sim.write_sdm(0, &self.sdm);
+        sim.run(&self.program)?;
+        let (off, len) = self.output_range;
+        Ok(sim.read_vdm(off, len))
+    }
+
+    /// Executes the kernel on deterministic synthetic operands and
+    /// compares the result against the golden model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program faults.
+    pub fn verify(&self) -> Result<bool, ExecError> {
+        let q = self.key.q;
+        let operands: Vec<Vec<u128>> = self
+            .input_ranges
+            .iter()
+            .enumerate()
+            .map(|(k, &(_, len))| {
+                (0..len as u128)
+                    .map(|i| (i * 0x9E37_79B9 + 12345 + k as u128 * 0x1000_0001) % q)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u128]> = operands.iter().map(Vec::as_slice).collect();
+        Ok(self.execute(&refs)? == self.expected_output(&refs))
+    }
+}
+
+/// Specification of a single forward or inverse negacyclic NTT — the
+/// session-API form of [`NttKernel::generate`].
+///
+/// # Examples
+///
+/// ```
+/// use rpu_codegen::{CodegenStyle, Direction, KernelSpec, NttSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = rpu_arith::find_ntt_prime_u128(126, 2048).expect("prime exists");
+/// let spec = NttSpec::new(1024, q, Direction::Forward, CodegenStyle::Optimized);
+/// let kernel = spec.generate()?;
+/// assert!(kernel.verify()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NttSpec {
+    /// Ring degree (power of two ≥ 1024).
+    pub n: usize,
+    /// Prime modulus with `q ≡ 1 (mod 2n)`.
+    pub q: u128,
+    /// Transform direction.
+    pub direction: Direction,
+    /// Code-generation style.
+    pub style: CodegenStyle,
+}
+
+impl NttSpec {
+    /// Creates an NTT spec.
+    pub fn new(n: usize, q: u128, direction: Direction, style: CodegenStyle) -> Self {
+        NttSpec {
+            n,
+            q,
+            direction,
+            style,
+        }
+    }
+}
+
+impl KernelSpec for NttSpec {
+    fn key(&self) -> KernelKey {
+        KernelKey {
+            op: KernelOp::Ntt,
+            n: self.n,
+            q: self.q,
+            direction: self.direction,
+            style: self.style,
+        }
+    }
+
+    fn generate(&self) -> Result<Kernel, CodegenError> {
+        NttKernel::generate(self.n, self.q, self.direction, self.style).map(Kernel::from)
+    }
+}
+
+impl From<NttKernel> for Kernel {
+    /// Wraps a generated NTT kernel in the uniform [`Kernel`] contract.
+    fn from(ntt: NttKernel) -> Self {
+        let n = ntt.degree();
+        let key = KernelKey {
+            op: KernelOp::Ntt,
+            n,
+            q: ntt.modulus(),
+            direction: ntt.direction(),
+            style: ntt.style(),
+        };
+        // A zero input leaves exactly the constant tables (twiddles) in
+        // the image; the input range is re-filled per execution.
+        let base_image = ntt.vdm_image(&vec![0u128; n]);
+        let sdm = ntt.sdm_image();
+        let output_range = ntt.output_range();
+        let schedule = ntt.schedule().clone();
+        let direction = ntt.direction();
+        let golden: GoldenFn = Box::new(move |ops: &[&[u128]]| match direction {
+            Direction::Forward => schedule.forward(ops[0]),
+            Direction::Inverse => schedule.inverse(ops[0]),
+        });
+        Kernel::new(
+            key,
+            ntt.into_program(),
+            base_image,
+            sdm,
+            vec![(0, n)],
+            output_range,
+            golden,
+        )
+    }
+}
+
+/// Appends `src`'s instructions to `dst` with every VDM reference
+/// shifted by `vdm_delta` elements. SDM references (`sload`/`mload`/
+/// `aload`) are left untouched — pipeline segments share one scalar
+/// constant block. Generated kernels address memory as `a0 + offset`
+/// with `a0 = 0`, so shifting the static offsets relocates the segment.
+pub(crate) fn push_relocated(dst: &mut Program, src: &Program, vdm_delta: usize) {
+    let delta = vdm_delta as u32;
+    for instr in src.instructions() {
+        let shifted = match *instr {
+            Instruction::VLoad {
+                vd,
+                base,
+                offset,
+                mode,
+            } => Instruction::VLoad {
+                vd,
+                base,
+                offset: offset + delta,
+                mode,
+            },
+            Instruction::VStore {
+                vs,
+                base,
+                offset,
+                mode,
+            } => Instruction::VStore {
+                vs,
+                base,
+                offset: offset + delta,
+                mode,
+            },
+            Instruction::VBroadcast { vd, base, offset } => Instruction::VBroadcast {
+                vd,
+                base,
+                offset: offset + delta,
+            },
+            other => other,
+        };
+        dst.push(shifted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prime(n: usize) -> u128 {
+        rpu_arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists")
+    }
+
+    #[test]
+    fn ntt_spec_round_trips_through_kernel_contract() {
+        let n = 1024usize;
+        let spec = NttSpec::new(n, prime(n), Direction::Forward, CodegenStyle::Optimized);
+        let kernel = spec.generate().unwrap();
+        assert_eq!(kernel.arity(), 1);
+        assert_eq!(kernel.degree(), n);
+        assert_eq!(kernel.key(), spec.key());
+        assert!(kernel.verify().unwrap());
+    }
+
+    #[test]
+    fn kernel_matches_legacy_ntt_kernel() {
+        let n = 1024usize;
+        let q = prime(n);
+        let legacy =
+            NttKernel::generate(n, q, Direction::Inverse, CodegenStyle::Optimized).unwrap();
+        let input: Vec<u128> = (0..n as u128).map(|i| (i * 31 + 5) % q).collect();
+        let expect_img = legacy.vdm_image(&input);
+        let expect_out = legacy.expected_output(&input);
+        let (off, len) = legacy.output_range();
+        let kernel = Kernel::from(legacy);
+        assert_eq!(kernel.vdm_image(&[&input]), expect_img);
+        assert_eq!(kernel.expected_output(&[&input]), expect_out);
+        assert_eq!(kernel.output_range(), (off, len));
+    }
+
+    #[test]
+    fn relocation_shifts_only_vdm_references() {
+        let p = rpu_isa::parse_asm(
+            "r",
+            "mload m0, [a0 + 1]\n\
+             vload v0, [a0 + 16], unit\n\
+             vstore v0, [a0 + 32], unit",
+        )
+        .unwrap();
+        let mut out = Program::new("out");
+        push_relocated(&mut out, &p, 1000);
+        let asm = out.to_asm();
+        assert!(asm.contains("mload   m0, [a0 + 1]"), "asm: {asm}");
+        assert!(asm.contains("[a0 + 1016]"), "asm: {asm}");
+        assert!(asm.contains("[a0 + 1032]"), "asm: {asm}");
+    }
+}

@@ -13,6 +13,19 @@
 //!   **unoptimized** (the Fig. 6 baseline).
 //! * [`list_schedule`] is the standalone scheduling pass.
 //!
+//! Beyond the raw NTT, the crate exposes the uniform [`KernelSpec`] →
+//! [`Kernel`] contract of the session API: every workload generator
+//! produces a [`Kernel`] carrying its program, VDM/SDM memory images,
+//! operand map, and scalar golden model, identified by a [`KernelKey`]
+//! for caching. Three generators are built in:
+//!
+//! * [`NttSpec`] — one forward or inverse NTT (wraps [`NttKernel`]);
+//! * [`ElementwiseSpec`] — lane-wise `vmulmod`/`vaddmod` streams
+//!   (ciphertext add, NTT-domain multiply);
+//! * [`ConvolutionSpec`] — the fused negacyclic polynomial product
+//!   (forward NTT ×2 → pointwise multiply → inverse NTT) of Fig. 1,
+//!   as a single B512 program.
+//!
 //! Generated kernels carry their VDM/SDM memory images and golden
 //! outputs, so the functional simulator can verify them end to end.
 //!
@@ -33,12 +46,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod elementwise;
 mod gen;
+mod kernel;
 mod layout;
+mod pipeline;
 mod sched;
 
+pub use elementwise::{ElementwiseOp, ElementwiseSpec};
 pub use gen::NttKernel;
+pub use kernel::{Kernel, KernelKey, KernelOp, KernelSpec, NttSpec};
 pub use layout::KernelLayout;
+pub use pipeline::ConvolutionSpec;
 pub use sched::list_schedule;
 
 /// Transform direction of a generated kernel.

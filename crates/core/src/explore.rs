@@ -61,7 +61,9 @@ pub fn paper_sweep(n: usize) -> Result<Vec<DesignPoint>, RpuError> {
 /// Returns [`RpuError`] on invalid configuration or generation failure.
 pub fn evaluate_point(n: usize, hples: usize, banks: usize) -> Result<DesignPoint, RpuError> {
     let rpu = Rpu::new(RpuConfig::with_geometry(hples, banks))?;
-    let run = rpu.run_ntt(n, Direction::Forward, CodegenStyle::Optimized)?;
+    let run = rpu
+        .session()
+        .ntt(n, Direction::Forward, CodegenStyle::Optimized)?;
     Ok(DesignPoint {
         hples,
         banks,

@@ -8,17 +8,27 @@
 //! evaluation (see EXPERIMENTS.md).
 //!
 //! This crate is the facade: it re-exports the workspace and adds the
-//! high-level [`Rpu`] object plus design-space exploration helpers.
+//! high-level [`Rpu`] object, the session-based workload API
+//! ([`RpuBuilder`] / [`RpuSession`]), and design-space exploration
+//! helpers.
 //!
 //! # Quickstart
 //!
+//! Build an [`Rpu`], open a session, and run workload specs through it.
+//! The session caches generated kernels by `(op, n, q, direction,
+//! style)` and memoizes NTT-prime searches, so repeated and batched runs
+//! pay generation cost once:
+//!
 //! ```
-//! use rpu::{CodegenStyle, Direction, Rpu, RpuConfig};
+//! use rpu::{CodegenStyle, ConvolutionSpec, Direction, NttSpec, Rpu};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // The paper's best design point: 128 HPLEs, 128 VDM banks.
-//! let rpu = Rpu::new(RpuConfig::pareto_128x128())?;
-//! let run = rpu.run_ntt(4096, Direction::Forward, CodegenStyle::Optimized)?;
+//! let rpu = Rpu::builder().geometry(128, 128).build()?;
+//! let mut session = rpu.session();
+//!
+//! // One forward NTT (the session picks the ~126-bit prime).
+//! let run = session.ntt(4096, Direction::Forward, CodegenStyle::Optimized)?;
 //! assert!(run.verified); // matched the golden NTT model
 //! println!(
 //!     "4K NTT: {} cycles = {:.2} us, {:.1} uJ on {:.1} mm2",
@@ -27,18 +37,47 @@
 //!     run.energy.total_uj(),
 //!     rpu.area().total(),
 //! );
+//!
+//! // A full negacyclic polynomial product as ONE on-RPU program
+//! // (forward NTT x2 -> pointwise multiply -> inverse NTT), and a
+//! // repeat of the NTT above — a cache hit, no regeneration.
+//! let q = session.primes_for(4096)?;
+//! let conv = session.run(&ConvolutionSpec::new(4096, q, CodegenStyle::Optimized))?;
+//! let again = session.run(&NttSpec::new(4096, q, Direction::Forward, CodegenStyle::Optimized))?;
+//! assert!(conv.verified && again.cache_hit);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from the one-shot API
+//!
+//! `Rpu::run_ntt` / `Rpu::run_ntt_with_modulus` (deprecated) regenerated
+//! the kernel and re-searched the prime on every call. The session form
+//! is a drop-in replacement that amortizes both:
+//!
+//! ```text
+//! // before                                          // after
+//! rpu.run_ntt(n, dir, style)?                        rpu.session().ntt(n, dir, style)?
+//! rpu.run_ntt_with_modulus(n, q, dir, style)?        rpu.session().run(&NttSpec { n, q, direction: dir, style })?
+//! ```
+//!
+//! Both return the same numbers; `NttRun` is now a deprecated alias of
+//! [`RunReport`], which carries the same fields plus the workload class
+//! and a `cache_hit` flag. Hold one session for the lifetime of your
+//! traffic loop — a fresh session per call keeps the old cost model.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod explore;
 mod run;
+mod session;
 
 pub use explore::{evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES};
-pub use run::{NttRun, Rpu};
+#[allow(deprecated)]
+pub use run::NttRun;
+pub use run::{Rpu, RunReport};
+pub use session::{CacheStats, CachedKernel, KernelCache, PrimeTable, RpuBuilder, RpuSession};
 
 // Re-export the component crates under stable names.
 pub use rpu_arith as arith;
@@ -49,7 +88,10 @@ pub use rpu_ntt as ntt;
 pub use rpu_sim as sim;
 
 // And the most-used types at the top level.
-pub use rpu_codegen::{CodegenStyle, Direction, NttKernel};
+pub use rpu_codegen::{
+    CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec, Kernel, KernelKey,
+    KernelOp, KernelSpec, NttKernel, NttSpec,
+};
 pub use rpu_model::{AreaModel, DesignPoint, EnergyModel, F1Comparison};
 pub use rpu_ntt::{Ntt128Plan, Ntt64Plan, PeaseSchedule, Polynomial, RnsPolynomial};
 pub use rpu_sim::{CycleSim, FunctionalSim, HbmModel, RpuConfig, SimStats};

@@ -2,21 +2,27 @@
 //! generation, functional validation, cycle simulation, and the
 //! area/energy models.
 
+use crate::session::{RpuBuilder, RpuSession};
 use crate::RpuError;
-use rpu_codegen::{CodegenStyle, Direction, NttKernel};
+use rpu_codegen::{CodegenStyle, Direction, Kernel, KernelOp, NttKernel};
 use rpu_model::{AreaBreakdown, AreaModel, EnergyBreakdown, EnergyModel};
 use rpu_sim::{CycleSim, FunctionalSim, RpuConfig, SimStats};
 
 /// A configured Ring Processing Unit instance.
 ///
+/// Construct one with [`Rpu::new`] (configuration only) or
+/// [`Rpu::builder`] (configuration + models + clock), then open an
+/// [`RpuSession`] to run workloads:
+///
 /// # Examples
 ///
 /// ```
-/// use rpu::{Rpu, RpuConfig};
+/// use rpu::{CodegenStyle, Direction, Rpu, RpuConfig};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let rpu = Rpu::new(RpuConfig::pareto_128x128())?;
-/// let run = rpu.run_ntt(1024, rpu::Direction::Forward, rpu::CodegenStyle::Optimized)?;
+/// let mut session = rpu.session();
+/// let run = session.ntt(1024, rpu::Direction::Forward, rpu::CodegenStyle::Optimized)?;
 /// assert!(run.verified);
 /// assert!(run.runtime_us > 0.0);
 /// # Ok(())
@@ -28,18 +34,27 @@ pub struct Rpu {
     cycle_sim: CycleSim,
     area_model: AreaModel,
     energy_model: EnergyModel,
+    clock_ghz: f64,
 }
 
-/// The result of running a kernel on an [`Rpu`].
+/// The result of running one kernel on an [`Rpu`] — the uniform report
+/// every session [`run`](RpuSession::run) returns, whatever the
+/// workload.
 #[derive(Debug, Clone)]
-pub struct NttRun {
-    /// Ring degree.
+pub struct RunReport {
+    /// Workload class of the kernel.
+    pub op: KernelOp,
+    /// Ring degree / vector length.
     pub n: usize,
     /// The modulus used.
     pub q: u128,
+    /// Transform direction ([`Direction::Forward`] for non-NTT ops).
+    pub direction: Direction,
+    /// Code-generation style.
+    pub style: CodegenStyle,
     /// Cycle-level statistics.
     pub stats: SimStats,
-    /// Runtime in microseconds at the configuration's clock.
+    /// Runtime in microseconds at the instance's clock.
     pub runtime_us: f64,
     /// Energy breakdown for the run.
     pub energy: EnergyBreakdown,
@@ -47,7 +62,17 @@ pub struct NttRun {
     pub verified: bool,
     /// Instruction mix of the executed program.
     pub mix: rpu_isa::InstructionMix,
+    /// `true` if the kernel came from the session cache (no generation
+    /// or re-verification happened for this run).
+    pub cache_hit: bool,
 }
+
+/// The pre-session name of [`RunReport`].
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to RunReport; see the crate-level migration note"
+)]
+pub type NttRun = RunReport;
 
 impl Rpu {
     /// Creates an RPU with the given microarchitectural configuration and
@@ -57,18 +82,51 @@ impl Rpu {
     ///
     /// Returns [`RpuError::Config`] for invalid configurations.
     pub fn new(config: RpuConfig) -> Result<Self, RpuError> {
+        Self::from_builder(config, AreaModel::default(), EnergyModel::default(), None)
+    }
+
+    /// Starts a [`RpuBuilder`] at the paper's best design point.
+    pub fn builder() -> RpuBuilder {
+        RpuBuilder::new()
+    }
+
+    pub(crate) fn from_builder(
+        config: RpuConfig,
+        area_model: AreaModel,
+        energy_model: EnergyModel,
+        clock_ghz: Option<f64>,
+    ) -> Result<Self, RpuError> {
         let cycle_sim = CycleSim::new(config).map_err(RpuError::Config)?;
         Ok(Rpu {
             config,
             cycle_sim,
-            area_model: AreaModel::default(),
-            energy_model: EnergyModel::default(),
+            area_model,
+            energy_model,
+            clock_ghz: clock_ghz.unwrap_or_else(|| config.frequency_ghz()),
         })
+    }
+
+    /// Opens a workload session: a kernel cache plus a memoized prime
+    /// table over this instance. Independent sessions do not share
+    /// caches.
+    pub fn session(&self) -> RpuSession<'_> {
+        RpuSession::new(self)
     }
 
     /// The configuration.
     pub fn config(&self) -> &RpuConfig {
         &self.config
+    }
+
+    /// The clock this instance is timed at, in GHz (the configuration's
+    /// derived frequency unless overridden via the builder).
+    pub fn clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+
+    /// Converts a cycle count to microseconds at this instance's clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1000.0)
     }
 
     /// The area breakdown of this instance.
@@ -93,41 +151,53 @@ impl Rpu {
     /// # Errors
     ///
     /// Returns [`RpuError`] if generation fails or no prime exists.
+    #[deprecated(
+        since = "0.2.0",
+        note = "open a session: rpu.session().ntt(n, direction, style) — see the crate-level migration note"
+    )]
     pub fn run_ntt(
         &self,
         n: usize,
         direction: Direction,
         style: CodegenStyle,
-    ) -> Result<NttRun, RpuError> {
-        let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128)
-            .ok_or(RpuError::NoPrime { degree: n })?;
-        self.run_ntt_with_modulus(n, q, direction, style)
+    ) -> Result<RunReport, RpuError> {
+        self.session().ntt(n, direction, style)
     }
 
-    /// Like [`run_ntt`](Rpu::run_ntt) with an explicit modulus.
+    /// Like `run_ntt` with an explicit modulus.
     ///
     /// # Errors
     ///
     /// Returns [`RpuError`] if generation or functional execution fails.
+    #[deprecated(
+        since = "0.2.0",
+        note = "open a session: rpu.session().run(&NttSpec::new(n, q, direction, style))"
+    )]
     pub fn run_ntt_with_modulus(
         &self,
         n: usize,
         q: u128,
         direction: Direction,
         style: CodegenStyle,
-    ) -> Result<NttRun, RpuError> {
-        let kernel = NttKernel::generate(n, q, direction, style)?;
-        let verified = self.verify_kernel(&kernel)?;
-        Ok(self.time_kernel(&kernel, verified))
+    ) -> Result<RunReport, RpuError> {
+        self.session()
+            .run(&rpu_codegen::NttSpec::new(n, q, direction, style))
     }
 
-    /// Cycle-times an already-generated kernel (no functional run).
-    pub fn time_only(&self, kernel: &NttKernel) -> NttRun {
-        self.time_kernel(kernel, false)
+    /// Cycle-times an already-generated NTT kernel (no functional run).
+    pub fn time_only(&self, kernel: &NttKernel) -> RunReport {
+        let key = rpu_codegen::KernelKey {
+            op: KernelOp::Ntt,
+            n: kernel.degree(),
+            q: kernel.modulus(),
+            direction: kernel.direction(),
+            style: kernel.style(),
+        };
+        self.assemble_report(kernel.program(), key, false, false)
     }
 
-    /// Runs a kernel through the functional simulator against its golden
-    /// model.
+    /// Runs an NTT kernel through the functional simulator against its
+    /// golden model.
     ///
     /// # Errors
     ///
@@ -146,17 +216,33 @@ impl Rpu {
         Ok(sim.read_vdm(off, len) == kernel.expected_output(&input))
     }
 
-    fn time_kernel(&self, kernel: &NttKernel, verified: bool) -> NttRun {
-        let stats = self.cycle_sim.simulate(kernel.program());
-        let runtime_us = self.config.cycles_to_us(stats.cycles);
-        let energy = self.energy_model.breakdown(&stats);
-        NttRun {
-            n: kernel.degree(),
-            q: kernel.modulus(),
-            mix: kernel.program().mix(),
-            runtime_us,
-            energy,
+    /// Cycle-times a generated kernel and assembles the uniform report
+    /// (the session layer supplies the verification verdict).
+    pub(crate) fn report(&self, kernel: &Kernel, verified: bool, cache_hit: bool) -> RunReport {
+        self.assemble_report(kernel.program(), kernel.key(), verified, cache_hit)
+    }
+
+    /// The single `RunReport` construction site: cycle-simulates the
+    /// program and attaches the identity and verdict flags.
+    fn assemble_report(
+        &self,
+        program: &rpu_isa::Program,
+        key: rpu_codegen::KernelKey,
+        verified: bool,
+        cache_hit: bool,
+    ) -> RunReport {
+        let stats = self.cycle_sim.simulate(program);
+        RunReport {
+            op: key.op,
+            n: key.n,
+            q: key.q,
+            direction: key.direction,
+            style: key.style,
+            mix: program.mix(),
+            runtime_us: self.cycles_to_us(stats.cycles),
+            energy: self.energy_model.breakdown(&stats),
             verified,
+            cache_hit,
             stats,
         }
     }
@@ -170,12 +256,14 @@ mod tests {
     fn end_to_end_run() {
         let rpu = Rpu::new(RpuConfig::pareto_128x128()).unwrap();
         let run = rpu
-            .run_ntt(1024, Direction::Forward, CodegenStyle::Optimized)
+            .session()
+            .ntt(1024, Direction::Forward, CodegenStyle::Optimized)
             .unwrap();
         assert!(run.verified, "functional validation must pass");
         assert!(run.runtime_us > 0.0);
         assert!(run.energy.total_uj() > 0.0);
         assert_eq!(run.mix.compute, 10); // (1024/1024) * log2(1024)
+        assert_eq!(run.op, KernelOp::Ntt);
     }
 
     #[test]
@@ -196,11 +284,12 @@ mod tests {
     #[test]
     fn optimized_beats_unoptimized() {
         let rpu = Rpu::new(RpuConfig::pareto_128x128()).unwrap();
-        let opt = rpu
-            .run_ntt(2048, Direction::Forward, CodegenStyle::Optimized)
+        let mut session = rpu.session();
+        let opt = session
+            .ntt(2048, Direction::Forward, CodegenStyle::Optimized)
             .unwrap();
-        let unopt = rpu
-            .run_ntt(2048, Direction::Forward, CodegenStyle::Unoptimized)
+        let unopt = session
+            .ntt(2048, Direction::Forward, CodegenStyle::Unoptimized)
             .unwrap();
         assert!(unopt.stats.cycles > opt.stats.cycles);
     }

@@ -1,0 +1,431 @@
+//! The session-based workload API: [`RpuBuilder`], [`RpuSession`],
+//! [`KernelCache`], and [`PrimeTable`].
+//!
+//! Real RLWE traffic runs the *same* handful of kernels over and over —
+//! the same ring degrees, the same RNS tower primes, forward and inverse
+//! transforms, pointwise ciphertext arithmetic. A session amortizes
+//! everything that is per-*kernel* rather than per-*run*: SPIRAL-style
+//! program generation, functional verification against the golden model,
+//! and the NTT-prime search. The first run of a spec pays the full
+//! generation cost; every subsequent run of an equal spec is a cache hit
+//! that goes straight to cycle timing.
+//!
+//! ```
+//! use rpu::{CodegenStyle, Direction, Rpu};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rpu = Rpu::builder().geometry(128, 128).build()?;
+//! let mut session = rpu.session();
+//! let cold = session.ntt(1024, Direction::Forward, CodegenStyle::Optimized)?;
+//! let warm = session.ntt(1024, Direction::Forward, CodegenStyle::Optimized)?;
+//! assert!(!cold.cache_hit && warm.cache_hit);
+//! assert_eq!(cold.stats.cycles, warm.stats.cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::run::{Rpu, RunReport};
+use crate::RpuError;
+use rpu_codegen::{CodegenStyle, Direction, Kernel, KernelKey, KernelSpec, NttSpec};
+use rpu_model::{AreaModel, EnergyModel};
+use rpu_sim::RpuConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default bit width of session-chosen NTT primes (the paper's 128-bit
+/// coefficient pipeline leaves headroom for lazy reduction).
+const DEFAULT_PRIME_BITS: u32 = 126;
+
+/// Builder for a configured [`Rpu`]: microarchitecture, hardware models,
+/// and clock.
+///
+/// # Examples
+///
+/// ```
+/// use rpu::Rpu;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The paper's (128, 128) design point at its derived 1.68 GHz clock.
+/// let rpu = Rpu::builder().build()?;
+/// // A what-if: the same machine clocked at 2 GHz.
+/// let fast = Rpu::builder().clock_ghz(2.0).build()?;
+/// assert!(fast.clock_ghz() > rpu.clock_ghz());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RpuBuilder {
+    config: RpuConfig,
+    area_model: AreaModel,
+    energy_model: EnergyModel,
+    clock_ghz: Option<f64>,
+}
+
+impl Default for RpuBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RpuBuilder {
+    /// Starts from the paper's best design point ((128, 128), default
+    /// models, VDM-derived clock).
+    pub fn new() -> Self {
+        RpuBuilder {
+            config: RpuConfig::pareto_128x128(),
+            area_model: AreaModel::default(),
+            energy_model: EnergyModel::default(),
+            clock_ghz: None,
+        }
+    }
+
+    /// Sets the full microarchitectural configuration.
+    pub fn config(mut self, config: RpuConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the (HPLEs, VDM banks) geometry, keeping other parameters at
+    /// their defaults.
+    pub fn geometry(mut self, hples: usize, banks: usize) -> Self {
+        self.config = RpuConfig::with_geometry(hples, banks);
+        self
+    }
+
+    /// Overrides the area model.
+    pub fn area_model(mut self, model: AreaModel) -> Self {
+        self.area_model = model;
+        self
+    }
+
+    /// Overrides the energy model.
+    pub fn energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// Overrides the clock. By default the clock is derived from the VDM
+    /// geometry ([`RpuConfig::frequency_ghz`]); an explicit value models
+    /// a different process corner without touching cycle counts.
+    pub fn clock_ghz(mut self, ghz: f64) -> Self {
+        self.clock_ghz = Some(ghz);
+        self
+    }
+
+    /// Builds the [`Rpu`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] for invalid configurations or a
+    /// non-positive clock override.
+    pub fn build(self) -> Result<Rpu, RpuError> {
+        if let Some(ghz) = self.clock_ghz {
+            if !(ghz.is_finite() && ghz > 0.0) {
+                return Err(RpuError::Config(format!(
+                    "clock override must be a positive frequency, got {ghz}"
+                )));
+            }
+        }
+        Rpu::from_builder(
+            self.config,
+            self.area_model,
+            self.energy_model,
+            self.clock_ghz,
+        )
+    }
+}
+
+/// Memoized NTT-prime lookup: one [`rpu_arith::find_ntt_prime_u128`]
+/// search per ring degree, shared by every spec the session builds.
+#[derive(Debug, Clone, Default)]
+pub struct PrimeTable {
+    primes: HashMap<usize, u128>,
+}
+
+impl PrimeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default ~126-bit NTT prime for ring degree `n`
+    /// (`q ≡ 1 (mod 2n)`), memoized across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::NoPrime`] if no such prime exists.
+    pub fn ntt_prime(&mut self, n: usize) -> Result<u128, RpuError> {
+        if let Some(&q) = self.primes.get(&n) {
+            return Ok(q);
+        }
+        let q = rpu_arith::find_ntt_prime_u128(DEFAULT_PRIME_BITS, 2 * n as u128)
+            .ok_or(RpuError::NoPrime { degree: n })?;
+        self.primes.insert(n, q);
+        Ok(q)
+    }
+}
+
+/// A cached kernel: the generated program bundle plus its (lazily
+/// computed) functional-verification verdict.
+#[derive(Debug, Clone)]
+pub struct CachedKernel {
+    /// The generated kernel.
+    pub kernel: Arc<Kernel>,
+    /// `Some(true)` once the kernel has been checked against its golden
+    /// model; `None` if verification has not been requested yet.
+    pub verified: Option<bool>,
+}
+
+/// Counters describing a [`KernelCache`]'s behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (no regeneration).
+    pub hits: u64,
+    /// Lookups that required generating a kernel.
+    pub misses: u64,
+    /// Kernels currently cached.
+    pub entries: usize,
+}
+
+/// A cache of generated kernels keyed by [`KernelKey`] — the `(op, n, q,
+/// direction, style)` identity of a spec.
+///
+/// Sessions own one internally; the figure-regeneration binaries share
+/// one across sweeps. Generation is the expensive step (schedule
+/// construction, emission, list scheduling, and optionally functional
+/// verification), so a hit skips all of it.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    map: HashMap<KernelKey, CachedKernel>,
+    hits: u64,
+    misses: u64,
+}
+
+impl KernelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached (or freshly generated) kernel for `spec`,
+    /// plus whether it was a cache hit. With `verify` set, the entry is
+    /// checked against its golden model on first need and the verdict is
+    /// cached alongside the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Codegen`] if generation fails or
+    /// [`RpuError::Exec`] if verification faults.
+    pub fn get_or_generate<S: KernelSpec + ?Sized>(
+        &mut self,
+        spec: &S,
+        verify: bool,
+    ) -> Result<(CachedKernel, bool), RpuError> {
+        let key = spec.key();
+        let hit = self.map.contains_key(&key);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let kernel = Arc::new(spec.generate()?);
+            self.map.insert(
+                key,
+                CachedKernel {
+                    kernel,
+                    verified: None,
+                },
+            );
+        }
+        let entry = self.map.get_mut(&key).expect("inserted above");
+        if verify && entry.verified.is_none() {
+            entry.verified = Some(entry.kernel.verify().map_err(RpuError::Exec)?);
+        }
+        Ok((entry.clone(), hit))
+    }
+
+    /// Hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Number of cached kernels.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A workload session on an [`Rpu`]: owns a [`KernelCache`] and a
+/// [`PrimeTable`] so repeated and batched runs amortize generation.
+///
+/// Created by [`Rpu::session`]. The first run of a spec pays the full
+/// generation + verification cost; every later run of an equal spec is
+/// a cache hit that goes straight to cycle timing. See the crate root
+/// for a migration note from the retired one-shot `run_ntt` API.
+#[derive(Debug)]
+pub struct RpuSession<'a> {
+    rpu: &'a Rpu,
+    cache: KernelCache,
+    primes: PrimeTable,
+}
+
+impl<'a> RpuSession<'a> {
+    pub(crate) fn new(rpu: &'a Rpu) -> Self {
+        RpuSession {
+            rpu,
+            cache: KernelCache::new(),
+            primes: PrimeTable::new(),
+        }
+    }
+
+    /// The RPU this session runs on.
+    pub fn rpu(&self) -> &Rpu {
+        self.rpu
+    }
+
+    /// The session's memoized default NTT prime for ring degree `n` —
+    /// the prime [`ntt`](RpuSession::ntt) and the figure binaries use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::NoPrime`] if no ~126-bit prime exists.
+    pub fn primes_for(&mut self, n: usize) -> Result<u128, RpuError> {
+        self.primes.ntt_prime(n)
+    }
+
+    /// Runs one workload spec: generates (or recalls) the kernel,
+    /// verifies it against its golden model once per cache entry, and
+    /// cycle-times it on this session's RPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation or verification fails.
+    pub fn run<S: KernelSpec + ?Sized>(&mut self, spec: &S) -> Result<RunReport, RpuError> {
+        let (entry, hit) = self.cache.get_or_generate(spec, true)?;
+        Ok(self
+            .rpu
+            .report(&entry.kernel, entry.verified.unwrap_or(false), hit))
+    }
+
+    /// Runs a heterogeneous batch of specs in order, returning one
+    /// report per spec. Duplicate specs within the batch hit the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error; prior successful runs are discarded.
+    pub fn run_batch(&mut self, specs: &[&dyn KernelSpec]) -> Result<Vec<RunReport>, RpuError> {
+        specs.iter().map(|spec| self.run(*spec)).collect()
+    }
+
+    /// Convenience: run an NTT with the session's default prime for `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if no prime exists or generation fails.
+    pub fn ntt(
+        &mut self,
+        n: usize,
+        direction: Direction,
+        style: CodegenStyle,
+    ) -> Result<RunReport, RpuError> {
+        let q = self.primes_for(n)?;
+        self.run(&NttSpec::new(n, q, direction, style))
+    }
+
+    /// The cached kernel for `spec` (generated and verified on first
+    /// use), for callers that want to execute it on their own data via
+    /// [`Kernel::execute`] rather than just time it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation or verification fails.
+    pub fn kernel<S: KernelSpec + ?Sized>(&mut self, spec: &S) -> Result<Arc<Kernel>, RpuError> {
+        let (entry, _) = self.cache.get_or_generate(spec, true)?;
+        Ok(entry.kernel)
+    }
+
+    /// Hit/miss/occupancy counters of the session's kernel cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_codegen::{ElementwiseOp, ElementwiseSpec};
+
+    #[test]
+    fn builder_defaults_match_legacy_constructor() {
+        let a = Rpu::builder().build().unwrap();
+        let b = Rpu::new(RpuConfig::pareto_128x128()).unwrap();
+        assert_eq!(a.config(), b.config());
+        assert_eq!(a.clock_ghz(), b.clock_ghz());
+        assert_eq!(a.area().total(), b.area().total());
+    }
+
+    #[test]
+    fn builder_rejects_bad_clock() {
+        assert!(matches!(
+            Rpu::builder().clock_ghz(0.0).build(),
+            Err(RpuError::Config(_))
+        ));
+        assert!(matches!(
+            Rpu::builder().clock_ghz(f64::NAN).build(),
+            Err(RpuError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn clock_override_scales_runtime_not_cycles() {
+        let slow = Rpu::builder().build().unwrap();
+        let fast = Rpu::builder()
+            .clock_ghz(2.0 * slow.clock_ghz())
+            .build()
+            .unwrap();
+        let spec = |rpu: &Rpu| {
+            let mut s = rpu.session();
+            s.ntt(1024, Direction::Forward, CodegenStyle::Optimized)
+                .unwrap()
+        };
+        let a = spec(&slow);
+        let b = spec(&fast);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert!((a.runtime_us / b.runtime_us - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prime_table_memoizes() {
+        let mut t = PrimeTable::new();
+        let q1 = t.ntt_prime(1024).unwrap();
+        let q2 = t.ntt_prime(1024).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(
+            q1,
+            rpu_arith::find_ntt_prime_u128(126, 2048).unwrap(),
+            "table must agree with the direct search"
+        );
+    }
+
+    #[test]
+    fn cache_hits_skip_generation() {
+        let rpu = Rpu::builder().build().unwrap();
+        let mut s = rpu.session();
+        let q = s.primes_for(1024).unwrap();
+        let spec = ElementwiseSpec::new(ElementwiseOp::MulMod, 1024, q, CodegenStyle::Optimized);
+        let first = s.run(&spec).unwrap();
+        let second = s.run(&spec).unwrap();
+        assert!(!first.cache_hit && second.cache_hit);
+        assert!(first.verified && second.verified);
+        let stats = s.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+}

@@ -6,11 +6,11 @@
 //!
 //! Run with: `cargo run --release --example inspect_kernel`
 
-use rpu::{CodegenStyle, CycleSim, Direction, NttKernel, RpuConfig};
+use rpu::{CodegenStyle, CycleSim, Direction, NttKernel, PrimeTable, RpuConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1024usize;
-    let q = rpu::arith::find_ntt_prime_u128(126, 2 * n as u128).expect("prime exists");
+    let q = PrimeTable::new().ntt_prime(n)?;
 
     let kernel = NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Optimized)?;
     let program = kernel.program();

@@ -1,29 +1,19 @@
 //! An RLWE-style workload end to end: homomorphic-multiplication-shaped
-//! polynomial arithmetic where every NTT runs **on the RPU** (through
-//! generated B512 kernels and the functional simulator) and the result
-//! is checked against the scalar reference library.
+//! polynomial arithmetic where every tower's negacyclic product runs
+//! **on the RPU** as a single fused kernel (forward NTT ×2 → pointwise
+//! multiply → inverse NTT) and the result is checked against the scalar
+//! reference library.
 //!
 //! The scenario follows Fig. 1 of the paper: a wide-coefficient
 //! ciphertext polynomial is decomposed into RNS towers; each tower's
-//! negacyclic product is computed independently — forward NTT of both
-//! operands, pointwise multiply, inverse NTT — and the towers are then
-//! CRT-recombined.
+//! negacyclic product is one [`rpu::ConvolutionSpec`] kernel launch on
+//! the session, and the towers are then CRT-recombined.
 //!
 //! Run with: `cargo run --release --example poly_mult_pipeline`
 
 use rpu::arith::{find_ntt_prime_chain, RnsBasis};
 use rpu::ntt::testutil::test_vector;
-use rpu::{CodegenStyle, Direction, FunctionalSim, NttKernel, PeaseSchedule};
-
-/// Runs one generated kernel on a fresh functional RPU.
-fn run_on_rpu(kernel: &NttKernel, input: &[u128]) -> Vec<u128> {
-    let mut sim = FunctionalSim::new(kernel.layout().total_elements, 16);
-    sim.write_vdm(0, &kernel.vdm_image(input));
-    sim.write_sdm(0, &kernel.sdm_image());
-    sim.run(kernel.program()).expect("kernel executes cleanly");
-    let (off, len) = kernel.output_range();
-    sim.read_vdm(off, len)
-}
+use rpu::{CodegenStyle, ConvolutionSpec, PeaseSchedule, Rpu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Smoke runs may cap the ring size via RPU_MAX_N.
@@ -37,6 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a_coeffs = test_vector(n, u128::MAX, 1);
     let b_coeffs = test_vector(n, u128::MAX, 2);
 
+    let rpu = Rpu::builder().build()?;
+    let mut session = rpu.session();
+
     let basis = RnsBasis::new(primes.clone())?;
     let mut tower_products: Vec<Vec<u128>> = Vec::new();
 
@@ -45,23 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let a_t: Vec<u128> = a_coeffs.iter().map(|&c| c % q).collect();
         let b_t: Vec<u128> = b_coeffs.iter().map(|&c| c % q).collect();
 
-        // Generate the tower's kernels once (SPIRAL-style flow).
-        let fwd = NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Optimized)?;
-        let inv = NttKernel::generate(n, q, Direction::Inverse, CodegenStyle::Optimized)?;
+        // The tower's whole negacyclic product is ONE generated B512
+        // program; the session generates and verifies it on first use.
+        let spec = ConvolutionSpec::new(n, q, CodegenStyle::Optimized);
+        let kernel = session.kernel(&spec)?;
+        let report = session.run(&spec)?; // cache hit: timing only
+        assert!(report.verified && report.cache_hit);
 
-        // Forward both operands on the RPU.
-        let fa = run_on_rpu(&fwd, &a_t);
-        let fb = run_on_rpu(&fwd, &b_t);
-
-        // Pointwise multiply (host-side here; on silicon this is one more
-        // vmulmod pass).
-        let m = rpu::arith::Modulus128::new(q).expect("prime in range");
-        let prod: Vec<u128> = fa.iter().zip(&fb).map(|(&x, &y)| m.mul(x, y)).collect();
-
-        // Inverse on the RPU.
-        let c_t = run_on_rpu(&inv, &prod);
+        // Run it on the real operands in the functional simulator.
+        let c_t = kernel.execute(&[&a_t, &b_t])?;
 
         // Check against the scalar golden model.
+        let m = rpu::arith::Modulus128::new(q).expect("prime in range");
         let sched = PeaseSchedule::new(n, q)?;
         let expect = sched.inverse(
             &sched
@@ -73,8 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert_eq!(c_t, expect, "tower {t} mismatch");
         println!(
-            "tower {t}: q = {q:#034x}  -> negacyclic product verified on-RPU ({} instructions/NTT)",
-            fwd.program().len()
+            "tower {t}: q = {q:#034x}  -> negacyclic product verified on-RPU \
+             ({} instructions, {:.2} us simulated)",
+            kernel.program().len(),
+            report.runtime_us
         );
         tower_products.push(c_t);
     }
@@ -85,6 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c0 = basis.reconstruct(&residues);
     println!("\ncoefficient c[0] mod Q = {c0}");
 
-    println!("\nRNS pipeline complete: {towers} towers x 3 RPU kernel runs each.");
+    let stats = session.cache_stats();
+    println!(
+        "\nRNS pipeline complete: {towers} towers, one fused kernel each \
+         ({} generated, {} cache hits).",
+        stats.misses, stats.hits
+    );
     Ok(())
 }

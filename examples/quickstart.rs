@@ -1,14 +1,15 @@
-//! Quickstart: build the paper's best RPU design point, run a verified
-//! NTT on it, and print the headline metrics.
+//! Quickstart: build the paper's best RPU design point, open a workload
+//! session, run verified NTTs across the paper's ring sizes, and print
+//! the headline metrics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rpu::{CodegenStyle, Direction, Rpu, RpuConfig};
+use rpu::{CodegenStyle, Direction, Rpu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's best performance-per-area configuration:
     // 128 HPLEs and 128 VDM banks at 1.68 GHz (Section VI).
-    let rpu = Rpu::new(RpuConfig::pareto_128x128())?;
+    let rpu = Rpu::builder().geometry(128, 128).build()?;
 
     println!(
         "RPU (128 HPLEs, 128 banks) @ {:.2} GHz",
@@ -27,8 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
-    // Generate, functionally verify, and cycle-time NTT kernels across
-    // the paper's ring sizes.
+    // One session for the whole sweep: kernels are generated (and
+    // functionally verified) once per size, and the NTT-prime search is
+    // memoized across sizes.
+    let mut session = rpu.session();
     println!(
         "{:>8} {:>10} {:>12} {:>10} {:>10}  verified",
         "n", "cycles", "runtime", "energy", "power"
@@ -36,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // rpu::smoke_cap honours the RPU_MAX_N override for quick runs.
     for log_n in 10..=rpu::smoke_cap(1 << 16).ilog2() {
         let n = 1usize << log_n;
-        let run = rpu.run_ntt(n, Direction::Forward, CodegenStyle::Optimized)?;
+        let run = session.ntt(n, Direction::Forward, CodegenStyle::Optimized)?;
         println!(
             "{:>8} {:>10} {:>9.2} us {:>7.1} uJ {:>8.2} W  {}",
             n,
@@ -47,6 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if run.verified { "yes" } else { "NO" },
         );
     }
+    let stats = session.cache_stats();
+    println!(
+        "\nsession kernel cache: {} kernels generated, {} hits",
+        stats.misses, stats.hits
+    );
 
     println!();
     println!("(the paper's headline: 64K NTT in 6.7 us using 20.5 mm2 of GF 12nm)");

@@ -79,7 +79,8 @@ fn headline_metrics_reproduced() {
     // The paper's headline: 64K, 128-bit NTT in ~6.7 us on ~20.5 mm².
     let rpu = Rpu::new(RpuConfig::pareto_128x128()).unwrap();
     let run = rpu
-        .run_ntt(65536, Direction::Forward, CodegenStyle::Optimized)
+        .session()
+        .ntt(65536, Direction::Forward, CodegenStyle::Optimized)
         .unwrap();
     assert!(run.verified, "64K kernel must validate");
     assert!(
@@ -103,7 +104,8 @@ fn rpu_beats_cpu_on_big_rings() {
     let n = 4096usize;
     let rpu = Rpu::new(RpuConfig::pareto_128x128()).unwrap();
     let run = rpu
-        .run_ntt(n, Direction::Forward, CodegenStyle::Optimized)
+        .session()
+        .ntt(n, Direction::Forward, CodegenStyle::Optimized)
         .unwrap();
     let baseline = rpu::ntt::baseline::CpuBaseline::new(n).unwrap();
     let cpu = baseline.measure(rpu::ntt::baseline::CpuWidth::Bits128, 1, 3);

@@ -1,0 +1,210 @@
+//! Integration tests for the session-based workload API: kernel
+//! caching, heterogeneous batching, the fused negacyclic-convolution
+//! pipeline against the reference polynomial library, and the
+//! deprecated one-shot shims.
+
+use rpu::ntt::testutil::test_vector;
+use rpu::{
+    CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec, KernelOp, KernelSpec,
+    NttSpec, Polynomial, PrimeTable, Rpu,
+};
+
+fn prime(n: usize) -> u128 {
+    PrimeTable::new().ntt_prime(n).expect("prime exists")
+}
+
+/// The on-RPU fused convolution pipeline must agree with the reference
+/// NTT polynomial library's negacyclic product.
+fn convolution_matches_reference(n: usize) {
+    let q = prime(n);
+    let rpu = Rpu::builder().build().unwrap();
+    let mut session = rpu.session();
+    let spec = ConvolutionSpec::new(n, q, CodegenStyle::Optimized);
+
+    let report = session.run(&spec).unwrap();
+    assert!(report.verified, "n={n}: golden-model verification");
+    assert_eq!(report.op, KernelOp::NegacyclicMul);
+
+    // Real data through the cached kernel vs rpu_ntt's Polynomial::mul.
+    let a = test_vector(n, q, 11);
+    let b = test_vector(n, q, 22);
+    let kernel = session.kernel(&spec).unwrap();
+    let got = kernel.execute(&[&a, &b]).unwrap();
+
+    let ctx = Polynomial::context(n, q).unwrap();
+    let pa = Polynomial::from_coeffs(&ctx, a).unwrap();
+    let pb = Polynomial::from_coeffs(&ctx, b).unwrap();
+    let expect = pa.mul(&pb).coeffs();
+    assert_eq!(got, expect, "n={n}: on-RPU product != reference poly-mult");
+}
+
+#[test]
+fn convolution_matches_reference_1k() {
+    convolution_matches_reference(1024);
+}
+
+#[test]
+fn convolution_matches_reference_4k() {
+    convolution_matches_reference(4096);
+}
+
+#[test]
+fn second_run_of_identical_spec_performs_no_regeneration() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut session = rpu.session();
+    let spec = NttSpec::new(
+        1024,
+        prime(1024),
+        Direction::Forward,
+        CodegenStyle::Optimized,
+    );
+
+    let first = session.run(&spec).unwrap();
+    assert!(!first.cache_hit);
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+
+    let second = session.run(&spec).unwrap();
+    assert!(second.cache_hit);
+    let stats = session.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries),
+        (1, 1, 1),
+        "second run must be a pure cache hit"
+    );
+
+    // Identical reports either way.
+    assert_eq!(first.stats.cycles, second.stats.cycles);
+    assert_eq!(first.verified, second.verified);
+
+    // A *different* spec is a fresh entry, not a hit.
+    let inv = NttSpec::new(
+        1024,
+        prime(1024),
+        Direction::Inverse,
+        CodegenStyle::Optimized,
+    );
+    session.run(&inv).unwrap();
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+}
+
+/// Acceptance criterion: a mixed batch of ≥ 8 specs (NTT fwd/inv,
+/// elementwise, convolution) completes with every report verified.
+#[test]
+fn mixed_batch_all_verified() {
+    let q1 = prime(1024);
+    let q2 = prime(2048);
+    let rpu = Rpu::builder().build().unwrap();
+    let mut session = rpu.session();
+
+    let specs: Vec<Box<dyn KernelSpec>> = vec![
+        Box::new(NttSpec::new(
+            1024,
+            q1,
+            Direction::Forward,
+            CodegenStyle::Optimized,
+        )),
+        Box::new(NttSpec::new(
+            1024,
+            q1,
+            Direction::Inverse,
+            CodegenStyle::Optimized,
+        )),
+        Box::new(NttSpec::new(
+            2048,
+            q2,
+            Direction::Forward,
+            CodegenStyle::Unoptimized,
+        )),
+        Box::new(NttSpec::new(
+            2048,
+            q2,
+            Direction::Forward,
+            CodegenStyle::StridedMemory,
+        )),
+        Box::new(ElementwiseSpec::new(
+            ElementwiseOp::MulMod,
+            1024,
+            q1,
+            CodegenStyle::Optimized,
+        )),
+        Box::new(ElementwiseSpec::new(
+            ElementwiseOp::AddMod,
+            2048,
+            q2,
+            CodegenStyle::Optimized,
+        )),
+        Box::new(ConvolutionSpec::new(1024, q1, CodegenStyle::Optimized)),
+        Box::new(ConvolutionSpec::new(2048, q2, CodegenStyle::Optimized)),
+        // duplicate of the first spec: must be served from the cache
+        Box::new(NttSpec::new(
+            1024,
+            q1,
+            Direction::Forward,
+            CodegenStyle::Optimized,
+        )),
+    ];
+    let refs: Vec<&dyn KernelSpec> = specs.iter().map(Box::as_ref).collect();
+    let reports = session.run_batch(&refs).unwrap();
+
+    assert_eq!(reports.len(), 9);
+    for (report, spec) in reports.iter().zip(&refs) {
+        assert!(
+            report.verified,
+            "spec {:?} must verify against its golden model",
+            spec.key()
+        );
+        assert!(report.runtime_us > 0.0);
+    }
+    let ops: Vec<KernelOp> = reports.iter().map(|r| r.op).collect();
+    assert!(ops.contains(&KernelOp::Ntt));
+    assert!(ops.contains(&KernelOp::PointwiseMul));
+    assert!(ops.contains(&KernelOp::PointwiseAdd));
+    assert!(ops.contains(&KernelOp::NegacyclicMul));
+
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 8, "eight distinct kernels generated");
+    assert_eq!(stats.hits, 1, "the duplicate spec hits the cache");
+}
+
+/// The deprecated one-shot shims must produce the same numbers as the
+/// session path they delegate to.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_session_reports() {
+    let n = 1024usize;
+    let rpu = Rpu::builder().build().unwrap();
+
+    let legacy = rpu
+        .run_ntt(n, Direction::Forward, CodegenStyle::Optimized)
+        .unwrap();
+    let session = rpu
+        .session()
+        .ntt(n, Direction::Forward, CodegenStyle::Optimized)
+        .unwrap();
+    assert_eq!(legacy.n, session.n);
+    assert_eq!(legacy.q, session.q);
+    assert_eq!(legacy.stats.cycles, session.stats.cycles);
+    assert_eq!(legacy.runtime_us, session.runtime_us);
+    assert_eq!(legacy.energy.total_uj(), session.energy.total_uj());
+    assert_eq!(legacy.mix, session.mix);
+    assert!(legacy.verified && session.verified);
+
+    let q = prime(n);
+    let explicit = rpu
+        .run_ntt_with_modulus(n, q, Direction::Inverse, CodegenStyle::Optimized)
+        .unwrap();
+    let via_spec = rpu
+        .session()
+        .run(&NttSpec::new(
+            n,
+            q,
+            Direction::Inverse,
+            CodegenStyle::Optimized,
+        ))
+        .unwrap();
+    assert_eq!(explicit.stats.cycles, via_spec.stats.cycles);
+    assert_eq!(explicit.runtime_us, via_spec.runtime_us);
+    assert!(explicit.verified && via_spec.verified);
+}
