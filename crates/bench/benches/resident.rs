@@ -1,0 +1,83 @@
+//! Resident-pipeline benchmark: an L-op elementwise chain dispatched
+//! over device-resident buffers (1 upload + L dispatches + 1 download)
+//! versus the same chain as L independent one-shot runs (L full
+//! upload-dispatch-download round trips) and as L legacy
+//! `Kernel::execute` calls (fresh simulator + full image build per op).
+//!
+//! The measured per-op ratios are recorded in EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rpu::{CodegenStyle, ElementwiseOp, ElementwiseSpec, PrimeTable, Rpu};
+
+const N: usize = 4096;
+const L: usize = 8;
+
+fn resident_vs_roundtrip(c: &mut Criterion) {
+    let rpu = Rpu::builder().build().expect("valid config");
+    let q = PrimeTable::new().ntt_prime(N).expect("prime exists");
+    let spec = ElementwiseSpec::new(ElementwiseOp::MulMod, N, q, CodegenStyle::Optimized);
+    let x0: Vec<u128> = (0..N as u128).map(|i| (i * 7 + 2) % q).collect();
+    let w: Vec<u128> = (0..N as u128).map(|i| (i * 13 + 1) % q).collect();
+
+    let mut group = c.benchmark_group("resident_pipeline");
+    group.sample_size(10);
+
+    // New API: upload once, chain L dispatches over resident buffers,
+    // download once.
+    let mut s = rpu.session();
+    let mul = s.compile(&spec).expect("compiles");
+    let chain = |s: &mut rpu::RpuSession<'_>| {
+        let xb = s.upload(&x0).expect("uploads");
+        let wb = s.upload(&w).expect("uploads");
+        let tmp = s.alloc(N).expect("allocates");
+        let (mut cur, mut other) = (xb, tmp);
+        for _ in 0..L {
+            s.dispatch(&mul, &[cur, wb], &[other]).expect("dispatches");
+            std::mem::swap(&mut cur, &mut other);
+        }
+        let out = s.download(&cur).expect("downloads");
+        for buf in [xb, wb, tmp] {
+            s.free(buf).expect("frees");
+        }
+        out
+    };
+    chain(&mut s); // warm: kernel image loaded, modulus prepared
+    group.bench_function("dispatch_chain_8x4k", |b| {
+        b.iter(|| black_box(chain(&mut s)))
+    });
+
+    // Baseline 1: L independent one-shot session.run calls — every op
+    // pays its own upload + dispatch + download.
+    let mut s_run = rpu.session();
+    s_run
+        .run(&spec)
+        .expect("warm: cache primed, modulus prepared");
+    group.bench_function("run_per_op_8x4k", |b| {
+        b.iter(|| {
+            for _ in 0..L {
+                black_box(s_run.run(&spec).expect("runs"));
+            }
+        })
+    });
+
+    // Baseline 2: the pre-buffer data path — a fresh functional
+    // simulator and a full VDM image build per op, chained through the
+    // host.
+    let mut s_exec = rpu.session();
+    let kernel = s_exec.kernel(&spec).expect("compiles");
+    kernel.execute(&[&x0, &w]).expect("warm");
+    group.bench_function("execute_per_op_8x4k", |b| {
+        b.iter(|| {
+            let mut cur = x0.clone();
+            for _ in 0..L {
+                cur = kernel.execute(&[&cur, &w]).expect("executes");
+            }
+            black_box(cur)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, resident_vs_roundtrip);
+criterion_main!(benches);

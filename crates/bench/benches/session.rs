@@ -1,9 +1,12 @@
-//! Session-API benchmark: cold (generate + verify + time) versus warm
-//! (kernel-cache hit, time only) runs of the same spec.
+//! Session-API benchmark: cold (generate + verify + execute) versus
+//! warm (kernel-cache hit: cached program, memoized cycle timing, but
+//! still a full upload-execute-download round trip) runs of the same
+//! spec.
 //!
-//! The warm/cold ratio is the amortization the session layer buys for
+//! The warm/cold ratio is the amortization the kernel cache buys for
 //! traffic-shaped use — the measured numbers are recorded in
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md. (`benches/resident.rs` measures the further step
+//! from warm one-shot runs to resident-buffer dispatch chains.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpu::{CodegenStyle, ConvolutionSpec, Direction, NttSpec, PrimeTable, Rpu};

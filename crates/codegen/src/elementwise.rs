@@ -30,6 +30,9 @@ pub enum ElementwiseOp {
     MulMod,
     /// `out[i] = a[i] + b[i] mod q` — ciphertext addition.
     AddMod,
+    /// `out[i] = a[i] - b[i] mod q` — ciphertext subtraction (and the
+    /// `b - a·s` step of decryption).
+    SubMod,
 }
 
 impl ElementwiseOp {
@@ -37,6 +40,7 @@ impl ElementwiseOp {
         match self {
             ElementwiseOp::MulMod => KernelOp::PointwiseMul,
             ElementwiseOp::AddMod => KernelOp::PointwiseAdd,
+            ElementwiseOp::SubMod => KernelOp::PointwiseSub,
         }
     }
 }
@@ -120,6 +124,7 @@ impl KernelSpec for ElementwiseSpec {
                 .map(|(&a, &b)| match op {
                     ElementwiseOp::MulMod => modulus.mul(a % q, b % q),
                     ElementwiseOp::AddMod => modulus.add(a % q, b % q),
+                    ElementwiseOp::SubMod => modulus.sub(a % q, b % q),
                 })
                 .collect()
         });
@@ -158,6 +163,7 @@ pub(crate) fn emit_pointwise(
     let compute = |vd, vs, vt| match op {
         ElementwiseOp::MulMod => Instruction::VMulMod { vd, vs, vt, rm: m0 },
         ElementwiseOp::AddMod => Instruction::VAddMod { vd, vs, vt, rm: m0 },
+        ElementwiseOp::SubMod => Instruction::VSubMod { vd, vs, vt, rm: m0 },
     };
     let vload = |vd, off: usize| Instruction::VLoad {
         vd,
@@ -229,8 +235,12 @@ mod tests {
     }
 
     #[test]
-    fn mul_and_add_verify_both_styles() {
-        for op in [ElementwiseOp::MulMod, ElementwiseOp::AddMod] {
+    fn all_ops_verify_both_styles() {
+        for op in [
+            ElementwiseOp::MulMod,
+            ElementwiseOp::AddMod,
+            ElementwiseOp::SubMod,
+        ] {
             for style in [CodegenStyle::Optimized, CodegenStyle::Unoptimized] {
                 let spec = ElementwiseSpec::new(op, 2048, prime(), style);
                 let kernel = spec.generate().unwrap();

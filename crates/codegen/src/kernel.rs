@@ -16,6 +16,7 @@
 use crate::{CodegenError, CodegenStyle, Direction, NttKernel};
 use rpu_isa::{Instruction, Program};
 use rpu_sim::{ExecError, FunctionalSim};
+use std::sync::OnceLock;
 
 /// The workload class of a generated kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +27,8 @@ pub enum KernelOp {
     PointwiseMul,
     /// Lane-wise modular addition of two VDM vectors.
     PointwiseAdd,
+    /// Lane-wise modular subtraction of two VDM vectors.
+    PointwiseSub,
     /// The full negacyclic polynomial product: forward NTT of both
     /// operands, pointwise multiply, inverse NTT — one B512 program.
     NegacyclicMul,
@@ -37,6 +40,7 @@ impl core::fmt::Display for KernelOp {
             KernelOp::Ntt => write!(f, "ntt"),
             KernelOp::PointwiseMul => write!(f, "pwmul"),
             KernelOp::PointwiseAdd => write!(f, "pwadd"),
+            KernelOp::PointwiseSub => write!(f, "pwsub"),
             KernelOp::NegacyclicMul => write!(f, "negamul"),
         }
     }
@@ -80,9 +84,18 @@ pub trait KernelSpec {
 /// The golden-model closure: operand slices in, expected output out.
 pub(crate) type GoldenFn = Box<dyn Fn(&[&[u128]]) -> Vec<u128> + Send + Sync>;
 
-/// A generated kernel: the B512 program plus its memory images, operand
-/// map, and golden model — everything needed to execute and verify it on
-/// a simulated RPU without knowing which generator produced it.
+/// A generated kernel: a **data-free** compiled program plus everything
+/// needed to bind operands to it at dispatch time — the constant-only
+/// VDM/SDM images, the operand map, and a scalar golden model.
+///
+/// A kernel is keyed purely by *shape* ([`KernelKey`]: op, n, q,
+/// direction, style); no operand values are baked into the program or
+/// its images. Binding data is a separate, cheap step: either
+/// host-side via [`vdm_image`](Kernel::vdm_image)/[`execute`](Kernel::execute),
+/// or on-device by [`load_into`](Kernel::load_into)-ing the constants once
+/// and copying operands into [`input_ranges`](Kernel::input_ranges)
+/// per dispatch (what `RpuSession::dispatch` in the `rpu` facade does
+/// over resident buffers).
 pub struct Kernel {
     key: KernelKey,
     program: Program,
@@ -94,6 +107,8 @@ pub struct Kernel {
     input_ranges: Vec<(usize, usize)>,
     output_range: (usize, usize),
     golden: GoldenFn,
+    /// Memoized golden-model verdict (set by [`Kernel::verify`]).
+    verdict: OnceLock<bool>,
 }
 
 impl core::fmt::Debug for Kernel {
@@ -127,6 +142,7 @@ impl Kernel {
             input_ranges,
             output_range,
             golden,
+            verdict: OnceLock::new(),
         }
     }
 
@@ -202,6 +218,27 @@ impl Kernel {
         self.sdm.clone()
     }
 
+    /// Number of SDM elements the kernel's scalar constants occupy.
+    pub fn sdm_elements(&self) -> usize {
+        self.sdm.len()
+    }
+
+    /// Loads the kernel's *data-free* state into a simulator: the
+    /// constant VDM image (operand regions zeroed) at element 0 and the
+    /// SDM constants at element 0. After this, the kernel can be
+    /// dispatched repeatedly by refreshing only its operand ranges —
+    /// constants such as twiddle tables are never written by the
+    /// generated programs, so they stay valid across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator's VDM or SDM is smaller than the kernel's
+    /// working set (grow it first with `ensure_vdm`/`ensure_sdm`).
+    pub fn load_into(&self, sim: &mut FunctionalSim) {
+        sim.write_vdm(0, &self.base_image);
+        sim.write_sdm(0, &self.sdm);
+    }
+
     /// Golden output for the given operands, from the scalar model.
     ///
     /// # Panics
@@ -236,16 +273,11 @@ impl Kernel {
         Ok(sim.read_vdm(off, len))
     }
 
-    /// Executes the kernel on deterministic synthetic operands and
-    /// compares the result against the golden model.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ExecError`] if the program faults.
-    pub fn verify(&self) -> Result<bool, ExecError> {
+    /// The deterministic synthetic operand family [`verify`](Kernel::verify)
+    /// executes on (one vector per input range, residues mod `q`).
+    pub fn synthetic_operands(&self) -> Vec<Vec<u128>> {
         let q = self.key.q;
-        let operands: Vec<Vec<u128>> = self
-            .input_ranges
+        self.input_ranges
             .iter()
             .enumerate()
             .map(|(k, &(_, len))| {
@@ -253,9 +285,33 @@ impl Kernel {
                     .map(|i| (i * 0x9E37_79B9 + 12345 + k as u128 * 0x1000_0001) % q)
                     .collect()
             })
-            .collect();
+            .collect()
+    }
+
+    /// Executes the kernel on [`synthetic_operands`](Kernel::synthetic_operands)
+    /// and compares the result against the golden model. The verdict is
+    /// memoized on the kernel ([`verification`](Kernel::verification)),
+    /// so it travels with every `Arc<Kernel>` clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program faults.
+    pub fn verify(&self) -> Result<bool, ExecError> {
+        if let Some(&v) = self.verdict.get() {
+            return Ok(v);
+        }
+        let operands = self.synthetic_operands();
         let refs: Vec<&[u128]> = operands.iter().map(Vec::as_slice).collect();
-        Ok(self.execute(&refs)? == self.expected_output(&refs))
+        let v = self.execute(&refs)? == self.expected_output(&refs);
+        let _ = self.verdict.set(v);
+        Ok(v)
+    }
+
+    /// The memoized golden-model verdict, if [`verify`](Kernel::verify)
+    /// has completed: `Some(true)` matched, `Some(false)` mismatched,
+    /// `None` not yet verified.
+    pub fn verification(&self) -> Option<bool> {
+        self.verdict.get().copied()
     }
 }
 

@@ -9,8 +9,9 @@
 //!
 //! This crate is the facade: it re-exports the workspace and adds the
 //! high-level [`Rpu`] object, the session-based workload API
-//! ([`RpuBuilder`] / [`RpuSession`]), and design-space exploration
-//! helpers.
+//! ([`RpuBuilder`] / [`RpuSession`]), the device-resident buffer
+//! runtime ([`DeviceBuffer`] / [`RpuSession::dispatch`] /
+//! [`RlweEvaluator`]), and design-space exploration helpers.
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,40 @@
 //! # }
 //! ```
 //!
+//! # Resident pipelines
+//!
+//! The paper's execution model keeps ring data resident in the VDM
+//! while kernels stream over it. Sessions expose that model directly:
+//! kernels are compiled once per *shape* (no data in the cache key) and
+//! dispatched over [`DeviceBuffer`]s, so an L-op pipeline costs one
+//! upload, L dispatches, and one download instead of L host round
+//! trips:
+//!
+//! ```
+//! use rpu::{CodegenStyle, ElementwiseOp, ElementwiseSpec, Rpu};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rpu = Rpu::builder().build()?;
+//! let mut s = rpu.session();
+//! let q = s.primes_for(1024)?;
+//! let mul = s.compile(&ElementwiseSpec::new(
+//!     ElementwiseOp::MulMod, 1024, q, CodegenStyle::Optimized))?;
+//! let x = s.upload(&vec![2u128; 1024])?;   // host → device, once
+//! let w = s.upload(&vec![3u128; 1024])?;
+//! let y = s.alloc(1024)?;
+//! s.dispatch(&mul, &[x, w], &[y])?;        // resident, no host traffic
+//! let report = s.dispatch(&mul, &[y, w], &[y])?;
+//! assert_eq!(report.transfer.host_to_device, 0);
+//! assert_eq!(s.download(&y)?[0], 18);      // device → host, once
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`RlweEvaluator`] builds full ciphertext pipelines on this runtime:
+//! encrypt/add/sub/mul_plain/decrypt as chains of dispatches over
+//! resident ciphertexts, verified against the host
+//! [`rpu_ntt::rlwe::RlweContext`].
+//!
 //! # Migrating from the one-shot API
 //!
 //! `Rpu::run_ntt` / `Rpu::run_ntt_with_modulus` (deprecated) regenerated
@@ -69,11 +104,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod buffer;
 mod explore;
+mod rlwe;
 mod run;
 mod session;
 
+pub use buffer::{BufferError, DeviceBuffer, TransferStats};
 pub use explore::{evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES};
+pub use rlwe::{DeviceCiphertext, RlweEvaluator};
 #[allow(deprecated)]
 pub use run::NttRun;
 pub use run::{Rpu, RunReport};
@@ -122,7 +161,7 @@ pub fn smoke_cap(full: usize) -> usize {
 pub enum RpuError {
     /// Invalid microarchitectural configuration.
     Config(String),
-    /// No NTT-friendly prime exists below the default width for this
+    /// No NTT-friendly prime exists below the session's width for this
     /// ring degree.
     NoPrime {
         /// The requested ring degree.
@@ -132,6 +171,11 @@ pub enum RpuError {
     Codegen(rpu_codegen::CodegenError),
     /// The generated program faulted in the functional simulator.
     Exec(rpu_sim::ExecError),
+    /// A device-buffer operation failed (exhausted heap, stale handle,
+    /// shape mismatch at dispatch, …).
+    Buffer(BufferError),
+    /// The host-side ring/RLWE library rejected the parameters.
+    Ring(rpu_ntt::NttError),
 }
 
 impl core::fmt::Display for RpuError {
@@ -143,6 +187,8 @@ impl core::fmt::Display for RpuError {
             }
             RpuError::Codegen(e) => write!(f, "code generation failed: {e}"),
             RpuError::Exec(e) => write!(f, "kernel execution failed: {e}"),
+            RpuError::Buffer(e) => write!(f, "device buffer operation failed: {e}"),
+            RpuError::Ring(e) => write!(f, "ring parameters rejected: {e}"),
         }
     }
 }
@@ -152,6 +198,8 @@ impl std::error::Error for RpuError {
         match self {
             RpuError::Codegen(e) => Some(e),
             RpuError::Exec(e) => Some(e),
+            RpuError::Buffer(e) => Some(e),
+            RpuError::Ring(e) => Some(e),
             _ => None,
         }
     }
@@ -160,5 +208,17 @@ impl std::error::Error for RpuError {
 impl From<rpu_codegen::CodegenError> for RpuError {
     fn from(e: rpu_codegen::CodegenError) -> Self {
         RpuError::Codegen(e)
+    }
+}
+
+impl From<BufferError> for RpuError {
+    fn from(e: BufferError) -> Self {
+        RpuError::Buffer(e)
+    }
+}
+
+impl From<rpu_ntt::NttError> for RpuError {
+    fn from(e: rpu_ntt::NttError) -> Self {
+        RpuError::Ring(e)
     }
 }

@@ -1,0 +1,401 @@
+//! RLWE pipelines executed end-to-end on the RPU over device-resident
+//! buffers — the ciphertext-level traffic the paper times (Fig. 1).
+//!
+//! [`RlweEvaluator`] keeps every ciphertext component resident in the
+//! session's device heap in the RPU's NTT (evaluation) form, so a whole
+//! homomorphic computation is a chain of kernel dispatches with **no
+//! host round trips** between operations:
+//!
+//! * `encrypt` — sample on the host, then `b = a·s + payload` as three
+//!   forward NTTs, a pointwise multiply, and a pointwise add on-device;
+//! * `add` / `sub` / `mul_plain` — pointwise kernels over resident
+//!   components;
+//! * `decrypt` — `b − a·s` and the inverse NTT on-device; only the final
+//!   coefficient vector is downloaded for rounding;
+//! * `convolve` — the fused negacyclic polynomial product
+//!   ([`ConvolutionSpec`]) over resident coefficient buffers, the
+//!   dataflow of a ciphertext–ciphertext multiplication.
+//!
+//! Results are verified against the host-side [`RlweContext`] reference
+//! in `tests/tests/rlwe_on_rpu.rs`: the evaluator draws the same
+//! randomness stream, so device ciphertexts equal host ciphertexts
+//! exactly.
+
+use crate::buffer::DeviceBuffer;
+use crate::run::{Rpu, RunReport};
+use crate::session::RpuSession;
+use crate::RpuError;
+use rpu_codegen::{
+    CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec, Kernel, NttSpec,
+};
+use rpu_ntt::rlwe::{Ciphertext, RlweContext, RlweParams, SecretKey, Splitmix};
+use std::sync::Arc;
+
+/// A ciphertext whose components live in device memory, in the RPU
+/// kernel's NTT (evaluation) ordering.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCiphertext {
+    /// The resident mask component `â`.
+    pub a: DeviceBuffer,
+    /// The resident payload component `b̂`.
+    pub b: DeviceBuffer,
+}
+
+/// Runs the toy RLWE scheme's operations as chains of kernel dispatches
+/// over device-resident buffers.
+///
+/// Created over an [`Rpu`]; owns its [`RpuSession`]. All six kernel
+/// shapes (forward/inverse NTT, pointwise mul/add/sub, fused
+/// convolution) are compiled and golden-verified once at construction;
+/// after that every operation is pure dispatch traffic.
+///
+/// The ring degree must be one the kernel generators support (a power
+/// of two ≥ 1024) and `q` an NTT prime for `2n` — use
+/// `session.primes_for(n)` to pick one.
+#[derive(Debug)]
+pub struct RlweEvaluator<'a> {
+    session: RpuSession<'a>,
+    ctx: RlweContext,
+    fwd: Arc<Kernel>,
+    inv: Arc<Kernel>,
+    pwmul: Arc<Kernel>,
+    pwadd: Arc<Kernel>,
+    pwsub: Arc<Kernel>,
+    conv: Arc<Kernel>,
+    /// The secret key in RPU evaluation form, resident after `keygen`.
+    sk_eval: Option<DeviceBuffer>,
+    dispatches: u64,
+    simulated_us: f64,
+}
+
+impl<'a> RlweEvaluator<'a> {
+    /// Builds an evaluator: host-side context plus the six compiled,
+    /// golden-verified kernel shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Ring`] for invalid RLWE parameters and
+    /// [`RpuError::Codegen`] if the ring degree is outside what the
+    /// generators support.
+    pub fn new(rpu: &'a Rpu, params: RlweParams, style: CodegenStyle) -> Result<Self, RpuError> {
+        let ctx = RlweContext::new(params)?;
+        let mut session = rpu.session();
+        let (n, q) = (params.n, params.q);
+        let fwd = session.compile(&NttSpec::new(n, q, Direction::Forward, style))?;
+        let inv = session.compile(&NttSpec::new(n, q, Direction::Inverse, style))?;
+        let pwmul = session.compile(&ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, style))?;
+        let pwadd = session.compile(&ElementwiseSpec::new(ElementwiseOp::AddMod, n, q, style))?;
+        let pwsub = session.compile(&ElementwiseSpec::new(ElementwiseOp::SubMod, n, q, style))?;
+        let conv = session.compile(&ConvolutionSpec::new(n, q, style))?;
+        Ok(RlweEvaluator {
+            session,
+            ctx,
+            fwd,
+            inv,
+            pwmul,
+            pwadd,
+            pwsub,
+            conv,
+            sk_eval: None,
+            dispatches: 0,
+            simulated_us: 0.0,
+        })
+    }
+
+    /// The host-side reference context (same parameters).
+    pub fn context(&self) -> &RlweContext {
+        &self.ctx
+    }
+
+    /// The underlying session (cache statistics, manual buffer work).
+    pub fn session(&mut self) -> &mut RpuSession<'a> {
+        &mut self.session
+    }
+
+    /// Kernels dispatched so far.
+    pub fn dispatch_count(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Total simulated on-RPU time of every dispatch so far, in
+    /// microseconds.
+    pub fn simulated_us(&self) -> f64 {
+        self.simulated_us
+    }
+
+    /// One dispatch with traffic accounting.
+    fn dispatch(
+        &mut self,
+        kernel: &Arc<Kernel>,
+        inputs: &[DeviceBuffer],
+        outputs: &[DeviceBuffer],
+    ) -> Result<RunReport, RpuError> {
+        let report = self.session.dispatch(kernel, inputs, outputs)?;
+        self.dispatches += 1;
+        self.simulated_us += report.runtime_us;
+        Ok(report)
+    }
+
+    /// Samples a secret key on the host, uploads it, and transforms it
+    /// to evaluation form on-device, where it stays resident for every
+    /// later `encrypt`/`decrypt`. Returns the host-form key so results
+    /// can be cross-checked against [`RlweContext`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if device memory is exhausted or a dispatch
+    /// faults.
+    pub fn keygen(&mut self, rng: &mut Splitmix) -> Result<SecretKey, RpuError> {
+        let sk = self.ctx.keygen(rng);
+        if let Some(old) = self.sk_eval.take() {
+            self.session.free(old)?;
+        }
+        let s_hat = self.upload_eval(&sk.s_coeffs())?;
+        self.sk_eval = Some(s_hat);
+        Ok(sk)
+    }
+
+    fn resident_key(&self) -> Result<DeviceBuffer, RpuError> {
+        self.sk_eval.ok_or_else(|| {
+            RpuError::Config("no resident secret key: call RlweEvaluator::keygen first".into())
+        })
+    }
+
+    /// Frees temporaries while unwinding an error path, then forwards
+    /// the error — multi-dispatch operations must not leak heap space
+    /// when a later step fails. (The handles are known-live, so the
+    /// inner frees cannot fail.)
+    fn or_release<T>(
+        &mut self,
+        result: Result<T, RpuError>,
+        temps: &[DeviceBuffer],
+    ) -> Result<T, RpuError> {
+        if result.is_err() {
+            for buf in temps {
+                let _ = self.session.free(*buf);
+            }
+        }
+        result
+    }
+
+    /// Uploads coefficients and forward-transforms them on-device,
+    /// returning the evaluation-form resident buffer.
+    fn upload_eval(&mut self, coeffs: &[u128]) -> Result<DeviceBuffer, RpuError> {
+        let raw = self.session.upload(coeffs)?;
+        let alloc = self.session.alloc(coeffs.len());
+        let hat = self.or_release(alloc, &[raw])?;
+        let fwd = Arc::clone(&self.fwd);
+        let run = self.dispatch(&fwd, &[raw], &[hat]).map(|_| ());
+        self.or_release(run, &[raw, hat])?;
+        self.session.free(raw)?;
+        Ok(hat)
+    }
+
+    /// Inverse-transforms a resident evaluation-form buffer on-device
+    /// and downloads the natural-order coefficients.
+    fn download_coeffs(&mut self, hat: &DeviceBuffer) -> Result<Vec<u128>, RpuError> {
+        let tmp = self.session.alloc(hat.len())?;
+        let inv = Arc::clone(&self.inv);
+        let run = self.dispatch(&inv, &[*hat], &[tmp]).map(|_| ());
+        let coeffs = run.and_then(|()| self.session.download(&tmp));
+        let coeffs = self.or_release(coeffs, &[tmp])?;
+        self.session.free(tmp)?;
+        Ok(coeffs)
+    }
+
+    /// One pointwise dispatch `out = op(x, y)` into a fresh buffer.
+    fn pointwise(
+        &mut self,
+        kernel: &Arc<Kernel>,
+        x: &DeviceBuffer,
+        y: &DeviceBuffer,
+    ) -> Result<DeviceBuffer, RpuError> {
+        let out = self.session.alloc(x.len())?;
+        let kernel = Arc::clone(kernel);
+        let run = self.dispatch(&kernel, &[*x, *y], &[out]).map(|_| ());
+        self.or_release(run, &[out])?;
+        Ok(out)
+    }
+
+    /// Encrypts a plaintext vector: randomness is sampled on the host
+    /// (the same stream [`RlweContext::encrypt`] draws), then
+    /// `b̂ = â ⊙ ŝ ⊕ payload̂` runs entirely on-device. The resulting
+    /// ciphertext stays resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] without a prior
+    /// [`keygen`](RlweEvaluator::keygen), [`RpuError::Buffer`] on heap
+    /// exhaustion, or [`RpuError::Exec`] if a dispatch faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != n`.
+    pub fn encrypt(
+        &mut self,
+        message: &[u128],
+        rng: &mut Splitmix,
+    ) -> Result<DeviceCiphertext, RpuError> {
+        let sk = self.resident_key()?;
+        let (a_coeffs, payload) = self.ctx.sample_mask_and_payload(message, rng);
+        let a_hat = self.upload_eval(&a_coeffs)?;
+        let p_hat = {
+            let r = self.upload_eval(&payload);
+            self.or_release(r, &[a_hat])?
+        };
+        let t = {
+            let r = self.pointwise(&Arc::clone(&self.pwmul), &a_hat, &sk); // â ⊙ ŝ
+            self.or_release(r, &[a_hat, p_hat])?
+        };
+        let add = Arc::clone(&self.pwadd);
+        let r = self.dispatch(&add, &[t, p_hat], &[t]).map(|_| ()); // ⊕ payload̂
+        self.or_release(r, &[a_hat, p_hat, t])?;
+        self.session.free(p_hat)?;
+        Ok(DeviceCiphertext { a: a_hat, b: t })
+    }
+
+    /// Homomorphic addition over resident ciphertexts (two pointwise
+    /// dispatches, no host traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] on stale handles, heap exhaustion, or a
+    /// dispatch fault.
+    pub fn add(
+        &mut self,
+        x: &DeviceCiphertext,
+        y: &DeviceCiphertext,
+    ) -> Result<DeviceCiphertext, RpuError> {
+        let a = self.pointwise(&Arc::clone(&self.pwadd), &x.a, &y.a)?;
+        let b = {
+            let r = self.pointwise(&Arc::clone(&self.pwadd), &x.b, &y.b);
+            self.or_release(r, &[a])?
+        };
+        Ok(DeviceCiphertext { a, b })
+    }
+
+    /// Homomorphic subtraction over resident ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] on stale handles, heap exhaustion, or a
+    /// dispatch fault.
+    pub fn sub(
+        &mut self,
+        x: &DeviceCiphertext,
+        y: &DeviceCiphertext,
+    ) -> Result<DeviceCiphertext, RpuError> {
+        let a = self.pointwise(&Arc::clone(&self.pwsub), &x.a, &y.a)?;
+        let b = {
+            let r = self.pointwise(&Arc::clone(&self.pwsub), &x.b, &y.b);
+            self.or_release(r, &[a])?
+        };
+        Ok(DeviceCiphertext { a, b })
+    }
+
+    /// Multiplication by a plaintext polynomial (small coefficients):
+    /// one upload + forward NTT for the plaintext, then a pointwise
+    /// multiply per component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] on heap exhaustion or a dispatch fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plain.len() != n`.
+    pub fn mul_plain(
+        &mut self,
+        x: &DeviceCiphertext,
+        plain: &[u128],
+    ) -> Result<DeviceCiphertext, RpuError> {
+        assert_eq!(
+            plain.len(),
+            self.ctx.params().n,
+            "plaintext length must equal n"
+        );
+        let p_hat = self.upload_eval(plain)?;
+        let a = {
+            let r = self.pointwise(&Arc::clone(&self.pwmul), &x.a, &p_hat);
+            self.or_release(r, &[p_hat])?
+        };
+        let b = {
+            let r = self.pointwise(&Arc::clone(&self.pwmul), &x.b, &p_hat);
+            self.or_release(r, &[p_hat, a])?
+        };
+        self.session.free(p_hat)?;
+        Ok(DeviceCiphertext { a, b })
+    }
+
+    /// Decrypts a resident ciphertext with the resident secret key:
+    /// `b̂ ⊖ â ⊙ ŝ` and the inverse NTT run on-device; only the noisy
+    /// coefficient vector is downloaded, and the `Δ`-rounding to
+    /// plaintext happens on the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] without a prior
+    /// [`keygen`](RlweEvaluator::keygen), or [`RpuError`] on dispatch
+    /// failure.
+    pub fn decrypt(&mut self, ct: &DeviceCiphertext) -> Result<Vec<u128>, RpuError> {
+        let sk = self.resident_key()?;
+        let t = self.pointwise(&Arc::clone(&self.pwmul), &ct.a, &sk)?; // â ⊙ ŝ
+        let sub = Arc::clone(&self.pwsub);
+        let noisy = {
+            let r = self
+                .dispatch(&sub, &[ct.b, t], &[t]) // b̂ ⊖ â·ŝ
+                .and_then(|_| self.download_coeffs(&t));
+            self.or_release(r, &[t])?
+        };
+        self.session.free(t)?;
+        let params = self.ctx.params();
+        let delta = self.ctx.delta();
+        Ok(noisy
+            .iter()
+            .map(|&c| (c + delta / 2) / delta % params.t)
+            .collect())
+    }
+
+    /// Downloads a resident ciphertext into host form (via on-device
+    /// inverse NTTs), e.g. to cross-check against [`RlweContext`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] on stale handles or dispatch failure.
+    pub fn download_ciphertext(&mut self, ct: &DeviceCiphertext) -> Result<Ciphertext, RpuError> {
+        let a = self.download_coeffs(&ct.a)?;
+        let b = self.download_coeffs(&ct.b)?;
+        Ok(Ciphertext::from_coeff_parts(&self.ctx, a, b)?)
+    }
+
+    /// Frees both components of a resident ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles.
+    pub fn free_ciphertext(&mut self, ct: DeviceCiphertext) -> Result<(), RpuError> {
+        self.session.free(ct.a)?;
+        self.session.free(ct.b)
+    }
+
+    /// The full negacyclic polynomial product `a ·_neg b` over resident
+    /// *coefficient-domain* buffers, as one fused kernel dispatch
+    /// (forward NTT ×2 → pointwise multiply → inverse NTT) — the
+    /// dataflow of a ciphertext–ciphertext multiplication (Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] on stale handles, heap exhaustion, or a
+    /// dispatch fault.
+    pub fn convolve(
+        &mut self,
+        a: &DeviceBuffer,
+        b: &DeviceBuffer,
+    ) -> Result<DeviceBuffer, RpuError> {
+        let out = self.session.alloc(self.ctx.params().n)?;
+        let conv = Arc::clone(&self.conv);
+        let run = self.dispatch(&conv, &[*a, *b], &[out]).map(|_| ());
+        self.or_release(run, &[out])?;
+        Ok(out)
+    }
+}

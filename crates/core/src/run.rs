@@ -2,9 +2,10 @@
 //! generation, functional validation, cycle simulation, and the
 //! area/energy models.
 
+use crate::buffer::TransferStats;
 use crate::session::{RpuBuilder, RpuSession};
 use crate::RpuError;
-use rpu_codegen::{CodegenStyle, Direction, Kernel, KernelOp, NttKernel};
+use rpu_codegen::{CodegenStyle, Direction, KernelOp, NttKernel};
 use rpu_model::{AreaBreakdown, AreaModel, EnergyBreakdown, EnergyModel};
 use rpu_sim::{CycleSim, FunctionalSim, RpuConfig, SimStats};
 
@@ -35,6 +36,9 @@ pub struct Rpu {
     area_model: AreaModel,
     energy_model: EnergyModel,
     clock_ghz: f64,
+    prime_bits: u32,
+    kernel_cache_capacity: Option<usize>,
+    device_heap_elements: usize,
 }
 
 /// The result of running one kernel on an [`Rpu`] — the uniform report
@@ -65,6 +69,11 @@ pub struct RunReport {
     /// `true` if the kernel came from the session cache (no generation
     /// or re-verification happened for this run).
     pub cache_hit: bool,
+    /// Data-movement accounting: what this run uploaded, downloaded,
+    /// copied on-device, and — for resident dispatches — avoided moving
+    /// entirely. All-zero for timing-only paths such as
+    /// [`Rpu::time_only`].
+    pub transfer: TransferStats,
 }
 
 /// The pre-session name of [`RunReport`].
@@ -82,7 +91,7 @@ impl Rpu {
     ///
     /// Returns [`RpuError::Config`] for invalid configurations.
     pub fn new(config: RpuConfig) -> Result<Self, RpuError> {
-        Self::from_builder(config, AreaModel::default(), EnergyModel::default(), None)
+        RpuBuilder::new().config(config).build()
     }
 
     /// Starts a [`RpuBuilder`] at the paper's best design point.
@@ -95,6 +104,9 @@ impl Rpu {
         area_model: AreaModel,
         energy_model: EnergyModel,
         clock_ghz: Option<f64>,
+        prime_bits: u32,
+        kernel_cache_capacity: Option<usize>,
+        device_heap_elements: usize,
     ) -> Result<Self, RpuError> {
         let cycle_sim = CycleSim::new(config).map_err(RpuError::Config)?;
         Ok(Rpu {
@@ -103,6 +115,9 @@ impl Rpu {
             area_model,
             energy_model,
             clock_ghz: clock_ghz.unwrap_or_else(|| config.frequency_ghz()),
+            prime_bits,
+            kernel_cache_capacity,
+            device_heap_elements,
         })
     }
 
@@ -122,6 +137,23 @@ impl Rpu {
     /// derived frequency unless overridden via the builder).
     pub fn clock_ghz(&self) -> f64 {
         self.clock_ghz
+    }
+
+    /// Bit width of session-chosen NTT primes (126 unless overridden via
+    /// [`RpuBuilder::prime_bits`]).
+    pub fn prime_bits(&self) -> u32 {
+        self.prime_bits
+    }
+
+    /// The kernel-cache LRU capacity sessions are created with, if any.
+    pub fn kernel_cache_capacity(&self) -> Option<usize> {
+        self.kernel_cache_capacity
+    }
+
+    /// Capacity, in 128-bit elements, of the device-resident buffer heap
+    /// each session lays out above its kernel workspace.
+    pub fn device_heap_elements(&self) -> usize {
+        self.device_heap_elements
     }
 
     /// Converts a cycle count to microseconds at this instance's clock.
@@ -193,7 +225,7 @@ impl Rpu {
             direction: kernel.direction(),
             style: kernel.style(),
         };
-        self.assemble_report(kernel.program(), key, false, false)
+        self.assemble_report(kernel.program(), key, None, false, false)
     }
 
     /// Runs an NTT kernel through the functional simulator against its
@@ -216,22 +248,24 @@ impl Rpu {
         Ok(sim.read_vdm(off, len) == kernel.expected_output(&input))
     }
 
-    /// Cycle-times a generated kernel and assembles the uniform report
-    /// (the session layer supplies the verification verdict).
-    pub(crate) fn report(&self, kernel: &Kernel, verified: bool, cache_hit: bool) -> RunReport {
-        self.assemble_report(kernel.program(), kernel.key(), verified, cache_hit)
+    /// Cycle-simulates a program (sessions memoize the result per kernel
+    /// so warm dispatches skip re-simulation).
+    pub(crate) fn time(&self, program: &rpu_isa::Program) -> SimStats {
+        self.cycle_sim.simulate(program)
     }
 
     /// The single `RunReport` construction site: cycle-simulates the
-    /// program and attaches the identity and verdict flags.
-    fn assemble_report(
+    /// program (unless `stats` is supplied from a session memo) and
+    /// attaches the identity and verdict flags.
+    pub(crate) fn assemble_report(
         &self,
         program: &rpu_isa::Program,
         key: rpu_codegen::KernelKey,
+        stats: Option<SimStats>,
         verified: bool,
         cache_hit: bool,
     ) -> RunReport {
-        let stats = self.cycle_sim.simulate(program);
+        let stats = stats.unwrap_or_else(|| self.cycle_sim.simulate(program));
         RunReport {
             op: key.op,
             n: key.n,
@@ -243,6 +277,7 @@ impl Rpu {
             energy: self.energy_model.breakdown(&stats),
             verified,
             cache_hit,
+            transfer: TransferStats::default(),
             stats,
         }
     }

@@ -6,9 +6,14 @@
 //! transforms, pointwise ciphertext arithmetic. A session amortizes
 //! everything that is per-*kernel* rather than per-*run*: SPIRAL-style
 //! program generation, functional verification against the golden model,
-//! and the NTT-prime search. The first run of a spec pays the full
-//! generation cost; every subsequent run of an equal spec is a cache hit
-//! that goes straight to cycle timing.
+//! and the NTT-prime search. Beyond kernel caching, a session owns the
+//! **device state** of a simulated RPU: ring data uploaded once lives in
+//! a resident-buffer heap ([`RpuSession::alloc`] /
+//! [`upload`](RpuSession::upload)) and a stream of compiled kernels is
+//! [`dispatch`](RpuSession::dispatch)ed over it without any host round
+//! trips — the paper's execution model (Section II), where the VDM holds
+//! the working set and the host only uploads inputs and downloads final
+//! results.
 //!
 //! ```
 //! use rpu::{CodegenStyle, Direction, Rpu};
@@ -23,12 +28,36 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! A resident pipeline — upload once, dispatch a chain, download once:
+//!
+//! ```
+//! use rpu::{CodegenStyle, ElementwiseOp, ElementwiseSpec, Rpu};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rpu = Rpu::builder().build()?;
+//! let mut s = rpu.session();
+//! let q = s.primes_for(1024)?;
+//! let mul = s.compile(&ElementwiseSpec::new(
+//!     ElementwiseOp::MulMod, 1024, q, CodegenStyle::Optimized))?;
+//! let x = s.upload(&vec![3u128; 1024])?;        // host → device, once
+//! let w = s.upload(&vec![5u128; 1024])?;
+//! let y = s.alloc(1024)?;
+//! s.dispatch(&mul, &[x, w], &[y])?;             // no host traffic
+//! let r = s.dispatch(&mul, &[y, w], &[x])?;     // chain over residents
+//! assert!(r.transfer.image_reused && r.transfer.host_to_device == 0);
+//! assert_eq!(s.download(&x)?[0], 75);           // device → host, once
+//! # Ok(())
+//! # }
+//! ```
 
+use crate::buffer::{BufferAllocator, BufferError, DeviceBuffer, TransferStats};
 use crate::run::{Rpu, RunReport};
 use crate::RpuError;
 use rpu_codegen::{CodegenStyle, Direction, Kernel, KernelKey, KernelSpec, NttSpec};
+use rpu_isa::AReg;
 use rpu_model::{AreaModel, EnergyModel};
-use rpu_sim::RpuConfig;
+use rpu_sim::{FunctionalSim, RpuConfig, SimStats};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -36,8 +65,13 @@ use std::sync::Arc;
 /// coefficient pipeline leaves headroom for lazy reduction).
 const DEFAULT_PRIME_BITS: u32 = 126;
 
+/// Widest prime the 128-bit datapath supports: moduli must stay below
+/// 2^127 for the lazy-reduction headroom the compute units assume.
+const MAX_PRIME_BITS: u32 = 126;
+
 /// Builder for a configured [`Rpu`]: microarchitecture, hardware models,
-/// and clock.
+/// clock, and session policies (prime width, kernel-cache bound, device
+/// heap size).
 ///
 /// # Examples
 ///
@@ -47,8 +81,13 @@ const DEFAULT_PRIME_BITS: u32 = 126;
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // The paper's (128, 128) design point at its derived 1.68 GHz clock.
 /// let rpu = Rpu::builder().build()?;
-/// // A what-if: the same machine clocked at 2 GHz.
-/// let fast = Rpu::builder().clock_ghz(2.0).build()?;
+/// // A what-if: the same machine clocked at 2 GHz with 60-bit primes
+/// // and a bounded kernel cache.
+/// let fast = Rpu::builder()
+///     .clock_ghz(2.0)
+///     .prime_bits(60)
+///     .kernel_cache_capacity(8)
+///     .build()?;
 /// assert!(fast.clock_ghz() > rpu.clock_ghz());
 /// # Ok(())
 /// # }
@@ -59,6 +98,9 @@ pub struct RpuBuilder {
     area_model: AreaModel,
     energy_model: EnergyModel,
     clock_ghz: Option<f64>,
+    prime_bits: u32,
+    kernel_cache_capacity: Option<usize>,
+    device_heap_elements: Option<usize>,
 }
 
 impl Default for RpuBuilder {
@@ -76,6 +118,9 @@ impl RpuBuilder {
             area_model: AreaModel::default(),
             energy_model: EnergyModel::default(),
             clock_ghz: None,
+            prime_bits: DEFAULT_PRIME_BITS,
+            kernel_cache_capacity: None,
+            device_heap_elements: None,
         }
     }
 
@@ -112,12 +157,40 @@ impl RpuBuilder {
         self
     }
 
+    /// Sets the bit width of session-chosen NTT primes (default 126).
+    /// Narrower primes model cheaper RNS towers; widths above 126 are
+    /// rejected at [`build`](RpuBuilder::build) because the 128-bit
+    /// pipeline needs lazy-reduction headroom below 2^127.
+    pub fn prime_bits(mut self, bits: u32) -> Self {
+        self.prime_bits = bits;
+        self
+    }
+
+    /// Bounds each session's kernel cache to at most `capacity` entries,
+    /// evicted least-recently-used. Unbounded by default; a zero
+    /// capacity is rejected at [`build`](RpuBuilder::build).
+    pub fn kernel_cache_capacity(mut self, capacity: usize) -> Self {
+        self.kernel_cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the capacity, in 128-bit elements, of the device-resident
+    /// buffer heap each session lays out above its kernel workspace
+    /// (default: one configured-VDM's worth). Workspace + heap must fit
+    /// the 32 MiB architectural VDM maximum.
+    pub fn device_heap_elements(mut self, elements: usize) -> Self {
+        self.device_heap_elements = Some(elements);
+        self
+    }
+
     /// Builds the [`Rpu`].
     ///
     /// # Errors
     ///
-    /// Returns [`RpuError::Config`] for invalid configurations or a
-    /// non-positive clock override.
+    /// Returns [`RpuError::Config`] for invalid configurations, a
+    /// non-positive clock override, an unsupported prime width, a
+    /// zero-entry kernel-cache bound, or a device heap that overflows
+    /// the architectural VDM.
     pub fn build(self) -> Result<Rpu, RpuError> {
         if let Some(ghz) = self.clock_ghz {
             if !(ghz.is_finite() && ghz > 0.0) {
@@ -126,30 +199,82 @@ impl RpuBuilder {
                 )));
             }
         }
+        if !(2..=MAX_PRIME_BITS).contains(&self.prime_bits) {
+            return Err(RpuError::Config(format!(
+                "prime_bits must be in [2, {MAX_PRIME_BITS}] (the 128-bit pipeline \
+                 keeps moduli below 2^127 for lazy reduction), got {}",
+                self.prime_bits
+            )));
+        }
+        if self.kernel_cache_capacity == Some(0) {
+            return Err(RpuError::Config(
+                "kernel_cache_capacity must be at least 1".into(),
+            ));
+        }
+        let max = rpu_isa::consts::VDM_MAX_BYTES / rpu_isa::consts::ELEM_BYTES;
+        let workspace = self.config.vdm_elements();
+        let heap = match self.device_heap_elements {
+            Some(heap) => {
+                if workspace + heap > max {
+                    return Err(RpuError::Config(format!(
+                        "workspace ({workspace}) + device heap ({heap}) elements exceed \
+                         the {max}-element (32 MiB) architectural VDM"
+                    )));
+                }
+                heap
+            }
+            // Default: one configured-VDM's worth, clamped so workspace +
+            // heap never exceeds the architectural maximum.
+            None => workspace.min(max.saturating_sub(workspace)),
+        };
         Rpu::from_builder(
             self.config,
             self.area_model,
             self.energy_model,
             self.clock_ghz,
+            self.prime_bits,
+            self.kernel_cache_capacity,
+            heap,
         )
     }
 }
 
 /// Memoized NTT-prime lookup: one [`rpu_arith::find_ntt_prime_u128`]
 /// search per ring degree, shared by every spec the session builds.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PrimeTable {
     primes: HashMap<usize, u128>,
+    bits: u32,
+}
+
+impl Default for PrimeTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PrimeTable {
-    /// Creates an empty table.
+    /// Creates an empty table of default (~126-bit) primes.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_bits(DEFAULT_PRIME_BITS)
     }
 
-    /// The default ~126-bit NTT prime for ring degree `n`
-    /// (`q ≡ 1 (mod 2n)`), memoized across calls.
+    /// Creates an empty table searching `bits`-bit primes (what sessions
+    /// on an [`RpuBuilder::prime_bits`]-configured RPU use).
+    pub fn with_bits(bits: u32) -> Self {
+        PrimeTable {
+            primes: HashMap::new(),
+            bits,
+        }
+    }
+
+    /// The prime width this table searches.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The table's NTT prime for ring degree `n` (`q ≡ 1 (mod 2n)`),
+    /// memoized across calls.
     ///
     /// # Errors
     ///
@@ -158,7 +283,7 @@ impl PrimeTable {
         if let Some(&q) = self.primes.get(&n) {
             return Ok(q);
         }
-        let q = rpu_arith::find_ntt_prime_u128(DEFAULT_PRIME_BITS, 2 * n as u128)
+        let q = rpu_arith::find_ntt_prime_u128(self.bits, 2 * n as u128)
             .ok_or(RpuError::NoPrime { degree: n })?;
         self.primes.insert(n, q);
         Ok(q)
@@ -185,6 +310,17 @@ pub struct CacheStats {
     pub misses: u64,
     /// Kernels currently cached.
     pub entries: usize,
+    /// Kernels evicted to stay within the LRU capacity.
+    pub evictions: u64,
+    /// The LRU bound, if the cache is bounded.
+    pub capacity: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    cached: CachedKernel,
+    /// Monotonic last-use stamp for LRU eviction.
+    stamp: u64,
 }
 
 /// A cache of generated kernels keyed by [`KernelKey`] — the `(op, n, q,
@@ -193,24 +329,48 @@ pub struct CacheStats {
 /// Sessions own one internally; the figure-regeneration binaries share
 /// one across sweeps. Generation is the expensive step (schedule
 /// construction, emission, list scheduling, and optionally functional
-/// verification), so a hit skips all of it.
+/// verification), so a hit skips all of it. An optional capacity bounds
+/// the cache with least-recently-used eviction so long-lived sessions
+/// serving diverse traffic cannot grow without limit.
 #[derive(Debug, Default)]
 pub struct KernelCache {
-    map: HashMap<KernelKey, CachedKernel>,
+    map: HashMap<KernelKey, CacheEntry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    capacity: Option<usize>,
+    tick: u64,
 }
 
 impl KernelCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache bounded to `capacity` entries (LRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "kernel cache capacity must be at least 1");
+        KernelCache {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// The LRU bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Returns the cached (or freshly generated) kernel for `spec`,
     /// plus whether it was a cache hit. With `verify` set, the entry is
     /// checked against its golden model on first need and the verdict is
-    /// cached alongside the kernel.
+    /// cached alongside the kernel. On a miss in a full bounded cache,
+    /// the least-recently-used entry is evicted first.
     ///
     /// # Errors
     ///
@@ -222,33 +382,61 @@ impl KernelCache {
         verify: bool,
     ) -> Result<(CachedKernel, bool), RpuError> {
         let key = spec.key();
+        self.tick += 1;
         let hit = self.map.contains_key(&key);
         if hit {
             self.hits += 1;
         } else {
             self.misses += 1;
             let kernel = Arc::new(spec.generate()?);
+            if let Some(cap) = self.capacity {
+                while self.map.len() >= cap {
+                    let lru = self
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(k, _)| *k)
+                        .expect("cache is non-empty");
+                    self.map.remove(&lru);
+                    self.evictions += 1;
+                }
+            }
             self.map.insert(
                 key,
-                CachedKernel {
-                    kernel,
-                    verified: None,
+                CacheEntry {
+                    cached: CachedKernel {
+                        kernel,
+                        verified: None,
+                    },
+                    stamp: 0,
                 },
             );
         }
+        let tick = self.tick;
         let entry = self.map.get_mut(&key).expect("inserted above");
-        if verify && entry.verified.is_none() {
-            entry.verified = Some(entry.kernel.verify().map_err(RpuError::Exec)?);
+        entry.stamp = tick;
+        if verify && entry.cached.verified.is_none() {
+            entry.cached.verified = Some(entry.cached.kernel.verify().map_err(RpuError::Exec)?);
         }
-        Ok((entry.clone(), hit))
+        Ok((entry.cached.clone(), hit))
     }
 
-    /// Hit/miss/occupancy counters.
+    /// The cached entry for `key`, without counting a hit or touching
+    /// LRU order — introspection only. (Verification verdicts travel on
+    /// the kernel itself, [`Kernel::verification`]; sessions use `peek`
+    /// to prune their timing memo after evictions.)
+    pub fn peek(&self, key: &KernelKey) -> Option<&CachedKernel> {
+        self.map.get(key).map(|e| &e.cached)
+    }
+
+    /// Hit/miss/occupancy/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             entries: self.map.len(),
+            evictions: self.evictions,
+            capacity: self.capacity,
         }
     }
 
@@ -263,26 +451,80 @@ impl KernelCache {
     }
 }
 
-/// A workload session on an [`Rpu`]: owns a [`KernelCache`] and a
-/// [`PrimeTable`] so repeated and batched runs amortize generation.
+/// The persistent device state of a session: the functional simulator
+/// holding VDM/SDM contents across dispatches, the resident-buffer
+/// allocator above the kernel workspace, and the identity of the kernel
+/// image currently loaded in the workspace.
+#[derive(Debug)]
+struct DeviceState {
+    sim: FunctionalSim,
+    /// Elements reserved for kernel working sets at the bottom of the
+    /// VDM (the configured VDM capacity).
+    workspace: usize,
+    heap: BufferAllocator,
+    /// The kernel whose constant image currently occupies the
+    /// workspace; dispatches of the same kernel skip the image rewrite.
+    loaded: Option<KernelKey>,
+}
+
+impl DeviceState {
+    fn new(workspace: usize, heap_elements: usize) -> Self {
+        DeviceState {
+            // Lazily grown: nothing is allocated until a dispatch or an
+            // upload actually needs device memory.
+            sim: FunctionalSim::new(0, 0),
+            workspace,
+            heap: BufferAllocator::new(workspace, heap_elements),
+            loaded: None,
+        }
+    }
+
+    /// Grows the simulator to cover the workspace requirement plus every
+    /// heap offset ever allocated.
+    fn ensure(&mut self, workspace_needed: usize, sdm_needed: usize) {
+        self.sim
+            .ensure_vdm(workspace_needed.max(self.heap.high_water_end()));
+        self.sim.ensure_sdm(sdm_needed.max(16));
+    }
+}
+
+/// A workload session on an [`Rpu`]: owns a [`KernelCache`], a
+/// [`PrimeTable`], and the device state — resident buffers plus the
+/// functional simulator they live in — so repeated, batched, and
+/// pipelined runs amortize generation *and* data movement.
 ///
-/// Created by [`Rpu::session`]. The first run of a spec pays the full
-/// generation + verification cost; every later run of an equal spec is
-/// a cache hit that goes straight to cycle timing. See the crate root
-/// for a migration note from the retired one-shot `run_ntt` API.
+/// Created by [`Rpu::session`]. Two styles of use:
+///
+/// * **One-shot**: [`run`](RpuSession::run) / [`ntt`](RpuSession::ntt)
+///   — upload-dispatch-download per call, kernel generation amortized by
+///   the cache. Every call pays the full host round trip.
+/// * **Resident**: [`upload`](RpuSession::upload) operands once,
+///   [`compile`](RpuSession::compile) kernels once per shape, then
+///   [`dispatch`](RpuSession::dispatch) chains over [`DeviceBuffer`]s;
+///   an L-op pipeline costs 1 upload + L dispatches + 1
+///   [`download`](RpuSession::download) instead of L round trips.
 #[derive(Debug)]
 pub struct RpuSession<'a> {
     rpu: &'a Rpu,
     cache: KernelCache,
     primes: PrimeTable,
+    device: DeviceState,
+    /// Memoized cycle-simulation results per kernel: timing is a pure
+    /// function of the program, so warm dispatches skip re-simulation.
+    timing: HashMap<KernelKey, SimStats>,
 }
 
 impl<'a> RpuSession<'a> {
     pub(crate) fn new(rpu: &'a Rpu) -> Self {
         RpuSession {
             rpu,
-            cache: KernelCache::new(),
-            primes: PrimeTable::new(),
+            cache: match rpu.kernel_cache_capacity() {
+                Some(cap) => KernelCache::with_capacity(cap),
+                None => KernelCache::new(),
+            },
+            primes: PrimeTable::with_bits(rpu.prime_bits()),
+            device: DeviceState::new(rpu.config().vdm_elements(), rpu.device_heap_elements()),
+            timing: HashMap::new(),
         }
     }
 
@@ -292,27 +534,358 @@ impl<'a> RpuSession<'a> {
     }
 
     /// The session's memoized default NTT prime for ring degree `n` —
-    /// the prime [`ntt`](RpuSession::ntt) and the figure binaries use.
+    /// the prime [`ntt`](RpuSession::ntt) and the figure binaries use
+    /// ([`Rpu::prime_bits`] wide).
     ///
     /// # Errors
     ///
-    /// Returns [`RpuError::NoPrime`] if no ~126-bit prime exists.
+    /// Returns [`RpuError::NoPrime`] if no such prime exists.
     pub fn primes_for(&mut self, n: usize) -> Result<u128, RpuError> {
         self.primes.ntt_prime(n)
     }
 
-    /// Runs one workload spec: generates (or recalls) the kernel,
-    /// verifies it against its golden model once per cache entry, and
-    /// cycle-times it on this session's RPU.
+    // ------------------------------------------------------------------
+    // Resident-buffer API
+    // ------------------------------------------------------------------
+
+    /// Allocates `len` elements of device-resident memory (contents
+    /// undefined until written).
     ///
     /// # Errors
     ///
-    /// Returns [`RpuError`] if generation or verification fails.
+    /// Returns [`RpuError::Buffer`] when the heap is exhausted.
+    pub fn alloc(&mut self, len: usize) -> Result<DeviceBuffer, RpuError> {
+        let buf = self.device.heap.alloc(len)?;
+        self.device.ensure(0, 0);
+        Ok(buf)
+    }
+
+    /// Uploads `data` into a freshly allocated device buffer (the one
+    /// host → device transfer of a resident pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] when the heap is exhausted.
+    pub fn upload(&mut self, data: &[u128]) -> Result<DeviceBuffer, RpuError> {
+        let buf = self.alloc(data.len())?;
+        self.device.sim.write_vdm(buf.offset_elements(), data);
+        Ok(buf)
+    }
+
+    /// Overwrites an existing device buffer with `data` (buffer reuse
+    /// instead of free + upload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles or a length
+    /// mismatch.
+    pub fn write(&mut self, buf: &DeviceBuffer, data: &[u128]) -> Result<(), RpuError> {
+        let (offset, len) = self.device.heap.resolve(buf)?;
+        if data.len() != len {
+            return Err(BufferError::LengthMismatch {
+                expected: len,
+                got: data.len(),
+            }
+            .into());
+        }
+        self.device.sim.write_vdm(offset, data);
+        Ok(())
+    }
+
+    /// Downloads a device buffer's contents (the one device → host
+    /// transfer of a resident pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles.
+    pub fn download(&mut self, buf: &DeviceBuffer) -> Result<Vec<u128>, RpuError> {
+        let (offset, len) = self.device.heap.resolve(buf)?;
+        Ok(self.device.sim.read_vdm(offset, len))
+    }
+
+    /// Frees a device buffer; the handle becomes stale and the space is
+    /// immediately reusable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles (double frees
+    /// included).
+    pub fn free(&mut self, buf: DeviceBuffer) -> Result<(), RpuError> {
+        Ok(self.device.heap.free(&buf)?)
+    }
+
+    /// Device-heap elements currently allocated.
+    pub fn device_mem_in_use(&self) -> usize {
+        self.device.heap.in_use()
+    }
+
+    /// Number of live device buffers.
+    pub fn live_buffers(&self) -> usize {
+        self.device.heap.live_buffers()
+    }
+
+    /// Device-heap capacity in elements
+    /// ([`RpuBuilder::device_heap_elements`]).
+    pub fn device_heap_capacity(&self) -> usize {
+        self.device.heap.capacity()
+    }
+
+    /// Compiles (or recalls) the kernel for `spec` and verifies it once
+    /// against its golden model — the per-*shape* step of the
+    /// accelerator-runtime model. The result is what
+    /// [`dispatch`](RpuSession::dispatch) binds data to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation fails or verification
+    /// *faults*. A clean verification mismatch is not an error: the
+    /// verdict is memoized on the kernel ([`Kernel::verification`]) and
+    /// surfaces as `verified: false` on every report.
+    pub fn compile<S: KernelSpec + ?Sized>(&mut self, spec: &S) -> Result<Arc<Kernel>, RpuError> {
+        let (entry, _) = self.cache.get_or_generate(spec, true)?;
+        Ok(entry.kernel)
+    }
+
+    /// Dispatches a compiled kernel over device-resident buffers: binds
+    /// `inputs` to the kernel's operand windows with on-device copies,
+    /// executes the program on the session's persistent simulator, and
+    /// writes the result into `outputs[0]` — **no host data movement**.
+    /// Consecutive dispatches of the same kernel also skip reloading its
+    /// constant image (`transfer.image_reused`).
+    ///
+    /// The report's `verified` flag is the verdict memoized on the
+    /// kernel itself ([`Kernel::verification`]), so it survives cache
+    /// eviction; `cache_hit` is always `true` — a dispatch never
+    /// generates anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles, operand-count or
+    /// length mismatches, or a kernel too large for the workspace, and
+    /// [`RpuError::Exec`] if the program faults.
+    pub fn dispatch(
+        &mut self,
+        kernel: &Arc<Kernel>,
+        inputs: &[DeviceBuffer],
+        outputs: &[DeviceBuffer],
+    ) -> Result<RunReport, RpuError> {
+        let key = kernel.key();
+        let verified = kernel.verification().unwrap_or(false);
+        let cache_hit = true;
+        let transfer = self.dispatch_raw(kernel, inputs, outputs)?;
+        let stats = self.timed(kernel);
+        let mut report =
+            self.rpu
+                .assemble_report(kernel.program(), key, Some(stats), verified, cache_hit);
+        report.transfer = transfer;
+        Ok(report)
+    }
+
+    /// The data-movement core of a dispatch (no timing, no report).
+    fn dispatch_raw(
+        &mut self,
+        kernel: &Kernel,
+        inputs: &[DeviceBuffer],
+        outputs: &[DeviceBuffer],
+    ) -> Result<TransferStats, RpuError> {
+        if inputs.len() != kernel.arity() {
+            return Err(BufferError::ArityMismatch {
+                expected: kernel.arity(),
+                got: inputs.len(),
+            }
+            .into());
+        }
+        if outputs.len() != 1 {
+            return Err(BufferError::ArityMismatch {
+                expected: 1,
+                got: outputs.len(),
+            }
+            .into());
+        }
+        let workspace_needed = kernel.total_elements();
+        if workspace_needed > self.device.workspace {
+            return Err(BufferError::WorkspaceOverflow {
+                required: workspace_needed,
+                capacity: self.device.workspace,
+            }
+            .into());
+        }
+        // Resolve every handle before touching device state.
+        let mut in_locs = Vec::with_capacity(inputs.len());
+        for (buf, &(_, need)) in inputs.iter().zip(kernel.input_ranges()) {
+            let (offset, len) = self.device.heap.resolve(buf)?;
+            if len != need {
+                return Err(BufferError::LengthMismatch {
+                    expected: need,
+                    got: len,
+                }
+                .into());
+            }
+            in_locs.push(offset);
+        }
+        let (out_ws, out_len) = kernel.output_range();
+        let (out_offset, got) = self.device.heap.resolve(&outputs[0])?;
+        if got != out_len {
+            return Err(BufferError::LengthMismatch {
+                expected: out_len,
+                got,
+            }
+            .into());
+        }
+
+        self.device.ensure(workspace_needed, kernel.sdm_elements());
+        let mut transfer = TransferStats::default();
+
+        // Load the kernel's constant image unless it is already resident.
+        if self.device.loaded != Some(kernel.key()) {
+            kernel.load_into(&mut self.device.sim);
+            transfer.image_elements = kernel.total_elements();
+            self.device.loaded = Some(kernel.key());
+        } else {
+            transfer.image_reused = true;
+        }
+
+        // Bind operands: heap → workspace, entirely on-device.
+        for (&src, &(dst, len)) in in_locs.iter().zip(kernel.input_ranges()) {
+            self.device.sim.copy_vdm(dst, src, len);
+            transfer.device_copies += len;
+        }
+
+        // Generated programs assume `a0 = 0`; re-assert it in case a
+        // previous program loaded address registers.
+        self.device.sim.set_arf(AReg::at(0), 0);
+        if let Err(e) = self.device.sim.run(kernel.program()) {
+            // The workspace may hold a partial image now.
+            self.device.loaded = None;
+            return Err(RpuError::Exec(e));
+        }
+
+        // Result write-back: workspace → heap, still on-device.
+        self.device.sim.copy_vdm(out_offset, out_ws, out_len);
+        transfer.device_copies += out_len;
+        Ok(transfer)
+    }
+
+    /// The memoized cycle-simulation result for a kernel.
+    fn timed(&mut self, kernel: &Kernel) -> SimStats {
+        let rpu = self.rpu;
+        let key = kernel.key();
+        let stats = self
+            .timing
+            .entry(key)
+            .or_insert_with(|| rpu.time(kernel.program()))
+            .clone();
+        // With a bounded kernel cache, keep the timing memo bounded too:
+        // once it outgrows the cache, drop timings for evicted kernels
+        // (keeping the one just used, which may be dispatch-only).
+        if let Some(cap) = self.cache.capacity() {
+            if self.timing.len() > cap {
+                let cache = &self.cache;
+                self.timing
+                    .retain(|k, _| *k == key || cache.peek(k).is_some());
+            }
+        }
+        stats
+    }
+
+    // ------------------------------------------------------------------
+    // One-shot conveniences (upload-dispatch-download per call)
+    // ------------------------------------------------------------------
+
+    /// Runs one workload spec on caller-supplied operands: compiles (or
+    /// recalls) the kernel, uploads the operands, dispatches, and
+    /// downloads the result — one full round trip. Chained workloads
+    /// should hold [`DeviceBuffer`]s and [`dispatch`](RpuSession::dispatch)
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation, allocation, or execution
+    /// fails, or if operand counts/lengths mismatch the kernel.
+    pub fn run_with<S: KernelSpec + ?Sized>(
+        &mut self,
+        spec: &S,
+        operands: &[&[u128]],
+    ) -> Result<(Vec<u128>, RunReport), RpuError> {
+        let (entry, hit) = self.cache.get_or_generate(spec, true)?;
+        self.round_trip(entry, hit, operands)
+    }
+
+    /// Shared upload-dispatch-download core of [`run`](RpuSession::run)
+    /// and [`run_with`](RpuSession::run_with) (one cache lookup already
+    /// done by the caller).
+    fn round_trip(
+        &mut self,
+        entry: CachedKernel,
+        hit: bool,
+        operands: &[&[u128]],
+    ) -> Result<(Vec<u128>, RunReport), RpuError> {
+        let kernel = entry.kernel;
+        if operands.len() != kernel.arity() {
+            return Err(BufferError::ArityMismatch {
+                expected: kernel.arity(),
+                got: operands.len(),
+            }
+            .into());
+        }
+        let mut transfer = TransferStats::default();
+        let mut buffers = Vec::with_capacity(operands.len() + 1);
+        let result: Result<Vec<u128>, RpuError> = (|| {
+            let mut inputs = Vec::with_capacity(operands.len());
+            for op in operands {
+                let buf = self.upload(op)?;
+                transfer.host_to_device += buf.len();
+                buffers.push(buf);
+                inputs.push(buf);
+            }
+            let out = self.alloc(kernel.output_range().1)?;
+            buffers.push(out);
+            let t = self.dispatch_raw(&kernel, &inputs, &[out])?;
+            transfer.device_copies = t.device_copies;
+            transfer.image_elements = t.image_elements;
+            transfer.image_reused = t.image_reused;
+            let data = self.download(&out)?;
+            transfer.device_to_host += data.len();
+            Ok(data)
+        })();
+        // Scratch buffers never outlive the call, success or not.
+        for buf in buffers {
+            let _ = self.device.heap.free(&buf);
+        }
+        let data = result?;
+        let stats = self.timed(&kernel);
+        let mut report = self.rpu.assemble_report(
+            kernel.program(),
+            kernel.key(),
+            Some(stats),
+            entry.verified.unwrap_or(false),
+            hit,
+        );
+        report.transfer = transfer;
+        Ok((data, report))
+    }
+
+    /// Runs one workload spec end to end on deterministic synthetic
+    /// operands — a thin upload-dispatch-download convenience over the
+    /// resident-buffer path. The first run of a spec pays kernel
+    /// generation + golden-model verification; warm runs reuse the
+    /// cached kernel and memoized cycle timing but still pay the full
+    /// per-call data round trip, *including* a lane-exact functional
+    /// execution of the kernel (that is what a run now is). Chained
+    /// workloads should [`dispatch`](RpuSession::dispatch) over resident
+    /// buffers; sweeps that only need cycle timing can hold the
+    /// [`kernel`](RpuSession::kernel) and reuse one report's `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation, verification, or execution
+    /// fails.
     pub fn run<S: KernelSpec + ?Sized>(&mut self, spec: &S) -> Result<RunReport, RpuError> {
         let (entry, hit) = self.cache.get_or_generate(spec, true)?;
-        Ok(self
-            .rpu
-            .report(&entry.kernel, entry.verified.unwrap_or(false), hit))
+        let operands = entry.kernel.synthetic_operands();
+        let refs: Vec<&[u128]> = operands.iter().map(Vec::as_slice).collect();
+        let (_, report) = self.round_trip(entry, hit, &refs)?;
+        Ok(report)
     }
 
     /// Runs a heterogeneous batch of specs in order, returning one
@@ -342,14 +915,14 @@ impl<'a> RpuSession<'a> {
 
     /// The cached kernel for `spec` (generated and verified on first
     /// use), for callers that want to execute it on their own data via
-    /// [`Kernel::execute`] rather than just time it.
+    /// [`Kernel::execute`] rather than just time it. Alias of
+    /// [`compile`](RpuSession::compile).
     ///
     /// # Errors
     ///
     /// Returns [`RpuError`] if generation or verification fails.
     pub fn kernel<S: KernelSpec + ?Sized>(&mut self, spec: &S) -> Result<Arc<Kernel>, RpuError> {
-        let (entry, _) = self.cache.get_or_generate(spec, true)?;
-        Ok(entry.kernel)
+        self.compile(spec)
     }
 
     /// Hit/miss/occupancy counters of the session's kernel cache.
@@ -382,6 +955,40 @@ mod tests {
             Rpu::builder().clock_ghz(f64::NAN).build(),
             Err(RpuError::Config(_))
         ));
+    }
+
+    #[test]
+    fn builder_validates_prime_bits() {
+        for bad in [0, 1, 127, 128, 200] {
+            assert!(
+                matches!(
+                    Rpu::builder().prime_bits(bad).build(),
+                    Err(RpuError::Config(_))
+                ),
+                "prime_bits({bad}) must be rejected"
+            );
+        }
+        let rpu = Rpu::builder().prime_bits(60).build().unwrap();
+        assert_eq!(rpu.prime_bits(), 60);
+        let q = rpu.session().primes_for(1024).unwrap();
+        assert_eq!(q, rpu_arith::find_ntt_prime_u128(60, 2048).unwrap());
+        assert!(q < 1u128 << 61);
+    }
+
+    #[test]
+    fn builder_validates_cache_and_heap() {
+        assert!(matches!(
+            Rpu::builder().kernel_cache_capacity(0).build(),
+            Err(RpuError::Config(_))
+        ));
+        // workspace (default 4 MiB = 262144 elements) + 2M-element heap
+        // exceeds the 32 MiB architectural VDM
+        assert!(matches!(
+            Rpu::builder().device_heap_elements(2 << 20).build(),
+            Err(RpuError::Config(_))
+        ));
+        let rpu = Rpu::builder().device_heap_elements(8192).build().unwrap();
+        assert_eq!(rpu.session().device_heap_capacity(), 8192);
     }
 
     #[test]
@@ -427,5 +1034,136 @@ mod tests {
         assert!(first.verified && second.verified);
         let stats = s.cache_stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // the one-shot path pays the round trip both times
+        assert_eq!(first.transfer.host_to_device, 2048);
+        assert_eq!(second.transfer.host_to_device, 2048);
+        assert_eq!(second.transfer.device_to_host, 1024);
+        // …but reuses the resident kernel image on the warm run
+        assert!(!first.transfer.image_reused);
+        assert!(second.transfer.image_reused);
+        // scratch buffers are freed after each run
+        assert_eq!(s.device_mem_in_use(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_is_counted_and_bounded() {
+        let rpu = Rpu::builder().kernel_cache_capacity(2).build().unwrap();
+        let mut s = rpu.session();
+        let q = s.primes_for(1024).unwrap();
+        let spec = |op| ElementwiseSpec::new(op, 1024, q, CodegenStyle::Optimized);
+        s.run(&spec(ElementwiseOp::MulMod)).unwrap();
+        s.run(&spec(ElementwiseOp::AddMod)).unwrap();
+        // touch MulMod so AddMod is the LRU victim
+        s.run(&spec(ElementwiseOp::MulMod)).unwrap();
+        s.run(&spec(ElementwiseOp::SubMod)).unwrap(); // evicts AddMod
+        let stats = s.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.capacity, Some(2));
+        // MulMod survived (hit); AddMod regenerates (miss + eviction)
+        let before = s.cache_stats().misses;
+        s.run(&spec(ElementwiseOp::MulMod)).unwrap();
+        assert_eq!(s.cache_stats().misses, before);
+        s.run(&spec(ElementwiseOp::AddMod)).unwrap();
+        assert_eq!(s.cache_stats().misses, before + 1);
+        assert_eq!(s.cache_stats().evictions, 2);
+    }
+
+    #[test]
+    fn resident_chain_avoids_host_traffic() {
+        let rpu = Rpu::builder().build().unwrap();
+        let mut s = rpu.session();
+        let q = s.primes_for(1024).unwrap();
+        let add = s
+            .compile(&ElementwiseSpec::new(
+                ElementwiseOp::AddMod,
+                1024,
+                q,
+                CodegenStyle::Optimized,
+            ))
+            .unwrap();
+        let ones = vec![1u128; 1024];
+        let x = s.upload(&ones).unwrap();
+        let acc = s.upload(&ones).unwrap();
+        let tmp = s.alloc(1024).unwrap();
+        // acc += x, seven times, ping-ponging acc <-> tmp
+        let (mut cur, mut other) = (acc, tmp);
+        for i in 0..7 {
+            let r = s.dispatch(&add, &[cur, x], &[other]).unwrap();
+            assert_eq!(r.transfer.host_to_device, 0, "dispatch is host-free");
+            assert_eq!(r.transfer.device_to_host, 0);
+            assert_eq!(r.transfer.image_reused, i > 0);
+            std::mem::swap(&mut cur, &mut other);
+        }
+        assert_eq!(s.download(&cur).unwrap(), vec![8u128; 1024]);
+        // the dispatch-path report carries the same timing as run()
+        let via_run = s
+            .run(&ElementwiseSpec::new(
+                ElementwiseOp::AddMod,
+                1024,
+                q,
+                CodegenStyle::Optimized,
+            ))
+            .unwrap();
+        let via_dispatch = s.dispatch(&add, &[cur, x], &[other]).unwrap();
+        assert_eq!(via_run.stats.cycles, via_dispatch.stats.cycles);
+    }
+
+    #[test]
+    fn dispatch_verdict_survives_cache_eviction() {
+        let rpu = Rpu::builder().kernel_cache_capacity(1).build().unwrap();
+        let mut s = rpu.session();
+        let q = s.primes_for(1024).unwrap();
+        let mul = s
+            .compile(&ElementwiseSpec::new(
+                ElementwiseOp::MulMod,
+                1024,
+                q,
+                CodegenStyle::Optimized,
+            ))
+            .unwrap();
+        // evict the MulMod entry from the 1-entry cache…
+        s.compile(&ElementwiseSpec::new(
+            ElementwiseOp::AddMod,
+            1024,
+            q,
+            CodegenStyle::Optimized,
+        ))
+        .unwrap();
+        assert_eq!(s.cache_stats().evictions, 1);
+        // …but the verdict travels with the Arc<Kernel>, not the cache
+        let x = s.upload(&vec![2u128; 1024]).unwrap();
+        let y = s.alloc(1024).unwrap();
+        let report = s.dispatch(&mul, &[x, x], &[y]).unwrap();
+        assert!(report.verified, "compile()'s verification must survive");
+        assert_eq!(s.download(&y).unwrap(), vec![4u128; 1024]);
+    }
+
+    #[test]
+    fn default_heap_respects_architectural_vdm() {
+        // A maximal 32 MiB configured VDM leaves no room for a resident
+        // heap: the default must clamp to zero rather than model 64 MiB.
+        let config = RpuConfig {
+            vdm_bytes: rpu_isa::consts::VDM_MAX_BYTES,
+            ..RpuConfig::pareto_128x128()
+        };
+        let max_elems = rpu_isa::consts::VDM_MAX_BYTES / rpu_isa::consts::ELEM_BYTES;
+        let rpu = Rpu::builder().config(config).build().unwrap();
+        assert_eq!(rpu.device_heap_elements(), 0);
+        // an explicit heap that would overflow is still an error
+        assert!(matches!(
+            Rpu::builder()
+                .config(config)
+                .device_heap_elements(1)
+                .build(),
+            Err(RpuError::Config(_))
+        ));
+        // a half-max VDM gets the full complementary heap by default
+        let half = RpuConfig {
+            vdm_bytes: rpu_isa::consts::VDM_MAX_BYTES / 2,
+            ..RpuConfig::pareto_128x128()
+        };
+        let rpu = Rpu::builder().config(half).build().unwrap();
+        assert_eq!(rpu.device_heap_elements(), max_elems / 2);
     }
 }

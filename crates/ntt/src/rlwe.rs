@@ -34,11 +34,52 @@ pub struct SecretKey {
     s: Polynomial,
 }
 
+impl SecretKey {
+    /// The secret polynomial's natural-order coefficients (converted
+    /// back out of evaluation form) — what an accelerator runtime
+    /// uploads before transforming the key on-device.
+    pub fn s_coeffs(&self) -> Vec<u128> {
+        self.s.coeffs()
+    }
+}
+
 /// A symmetric RLWE ciphertext `(a, b)`.
 #[derive(Debug, Clone)]
 pub struct Ciphertext {
     a: Polynomial,
     b: Polynomial,
+}
+
+impl Ciphertext {
+    /// The mask component `a`.
+    pub fn a(&self) -> &Polynomial {
+        &self.a
+    }
+
+    /// The payload component `b = a·s + e + Δ·m`.
+    pub fn b(&self) -> &Polynomial {
+        &self.b
+    }
+
+    /// Rebuilds a ciphertext from natural-order coefficient vectors
+    /// (e.g. downloaded from an accelerator); both components are
+    /// converted to the evaluation form ciphertexts are stored in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidDegree`] if either length does not
+    /// match the context's ring degree.
+    pub fn from_coeff_parts(
+        ctx: &RlweContext,
+        a: Vec<u128>,
+        b: Vec<u128>,
+    ) -> Result<Self, NttError> {
+        let mut a = Polynomial::from_coeffs(&ctx.plan, a)?;
+        let mut b = Polynomial::from_coeffs(&ctx.plan, b)?;
+        a.to_evaluation();
+        b.to_evaluation();
+        Ok(Ciphertext { a, b })
+    }
 }
 
 /// The encryption/decryption context.
@@ -121,6 +162,43 @@ impl RlweContext {
         self.params
     }
 
+    /// The shared ring context (NTT plan) ciphertext polynomials use.
+    pub fn plan(&self) -> &Arc<Ntt128Plan> {
+        &self.plan
+    }
+
+    /// The plaintext scaling factor `Δ = ⌊q/t⌋`.
+    pub fn delta(&self) -> u128 {
+        self.delta
+    }
+
+    /// The randomness front half of [`encrypt`](RlweContext::encrypt):
+    /// samples the uniform mask `a` and the payload `Δ·m + e`, both as
+    /// natural-order coefficient vectors. Exposed so an accelerator
+    /// runtime can draw the *same* randomness stream as the host path
+    /// and finish `b = a·s + payload` on-device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != n`.
+    pub fn sample_mask_and_payload(
+        &self,
+        message: &[u128],
+        rng: &mut Splitmix,
+    ) -> (Vec<u128>, Vec<u128>) {
+        assert_eq!(message.len(), self.params.n, "message length must equal n");
+        let n = self.params.n;
+        let q = self.params.q;
+        let a_coeffs: Vec<u128> = (0..n).map(|_| rng.below(q)).collect();
+        let payload: Vec<u128> = message
+            .iter()
+            .map(|&m| (m % self.params.t) * self.delta % q)
+            .zip((0..n).map(|_| rng.small_error(q)))
+            .map(|(m, e)| (m + e) % q)
+            .collect();
+        (a_coeffs, payload)
+    }
+
     /// Samples a ternary secret key.
     pub fn keygen(&self, rng: &mut Splitmix) -> SecretKey {
         let coeffs: Vec<u128> = (0..self.params.n)
@@ -137,28 +215,12 @@ impl RlweContext {
     ///
     /// Panics if `message.len() != n`.
     pub fn encrypt(&self, sk: &SecretKey, message: &[u128], rng: &mut Splitmix) -> Ciphertext {
-        assert_eq!(message.len(), self.params.n, "message length must equal n");
-        let n = self.params.n;
-        let q = self.params.q;
-        // uniform a
-        let a_coeffs: Vec<u128> = (0..n).map(|_| rng.below(q)).collect();
+        let (a_coeffs, payload_coeffs) = self.sample_mask_and_payload(message, rng);
         let mut a = Polynomial::from_coeffs(&self.plan, a_coeffs).expect("length matches");
         a.to_evaluation();
         // b = a*s + e + delta*m
-        let scaled: Vec<u128> = message
-            .iter()
-            .map(|&m| (m % self.params.t) * self.delta % q)
-            .collect();
-        let noise: Vec<u128> = (0..n).map(|_| rng.small_error(q)).collect();
-        let mut payload = Polynomial::from_coeffs(
-            &self.plan,
-            scaled
-                .iter()
-                .zip(&noise)
-                .map(|(&m, &e)| (m + e) % q)
-                .collect(),
-        )
-        .expect("length matches");
+        let mut payload =
+            Polynomial::from_coeffs(&self.plan, payload_coeffs).expect("length matches");
         payload.to_evaluation();
         let b = a.mul(&sk.s).add(&payload);
         Ciphertext { a, b }
@@ -185,6 +247,14 @@ impl RlweContext {
         Ciphertext {
             a: x.a.add(&y.a),
             b: x.b.add(&y.b),
+        }
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            a: x.a.sub(&y.a),
+            b: x.b.sub(&y.b),
         }
     }
 
@@ -277,6 +347,55 @@ mod tests {
         assert_eq!(got[0], 65537 - n as u128);
         assert_eq!(got[1], msg[0]);
         assert_eq!(got[n - 1], msg[n - 2]);
+    }
+
+    #[test]
+    fn homomorphic_subtraction() {
+        let c = ctx(64);
+        let mut rng = Splitmix::new(11);
+        let sk = c.keygen(&mut rng);
+        let m1: Vec<u128> = (0..64).map(|i| 500 + i).collect();
+        let m2: Vec<u128> = (0..64).map(|i| i % 100).collect();
+        let ct = c.sub(
+            &c.encrypt(&sk, &m1, &mut rng),
+            &c.encrypt(&sk, &m2, &mut rng),
+        );
+        let expect: Vec<u128> = m1.iter().zip(&m2).map(|(&a, &b)| a - b).collect();
+        assert_eq!(c.decrypt(&sk, &ct), expect);
+    }
+
+    #[test]
+    fn sampling_front_half_matches_encrypt() {
+        // Same seed through sample_mask_and_payload + manual assembly
+        // must reproduce encrypt() exactly.
+        let c = ctx(64);
+        let mut rng1 = Splitmix::new(77);
+        let mut rng2 = rng1.clone();
+        let sk = c.keygen(&mut rng1);
+        let _ = c.keygen(&mut rng2); // advance identically
+        let msg: Vec<u128> = (0..64).map(|i| i * 3 % 65537).collect();
+        let ct = c.encrypt(&sk, &msg, &mut rng1);
+        let (a_coeffs, payload) = c.sample_mask_and_payload(&msg, &mut rng2);
+        let mut a = Polynomial::from_coeffs(c.plan(), a_coeffs).unwrap();
+        let mut p = Polynomial::from_coeffs(c.plan(), payload).unwrap();
+        a.to_evaluation();
+        p.to_evaluation();
+        let b = a.mul(&sk.s).add(&p);
+        assert_eq!(ct.a().values(), a.values());
+        assert_eq!(ct.b().values(), b.values());
+    }
+
+    #[test]
+    fn coeff_parts_round_trip() {
+        let c = ctx(32);
+        let mut rng = Splitmix::new(5);
+        let sk = c.keygen(&mut rng);
+        let msg: Vec<u128> = (0..32).map(|i| i * 7 % 65537).collect();
+        let ct = c.encrypt(&sk, &msg, &mut rng);
+        let rebuilt = Ciphertext::from_coeff_parts(&c, ct.a().coeffs(), ct.b().coeffs()).unwrap();
+        assert_eq!(rebuilt.a().values(), ct.a().values());
+        assert_eq!(c.decrypt(&sk, &rebuilt), msg);
+        assert!(Ciphertext::from_coeff_parts(&c, vec![0; 31], vec![0; 32]).is_err());
     }
 
     #[test]

@@ -130,6 +130,51 @@ impl FunctionalSim {
         FunctionalSim::new(config.vdm_elements(), config.sdm_elements())
     }
 
+    /// Current VDM capacity in elements.
+    pub fn vdm_capacity(&self) -> usize {
+        self.vdm.len()
+    }
+
+    /// Current SDM capacity in elements.
+    pub fn sdm_capacity(&self) -> usize {
+        self.sdm.len()
+    }
+
+    /// Grows the VDM to at least `elements` (zero-filling the new tail);
+    /// never shrinks, and existing contents are preserved. This models a
+    /// host that instantiated a larger VDM macro — the session layer uses
+    /// it to lay out a resident-buffer heap above kernel workspaces.
+    pub fn ensure_vdm(&mut self, elements: usize) {
+        if elements > self.vdm.len() {
+            self.vdm.resize(elements, 0);
+        }
+    }
+
+    /// Grows the SDM to at least `elements`; see
+    /// [`ensure_vdm`](FunctionalSim::ensure_vdm).
+    pub fn ensure_sdm(&mut self, elements: usize) {
+        if elements > self.sdm.len() {
+            self.sdm.resize(elements, 0);
+        }
+    }
+
+    /// Copies `len` elements inside the VDM from `src` to `dst` (the
+    /// on-device transfer a dispatch uses to bind resident buffers to a
+    /// kernel's operand windows — no host round trip). Overlapping
+    /// ranges behave like `memmove`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range exceeds VDM capacity.
+    pub fn copy_vdm(&mut self, dst: usize, src: usize, len: usize) {
+        assert!(src + len <= self.vdm.len(), "copy_vdm source out of bounds");
+        assert!(
+            dst + len <= self.vdm.len(),
+            "copy_vdm destination out of bounds"
+        );
+        self.vdm.copy_within(src..src + len, dst);
+    }
+
     /// Writes elements into the VDM at an element offset.
     ///
     /// # Panics
@@ -560,6 +605,31 @@ mod tests {
         let p = parse_asm("b", "vbroadcast v9, [a0 + 7]\n").unwrap();
         f.run(&p).unwrap();
         assert!(f.vreg(VReg::at(9)).iter().all(|&v| v == 1234));
+    }
+
+    #[test]
+    fn growth_preserves_contents_and_copy_moves_data() {
+        let mut f = FunctionalSim::new(16, 4);
+        f.write_vdm(0, &[1, 2, 3, 4]);
+        f.ensure_vdm(1024);
+        assert_eq!(f.vdm_capacity(), 1024);
+        assert_eq!(f.read_vdm(0, 4), vec![1, 2, 3, 4]);
+        f.ensure_vdm(8); // never shrinks
+        assert_eq!(f.vdm_capacity(), 1024);
+        f.copy_vdm(1000, 0, 4);
+        assert_eq!(f.read_vdm(1000, 4), vec![1, 2, 3, 4]);
+        // overlapping copy behaves like memmove
+        f.copy_vdm(1, 0, 4);
+        assert_eq!(f.read_vdm(0, 5), vec![1, 1, 2, 3, 4]);
+        f.ensure_sdm(64);
+        assert_eq!(f.sdm_capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination out of bounds")]
+    fn copy_vdm_checks_bounds() {
+        let mut f = FunctionalSim::new(16, 4);
+        f.copy_vdm(14, 0, 4);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! An end-to-end homomorphic-encryption workload (the application class
 //! that motivates the RPU): encrypt sensor readings under a symmetric
-//! RLWE key, compute an encrypted weighted sum, decrypt, and account for
-//! what the RPU would accelerate.
+//! RLWE key, compute an encrypted weighted sum, and decrypt — with the
+//! entire ciphertext pipeline running **on the simulated RPU** through
+//! [`rpu::RlweEvaluator`]. Ciphertexts stay resident in device memory
+//! between operations; the host only samples randomness, uploads
+//! plaintexts, and downloads the final noisy polynomial.
 //!
 //! Run with: `cargo run --release --example he_workload`
 
-use rpu::ntt::rlwe::{RlweContext, RlweParams, Splitmix};
-use rpu::{CodegenStyle, Direction, NttSpec, Rpu};
+use rpu::ntt::rlwe::{RlweParams, Splitmix};
+use rpu::{CodegenStyle, RlweEvaluator, Rpu};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ring parameters: n = 2048 (a realistic lattice dimension the RPU
@@ -15,66 +18,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = rpu::smoke_cap(2048);
     let q = rpu::arith::find_ntt_prime_u128(100, 2 * n as u128).expect("prime exists");
     let params = RlweParams { n, q, t: 65537 };
-    let ctx = RlweContext::new(params)?;
-    let mut rng = Splitmix::new(0xB512);
-    let sk = ctx.keygen(&mut rng);
 
-    // Three "sensor" vectors, encrypted independently.
+    let rpu = Rpu::builder().build()?;
+    let mut eval = RlweEvaluator::new(&rpu, params, CodegenStyle::Optimized)?;
+    let mut rng = Splitmix::new(0xB512);
+    eval.keygen(&mut rng)?;
+
+    // Three "sensor" vectors, encrypted on-device (the mask·key product
+    // and payload addition are kernel dispatches, not host math).
     let readings: Vec<Vec<u128>> = (0..3)
         .map(|s| (0..n).map(|i| ((i as u128 + 1) * (s + 1)) % 1000).collect())
         .collect();
     let cts: Vec<_> = readings
         .iter()
-        .map(|r| ctx.encrypt(&sk, r, &mut rng))
-        .collect();
+        .map(|r| eval.encrypt(r, &mut rng))
+        .collect::<Result<_, _>>()?;
     println!(
-        "encrypted {} vectors of {n} values each (q ~ 2^100, t = 65537)",
+        "encrypted {} vectors of {n} values each on-RPU (q ~ 2^100, t = 65537)",
         cts.len()
     );
 
     // Encrypted computation: weighted sum 1*x0 + 2*x1 + 3*x2, the weights
-    // applied as tiny plaintext polynomials (constant term only).
+    // applied as tiny plaintext polynomials (constant term only). Every
+    // operation is a chain of dispatches over resident ciphertexts.
     let weight = |w: u128| {
         let mut p = vec![0u128; n];
         p[0] = w;
         p
     };
-    let combined = ctx.add(
-        &ctx.add(
-            &ctx.mul_plain(&cts[0], &weight(1)),
-            &ctx.mul_plain(&cts[1], &weight(2)),
-        ),
-        &ctx.mul_plain(&cts[2], &weight(3)),
-    );
-    let decrypted = ctx.decrypt(&sk, &combined);
-    for i in [0usize, 1, 1000, n - 1] {
+    let w0 = eval.mul_plain(&cts[0], &weight(1))?;
+    let w1 = eval.mul_plain(&cts[1], &weight(2))?;
+    let w2 = eval.mul_plain(&cts[2], &weight(3))?;
+    let partial = eval.add(&w0, &w1)?;
+    let combined = eval.add(&partial, &w2)?;
+
+    // Decrypt: b - a*s and the inverse NTT run on-device too; only the
+    // noisy coefficient vector is downloaded for rounding.
+    let decrypted = eval.decrypt(&combined)?;
+    for i in [0usize, 1, 1000.min(n - 1), n - 1] {
         let expect = (readings[0][i] + 2 * readings[1][i] + 3 * readings[2][i]) % 65537;
         assert_eq!(decrypted[i], expect, "slot {i}");
     }
-    println!("homomorphic weighted sum verified after decryption");
+    println!("homomorphic weighted sum verified after on-RPU decryption");
 
-    // Accounting: every encrypt is 2 NTT-domain products, every
-    // mul_plain is 2, every decrypt 1 — all negacyclic polynomial
-    // multiplications, each costing 2 forward NTTs + 1 inverse on a CPU
-    // (amortized). Ask the RPU model what that traffic costs on silicon:
-    // the session generates the kernel once and replays it per transform,
-    // exactly how this traffic would be served.
-    let rpu = Rpu::builder().build()?;
-    let mut session = rpu.session();
-    let spec = NttSpec::new(n, q, Direction::Forward, CodegenStyle::Optimized);
-    let ntt_count = 3 * 2 + 3 * 2 + 1; // encrypts + plain-mults + decrypt
-    let mut fwd = session.run(&spec)?; // generates + verifies the kernel
-    let mut total_us = fwd.runtime_us;
-    for _ in 1..ntt_count {
-        fwd = session.run(&spec)?; // cache hits from here on
-        total_us += fwd.runtime_us;
-    }
-    let stats = session.cache_stats();
+    // Accounting: the whole workload was served by six cached kernel
+    // shapes; everything after compilation is dispatch traffic over
+    // resident buffers.
+    let dispatches = eval.dispatch_count();
+    let us = eval.simulated_us();
+    let stats = eval.session().cache_stats();
     println!(
-        "\nworkload NTT traffic: {ntt_count} transforms of {n} points;\n\
-         RPU time (simulated): {total_us:.2} us total at {:.2} us per transform,\n\
-         kernels generated: {} ({} cache hits), functionally verified: {}",
-        fwd.runtime_us, stats.misses, stats.hits, fwd.verified
+        "\nworkload traffic: {dispatches} kernel dispatches, {us:.2} us simulated \
+         RPU time ({:.2} us per dispatch);\n\
+         kernel shapes compiled: {} (cache entries: {}), resident elements in \
+         use: {}",
+        us / dispatches as f64,
+        stats.misses,
+        stats.entries,
+        eval.session().device_mem_in_use(),
     );
     Ok(())
 }

@@ -1,13 +1,14 @@
 //! An RLWE-style workload end to end: homomorphic-multiplication-shaped
 //! polynomial arithmetic where every tower's negacyclic product runs
-//! **on the RPU** as a single fused kernel (forward NTT ×2 → pointwise
-//! multiply → inverse NTT) and the result is checked against the scalar
-//! reference library.
+//! **on the RPU** over device-resident buffers — each tower's residues
+//! are uploaded once, the fused convolution kernel (forward NTT ×2 →
+//! pointwise multiply → inverse NTT) is dispatched over them with no
+//! host round trips, and only the product comes back down.
 //!
 //! The scenario follows Fig. 1 of the paper: a wide-coefficient
 //! ciphertext polynomial is decomposed into RNS towers; each tower's
-//! negacyclic product is one [`rpu::ConvolutionSpec`] kernel launch on
-//! the session, and the towers are then CRT-recombined.
+//! negacyclic product is one kernel dispatch, and the towers are then
+//! CRT-recombined.
 //!
 //! Run with: `cargo run --release --example poly_mult_pipeline`
 
@@ -34,19 +35,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tower_products: Vec<Vec<u128>> = Vec::new();
 
     for (t, &q) in primes.iter().enumerate() {
-        // Per-tower residues.
+        // Per-tower residues, uploaded ONCE into device-resident buffers.
         let a_t: Vec<u128> = a_coeffs.iter().map(|&c| c % q).collect();
         let b_t: Vec<u128> = b_coeffs.iter().map(|&c| c % q).collect();
+        let da = session.upload(&a_t)?;
+        let db = session.upload(&b_t)?;
+        let dc = session.alloc(n)?;
 
         // The tower's whole negacyclic product is ONE generated B512
-        // program; the session generates and verifies it on first use.
+        // program; the session compiles and verifies it on first use.
         let spec = ConvolutionSpec::new(n, q, CodegenStyle::Optimized);
-        let kernel = session.kernel(&spec)?;
-        let report = session.run(&spec)?; // cache hit: timing only
-        assert!(report.verified && report.cache_hit);
+        let kernel = session.compile(&spec)?;
+        let report = session.dispatch(&kernel, &[da, db], &[dc])?;
+        assert!(report.verified, "compile() verified the kernel shape");
+        assert_eq!(
+            report.transfer.host_to_device, 0,
+            "dispatch binds resident buffers without host traffic"
+        );
 
-        // Run it on the real operands in the functional simulator.
-        let c_t = kernel.execute(&[&a_t, &b_t])?;
+        // The one device → host transfer of the tower.
+        let c_t = session.download(&dc)?;
+        for buf in [da, db, dc] {
+            session.free(buf)?;
+        }
 
         // Check against the scalar golden model.
         let m = rpu::arith::Modulus128::new(q).expect("prime in range");
@@ -62,9 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(c_t, expect, "tower {t} mismatch");
         println!(
             "tower {t}: q = {q:#034x}  -> negacyclic product verified on-RPU \
-             ({} instructions, {:.2} us simulated)",
+             ({} instructions, {:.2} us simulated, {} elements moved on-device)",
             kernel.program().len(),
-            report.runtime_us
+            report.runtime_us,
+            report.transfer.device_copies
         );
         tower_products.push(c_t);
     }
@@ -77,9 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = session.cache_stats();
     println!(
-        "\nRNS pipeline complete: {towers} towers, one fused kernel each \
-         ({} generated, {} cache hits).",
-        stats.misses, stats.hits
+        "\nRNS pipeline complete: {towers} towers, one fused kernel dispatch \
+         each ({} kernels generated, {} cache hits, heap fully freed: {}).",
+        stats.misses,
+        stats.hits,
+        session.device_mem_in_use() == 0
     );
     Ok(())
 }

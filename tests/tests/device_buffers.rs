@@ -1,0 +1,310 @@
+//! Integration tests for the device-resident buffer API: upload /
+//! download round trips, allocator exhaustion and reuse, dispatch
+//! validation, and resident pipelines that avoid per-op host traffic.
+
+use proptest::prelude::*;
+use rpu::{
+    BufferError, CodegenStyle, Direction, ElementwiseOp, ElementwiseSpec, NttSpec, PrimeTable, Rpu,
+    RpuConfig, RpuError,
+};
+
+fn test_data(len: usize, seed: u64) -> Vec<u128> {
+    (0..len as u128)
+        .map(|i| {
+            i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed as u128)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mixed-size buffers uploaded in one order and downloaded in
+    /// another come back bit-exact.
+    #[test]
+    fn upload_download_round_trips(
+        lens in prop::collection::vec(1usize..3000, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let rpu = Rpu::builder().build().unwrap();
+        let mut s = rpu.session();
+        let data: Vec<Vec<u128>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| test_data(l, seed ^ i as u64))
+            .collect();
+        let bufs: Vec<_> = data.iter().map(|d| s.upload(d).unwrap()).collect();
+        // download in reverse order: buffers must not alias
+        for (buf, expect) in bufs.iter().zip(&data).rev() {
+            prop_assert_eq!(&s.download(buf).unwrap(), expect);
+        }
+        for buf in bufs {
+            s.free(buf).unwrap();
+        }
+        prop_assert_eq!(s.device_mem_in_use(), 0);
+    }
+
+    /// Freeing and reallocating arbitrary subsets never corrupts the
+    /// survivors.
+    #[test]
+    fn alloc_free_interleave_preserves_survivors(
+        lens in prop::collection::vec(1usize..1500, 2..10),
+        drop_mask in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let rpu = Rpu::builder().build().unwrap();
+        let mut s = rpu.session();
+        let data: Vec<Vec<u128>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| test_data(l, seed ^ (i as u64) << 8))
+            .collect();
+        let bufs: Vec<_> = data.iter().map(|d| s.upload(d).unwrap()).collect();
+        let mut live = Vec::new();
+        for (i, buf) in bufs.into_iter().enumerate() {
+            if drop_mask >> (i % 64) & 1 == 1 {
+                s.free(buf).unwrap();
+            } else {
+                live.push((buf, &data[i]));
+            }
+        }
+        // allocate into the holes, overwriting with fresh patterns
+        let extra: Vec<_> = (0..3)
+            .map(|i| {
+                let d = test_data(700, seed ^ 0xABCD ^ i);
+                (s.upload(&d).unwrap(), d)
+            })
+            .collect();
+        for (buf, expect) in &live {
+            prop_assert_eq!(&s.download(buf).unwrap(), *expect);
+        }
+        for (buf, expect) in &extra {
+            prop_assert_eq!(&s.download(buf).unwrap(), expect);
+        }
+    }
+}
+
+#[test]
+fn heap_exhaustion_and_reuse() {
+    let rpu = Rpu::builder().device_heap_elements(4096).build().unwrap();
+    let mut s = rpu.session();
+    let a = s.upload(&test_data(2048, 1)).unwrap();
+    let b = s.upload(&test_data(2048, 2)).unwrap();
+    // full: the next allocation reports what is left
+    match s.alloc(1) {
+        Err(RpuError::Buffer(BufferError::OutOfMemory {
+            requested,
+            largest_free,
+            free_total,
+        })) => {
+            assert_eq!((requested, largest_free, free_total), (1, 0, 0));
+        }
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
+    // free the *first* block: its space is reused (first fit), and the
+    // survivor is untouched
+    s.free(a).unwrap();
+    let c = s.upload(&test_data(1024, 3)).unwrap();
+    assert_eq!(c.offset_elements(), a.offset_elements());
+    assert_eq!(s.download(&b).unwrap(), test_data(2048, 2));
+    assert_eq!(s.download(&c).unwrap(), test_data(1024, 3));
+    // freed handles are stale, even though the memory was recycled
+    assert!(matches!(
+        s.download(&a),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+    assert!(matches!(
+        s.free(a),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+}
+
+#[test]
+fn handles_do_not_cross_sessions() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s1 = rpu.session();
+    let mut s2 = rpu.session();
+    let foreign = s1.upload(&[1, 2, 3]).unwrap();
+    assert!(matches!(
+        s2.download(&foreign),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+}
+
+#[test]
+fn dispatch_validates_shapes() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let q = s.primes_for(1024).unwrap();
+    let mul = s
+        .compile(&ElementwiseSpec::new(
+            ElementwiseOp::MulMod,
+            1024,
+            q,
+            CodegenStyle::Optimized,
+        ))
+        .unwrap();
+    let x = s.upload(&test_data(1024, 1)).unwrap();
+    let y = s.upload(&test_data(1024, 2)).unwrap();
+    let short = s.upload(&test_data(512, 3)).unwrap();
+    let out = s.alloc(1024).unwrap();
+    // wrong operand count
+    assert!(matches!(
+        s.dispatch(&mul, &[x], &[out]),
+        Err(RpuError::Buffer(BufferError::ArityMismatch {
+            expected: 2,
+            got: 1
+        }))
+    ));
+    // wrong operand length
+    assert!(matches!(
+        s.dispatch(&mul, &[x, short], &[out]),
+        Err(RpuError::Buffer(BufferError::LengthMismatch {
+            expected: 1024,
+            got: 512
+        }))
+    ));
+    // wrong output length
+    assert!(matches!(
+        s.dispatch(&mul, &[x, y], &[short]),
+        Err(RpuError::Buffer(BufferError::LengthMismatch { .. }))
+    ));
+    // stale input
+    s.free(y).unwrap();
+    assert!(matches!(
+        s.dispatch(&mul, &[x, y], &[out]),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+}
+
+#[test]
+fn oversized_kernel_is_rejected_not_executed() {
+    // A 64 KiB VDM (4096 elements) cannot hold a 1024-point NTT's
+    // working set (ping-pong buffers + twiddles).
+    let config = RpuConfig {
+        vdm_bytes: 64 << 10,
+        ..RpuConfig::pareto_128x128()
+    };
+    let rpu = Rpu::builder().config(config).build().unwrap();
+    let mut s = rpu.session();
+    let q = PrimeTable::new().ntt_prime(1024).unwrap();
+    let ntt = s
+        .compile(&NttSpec::new(
+            1024,
+            q,
+            Direction::Forward,
+            CodegenStyle::Optimized,
+        ))
+        .unwrap();
+    let x = s.upload(&test_data(1024, 1)).unwrap();
+    let out = s.alloc(1024).unwrap();
+    assert!(matches!(
+        s.dispatch(&ntt, &[x], &[out]),
+        Err(RpuError::Buffer(BufferError::WorkspaceOverflow { .. }))
+    ));
+}
+
+#[test]
+fn ntt_round_trips_on_device() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let n = 1024usize;
+    let q = s.primes_for(n).unwrap();
+    let fwd = s
+        .compile(&NttSpec::new(
+            n,
+            q,
+            Direction::Forward,
+            CodegenStyle::Optimized,
+        ))
+        .unwrap();
+    let inv = s
+        .compile(&NttSpec::new(
+            n,
+            q,
+            Direction::Inverse,
+            CodegenStyle::Optimized,
+        ))
+        .unwrap();
+    let input: Vec<u128> = (0..n as u128).map(|i| (i * 31 + 5) % q).collect();
+    let x = s.upload(&input).unwrap();
+    let hat = s.alloc(n).unwrap();
+    let back = s.alloc(n).unwrap();
+    let r1 = s.dispatch(&fwd, &[x], &[hat]).unwrap();
+    let r2 = s.dispatch(&inv, &[hat], &[back]).unwrap();
+    assert_eq!(s.download(&back).unwrap(), input);
+    assert!(r1.verified && r2.verified, "compile() verified both shapes");
+    assert_eq!(r1.transfer.host_to_device + r2.transfer.host_to_device, 0);
+    // the evaluation-form buffer really is the transform, not a copy
+    assert_ne!(s.download(&hat).unwrap(), input);
+}
+
+#[test]
+fn run_with_matches_kernel_execute() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let q = s.primes_for(1024).unwrap();
+    let spec = ElementwiseSpec::new(ElementwiseOp::SubMod, 1024, q, CodegenStyle::Optimized);
+    let a = test_data(1024, 7).iter().map(|v| v % q).collect::<Vec<_>>();
+    let b = test_data(1024, 8).iter().map(|v| v % q).collect::<Vec<_>>();
+    let (got, report) = s.run_with(&spec, &[&a, &b]).unwrap();
+    let expect = s.kernel(&spec).unwrap().execute(&[&a, &b]).unwrap();
+    assert_eq!(got, expect);
+    assert_eq!(report.transfer.host_to_device, 2048);
+    assert_eq!(report.transfer.device_to_host, 1024);
+    assert_eq!(s.device_mem_in_use(), 0, "round-trip scratch is freed");
+}
+
+/// The headline contract: an L-op resident chain moves host data once,
+/// while L one-shot runs move it L times.
+#[test]
+fn resident_chain_uploads_once() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let n = 1024usize;
+    let q = s.primes_for(n).unwrap();
+    let spec = ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, CodegenStyle::Optimized);
+    let mul = s.compile(&spec).unwrap();
+    let l = 8;
+
+    // Resident: 1 upload + L dispatches + 1 download.
+    let x0: Vec<u128> = (0..n as u128).map(|i| (i + 2) % q).collect();
+    let w: Vec<u128> = (0..n as u128).map(|i| (3 * i + 1) % q).collect();
+    let mut host_elems = 0usize;
+    let xb = s.upload(&x0).unwrap();
+    let wb = s.upload(&w).unwrap();
+    host_elems += 2 * n;
+    let tmp = s.alloc(n).unwrap();
+    let (mut cur, mut other) = (xb, tmp);
+    for _ in 0..l {
+        let r = s.dispatch(&mul, &[cur, wb], &[other]).unwrap();
+        host_elems += r.transfer.host_elements(); // stays zero
+        std::mem::swap(&mut cur, &mut other);
+    }
+    let resident_result = s.download(&cur).unwrap();
+    host_elems += n;
+    assert_eq!(host_elems, 3 * n, "1 upload (2 operands) + 1 download");
+
+    // The same chain as L independent one-shot runs: L full round trips.
+    let m = rpu::arith::Modulus128::new(q).unwrap();
+    let mut roundtrip_elems = 0usize;
+    let mut cur = x0.clone();
+    for _ in 0..l {
+        let (out, r) = s.run_with(&spec, &[&cur, &w]).unwrap();
+        roundtrip_elems += r.transfer.host_elements();
+        cur = out;
+    }
+    assert_eq!(cur, resident_result, "both paths compute the same chain");
+    assert_eq!(roundtrip_elems, l * 3 * n, "L × (2 uploads + 1 download)");
+    // host-side reference
+    let mut expect = x0;
+    for _ in 0..l {
+        expect = expect
+            .iter()
+            .zip(&w)
+            .map(|(&a, &b)| m.mul(a % q, b % q))
+            .collect();
+    }
+    assert_eq!(resident_result, expect);
+}
