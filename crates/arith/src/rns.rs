@@ -132,6 +132,44 @@ impl RnsBasis {
         self.moduli.iter().map(|m| v.rem_u128(m.value())).collect()
     }
 
+    /// Splits a whole coefficient vector into its RNS towers
+    /// (tower-major: one residue vector per modulus) — the host-side
+    /// shard step before per-tower vectors are dispatched to parallel
+    /// RPU lanes.
+    pub fn split_u128_poly(&self, coeffs: &[u128]) -> Vec<Vec<u128>> {
+        self.moduli
+            .iter()
+            .map(|m| coeffs.iter().map(|&c| c % m.value()).collect())
+            .collect()
+    }
+
+    /// Recombines tower-major residue vectors into big-integer
+    /// coefficients in `[0, Q)` via CRT — the host-side merge step after
+    /// parallel lanes return their tower results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tower count does not match the basis, the towers
+    /// have unequal lengths, or `towers` is empty.
+    pub fn recombine_poly(&self, towers: &[Vec<u128>]) -> Vec<UBig> {
+        assert_eq!(
+            towers.len(),
+            self.moduli.len(),
+            "tower count must match basis size"
+        );
+        let n = towers.first().map_or(0, Vec::len);
+        assert!(
+            towers.iter().all(|t| t.len() == n),
+            "towers must have equal lengths"
+        );
+        (0..n)
+            .map(|i| {
+                let residues: Vec<u128> = towers.iter().map(|t| t[i]).collect();
+                self.reconstruct(&residues)
+            })
+            .collect()
+    }
+
     /// Reconstructs the unique value in `[0, Q)` from residues using
     /// Garner's algorithm (mixed-radix conversion).
     ///
@@ -241,6 +279,37 @@ mod tests {
         let x = UBig::from_u128(u128::MAX).mul_u128(0xDEAD_BEEF_0BAD_F00D);
         let r = basis.decompose(&x);
         assert_eq!(basis.reconstruct(&r), x);
+    }
+
+    #[test]
+    fn poly_split_recombine_round_trips() {
+        let primes = find_ntt_prime_chain(40, 1 << 8, 3);
+        let basis = RnsBasis::new(primes.clone()).unwrap();
+        let coeffs: Vec<u128> = (0..16u128).map(|i| (i << 100) | (i * 7 + 1)).collect();
+        let towers = basis.split_u128_poly(&coeffs);
+        assert_eq!(towers.len(), 3);
+        for (t, &q) in primes.iter().enumerate() {
+            assert!(towers[t].iter().all(|&r| r < q), "tower {t} reduced");
+        }
+        let back = basis.recombine_poly(&towers);
+        for (i, c) in coeffs.iter().enumerate() {
+            // the inputs fit below Q, so the round trip is exact
+            assert_eq!(back[i].to_u128(), Some(*c), "coefficient {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tower count")]
+    fn recombine_rejects_wrong_tower_count() {
+        let basis = RnsBasis::new(vec![3, 5]).unwrap();
+        let _ = basis.recombine_poly(&[vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn recombine_rejects_ragged_towers() {
+        let basis = RnsBasis::new(vec![3, 5]).unwrap();
+        let _ = basis.recombine_poly(&[vec![1, 2], vec![1]]);
     }
 
     #[test]

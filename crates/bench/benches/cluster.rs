@@ -1,0 +1,65 @@
+//! Lane-scaling benchmark: the 8-tower 4K negacyclic multiply of the
+//! RNS pipeline sharded over 1 / 2 / 4 / 8 lanes.
+//!
+//! Two numbers matter per lane count and both are recorded in
+//! EXPERIMENTS.md:
+//!
+//! * the **simulated makespan** (busiest lane's on-RPU time) — what a
+//!   `k`-die deployment would take, printed once per configuration;
+//! * the **host wall clock** criterion measures — real time, because
+//!   every lane's functional simulator runs on its own OS thread.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rpu::arith::{find_ntt_prime_chain, RnsBasis};
+use rpu::{RnsExecutor, Rpu};
+
+const N: usize = 4096;
+const TOWERS: usize = 8;
+
+fn lane_scaling(c: &mut Criterion) {
+    let primes = find_ntt_prime_chain(120, 2 * N as u128, TOWERS);
+    assert_eq!(primes.len(), TOWERS);
+    let basis = RnsBasis::new(primes.clone()).expect("coprime chain");
+    let a_coeffs: Vec<u128> = (0..N as u128).map(|i| u128::MAX - i * 7).collect();
+    let b_coeffs: Vec<u128> = (0..N as u128).map(|i| (i << 96) | (i * 31 + 5)).collect();
+    let a = basis.split_u128_poly(&a_coeffs);
+    let b = basis.split_u128_poly(&b_coeffs);
+
+    let mut group = c.benchmark_group("cluster_8tower_4k");
+    group.sample_size(10);
+
+    for lanes in [1usize, 2, 4, 8] {
+        let rpu = Rpu::builder().lanes(lanes).build().expect("valid config");
+        let mut exec = RnsExecutor::new(rpu.cluster());
+        // Warm: every lane may end up compiling every tower's kernel
+        // under the stealing scheduler, so prime all caches up front by
+        // running the workload once per lane (placement varies).
+        for _ in 0..lanes.max(2) {
+            exec.negacyclic_mul_towers(N, &primes, &a, &b)
+                .expect("towers run");
+        }
+        let (_, report) = exec
+            .negacyclic_mul_towers(N, &primes, &a, &b)
+            .expect("towers run");
+        println!(
+            "lanes={lanes}: simulated makespan {:.2} us, sequential {:.2} us, \
+             speedup {:.2}x, lanes used {}",
+            report.makespan_us,
+            report.sequential_us,
+            report.speedup(),
+            report.lanes_used(),
+        );
+        group.bench_function(format!("lanes_{lanes}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    exec.negacyclic_mul_towers(N, &primes, &a, &b)
+                        .expect("towers run"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lane_scaling);
+criterion_main!(benches);

@@ -105,6 +105,16 @@ pub enum BufferError {
         /// Workspace capacity in elements.
         capacity: usize,
     },
+    /// A buffer resident on one cluster lane was used on another; lanes
+    /// are separate devices, so handles never travel between them.
+    ForeignLane {
+        /// The offending handle's id.
+        id: u64,
+        /// The lane the buffer lives on.
+        owner: usize,
+        /// The lane the operation targeted.
+        used_on: usize,
+    },
 }
 
 impl core::fmt::Display for BufferError {
@@ -138,6 +148,11 @@ impl core::fmt::Display for BufferError {
                 f,
                 "kernel working set of {required} elements exceeds the session \
                  workspace of {capacity}"
+            ),
+            BufferError::ForeignLane { id, owner, used_on } => write!(
+                f,
+                "device buffer {id} is resident on lane {owner} but was used on \
+                 lane {used_on}; lanes do not share memory"
             ),
         }
     }
@@ -173,6 +188,17 @@ impl TransferStats {
     /// Total host-link traffic (upload + download) in elements.
     pub fn host_elements(&self) -> usize {
         self.host_to_device + self.device_to_host
+    }
+
+    /// Accumulates another run's counts into this one (aggregate
+    /// accounting across a lane's dispatches). `image_reused` becomes
+    /// `true` if any absorbed run reused a resident image.
+    pub fn absorb(&mut self, other: &TransferStats) {
+        self.host_to_device += other.host_to_device;
+        self.device_to_host += other.device_to_host;
+        self.device_copies += other.device_copies;
+        self.image_elements += other.image_elements;
+        self.image_reused |= other.image_reused;
     }
 }
 

@@ -1,0 +1,810 @@
+//! Multi-lane RNS execution: [`RpuCluster`] and [`RnsExecutor`].
+//!
+//! The paper's central observation (Section II-B) is that a
+//! wide-coefficient ring operation decomposes into **independent** RNS
+//! towers — "during polynomial multiplication, each tower operates
+//! independently" — so towers are the natural unit for scaling *out* as
+//! well as up. This module adds that scale-out layer:
+//!
+//! * [`RpuCluster`] — `k` independent lanes over one [`Rpu`]
+//!   configuration. Each lane is a full [`RpuSession`]: its own device
+//!   heap, kernel cache, and functional simulator, modeling `k` RPU dies
+//!   fed by one host. Lanes share the cluster's [`PrimeTable`], and the
+//!   cluster tracks which lane every buffer lives on so a handle used on
+//!   the wrong lane fails fast ([`BufferError::ForeignLane`]) instead of
+//!   corrupting a foreign heap.
+//! * [`RnsExecutor`] — shards an RNS-decomposed workload (tower-major
+//!   residue vectors, [`RnsPolynomial`] towers) across the lanes with a
+//!   work-stealing scheduler: tower jobs go into one shared queue and
+//!   every lane runs on its own OS thread, pulling the next tower the
+//!   moment it finishes the last — so lanes never idle while work
+//!   remains, whatever the tower/lane ratio. Results are CRT-recombined
+//!   on the host.
+//!
+//! ```
+//! use rpu::{RnsExecutor, Rpu};
+//! use rpu::arith::{find_ntt_prime_chain, RnsBasis};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rpu = Rpu::builder().lanes(2).build()?;
+//! let mut exec = RnsExecutor::new(rpu.cluster());
+//! let n = 1024;
+//! let primes = find_ntt_prime_chain(60, 2 * n as u128, 4);
+//! let basis = RnsBasis::new(primes.clone())?;
+//! let a = basis.split_u128_poly(&vec![3u128; n]);
+//! let b = basis.split_u128_poly(&vec![5u128; n]);
+//! let (towers, report) = exec.negacyclic_mul_towers(n, &primes, &a, &b)?;
+//! assert_eq!(towers.len(), 4);
+//! assert!(report.speedup() > 1.0); // 4 towers over 2 lanes overlap
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::buffer::{BufferError, DeviceBuffer, TransferStats};
+use crate::run::{Rpu, RunReport};
+use crate::session::{CacheStats, PrimeTable, RpuSession};
+use crate::RpuError;
+use rpu_codegen::{CodegenStyle, ConvolutionSpec, Kernel, KernelSpec};
+use rpu_ntt::{RnsContext, RnsPolynomial};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One lane: a session plus its lifetime dispatch accounting.
+#[derive(Debug)]
+struct Lane<'a> {
+    session: RpuSession<'a>,
+    dispatches: u64,
+    cycles: u64,
+    busy_us: f64,
+    transfer: TransferStats,
+}
+
+impl<'a> Lane<'a> {
+    fn new(rpu: &'a Rpu) -> Self {
+        Lane {
+            session: rpu.session(),
+            dispatches: 0,
+            cycles: 0,
+            busy_us: 0.0,
+            transfer: TransferStats::default(),
+        }
+    }
+
+    /// Folds one dispatch report into the lane's running totals.
+    fn account(&mut self, report: &RunReport) {
+        self.dispatches += 1;
+        self.cycles += report.stats.cycles;
+        self.busy_us += report.runtime_us;
+        self.transfer.absorb(&report.transfer);
+    }
+
+    /// Uploads, dispatches the tower's fused convolution, downloads, and
+    /// frees — one complete tower job, entirely lane-local.
+    fn run_tower(
+        &mut self,
+        n: usize,
+        q: u128,
+        a: &[u128],
+        b: &[u128],
+        style: CodegenStyle,
+    ) -> Result<Vec<u128>, RpuError> {
+        let kernel = self.session.compile(&ConvolutionSpec::new(n, q, style))?;
+        let mut held: Vec<DeviceBuffer> = Vec::with_capacity(3);
+        let result = (|| {
+            let da = self.session.upload(a)?;
+            held.push(da);
+            let db = self.session.upload(b)?;
+            held.push(db);
+            let dc = self.session.alloc(n)?;
+            held.push(dc);
+            self.transfer.host_to_device += a.len() + b.len();
+            let report = self.session.dispatch(&kernel, &[da, db], &[dc])?;
+            self.account(&report);
+            let out = self.session.download(&dc)?;
+            self.transfer.device_to_host += out.len();
+            Ok(out)
+        })();
+        // Tower buffers never outlive the job, success or not.
+        for buf in held {
+            let _ = self.session.free(buf);
+        }
+        result
+    }
+}
+
+/// A snapshot of one lane's accounting: how much work it has absorbed
+/// and what data movement that cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneStats {
+    /// The lane index.
+    pub lane: usize,
+    /// Kernels dispatched on this lane.
+    pub dispatches: u64,
+    /// Total simulated cycles across those dispatches.
+    pub cycles: u64,
+    /// Total simulated on-RPU time, in microseconds.
+    pub busy_us: f64,
+    /// Aggregated data movement (uploads, downloads, on-device copies).
+    pub transfer: TransferStats,
+}
+
+impl LaneStats {
+    /// The per-lane delta `after - before` (what one sharded run added).
+    fn delta(after: &LaneStats, before: &LaneStats) -> LaneStats {
+        let dispatches = after.dispatches - before.dispatches;
+        let image_elements = after.transfer.image_elements - before.transfer.image_elements;
+        LaneStats {
+            lane: after.lane,
+            dispatches,
+            cycles: after.cycles - before.cycles,
+            busy_us: after.busy_us - before.busy_us,
+            transfer: TransferStats {
+                host_to_device: after.transfer.host_to_device - before.transfer.host_to_device,
+                device_to_host: after.transfer.device_to_host - before.transfer.device_to_host,
+                device_copies: after.transfer.device_copies - before.transfer.device_copies,
+                image_elements,
+                // This run reused resident images iff it dispatched
+                // without writing any new constant image (the lane's
+                // lifetime flag would leak earlier runs' reuse).
+                image_reused: dispatches > 0 && image_elements == 0,
+            },
+        }
+    }
+}
+
+/// The aggregated report of one sharded run: per-lane statistics plus
+/// the makespan/sequential comparison that quantifies the overlap.
+#[derive(Debug, Clone)]
+pub struct ClusterRunReport {
+    /// Towers (independent jobs) executed.
+    pub towers: usize,
+    /// Lanes in the cluster (idle lanes included).
+    pub lanes: usize,
+    /// What each lane contributed to *this* run.
+    pub per_lane: Vec<LaneStats>,
+    /// Simulated completion time: the busiest lane's on-RPU time, in
+    /// microseconds — what a `k`-die deployment would take.
+    pub makespan_us: f64,
+    /// Simulated time of the same towers run back-to-back through one
+    /// session, in microseconds (the sum over all lanes).
+    pub sequential_us: f64,
+    /// Total simulated cycles across every lane.
+    pub total_cycles: u64,
+    /// Data movement summed over every lane.
+    pub transfer: TransferStats,
+    /// Host wall-clock of the sharded run, in microseconds (the lanes'
+    /// functional simulators really do run on parallel OS threads).
+    pub wall_us: f64,
+}
+
+impl ClusterRunReport {
+    /// Simulated throughput gain of the sharded run over the sequential
+    /// single-session loop (`sequential_us / makespan_us`; 1.0 for one
+    /// lane, approaching the lane count as towers balance).
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_us > 0.0 {
+            self.sequential_us / self.makespan_us
+        } else {
+            1.0
+        }
+    }
+
+    /// Lanes that executed at least one tower of this run.
+    pub fn lanes_used(&self) -> usize {
+        self.per_lane.iter().filter(|l| l.dispatches > 0).count()
+    }
+}
+
+/// `k` independent RPU lanes behind one host: each lane owns a full
+/// [`RpuSession`] (device heap + kernel cache + functional simulator),
+/// the cluster owns the shared [`PrimeTable`] and the buffer → lane
+/// placement map.
+///
+/// Created by [`Rpu::cluster`] (the [`RpuBuilder::lanes`] count) or
+/// [`Rpu::cluster_with`] (explicit count). Lanes are separate devices:
+/// buffers never travel between them, and the cluster rejects a handle
+/// used on the wrong lane with [`BufferError::ForeignLane`] before it
+/// can touch a foreign heap.
+///
+/// [`RpuBuilder::lanes`]: crate::RpuBuilder::lanes
+#[derive(Debug)]
+pub struct RpuCluster<'a> {
+    rpu: &'a Rpu,
+    lanes: Vec<Lane<'a>>,
+    primes: PrimeTable,
+    /// Buffer id → owning lane, for every buffer created through the
+    /// cluster API (lane-session buffers made directly through
+    /// [`RpuCluster::lane_session`] are validated by the session itself).
+    owners: HashMap<u64, usize>,
+}
+
+impl<'a> RpuCluster<'a> {
+    /// Builds a `k`-lane cluster (used by [`Rpu::cluster`] /
+    /// [`Rpu::cluster_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `[1, 64]` — the same bound
+    /// [`RpuBuilder::lanes`](crate::RpuBuilder::lanes) enforces as a
+    /// build error.
+    pub(crate) fn new(rpu: &'a Rpu, k: usize) -> Self {
+        assert!(
+            (1..=crate::session::MAX_LANES).contains(&k),
+            "cluster lane count must be in [1, {}], got {k}",
+            crate::session::MAX_LANES
+        );
+        RpuCluster {
+            rpu,
+            lanes: (0..k).map(|_| Lane::new(rpu)).collect(),
+            primes: PrimeTable::with_bits(rpu.prime_bits()),
+            owners: HashMap::new(),
+        }
+    }
+
+    /// The RPU configuration every lane instantiates.
+    pub fn rpu(&self) -> &Rpu {
+        self.rpu
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The cluster-shared NTT prime for ring degree `n` — one search,
+    /// whatever the lane count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::NoPrime`] if no such prime exists.
+    pub fn primes_for(&mut self, n: usize) -> Result<u128, RpuError> {
+        self.primes.ntt_prime(n)
+    }
+
+    /// Direct access to one lane's session (buffers created this way are
+    /// still lane-validated, but not tracked in the placement map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_session(&mut self, lane: usize) -> &mut RpuSession<'a> {
+        &mut self.lanes[lane].session
+    }
+
+    /// The lane a cluster-tracked buffer lives on, probing the lane
+    /// heaps for untracked (session-created) handles.
+    pub fn locate(&self, buf: &DeviceBuffer) -> Option<usize> {
+        self.owners
+            .get(&buf.id())
+            .copied()
+            .or_else(|| self.lanes.iter().position(|lane| lane.session.owns(buf)))
+    }
+
+    /// Rejects buffers that are known to live on a different lane.
+    pub(crate) fn check_residency(
+        &self,
+        lane: usize,
+        bufs: &[DeviceBuffer],
+    ) -> Result<(), RpuError> {
+        for buf in bufs {
+            if let Some(owner) = self.locate(buf) {
+                if owner != lane {
+                    return Err(BufferError::ForeignLane {
+                        id: buf.id(),
+                        owner,
+                        used_on: lane,
+                    }
+                    .into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates `len` elements on `lane`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] when the lane's heap is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn alloc_on(&mut self, lane: usize, len: usize) -> Result<DeviceBuffer, RpuError> {
+        let buf = self.lanes[lane].session.alloc(len)?;
+        self.owners.insert(buf.id(), lane);
+        Ok(buf)
+    }
+
+    /// Uploads `data` into a fresh buffer on `lane`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] when the lane's heap is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn upload_to(&mut self, lane: usize, data: &[u128]) -> Result<DeviceBuffer, RpuError> {
+        let l = &mut self.lanes[lane];
+        let buf = l.session.upload(data)?;
+        l.transfer.host_to_device += data.len();
+        self.owners.insert(buf.id(), lane);
+        Ok(buf)
+    }
+
+    /// Downloads a buffer from whichever lane owns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles.
+    pub fn download(&mut self, buf: &DeviceBuffer) -> Result<Vec<u128>, RpuError> {
+        let lane = self
+            .locate(buf)
+            .ok_or(RpuError::Buffer(BufferError::StaleHandle { id: buf.id() }))?;
+        let l = &mut self.lanes[lane];
+        let data = l.session.download(buf)?;
+        l.transfer.device_to_host += data.len();
+        Ok(data)
+    }
+
+    /// Frees a buffer on whichever lane owns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles (double frees
+    /// included).
+    pub fn free(&mut self, buf: DeviceBuffer) -> Result<(), RpuError> {
+        let lane = self
+            .locate(&buf)
+            .ok_or(RpuError::Buffer(BufferError::StaleHandle { id: buf.id() }))?;
+        self.lanes[lane].session.free(buf)?;
+        self.owners.remove(&buf.id());
+        Ok(())
+    }
+
+    /// Moves a buffer to another lane through the host link (lanes share
+    /// no memory, so this is a download + upload + free), returning the
+    /// new handle. A no-op move (same lane) returns the original handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles or an exhausted
+    /// target heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn migrate(&mut self, buf: DeviceBuffer, to: usize) -> Result<DeviceBuffer, RpuError> {
+        let from = self
+            .locate(&buf)
+            .ok_or(RpuError::Buffer(BufferError::StaleHandle { id: buf.id() }))?;
+        if from == to {
+            return Ok(buf);
+        }
+        let data = self.download(&buf)?;
+        let moved = self.upload_to(to, &data)?;
+        self.free(buf)?;
+        Ok(moved)
+    }
+
+    /// Compiles (or recalls) `spec` on `lane`'s kernel cache, verifying
+    /// it once against the golden model — lane caches are independent,
+    /// exactly as `k` devices each holding their own program store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation fails or verification faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn compile_on<S: KernelSpec + ?Sized>(
+        &mut self,
+        lane: usize,
+        spec: &S,
+    ) -> Result<Arc<Kernel>, RpuError> {
+        self.lanes[lane].session.compile(spec)
+    }
+
+    /// Dispatches a compiled kernel on `lane` over that lane's resident
+    /// buffers, with per-lane accounting. Buffers known to live on a
+    /// different lane are rejected with [`BufferError::ForeignLane`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for foreign or stale handles and
+    /// shape mismatches, [`RpuError::Exec`] if the program faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn dispatch_on(
+        &mut self,
+        lane: usize,
+        kernel: &Arc<Kernel>,
+        inputs: &[DeviceBuffer],
+        outputs: &[DeviceBuffer],
+    ) -> Result<RunReport, RpuError> {
+        self.check_residency(lane, inputs)?;
+        self.check_residency(lane, outputs)?;
+        let l = &mut self.lanes[lane];
+        let report = l.session.dispatch(kernel, inputs, outputs)?;
+        l.account(&report);
+        Ok(report)
+    }
+
+    /// One lane's lifetime accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_stats(&self, lane: usize) -> LaneStats {
+        let l = &self.lanes[lane];
+        LaneStats {
+            lane,
+            dispatches: l.dispatches,
+            cycles: l.cycles,
+            busy_us: l.busy_us,
+            transfer: l.transfer,
+        }
+    }
+
+    /// Every lane's lifetime accounting.
+    pub fn stats(&self) -> Vec<LaneStats> {
+        (0..self.lanes.len()).map(|i| self.lane_stats(i)).collect()
+    }
+
+    /// One lane's kernel-cache counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn cache_stats(&self, lane: usize) -> CacheStats {
+        self.lanes[lane].session.cache_stats()
+    }
+
+    /// The busiest lane's total simulated time, in microseconds — the
+    /// cluster's completion time so far.
+    pub fn makespan_us(&self) -> f64 {
+        self.lanes.iter().map(|l| l.busy_us).fold(0.0, f64::max)
+    }
+
+    /// Total simulated time across every lane, in microseconds (what one
+    /// lane running everything sequentially would take).
+    pub fn total_busy_us(&self) -> f64 {
+        self.lanes.iter().map(|l| l.busy_us).sum()
+    }
+
+    /// Kernels dispatched across every lane.
+    pub fn total_dispatches(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dispatches).sum()
+    }
+
+    /// Runs `towers.len()` independent tower jobs across the lanes with
+    /// the work-stealing scheduler (the engine behind [`RnsExecutor`]):
+    /// every lane runs on its own OS thread, pulling the next un-started
+    /// tower from the shared queue until it drains. Returns per-tower
+    /// results in tower order plus the aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first tower error (remaining queued work is
+    /// abandoned; in-flight towers finish their dispatch).
+    pub fn run_towers(
+        &mut self,
+        towers: &[TowerJob<'_>],
+        style: CodegenStyle,
+    ) -> Result<(Vec<Vec<u128>>, ClusterRunReport), RpuError> {
+        let before: Vec<LaneStats> = self.stats();
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Vec<u128>>>> =
+            towers.iter().map(|_| Mutex::new(None)).collect();
+        let failure: Mutex<Option<RpuError>> = Mutex::new(None);
+        // Open the queue only once every lane thread is running, so a
+        // fast first lane cannot drain short queues before its peers
+        // have even been scheduled.
+        let start = std::sync::Barrier::new(self.lanes.len());
+        let started = Instant::now();
+
+        std::thread::scope(|scope| {
+            let next = &next;
+            let results = &results;
+            let failure = &failure;
+            let start = &start;
+            for lane in self.lanes.iter_mut() {
+                scope.spawn(move || {
+                    start.wait();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= towers.len() || failure.lock().expect("not poisoned").is_some() {
+                            break;
+                        }
+                        let job = &towers[t];
+                        match lane.run_tower(job.n, job.q, job.a, job.b, style) {
+                            Ok(out) => *results[t].lock().expect("not poisoned") = Some(out),
+                            Err(e) => {
+                                failure.lock().expect("not poisoned").get_or_insert(e);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let wall_us = started.elapsed().as_secs_f64() * 1e6;
+
+        if let Some(e) = failure.into_inner().expect("not poisoned") {
+            return Err(e);
+        }
+        let outputs: Vec<Vec<u128>> = results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("not poisoned")
+                    .expect("every tower completed")
+            })
+            .collect();
+
+        let per_lane: Vec<LaneStats> = self
+            .stats()
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| LaneStats::delta(a, b))
+            .collect();
+        let makespan_us = per_lane.iter().map(|l| l.busy_us).fold(0.0, f64::max);
+        let sequential_us = per_lane.iter().map(|l| l.busy_us).sum();
+        let total_cycles = per_lane.iter().map(|l| l.cycles).sum();
+        let mut transfer = TransferStats::default();
+        for l in &per_lane {
+            transfer.absorb(&l.transfer);
+        }
+        Ok((
+            outputs,
+            ClusterRunReport {
+                towers: towers.len(),
+                lanes: self.lanes.len(),
+                per_lane,
+                makespan_us,
+                sequential_us,
+                total_cycles,
+                transfer,
+                wall_us,
+            },
+        ))
+    }
+}
+
+/// One independent unit of sharded work: a negacyclic product in tower
+/// `q`'s residue field.
+#[derive(Debug, Clone, Copy)]
+pub struct TowerJob<'t> {
+    /// Ring degree.
+    pub n: usize,
+    /// The tower modulus.
+    pub q: u128,
+    /// First operand's residues mod `q` (length `n`).
+    pub a: &'t [u128],
+    /// Second operand's residues mod `q` (length `n`).
+    pub b: &'t [u128],
+}
+
+/// Shards RNS-decomposed ring workloads across an [`RpuCluster`] and
+/// CRT-recombines on the host — the paper's Fig. 1 dataflow, with the
+/// per-tower kernels spread over parallel lanes instead of looped
+/// through one session.
+#[derive(Debug)]
+pub struct RnsExecutor<'a> {
+    cluster: RpuCluster<'a>,
+    style: CodegenStyle,
+}
+
+impl<'a> RnsExecutor<'a> {
+    /// Wraps a cluster with the default ([`CodegenStyle::Optimized`])
+    /// kernel style.
+    pub fn new(cluster: RpuCluster<'a>) -> Self {
+        Self::with_style(cluster, CodegenStyle::Optimized)
+    }
+
+    /// Wraps a cluster with an explicit kernel style.
+    pub fn with_style(cluster: RpuCluster<'a>, style: CodegenStyle) -> Self {
+        RnsExecutor { cluster, style }
+    }
+
+    /// The underlying cluster (lane statistics, manual buffer work).
+    pub fn cluster(&self) -> &RpuCluster<'a> {
+        &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster.
+    pub fn cluster_mut(&mut self) -> &mut RpuCluster<'a> {
+        &mut self.cluster
+    }
+
+    /// The full tower-sharded negacyclic multiply: tower `t` of the
+    /// result is `a_towers[t] ·_neg b_towers[t] (mod moduli[t])`, each
+    /// tower one fused-convolution dispatch (forward NTT ×2 → pointwise
+    /// multiply → inverse NTT) on whichever lane steals it. One upload
+    /// per tower operand, one download per tower product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] for mismatched tower counts or
+    /// lengths, or the first lane error.
+    pub fn negacyclic_mul_towers(
+        &mut self,
+        n: usize,
+        moduli: &[u128],
+        a_towers: &[Vec<u128>],
+        b_towers: &[Vec<u128>],
+    ) -> Result<(Vec<Vec<u128>>, ClusterRunReport), RpuError> {
+        if a_towers.len() != moduli.len() || b_towers.len() != moduli.len() {
+            return Err(RpuError::Config(format!(
+                "tower count mismatch: {} moduli, {} / {} operand towers",
+                moduli.len(),
+                a_towers.len(),
+                b_towers.len()
+            )));
+        }
+        if let Some(t) = a_towers.iter().chain(b_towers).position(|t| t.len() != n) {
+            return Err(RpuError::Config(format!(
+                "tower {t} has the wrong length for ring degree {n}"
+            )));
+        }
+        let jobs: Vec<TowerJob<'_>> = moduli
+            .iter()
+            .zip(a_towers.iter().zip(b_towers))
+            .map(|(&q, (a, b))| TowerJob { n, q, a, b })
+            .collect();
+        self.cluster.run_towers(&jobs, self.style)
+    }
+
+    /// Multiplies two [`RnsPolynomial`]s on the cluster: towers are
+    /// sharded across lanes, and the products are lifted back into an
+    /// `RnsPolynomial` over the same context (CRT reconstruction — e.g.
+    /// [`RnsPolynomial::to_big_coeffs`] — then happens on the host
+    /// whenever the caller wants wide coefficients).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] if the operands use different
+    /// contexts, [`RpuError::Ring`] if the products cannot be lifted, or
+    /// the first lane error.
+    pub fn mul(
+        &mut self,
+        a: &RnsPolynomial,
+        b: &RnsPolynomial,
+    ) -> Result<(RnsPolynomial, ClusterRunReport), RpuError> {
+        let ctx: &Arc<RnsContext> = a.rns_context();
+        if !Arc::ptr_eq(ctx, b.rns_context()) {
+            return Err(RpuError::Config(
+                "operands must share an RNS context".into(),
+            ));
+        }
+        let n = ctx.degree();
+        let moduli = ctx.modulus_values();
+        let a_towers = a.tower_coeffs();
+        let b_towers = b.tower_coeffs();
+        let (products, report) = self.negacyclic_mul_towers(n, &moduli, &a_towers, &b_towers)?;
+        let lifted = RnsPolynomial::from_tower_coeffs(ctx, &products)?;
+        Ok((lifted, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_arith::find_ntt_prime_chain;
+
+    /// Lanes must be shippable to worker threads: a compile-time
+    /// property the work-stealing scheduler rests on.
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Lane<'static>>();
+        assert_send::<RpuSession<'static>>();
+        assert_send::<RpuError>();
+    }
+
+    #[test]
+    fn cluster_builds_independent_lanes() {
+        let rpu = Rpu::builder().lanes(3).build().unwrap();
+        let mut c = rpu.cluster();
+        assert_eq!(c.lane_count(), 3);
+        let x = c.upload_to(0, &vec![7u128; 64]).unwrap();
+        assert_eq!(c.locate(&x), Some(0));
+        assert_eq!(c.lane_session(0).device_mem_in_use(), 64);
+        assert_eq!(c.lane_session(1).device_mem_in_use(), 0);
+        assert_eq!(c.download(&x).unwrap(), vec![7u128; 64]);
+        c.free(x).unwrap();
+        assert_eq!(c.locate(&x), None);
+    }
+
+    #[test]
+    fn migrate_moves_data_between_lanes() {
+        let rpu = Rpu::builder().lanes(2).build().unwrap();
+        let mut c = rpu.cluster();
+        let data: Vec<u128> = (0..256).collect();
+        let x = c.upload_to(0, &data).unwrap();
+        let y = c.migrate(x, 1).unwrap();
+        assert_eq!(c.locate(&y), Some(1));
+        assert_eq!(c.download(&y).unwrap(), data);
+        // the source handle is gone
+        assert!(matches!(
+            c.download(&x),
+            Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+        ));
+        // same-lane migration is the identity
+        let z = c.migrate(y, 1).unwrap();
+        assert_eq!(z, y);
+    }
+
+    #[test]
+    fn executor_matches_host_towers_and_balances_lanes() {
+        let n = 1024usize;
+        let towers = 4usize;
+        let primes = find_ntt_prime_chain(60, 2 * n as u128, towers);
+        let a: Vec<Vec<u128>> = primes
+            .iter()
+            .map(|&q| (0..n as u128).map(|i| (i * 31 + 7) % q).collect())
+            .collect();
+        let b: Vec<Vec<u128>> = primes
+            .iter()
+            .map(|&q| (0..n as u128).map(|i| (i * 17 + 3) % q).collect())
+            .collect();
+
+        let rpu = Rpu::builder().lanes(2).build().unwrap();
+        let mut exec = RnsExecutor::new(rpu.cluster());
+        // Retry a pathologically starved split (timing-dependent);
+        // exactness and traffic accounting are asserted every attempt.
+        let mut balanced = None;
+        for _ in 0..3 {
+            let (got, report) = exec.negacyclic_mul_towers(n, &primes, &a, &b).unwrap();
+            for (t, &q) in primes.iter().enumerate() {
+                let plan = rpu_ntt::Ntt128Plan::new(n, q).unwrap();
+                assert_eq!(got[t], plan.negacyclic_mul(&a[t], &b[t]), "tower {t}");
+            }
+            assert_eq!(report.towers, towers);
+            assert_eq!(report.lanes, 2);
+            assert_eq!(report.per_lane.iter().map(|l| l.dispatches).sum::<u64>(), 4);
+            // per-tower traffic: 2n up, n down, nothing left resident
+            assert_eq!(report.transfer.host_to_device, 2 * n * towers);
+            assert_eq!(report.transfer.device_to_host, n * towers);
+            // even a skewed 3/1 split beats sequential
+            if report.lanes_used() == 2 && report.speedup() > 1.2 {
+                balanced = Some(report);
+                break;
+            }
+        }
+        let report = balanced.expect("both lanes must steal work within 3 runs");
+        assert!(report.makespan_us > 0.0 && report.wall_us > 0.0);
+        for lane in 0..2 {
+            assert_eq!(exec.cluster().lane_session_mem(lane), 0);
+        }
+    }
+
+    #[test]
+    fn executor_shape_errors() {
+        let rpu = Rpu::builder().build().unwrap();
+        let mut exec = RnsExecutor::new(rpu.cluster());
+        let bad = exec.negacyclic_mul_towers(1024, &[97, 193], &[vec![0; 1024]], &[vec![0; 1024]]);
+        assert!(matches!(bad, Err(RpuError::Config(_))));
+        let bad = exec.negacyclic_mul_towers(
+            1024,
+            &[97],
+            &[vec![0; 512]], // wrong length
+            &[vec![0; 1024]],
+        );
+        assert!(matches!(bad, Err(RpuError::Config(_))));
+    }
+
+    impl<'a> RpuCluster<'a> {
+        /// Test helper: a lane's resident element count without taking
+        /// `&mut self`.
+        fn lane_session_mem(&self, lane: usize) -> usize {
+            self.lanes[lane].session.device_mem_in_use()
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //! high-level [`Rpu`] object, the session-based workload API
 //! ([`RpuBuilder`] / [`RpuSession`]), the device-resident buffer
 //! runtime ([`DeviceBuffer`] / [`RpuSession::dispatch`] /
-//! [`RlweEvaluator`]), and design-space exploration helpers.
+//! [`RlweEvaluator`]), the multi-lane RNS execution engine
+//! ([`RpuCluster`] / [`RnsExecutor`]), and design-space exploration
+//! helpers.
 //!
 //! # Quickstart
 //!
@@ -84,6 +86,33 @@
 //! resident ciphertexts, verified against the host
 //! [`rpu_ntt::rlwe::RlweContext`].
 //!
+//! # Multi-lane RNS execution
+//!
+//! RNS towers are independent work (Section II-B), so they shard:
+//! [`RpuBuilder::lanes`] builds an [`RpuCluster`] of `k` full sessions
+//! (one simulated RPU die each) and [`RnsExecutor`] spreads tower jobs
+//! over them with a work-stealing scheduler, CRT-recombining on the
+//! host — 8 towers on 4 lanes finish in a 2-tower makespan:
+//!
+//! ```
+//! use rpu::{RnsExecutor, Rpu};
+//! use rpu::arith::{find_ntt_prime_chain, RnsBasis};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rpu = Rpu::builder().lanes(2).build()?;
+//! let mut exec = RnsExecutor::new(rpu.cluster());
+//! let primes = find_ntt_prime_chain(60, 2 * 1024, 4);
+//! let basis = RnsBasis::new(primes.clone())?;
+//! let a = basis.split_u128_poly(&vec![7u128; 1024]);
+//! let b = basis.split_u128_poly(&vec![9u128; 1024]);
+//! let (products, report) = exec.negacyclic_mul_towers(1024, &primes, &a, &b)?;
+//! let wide = basis.recombine_poly(&products);
+//! assert_eq!(products.len(), 4);
+//! assert!(report.speedup() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Migrating from the one-shot API
 //!
 //! `Rpu::run_ntt` / `Rpu::run_ntt_with_modulus` (deprecated) regenerated
@@ -106,12 +135,14 @@
 
 mod buffer;
 mod explore;
+mod lanes;
 mod rlwe;
 mod run;
 mod session;
 
 pub use buffer::{BufferError, DeviceBuffer, TransferStats};
 pub use explore::{evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES};
+pub use lanes::{ClusterRunReport, LaneStats, RnsExecutor, RpuCluster, TowerJob};
 pub use rlwe::{DeviceCiphertext, RlweEvaluator};
 #[allow(deprecated)]
 pub use run::NttRun;

@@ -1,27 +1,37 @@
 //! RLWE pipelines executed end-to-end on the RPU over device-resident
 //! buffers — the ciphertext-level traffic the paper times (Fig. 1).
 //!
-//! [`RlweEvaluator`] keeps every ciphertext component resident in the
-//! session's device heap in the RPU's NTT (evaluation) form, so a whole
+//! [`RlweEvaluator`] keeps every ciphertext component resident in an
+//! [`RpuCluster`] in the RPU's NTT (evaluation) form, so a whole
 //! homomorphic computation is a chain of kernel dispatches with **no
-//! host round trips** between operations:
+//! host round trips** between operations. An RLWE ciphertext is two
+//! independent ring elements — the mask `a` and the payload `b` — and
+//! on a multi-lane cluster the evaluator shards exactly along that
+//! seam: `a`-components live on one lane, `b`-components on another, so
+//! the two pointwise dispatches of every `add`/`sub`/`mul_plain` land
+//! on different devices and overlap (the secret key is replicated to
+//! both lanes at `keygen`). With one lane both components share it and
+//! the behavior is identical to a single session.
 //!
-//! * `encrypt` — sample on the host, then `b = a·s + payload` as three
-//!   forward NTTs, a pointwise multiply, and a pointwise add on-device;
-//! * `add` / `sub` / `mul_plain` — pointwise kernels over resident
-//!   components;
-//! * `decrypt` — `b − a·s` and the inverse NTT on-device; only the final
+//! * `encrypt` — sample on the host, then `b = a·s + payload` as
+//!   forward NTTs plus pointwise dispatches on the `b` lane (the mask
+//!   is uploaded to both lanes rather than moved between them);
+//! * `add` / `sub` / `mul_plain` — per-component pointwise kernels,
+//!   one lane each;
+//! * `decrypt` — `a·s` on the mask lane, one host-link migration, then
+//!   `b − a·s` and the inverse NTT on the payload lane; only the final
 //!   coefficient vector is downloaded for rounding;
 //! * `convolve` — the fused negacyclic polynomial product
-//!   ([`ConvolutionSpec`]) over resident coefficient buffers, the
-//!   dataflow of a ciphertext–ciphertext multiplication.
+//!   ([`ConvolutionSpec`]) over resident coefficient buffers, dispatched
+//!   on whichever lane holds the operands.
 //!
 //! Results are verified against the host-side [`RlweContext`] reference
 //! in `tests/tests/rlwe_on_rpu.rs`: the evaluator draws the same
 //! randomness stream, so device ciphertexts equal host ciphertexts
-//! exactly.
+//! exactly, on any lane count.
 
-use crate::buffer::DeviceBuffer;
+use crate::buffer::{BufferError, DeviceBuffer};
+use crate::lanes::RpuCluster;
 use crate::run::{Rpu, RunReport};
 use crate::session::RpuSession;
 use crate::RpuError;
@@ -32,7 +42,8 @@ use rpu_ntt::rlwe::{Ciphertext, RlweContext, RlweParams, SecretKey, Splitmix};
 use std::sync::Arc;
 
 /// A ciphertext whose components live in device memory, in the RPU
-/// kernel's NTT (evaluation) ordering.
+/// kernel's NTT (evaluation) ordering. On a multi-lane evaluator the
+/// mask is resident on the `a` lane and the payload on the `b` lane.
 #[derive(Debug, Clone, Copy)]
 pub struct DeviceCiphertext {
     /// The resident mask component `â`.
@@ -41,12 +52,53 @@ pub struct DeviceCiphertext {
     pub b: DeviceBuffer,
 }
 
+/// The six compiled kernel shapes of one lane.
+#[derive(Debug)]
+struct LaneKernels {
+    fwd: Arc<Kernel>,
+    inv: Arc<Kernel>,
+    pwmul: Arc<Kernel>,
+    pwadd: Arc<Kernel>,
+    pwsub: Arc<Kernel>,
+    conv: Arc<Kernel>,
+}
+
+impl LaneKernels {
+    fn compile(
+        cluster: &mut RpuCluster<'_>,
+        lane: usize,
+        n: usize,
+        q: u128,
+        style: CodegenStyle,
+    ) -> Result<Self, RpuError> {
+        Ok(LaneKernels {
+            fwd: cluster.compile_on(lane, &NttSpec::new(n, q, Direction::Forward, style))?,
+            inv: cluster.compile_on(lane, &NttSpec::new(n, q, Direction::Inverse, style))?,
+            pwmul: cluster.compile_on(
+                lane,
+                &ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, style),
+            )?,
+            pwadd: cluster.compile_on(
+                lane,
+                &ElementwiseSpec::new(ElementwiseOp::AddMod, n, q, style),
+            )?,
+            pwsub: cluster.compile_on(
+                lane,
+                &ElementwiseSpec::new(ElementwiseOp::SubMod, n, q, style),
+            )?,
+            conv: cluster.compile_on(lane, &ConvolutionSpec::new(n, q, style))?,
+        })
+    }
+}
+
 /// Runs the toy RLWE scheme's operations as chains of kernel dispatches
-/// over device-resident buffers.
+/// over device-resident buffers, sharded across the lanes of an
+/// [`RpuCluster`].
 ///
-/// Created over an [`Rpu`]; owns its [`RpuSession`]. All six kernel
-/// shapes (forward/inverse NTT, pointwise mul/add/sub, fused
-/// convolution) are compiled and golden-verified once at construction;
+/// Created over an [`Rpu`]; opens a cluster with the configured
+/// ([`crate::RpuBuilder::lanes`]) lane count. All six kernel shapes
+/// (forward/inverse NTT, pointwise mul/add/sub, fused convolution) are
+/// compiled and golden-verified once per used lane at construction;
 /// after that every operation is pure dispatch traffic.
 ///
 /// The ring degree must be one the kernel generators support (a power
@@ -54,23 +106,25 @@ pub struct DeviceCiphertext {
 /// `session.primes_for(n)` to pick one.
 #[derive(Debug)]
 pub struct RlweEvaluator<'a> {
-    session: RpuSession<'a>,
+    cluster: RpuCluster<'a>,
     ctx: RlweContext,
-    fwd: Arc<Kernel>,
-    inv: Arc<Kernel>,
-    pwmul: Arc<Kernel>,
-    pwadd: Arc<Kernel>,
-    pwsub: Arc<Kernel>,
-    conv: Arc<Kernel>,
-    /// The secret key in RPU evaluation form, resident after `keygen`.
-    sk_eval: Option<DeviceBuffer>,
+    /// Lane holding every ciphertext's mask component.
+    lane_a: usize,
+    /// Lane holding every ciphertext's payload component.
+    lane_b: usize,
+    ka: LaneKernels,
+    kb: LaneKernels,
+    /// The secret key in RPU evaluation form, resident on both
+    /// component lanes after `keygen`.
+    sk_a: Option<DeviceBuffer>,
+    sk_b: Option<DeviceBuffer>,
     dispatches: u64,
     simulated_us: f64,
 }
 
 impl<'a> RlweEvaluator<'a> {
-    /// Builds an evaluator: host-side context plus the six compiled,
-    /// golden-verified kernel shapes.
+    /// Builds an evaluator: host-side context plus the compiled,
+    /// golden-verified kernel shapes on each component lane.
     ///
     /// # Errors
     ///
@@ -79,24 +133,26 @@ impl<'a> RlweEvaluator<'a> {
     /// generators support.
     pub fn new(rpu: &'a Rpu, params: RlweParams, style: CodegenStyle) -> Result<Self, RpuError> {
         let ctx = RlweContext::new(params)?;
-        let mut session = rpu.session();
+        let mut cluster = rpu.cluster();
         let (n, q) = (params.n, params.q);
-        let fwd = session.compile(&NttSpec::new(n, q, Direction::Forward, style))?;
-        let inv = session.compile(&NttSpec::new(n, q, Direction::Inverse, style))?;
-        let pwmul = session.compile(&ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, style))?;
-        let pwadd = session.compile(&ElementwiseSpec::new(ElementwiseOp::AddMod, n, q, style))?;
-        let pwsub = session.compile(&ElementwiseSpec::new(ElementwiseOp::SubMod, n, q, style))?;
-        let conv = session.compile(&ConvolutionSpec::new(n, q, style))?;
+        let lane_a = 0;
+        let lane_b = 1 % cluster.lane_count();
+        let ka = LaneKernels::compile(&mut cluster, lane_a, n, q, style)?;
+        let kb = if lane_b == lane_a {
+            // One lane: both components share its kernels (cache hits).
+            LaneKernels::compile(&mut cluster, lane_a, n, q, style)?
+        } else {
+            LaneKernels::compile(&mut cluster, lane_b, n, q, style)?
+        };
         Ok(RlweEvaluator {
-            session,
+            cluster,
             ctx,
-            fwd,
-            inv,
-            pwmul,
-            pwadd,
-            pwsub,
-            conv,
-            sk_eval: None,
+            lane_a,
+            lane_b,
+            ka,
+            kb,
+            sk_a: None,
+            sk_b: None,
             dispatches: 0,
             simulated_us: 0.0,
         })
@@ -107,39 +163,75 @@ impl<'a> RlweEvaluator<'a> {
         &self.ctx
     }
 
-    /// The underlying session (cache statistics, manual buffer work).
+    /// The mask-component lane's session (cache statistics, manual
+    /// buffer work for [`convolve`](RlweEvaluator::convolve) operands).
     pub fn session(&mut self) -> &mut RpuSession<'a> {
-        &mut self.session
+        self.cluster.lane_session(0)
     }
 
-    /// Kernels dispatched so far.
+    /// The cluster the evaluator shards over.
+    pub fn cluster(&self) -> &RpuCluster<'a> {
+        &self.cluster
+    }
+
+    /// Mutable access to the cluster (lane sessions, buffer migration).
+    pub fn cluster_mut(&mut self) -> &mut RpuCluster<'a> {
+        &mut self.cluster
+    }
+
+    /// The `(mask, payload)` component lanes.
+    pub fn component_lanes(&self) -> (usize, usize) {
+        (self.lane_a, self.lane_b)
+    }
+
+    /// Kernels dispatched so far, across every lane.
     pub fn dispatch_count(&self) -> u64 {
         self.dispatches
     }
 
     /// Total simulated on-RPU time of every dispatch so far, in
-    /// microseconds.
+    /// microseconds — the *sequential-equivalent* cost. With two
+    /// component lanes, independent per-component dispatches overlap;
+    /// [`makespan_us`](RlweEvaluator::makespan_us) is the overlapped
+    /// completion time.
     pub fn simulated_us(&self) -> f64 {
         self.simulated_us
     }
 
-    /// One dispatch with traffic accounting.
+    /// The busiest lane's simulated time, in microseconds — what the
+    /// multi-lane deployment actually takes.
+    pub fn makespan_us(&self) -> f64 {
+        self.cluster.makespan_us()
+    }
+
+    /// One dispatch on `lane` with traffic accounting.
     fn dispatch(
         &mut self,
+        lane: usize,
         kernel: &Arc<Kernel>,
         inputs: &[DeviceBuffer],
         outputs: &[DeviceBuffer],
     ) -> Result<RunReport, RpuError> {
-        let report = self.session.dispatch(kernel, inputs, outputs)?;
+        let report = self.cluster.dispatch_on(lane, kernel, inputs, outputs)?;
         self.dispatches += 1;
         self.simulated_us += report.runtime_us;
         Ok(report)
     }
 
+    /// The kernel set of `lane` (only ever called with a component lane).
+    fn kernels(&self, lane: usize) -> &LaneKernels {
+        if lane == self.lane_b && self.lane_b != self.lane_a {
+            &self.kb
+        } else {
+            &self.ka
+        }
+    }
+
     /// Samples a secret key on the host, uploads it, and transforms it
-    /// to evaluation form on-device, where it stays resident for every
-    /// later `encrypt`/`decrypt`. Returns the host-form key so results
-    /// can be cross-checked against [`RlweContext`].
+    /// to evaluation form on every component lane, where it stays
+    /// resident for every later `encrypt`/`decrypt`. Returns the
+    /// host-form key so results can be cross-checked against
+    /// [`RlweContext`].
     ///
     /// # Errors
     ///
@@ -147,16 +239,31 @@ impl<'a> RlweEvaluator<'a> {
     /// faults.
     pub fn keygen(&mut self, rng: &mut Splitmix) -> Result<SecretKey, RpuError> {
         let sk = self.ctx.keygen(rng);
-        if let Some(old) = self.sk_eval.take() {
-            self.session.free(old)?;
+        // On a single lane both slots hold the same handle — free once.
+        let (old_a, old_b) = (self.sk_a.take(), self.sk_b.take());
+        for old in [old_a, old_b.filter(|b| old_a != Some(*b))]
+            .into_iter()
+            .flatten()
+        {
+            self.cluster.free(old)?;
         }
-        let s_hat = self.upload_eval(&sk.s_coeffs())?;
-        self.sk_eval = Some(s_hat);
+        let coeffs = sk.s_coeffs();
+        self.sk_a = Some(self.upload_eval(self.lane_a, &coeffs)?);
+        self.sk_b = if self.lane_b == self.lane_a {
+            self.sk_a
+        } else {
+            Some(self.upload_eval(self.lane_b, &coeffs)?)
+        };
         Ok(sk)
     }
 
-    fn resident_key(&self) -> Result<DeviceBuffer, RpuError> {
-        self.sk_eval.ok_or_else(|| {
+    fn resident_key(&self, lane: usize) -> Result<DeviceBuffer, RpuError> {
+        let sk = if lane == self.lane_b && self.lane_b != self.lane_a {
+            self.sk_b
+        } else {
+            self.sk_a
+        };
+        sk.ok_or_else(|| {
             RpuError::Config("no resident secret key: call RlweEvaluator::keygen first".into())
         })
     }
@@ -172,55 +279,59 @@ impl<'a> RlweEvaluator<'a> {
     ) -> Result<T, RpuError> {
         if result.is_err() {
             for buf in temps {
-                let _ = self.session.free(*buf);
+                let _ = self.cluster.free(*buf);
             }
         }
         result
     }
 
-    /// Uploads coefficients and forward-transforms them on-device,
-    /// returning the evaluation-form resident buffer.
-    fn upload_eval(&mut self, coeffs: &[u128]) -> Result<DeviceBuffer, RpuError> {
-        let raw = self.session.upload(coeffs)?;
-        let alloc = self.session.alloc(coeffs.len());
+    /// Uploads coefficients to `lane` and forward-transforms them
+    /// on-device, returning the evaluation-form resident buffer.
+    fn upload_eval(&mut self, lane: usize, coeffs: &[u128]) -> Result<DeviceBuffer, RpuError> {
+        let raw = self.cluster.upload_to(lane, coeffs)?;
+        let alloc = self.cluster.alloc_on(lane, coeffs.len());
         let hat = self.or_release(alloc, &[raw])?;
-        let fwd = Arc::clone(&self.fwd);
-        let run = self.dispatch(&fwd, &[raw], &[hat]).map(|_| ());
+        let fwd = Arc::clone(&self.kernels(lane).fwd);
+        let run = self.dispatch(lane, &fwd, &[raw], &[hat]).map(|_| ());
         self.or_release(run, &[raw, hat])?;
-        self.session.free(raw)?;
+        self.cluster.free(raw)?;
         Ok(hat)
     }
 
-    /// Inverse-transforms a resident evaluation-form buffer on-device
+    /// Inverse-transforms a resident evaluation-form buffer on its lane
     /// and downloads the natural-order coefficients.
-    fn download_coeffs(&mut self, hat: &DeviceBuffer) -> Result<Vec<u128>, RpuError> {
-        let tmp = self.session.alloc(hat.len())?;
-        let inv = Arc::clone(&self.inv);
-        let run = self.dispatch(&inv, &[*hat], &[tmp]).map(|_| ());
-        let coeffs = run.and_then(|()| self.session.download(&tmp));
+    fn download_coeffs(&mut self, lane: usize, hat: &DeviceBuffer) -> Result<Vec<u128>, RpuError> {
+        let tmp = self.cluster.alloc_on(lane, hat.len())?;
+        let inv = Arc::clone(&self.kernels(lane).inv);
+        let run = self.dispatch(lane, &inv, &[*hat], &[tmp]).map(|_| ());
+        let coeffs = run.and_then(|()| self.cluster.download(&tmp));
         let coeffs = self.or_release(coeffs, &[tmp])?;
-        self.session.free(tmp)?;
+        self.cluster.free(tmp)?;
         Ok(coeffs)
     }
 
-    /// One pointwise dispatch `out = op(x, y)` into a fresh buffer.
+    /// One pointwise dispatch `out = op(x, y)` into a fresh buffer on
+    /// `lane`.
     fn pointwise(
         &mut self,
+        lane: usize,
         kernel: &Arc<Kernel>,
         x: &DeviceBuffer,
         y: &DeviceBuffer,
     ) -> Result<DeviceBuffer, RpuError> {
-        let out = self.session.alloc(x.len())?;
+        let out = self.cluster.alloc_on(lane, x.len())?;
         let kernel = Arc::clone(kernel);
-        let run = self.dispatch(&kernel, &[*x, *y], &[out]).map(|_| ());
+        let run = self.dispatch(lane, &kernel, &[*x, *y], &[out]).map(|_| ());
         self.or_release(run, &[out])?;
         Ok(out)
     }
 
     /// Encrypts a plaintext vector: randomness is sampled on the host
     /// (the same stream [`RlweContext::encrypt`] draws), then
-    /// `b̂ = â ⊙ ŝ ⊕ payload̂` runs entirely on-device. The resulting
-    /// ciphertext stays resident.
+    /// `b̂ = â ⊙ ŝ ⊕ payload̂` runs entirely on-device. The mask is
+    /// uploaded to both component lanes (lanes share no memory), and
+    /// the resulting ciphertext stays resident: `â` on the mask lane,
+    /// `b̂` on the payload lane.
     ///
     /// # Errors
     ///
@@ -236,26 +347,48 @@ impl<'a> RlweEvaluator<'a> {
         message: &[u128],
         rng: &mut Splitmix,
     ) -> Result<DeviceCiphertext, RpuError> {
-        let sk = self.resident_key()?;
+        let sk = self.resident_key(self.lane_b)?;
         let (a_coeffs, payload) = self.ctx.sample_mask_and_payload(message, rng);
-        let a_hat = self.upload_eval(&a_coeffs)?;
-        let p_hat = {
-            let r = self.upload_eval(&payload);
+        // The ciphertext's resident mask, on the mask lane.
+        let a_hat = self.upload_eval(self.lane_a, &a_coeffs)?;
+        // The payload lane's working copy of the mask (replicating the
+        // host-known coefficients is cheaper than a cross-lane move).
+        let a_work = if self.lane_b == self.lane_a {
+            a_hat
+        } else {
+            let r = self.upload_eval(self.lane_b, &a_coeffs);
             self.or_release(r, &[a_hat])?
         };
-        let t = {
-            let r = self.pointwise(&Arc::clone(&self.pwmul), &a_hat, &sk); // â ⊙ ŝ
-            self.or_release(r, &[a_hat, p_hat])?
+        let mut temps = vec![a_hat];
+        if a_work != a_hat {
+            temps.push(a_work);
+        }
+        let p_hat = {
+            let r = self.upload_eval(self.lane_b, &payload);
+            self.or_release(r, &temps)?
         };
-        let add = Arc::clone(&self.pwadd);
-        let r = self.dispatch(&add, &[t, p_hat], &[t]).map(|_| ()); // ⊕ payload̂
-        self.or_release(r, &[a_hat, p_hat, t])?;
-        self.session.free(p_hat)?;
+        temps.push(p_hat);
+        let t = {
+            let pwmul = Arc::clone(&self.kernels(self.lane_b).pwmul);
+            let r = self.pointwise(self.lane_b, &pwmul, &a_work, &sk); // â ⊙ ŝ
+            self.or_release(r, &temps)?
+        };
+        temps.push(t);
+        let add = Arc::clone(&self.kernels(self.lane_b).pwadd);
+        let r = self
+            .dispatch(self.lane_b, &add, &[t, p_hat], &[t]) // ⊕ payload̂
+            .map(|_| ());
+        self.or_release(r, &temps)?;
+        self.cluster.free(p_hat)?;
+        if a_work != a_hat {
+            self.cluster.free(a_work)?;
+        }
         Ok(DeviceCiphertext { a: a_hat, b: t })
     }
 
-    /// Homomorphic addition over resident ciphertexts (two pointwise
-    /// dispatches, no host traffic).
+    /// Homomorphic addition over resident ciphertexts: one pointwise
+    /// dispatch per component, on that component's lane — with two
+    /// lanes the two dispatches overlap.
     ///
     /// # Errors
     ///
@@ -266,15 +399,18 @@ impl<'a> RlweEvaluator<'a> {
         x: &DeviceCiphertext,
         y: &DeviceCiphertext,
     ) -> Result<DeviceCiphertext, RpuError> {
-        let a = self.pointwise(&Arc::clone(&self.pwadd), &x.a, &y.a)?;
+        let pa = Arc::clone(&self.kernels(self.lane_a).pwadd);
+        let pb = Arc::clone(&self.kernels(self.lane_b).pwadd);
+        let a = self.pointwise(self.lane_a, &pa, &x.a, &y.a)?;
         let b = {
-            let r = self.pointwise(&Arc::clone(&self.pwadd), &x.b, &y.b);
+            let r = self.pointwise(self.lane_b, &pb, &x.b, &y.b);
             self.or_release(r, &[a])?
         };
         Ok(DeviceCiphertext { a, b })
     }
 
-    /// Homomorphic subtraction over resident ciphertexts.
+    /// Homomorphic subtraction over resident ciphertexts (per-component
+    /// dispatches, like [`add`](RlweEvaluator::add)).
     ///
     /// # Errors
     ///
@@ -285,17 +421,20 @@ impl<'a> RlweEvaluator<'a> {
         x: &DeviceCiphertext,
         y: &DeviceCiphertext,
     ) -> Result<DeviceCiphertext, RpuError> {
-        let a = self.pointwise(&Arc::clone(&self.pwsub), &x.a, &y.a)?;
+        let pa = Arc::clone(&self.kernels(self.lane_a).pwsub);
+        let pb = Arc::clone(&self.kernels(self.lane_b).pwsub);
+        let a = self.pointwise(self.lane_a, &pa, &x.a, &y.a)?;
         let b = {
-            let r = self.pointwise(&Arc::clone(&self.pwsub), &x.b, &y.b);
+            let r = self.pointwise(self.lane_b, &pb, &x.b, &y.b);
             self.or_release(r, &[a])?
         };
         Ok(DeviceCiphertext { a, b })
     }
 
     /// Multiplication by a plaintext polynomial (small coefficients):
-    /// one upload + forward NTT for the plaintext, then a pointwise
-    /// multiply per component.
+    /// the plaintext is uploaded and forward-transformed once per
+    /// component lane, then each component is multiplied on its own
+    /// lane.
     ///
     /// # Errors
     ///
@@ -314,21 +453,39 @@ impl<'a> RlweEvaluator<'a> {
             self.ctx.params().n,
             "plaintext length must equal n"
         );
-        let p_hat = self.upload_eval(plain)?;
+        let p_a = self.upload_eval(self.lane_a, plain)?;
+        let p_b = if self.lane_b == self.lane_a {
+            p_a
+        } else {
+            let r = self.upload_eval(self.lane_b, plain);
+            self.or_release(r, &[p_a])?
+        };
+        let mut temps = vec![p_a];
+        if p_b != p_a {
+            temps.push(p_b);
+        }
         let a = {
-            let r = self.pointwise(&Arc::clone(&self.pwmul), &x.a, &p_hat);
-            self.or_release(r, &[p_hat])?
+            let pwmul = Arc::clone(&self.kernels(self.lane_a).pwmul);
+            let r = self.pointwise(self.lane_a, &pwmul, &x.a, &p_a);
+            self.or_release(r, &temps)?
         };
+        temps.push(a);
         let b = {
-            let r = self.pointwise(&Arc::clone(&self.pwmul), &x.b, &p_hat);
-            self.or_release(r, &[p_hat, a])?
+            let pwmul = Arc::clone(&self.kernels(self.lane_b).pwmul);
+            let r = self.pointwise(self.lane_b, &pwmul, &x.b, &p_b);
+            self.or_release(r, &temps)?
         };
-        self.session.free(p_hat)?;
+        self.cluster.free(p_a)?;
+        if p_b != p_a {
+            self.cluster.free(p_b)?;
+        }
         Ok(DeviceCiphertext { a, b })
     }
 
     /// Decrypts a resident ciphertext with the resident secret key:
-    /// `b̂ ⊖ â ⊙ ŝ` and the inverse NTT run on-device; only the noisy
+    /// `â ⊙ ŝ` runs on the mask lane, crosses to the payload lane over
+    /// the host link (the one inter-lane move of the pipeline), then
+    /// `b̂ ⊖ â·ŝ` and the inverse NTT run there; only the noisy
     /// coefficient vector is downloaded, and the `Δ`-rounding to
     /// plaintext happens on the host.
     ///
@@ -338,16 +495,23 @@ impl<'a> RlweEvaluator<'a> {
     /// [`keygen`](RlweEvaluator::keygen), or [`RpuError`] on dispatch
     /// failure.
     pub fn decrypt(&mut self, ct: &DeviceCiphertext) -> Result<Vec<u128>, RpuError> {
-        let sk = self.resident_key()?;
-        let t = self.pointwise(&Arc::clone(&self.pwmul), &ct.a, &sk)?; // â ⊙ ŝ
-        let sub = Arc::clone(&self.pwsub);
+        let sk = self.resident_key(self.lane_a)?;
+        let pwmul = Arc::clone(&self.kernels(self.lane_a).pwmul);
+        let t = self.pointwise(self.lane_a, &pwmul, &ct.a, &sk)?; // â ⊙ ŝ
+        let t = {
+            // A failed migration leaves the source handle live on the
+            // mask lane — release it rather than leak heap space.
+            let moved = self.cluster.migrate(t, self.lane_b);
+            self.or_release(moved, &[t])?
+        };
+        let sub = Arc::clone(&self.kernels(self.lane_b).pwsub);
         let noisy = {
             let r = self
-                .dispatch(&sub, &[ct.b, t], &[t]) // b̂ ⊖ â·ŝ
-                .and_then(|_| self.download_coeffs(&t));
+                .dispatch(self.lane_b, &sub, &[ct.b, t], &[t]) // b̂ ⊖ â·ŝ
+                .and_then(|_| self.download_coeffs(self.lane_b, &t));
             self.or_release(r, &[t])?
         };
-        self.session.free(t)?;
+        self.cluster.free(t)?;
         let params = self.ctx.params();
         let delta = self.ctx.delta();
         Ok(noisy
@@ -357,14 +521,15 @@ impl<'a> RlweEvaluator<'a> {
     }
 
     /// Downloads a resident ciphertext into host form (via on-device
-    /// inverse NTTs), e.g. to cross-check against [`RlweContext`].
+    /// inverse NTTs on each component's lane), e.g. to cross-check
+    /// against [`RlweContext`].
     ///
     /// # Errors
     ///
     /// Returns [`RpuError`] on stale handles or dispatch failure.
     pub fn download_ciphertext(&mut self, ct: &DeviceCiphertext) -> Result<Ciphertext, RpuError> {
-        let a = self.download_coeffs(&ct.a)?;
-        let b = self.download_coeffs(&ct.b)?;
+        let a = self.download_coeffs(self.lane_a, &ct.a)?;
+        let b = self.download_coeffs(self.lane_b, &ct.b)?;
         Ok(Ciphertext::from_coeff_parts(&self.ctx, a, b)?)
     }
 
@@ -374,27 +539,44 @@ impl<'a> RlweEvaluator<'a> {
     ///
     /// Returns [`RpuError::Buffer`] for stale handles.
     pub fn free_ciphertext(&mut self, ct: DeviceCiphertext) -> Result<(), RpuError> {
-        self.session.free(ct.a)?;
-        self.session.free(ct.b)
+        self.cluster.free(ct.a)?;
+        self.cluster.free(ct.b)
     }
 
     /// The full negacyclic polynomial product `a ·_neg b` over resident
     /// *coefficient-domain* buffers, as one fused kernel dispatch
     /// (forward NTT ×2 → pointwise multiply → inverse NTT) — the
     /// dataflow of a ciphertext–ciphertext multiplication (Fig. 1).
+    /// The dispatch runs on whichever lane holds the operands; operands
+    /// on different lanes are rejected ([`BufferError::ForeignLane`])
+    /// rather than silently moved.
     ///
     /// # Errors
     ///
-    /// Returns [`RpuError`] on stale handles, heap exhaustion, or a
-    /// dispatch fault.
+    /// Returns [`RpuError`] on stale or cross-lane handles, heap
+    /// exhaustion, or a dispatch fault.
     pub fn convolve(
         &mut self,
         a: &DeviceBuffer,
         b: &DeviceBuffer,
     ) -> Result<DeviceBuffer, RpuError> {
-        let out = self.session.alloc(self.ctx.params().n)?;
-        let conv = Arc::clone(&self.conv);
-        let run = self.dispatch(&conv, &[*a, *b], &[out]).map(|_| ());
+        let lane = self
+            .cluster
+            .locate(a)
+            .ok_or(RpuError::Buffer(BufferError::StaleHandle { id: a.id() }))?;
+        self.cluster.check_residency(lane, &[*b])?;
+        let out = self.cluster.alloc_on(lane, self.ctx.params().n)?;
+        let conv = if lane == self.lane_a || lane == self.lane_b {
+            Arc::clone(&self.kernels(lane).conv)
+        } else {
+            // Operands parked on a non-component lane: compile there
+            // (cached per lane, like any device-local program store).
+            let params = self.ctx.params();
+            let spec = ConvolutionSpec::new(params.n, params.q, self.ka.conv.key().style);
+            let r = self.cluster.compile_on(lane, &spec);
+            self.or_release(r, &[out])?
+        };
+        let run = self.dispatch(lane, &conv, &[*a, *b], &[out]).map(|_| ());
         self.or_release(run, &[out])?;
         Ok(out)
     }

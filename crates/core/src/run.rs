@@ -39,6 +39,7 @@ pub struct Rpu {
     prime_bits: u32,
     kernel_cache_capacity: Option<usize>,
     device_heap_elements: usize,
+    lanes: usize,
 }
 
 /// The result of running one kernel on an [`Rpu`] — the uniform report
@@ -99,6 +100,7 @@ impl Rpu {
         RpuBuilder::new()
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_builder(
         config: RpuConfig,
         area_model: AreaModel,
@@ -107,6 +109,7 @@ impl Rpu {
         prime_bits: u32,
         kernel_cache_capacity: Option<usize>,
         device_heap_elements: usize,
+        lanes: usize,
     ) -> Result<Self, RpuError> {
         let cycle_sim = CycleSim::new(config).map_err(RpuError::Config)?;
         Ok(Rpu {
@@ -118,6 +121,7 @@ impl Rpu {
             prime_bits,
             kernel_cache_capacity,
             device_heap_elements,
+            lanes,
         })
     }
 
@@ -126,6 +130,31 @@ impl Rpu {
     /// caches.
     pub fn session(&self) -> RpuSession<'_> {
         RpuSession::new(self)
+    }
+
+    /// Opens a multi-lane cluster with the configured
+    /// ([`RpuBuilder::lanes`]) lane count: `k` independent sessions —
+    /// each its own device heap, kernel cache, and functional simulator
+    /// — behind one scheduler. See [`crate::RpuCluster`].
+    pub fn cluster(&self) -> crate::RpuCluster<'_> {
+        crate::RpuCluster::new(self, self.lanes)
+    }
+
+    /// Opens a cluster with an explicit lane count, overriding the
+    /// configured default (sweeps over lane counts reuse one `Rpu`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `[1, 64]` (the
+    /// [`RpuBuilder::lanes`] bound).
+    pub fn cluster_with(&self, k: usize) -> crate::RpuCluster<'_> {
+        crate::RpuCluster::new(self, k)
+    }
+
+    /// The lane count [`Rpu::cluster`] builds
+    /// ([`RpuBuilder::lanes`], default 1).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// The configuration.

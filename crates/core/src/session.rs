@@ -101,7 +101,12 @@ pub struct RpuBuilder {
     prime_bits: u32,
     kernel_cache_capacity: Option<usize>,
     device_heap_elements: Option<usize>,
+    lanes: usize,
 }
+
+/// Most lanes a cluster may be built with: past this the simulated VDM
+/// heaps dwarf any host the simulator runs on.
+pub(crate) const MAX_LANES: usize = 64;
 
 impl Default for RpuBuilder {
     fn default() -> Self {
@@ -121,6 +126,7 @@ impl RpuBuilder {
             prime_bits: DEFAULT_PRIME_BITS,
             kernel_cache_capacity: None,
             device_heap_elements: None,
+            lanes: 1,
         }
     }
 
@@ -183,14 +189,24 @@ impl RpuBuilder {
         self
     }
 
+    /// Sets how many independent RPU lanes `Rpu::cluster` builds
+    /// (default 1). Each lane is a full session — its own device heap,
+    /// kernel cache, and functional simulator — so `k` lanes model `k`
+    /// RPU dies fed by one host, the scale-out axis of the paper's RNS
+    /// decomposition (every tower is independent work).
+    pub fn lanes(mut self, k: usize) -> Self {
+        self.lanes = k;
+        self
+    }
+
     /// Builds the [`Rpu`].
     ///
     /// # Errors
     ///
     /// Returns [`RpuError::Config`] for invalid configurations, a
     /// non-positive clock override, an unsupported prime width, a
-    /// zero-entry kernel-cache bound, or a device heap that overflows
-    /// the architectural VDM.
+    /// zero-entry kernel-cache bound, a lane count outside
+    /// `[1, 64]`, or a device heap that overflows the architectural VDM.
     pub fn build(self) -> Result<Rpu, RpuError> {
         if let Some(ghz) = self.clock_ghz {
             if !(ghz.is_finite() && ghz > 0.0) {
@@ -210,6 +226,12 @@ impl RpuBuilder {
             return Err(RpuError::Config(
                 "kernel_cache_capacity must be at least 1".into(),
             ));
+        }
+        if !(1..=MAX_LANES).contains(&self.lanes) {
+            return Err(RpuError::Config(format!(
+                "lanes must be in [1, {MAX_LANES}], got {}",
+                self.lanes
+            )));
         }
         let max = rpu_isa::consts::VDM_MAX_BYTES / rpu_isa::consts::ELEM_BYTES;
         let workspace = self.config.vdm_elements();
@@ -235,6 +257,7 @@ impl RpuBuilder {
             self.prime_bits,
             self.kernel_cache_capacity,
             heap,
+            self.lanes,
         )
     }
 }
@@ -612,6 +635,12 @@ impl<'a> RpuSession<'a> {
     /// included).
     pub fn free(&mut self, buf: DeviceBuffer) -> Result<(), RpuError> {
         Ok(self.device.heap.free(&buf)?)
+    }
+
+    /// `true` if `buf` is a live allocation of *this* session's heap
+    /// (lane-locating probe for the cluster layer).
+    pub(crate) fn owns(&self, buf: &DeviceBuffer) -> bool {
+        self.device.heap.resolve(buf).is_ok()
     }
 
     /// Device-heap elements currently allocated.
@@ -1067,6 +1096,51 @@ mod tests {
         s.run(&spec(ElementwiseOp::AddMod)).unwrap();
         assert_eq!(s.cache_stats().misses, before + 1);
         assert_eq!(s.cache_stats().evictions, 2);
+    }
+
+    #[test]
+    fn evicted_kernel_recompiles_and_reverifies_under_capacity_one() {
+        // Regression: verify-once state lives on the kernel (and dies
+        // with it), not on the cache slot — after an eviction the next
+        // compile of the same spec must produce a *fresh* kernel and a
+        // *fresh* golden-model verdict, and every eviction must be
+        // counted exactly once.
+        let rpu = Rpu::builder().kernel_cache_capacity(1).build().unwrap();
+        let mut s = rpu.session();
+        let q = s.primes_for(1024).unwrap();
+        let mul = ElementwiseSpec::new(ElementwiseOp::MulMod, 1024, q, CodegenStyle::Optimized);
+        let add = ElementwiseSpec::new(ElementwiseOp::AddMod, 1024, q, CodegenStyle::Optimized);
+
+        let first = s.compile(&mul).unwrap();
+        assert_eq!(first.verification(), Some(true));
+        s.compile(&add).unwrap(); // evicts mul
+        let stats = s.cache_stats();
+        assert_eq!((stats.entries, stats.evictions), (1, 1));
+
+        let second = s.compile(&mul).unwrap(); // evicts add, regenerates mul
+        assert!(
+            !Arc::ptr_eq(&first, &second),
+            "an evicted kernel must be regenerated, not resurrected"
+        );
+        assert_eq!(
+            second.verification(),
+            Some(true),
+            "the recompiled kernel re-verifies against its golden model"
+        );
+        let stats = s.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 2, "one eviction per displaced entry");
+        assert_eq!(stats.misses, 3, "every compile after an eviction is a miss");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.capacity, Some(1));
+
+        // repeated compiles of the resident entry are hits, not
+        // evictions — the counter must not drift
+        s.compile(&mul).unwrap();
+        s.compile(&mul).unwrap();
+        let stats = s.cache_stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.hits, 2);
     }
 
     #[test]

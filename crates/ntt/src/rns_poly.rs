@@ -58,6 +58,12 @@ impl RnsContext {
     pub fn basis(&self) -> &RnsBasis {
         &self.basis
     }
+
+    /// The tower moduli as plain values, in tower order — what per-tower
+    /// kernel specs are parameterized with.
+    pub fn modulus_values(&self) -> Vec<u128> {
+        self.plans.iter().map(|p| p.modulus().value()).collect()
+    }
 }
 
 impl RnsPolynomial {
@@ -129,9 +135,53 @@ impl RnsPolynomial {
         })
     }
 
+    /// Rebuilds a tower polynomial from per-tower coefficient vectors
+    /// (tower-major, natural coefficient order) — the inverse of
+    /// [`tower_coeffs`](RnsPolynomial::tower_coeffs), used to lift
+    /// residues computed off-host (e.g. by parallel RPU lanes) back into
+    /// an [`RnsPolynomial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidDegree`] if the tower count or any
+    /// tower length does not match the context.
+    pub fn from_tower_coeffs(
+        ctx: &Arc<RnsContext>,
+        towers: &[Vec<u128>],
+    ) -> Result<Self, NttError> {
+        if towers.len() != ctx.plans.len() {
+            return Err(NttError::InvalidDegree(towers.len()));
+        }
+        let towers = ctx
+            .plans
+            .iter()
+            .zip(towers)
+            .map(|(plan, coeffs)| Polynomial::from_coeffs(plan, coeffs.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RnsPolynomial {
+            ctx: Arc::clone(ctx),
+            towers,
+        })
+    }
+
     /// The tower polynomials.
     pub fn towers(&self) -> &[Polynomial] {
         &self.towers
+    }
+
+    /// The tower at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tower(&self, i: usize) -> &Polynomial {
+        &self.towers[i]
+    }
+
+    /// Every tower's coefficients (tower-major, natural order) — the
+    /// unit of work shipped to an RPU lane.
+    pub fn tower_coeffs(&self) -> Vec<Vec<u128>> {
+        self.towers.iter().map(|t| t.coeffs()).collect()
     }
 
     /// The shared context.
@@ -261,6 +311,25 @@ mod tests {
         for v in sum {
             assert_eq!(v.to_u128(), Some(12));
         }
+    }
+
+    #[test]
+    fn tower_coeffs_round_trip_through_from_tower_coeffs() {
+        let n = 8usize;
+        let c = ctx(n, 3);
+        assert_eq!(c.modulus_values().len(), 3);
+        let a = RnsPolynomial::from_u128_coeffs(&c, &(1..=n as u128).collect::<Vec<_>>()).unwrap();
+        let towers = a.tower_coeffs();
+        assert_eq!(towers.len(), 3);
+        assert_eq!(towers[0], a.tower(0).coeffs());
+        let rebuilt = RnsPolynomial::from_tower_coeffs(&c, &towers).unwrap();
+        assert_eq!(rebuilt.to_big_coeffs(), a.to_big_coeffs());
+        // wrong tower count is rejected
+        assert!(RnsPolynomial::from_tower_coeffs(&c, &towers[..2]).is_err());
+        // wrong tower length is rejected
+        let mut ragged = towers.clone();
+        ragged[1].pop();
+        assert!(RnsPolynomial::from_tower_coeffs(&c, &ragged).is_err());
     }
 
     #[test]

@@ -308,3 +308,85 @@ fn resident_chain_uploads_once() {
     }
     assert_eq!(resident_result, expect);
 }
+
+#[test]
+fn free_then_dispatch_is_rejected_without_side_effects() {
+    let n = 1024usize;
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let q = s.primes_for(n).unwrap();
+    let mul = s
+        .compile(&ElementwiseSpec::new(
+            ElementwiseOp::MulMod,
+            n,
+            q,
+            CodegenStyle::Optimized,
+        ))
+        .unwrap();
+    let x = s.upload(&vec![2u128; n]).unwrap();
+    let y = s.upload(&vec![3u128; n]).unwrap();
+    let out = s.alloc(n).unwrap();
+    let dead = s.upload(&vec![9u128; n]).unwrap();
+    s.free(dead).unwrap();
+
+    // freed input
+    assert!(matches!(
+        s.dispatch(&mul, &[dead, y], &[out]),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+    // freed output
+    assert!(matches!(
+        s.dispatch(&mul, &[x, y], &[dead]),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+    // the live buffers still dispatch cleanly afterwards
+    s.dispatch(&mul, &[x, y], &[out]).unwrap();
+    assert_eq!(s.download(&out).unwrap(), vec![6u128; n]);
+}
+
+#[test]
+fn double_free_reports_stale_and_keeps_heap_consistent() {
+    let rpu = Rpu::builder().device_heap_elements(4096).build().unwrap();
+    let mut s = rpu.session();
+    let a = s.upload(&test_data(1024, 7)).unwrap();
+    let b = s.upload(&test_data(1024, 8)).unwrap();
+    s.free(a).unwrap();
+    assert!(matches!(
+        s.free(a),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+    // the double free must not have freed or merged the survivor's block
+    assert_eq!(s.device_mem_in_use(), 1024);
+    assert_eq!(s.live_buffers(), 1);
+    assert_eq!(s.download(&b).unwrap(), test_data(1024, 8));
+    // and both free fragments around the survivor are still allocatable
+    assert!(s.alloc(1024).is_ok()); // the hole `a` left
+    assert!(s.alloc(2048).is_ok()); // the untouched tail
+}
+
+#[test]
+fn stale_handle_stays_stale_after_heap_growth() {
+    // The backing simulator grows lazily with the heap high-water mark;
+    // a handle freed *before* a growth must not resurrect once its
+    // offset range exists again (ids, not offsets, define liveness).
+    let rpu = Rpu::builder()
+        .device_heap_elements(1 << 16)
+        .build()
+        .unwrap();
+    let mut s = rpu.session();
+    let small = s.upload(&test_data(256, 1)).unwrap();
+    s.free(small).unwrap();
+    // force simulator growth well past the freed range
+    let big = s.upload(&test_data(1 << 15, 2)).unwrap();
+    assert!(matches!(
+        s.download(&small),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+    assert!(matches!(
+        s.write(&small, &test_data(256, 3)),
+        Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
+    ));
+    // the grown allocation is intact and the freed id was not recycled
+    assert_eq!(s.download(&big).unwrap(), test_data(1 << 15, 2));
+    assert_ne!(big.id(), small.id());
+}

@@ -131,6 +131,26 @@ fn ciphertext_mult_dataflow_matches_schoolbook() {
 }
 
 #[test]
+fn rekeying_replaces_the_resident_key_on_any_lane_count() {
+    // Regression: on a single lane both key slots hold the *same*
+    // resident buffer; a second keygen must free it once, not twice.
+    for lanes in [1usize, 2] {
+        let rpu = Rpu::builder().lanes(lanes).build().unwrap();
+        let mut eval = RlweEvaluator::new(&rpu, params(&rpu), CodegenStyle::Optimized).unwrap();
+        let mut rng = Splitmix::new(0xD00D);
+        eval.keygen(&mut rng).unwrap();
+        eval.keygen(&mut rng).unwrap(); // re-key: frees the old key cleanly
+        let msg = message(4);
+        let ct = eval.encrypt(&msg, &mut rng).unwrap();
+        assert_eq!(
+            eval.decrypt(&ct).unwrap(),
+            msg,
+            "the new key must decrypt ({lanes} lane(s))"
+        );
+    }
+}
+
+#[test]
 fn evaluator_requires_keygen_and_compiles_each_shape_once() {
     let rpu = Rpu::builder().build().unwrap();
     let p = params(&rpu);
