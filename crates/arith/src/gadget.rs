@@ -1,0 +1,105 @@
+//! Gadget (base-`2^w`) decomposition — the digit expansion behind
+//! key switching.
+//!
+//! Relinearization and Galois key switching multiply a wide-coefficient
+//! polynomial by key material digit-by-digit so the noise each product
+//! adds stays proportional to the digit bound `B = 2^w` instead of `q`.
+//! The decomposition here is the plain unsigned radix-`B` expansion:
+//! `c = Σ_j d_j · B^j` with `d_j ∈ [0, B)` — exact over the integers for
+//! any residue below `2^(levels·w)`, hence exact mod `q` as well.
+
+/// Number of base-`2^base_log` digits needed to cover residues mod `q`
+/// (the gadget length `ℓ = ⌈bits(q) / base_log⌉`).
+///
+/// # Panics
+///
+/// Panics unless `1 <= base_log <= 64` and `q > 1` — digit bases outside
+/// that range are never useful on a 128-bit coefficient pipeline.
+pub fn gadget_levels(q: u128, base_log: u32) -> usize {
+    assert!((1..=64).contains(&base_log), "base_log must be in 1..=64");
+    assert!(q > 1, "modulus must exceed 1");
+    let bits = 128 - q.leading_zeros();
+    bits.div_ceil(base_log) as usize
+}
+
+/// Decomposes each coefficient into `levels` base-`2^base_log` digits:
+/// result `[j][i]` is digit `j` of `coeffs[i]`, so
+/// `coeffs[i] = Σ_j out[j][i] << (j · base_log)` whenever `levels`
+/// covers the coefficient's width ([`gadget_levels`]).
+///
+/// # Panics
+///
+/// Panics unless `1 <= base_log <= 64`.
+pub fn gadget_decompose(coeffs: &[u128], base_log: u32, levels: usize) -> Vec<Vec<u128>> {
+    assert!((1..=64).contains(&base_log), "base_log must be in 1..=64");
+    let mask = if base_log == 64 {
+        u64::MAX as u128
+    } else {
+        (1u128 << base_log) - 1
+    };
+    (0..levels)
+        .map(|j| {
+            let shift = j as u32 * base_log;
+            coeffs
+                .iter()
+                .map(|&c| if shift >= 128 { 0 } else { (c >> shift) & mask })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_cover_the_modulus() {
+        assert_eq!(gadget_levels((1u128 << 126) - 67, 16), 8);
+        assert_eq!(gadget_levels((1u128 << 60) - 93, 16), 4);
+        assert_eq!(gadget_levels(65537, 16), 2); // 17 bits -> 2 digits
+        assert_eq!(gadget_levels(3, 1), 2);
+    }
+
+    #[test]
+    fn decompose_recomposes_exactly() {
+        let coeffs: Vec<u128> = vec![
+            0,
+            1,
+            u128::MAX >> 1,
+            0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233 >> 1,
+            (1u128 << 126) - 67,
+        ];
+        for base_log in [1u32, 7, 16, 30, 64] {
+            let levels = 127u32.div_ceil(base_log) as usize;
+            let digits = gadget_decompose(&coeffs, base_log, levels);
+            assert_eq!(digits.len(), levels);
+            for (i, &c) in coeffs.iter().enumerate() {
+                let mut acc: u128 = 0;
+                for j in (0..levels).rev() {
+                    let shift = j as u32 * base_log;
+                    assert!(
+                        digits[j][i]
+                            <= if base_log == 64 {
+                                u64::MAX as u128
+                            } else {
+                                (1 << base_log) - 1
+                            }
+                    );
+                    if shift < 128 {
+                        acc += digits[j][i] << shift;
+                    } else {
+                        assert_eq!(digits[j][i], 0);
+                    }
+                }
+                assert_eq!(acc, c, "coefficient {i} base 2^{base_log}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_levels_beyond_width_are_zero() {
+        let digits = gadget_decompose(&[u128::MAX >> 1], 64, 4);
+        assert_eq!(digits[2], vec![0]);
+        assert_eq!(digits[3], vec![0]);
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bigint;
+mod gadget;
 mod mod128;
 mod mod64;
 mod primes;
@@ -44,6 +45,7 @@ mod roots;
 mod u256;
 
 pub use bigint::UBig;
+pub use gadget::{gadget_decompose, gadget_levels};
 pub use mod128::Modulus128;
 pub use mod64::Modulus64;
 pub use primes::{

@@ -104,11 +104,21 @@ pub fn is_prime_u128(n: u128) -> bool {
     true
 }
 
+/// Candidates each prime search will test before giving up. By the
+/// prime number theorem a random `k·2n + 1` below `2^127` is prime with
+/// probability ≳ 1/(127·ln 2) ≈ 1/88, so 65536 candidates fail with
+/// probability below `(1 - 1/88)^65536 < 2^-1000` whenever *any* prime
+/// exists in range — the budget turns a theoretically unbounded walk
+/// into a provably terminating one without ever firing in practice.
+const SEARCH_BUDGET: u32 = 1 << 16;
+
 /// Finds the largest prime `q < 2^bits` with `q ≡ 1 (mod modulo)`.
 ///
 /// `modulo` is typically `2n` for a ring of degree `n` (negacyclic NTT) or
 /// `n` for a cyclic NTT. Returns `None` if no such prime exists below the
-/// bound (only plausible for tiny `bits`).
+/// bound (only plausible for tiny `bits`) **or** if none appears within
+/// the fixed search budget (65536 candidates) — the search is provably
+/// bounded rather than an open-ended walk toward `k = 0`.
 ///
 /// # Panics
 ///
@@ -124,12 +134,14 @@ pub fn find_ntt_prime_u128(bits: u32, modulo: u128) -> Option<u128> {
     let top = 1u128 << bits;
     // Largest candidate of the form k*modulo + 1 below 2^bits.
     let mut k = (top - 2) / modulo;
-    while k > 0 {
+    let mut budget = SEARCH_BUDGET;
+    while k > 0 && budget > 0 {
         let q = k * modulo + 1;
         if is_prime_u128(q) {
             return Some(q);
         }
         k -= 1;
+        budget -= 1;
     }
     None
 }
@@ -149,7 +161,8 @@ pub fn find_ntt_prime_u64(bits: u32, modulo: u64) -> Option<u64> {
 /// `2^bits`, all `≡ 1 (mod modulo)` — the RNS tower moduli of Section II-B.
 ///
 /// Primes are returned in descending order. Returns fewer than `count`
-/// primes only if the range is exhausted.
+/// primes only if the range (or the per-prime search budget) is
+/// exhausted.
 ///
 /// # Panics
 ///
@@ -163,10 +176,16 @@ pub fn find_ntt_prime_chain(bits: u32, modulo: u128, count: usize) -> Vec<u128> 
     let top = 1u128 << bits;
     let mut k = (top - 2) / modulo;
     let mut out = Vec::with_capacity(count);
-    while k > 0 && out.len() < count {
+    // Bounded like the single-prime search: the budget refreshes per
+    // prime found, so the walk never exceeds count × SEARCH_BUDGET.
+    let mut budget = SEARCH_BUDGET;
+    while k > 0 && out.len() < count && budget > 0 {
         let q = k * modulo + 1;
         if is_prime_u128(q) {
             out.push(q);
+            budget = SEARCH_BUDGET;
+        } else {
+            budget -= 1;
         }
         k -= 1;
     }

@@ -1,0 +1,71 @@
+//! Key-switch scaling benchmark: one ciphertext×ciphertext multiply
+//! (tensor + gadget-decomposed relinearization) on a 2K ring, with the
+//! per-digit key-switch products scheduled over 1 / 2 / 4 lanes.
+//!
+//! Two numbers matter per lane count and both are recorded in
+//! EXPERIMENTS.md:
+//!
+//! * the **simulated cost** of the relinearization inner product — the
+//!   work-stealing digit jobs' sequential-equivalent vs overlapped
+//!   makespan, printed once per configuration;
+//! * the **host wall clock** criterion measures for the whole `mul`
+//!   (the lanes' functional simulators really run on parallel threads).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rpu::ntt::rlwe::{RlweParams, Splitmix};
+use rpu::{CodegenStyle, RlweEvaluator, Rpu};
+
+const N: usize = 2048;
+const T: u128 = 65537;
+
+fn keyswitch_scaling(c: &mut Criterion) {
+    let q = rpu::arith::find_ntt_prime_u128(120, 2 * N as u128).expect("prime exists");
+    let params = RlweParams { n: N, q, t: T };
+    let msg: Vec<u128> = (0..N as u128).map(|i| (i * 13 + 7) % 251).collect();
+
+    let mut group = c.benchmark_group("keyswitch_mul_2k");
+    group.sample_size(10);
+
+    for lanes in [1usize, 2, 4] {
+        let rpu = Rpu::builder().lanes(lanes).build().expect("valid config");
+        let mut eval =
+            RlweEvaluator::new(&rpu, params, CodegenStyle::Optimized).expect("evaluator");
+        let mut rng = Splitmix::new(0xBE);
+        eval.keygen(&mut rng).expect("keygen");
+        eval.relin_keygen(&mut rng).expect("relin keygen");
+        let relin_elems = eval.relin_key().expect("resident").resident_elements();
+        let x = eval.encrypt(&msg, &mut rng).expect("encrypt");
+
+        // Warm all kernel caches, then measure one multiply's cost.
+        let warm = eval.mul(&x, &x).expect("mul");
+        eval.free_ciphertext(warm).expect("free");
+        let (d0, us0, mk0) = (
+            eval.dispatch_count(),
+            eval.simulated_us(),
+            eval.makespan_us(),
+        );
+        let prod = eval.mul(&x, &x).expect("mul");
+        eval.free_ciphertext(prod).expect("free");
+        println!(
+            "lanes={lanes}: mul = {} dispatches, simulated {:.2} us \
+             (makespan delta {:.2} us), relin key {} resident elements \
+             ({} per lane)",
+            eval.dispatch_count() - d0,
+            eval.simulated_us() - us0,
+            eval.makespan_us() - mk0,
+            relin_elems,
+            relin_elems / lanes,
+        );
+        group.bench_function(format!("lanes_{lanes}"), |bench| {
+            bench.iter(|| {
+                let prod = eval.mul(&x, &x).expect("mul");
+                eval.free_ciphertext(prod).expect("free");
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, keyswitch_scaling);
+criterion_main!(benches);

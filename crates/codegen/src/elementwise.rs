@@ -88,6 +88,7 @@ impl KernelSpec for ElementwiseSpec {
             q: self.q,
             direction: Direction::Forward,
             style: self.style,
+            param: 0,
         }
     }
 

@@ -32,6 +32,13 @@ pub enum KernelOp {
     /// The full negacyclic polynomial product: forward NTT of both
     /// operands, pointwise multiply, inverse NTT — one B512 program.
     NegacyclicMul,
+    /// The coefficient permutation of a Galois automorphism
+    /// `x → x^g` over `Z_q[x]/(x^n + 1)` (indexed gather + sign fix-up).
+    Automorphism,
+    /// One gadget digit of a key switch: forward NTT of the digit,
+    /// pointwise multiply by a resident key component, accumulate —
+    /// one fused B512 program.
+    KeySwitch,
 }
 
 impl core::fmt::Display for KernelOp {
@@ -42,6 +49,8 @@ impl core::fmt::Display for KernelOp {
             KernelOp::PointwiseAdd => write!(f, "pwadd"),
             KernelOp::PointwiseSub => write!(f, "pwsub"),
             KernelOp::NegacyclicMul => write!(f, "negamul"),
+            KernelOp::Automorphism => write!(f, "autom"),
+            KernelOp::KeySwitch => write!(f, "keyswitch"),
         }
     }
 }
@@ -60,6 +69,11 @@ pub struct KernelKey {
     pub direction: Direction,
     /// Code-generation style.
     pub style: CodegenStyle,
+    /// Op-specific parameter: the Galois element `g` for
+    /// [`KernelOp::Automorphism`] kernels, `0` for every other op. Part
+    /// of the identity so kernels for different automorphisms never
+    /// collide in a cache.
+    pub param: u64,
 }
 
 /// A specification of one RPU workload: a pure value that knows its
@@ -363,6 +377,7 @@ impl KernelSpec for NttSpec {
             q: self.q,
             direction: self.direction,
             style: self.style,
+            param: 0,
         }
     }
 
@@ -381,6 +396,7 @@ impl From<NttKernel> for Kernel {
             q: ntt.modulus(),
             direction: ntt.direction(),
             style: ntt.style(),
+            param: 0,
         };
         // A zero input leaves exactly the constant tables (twiddles) in
         // the image; the input range is re-filled per execution.
@@ -440,6 +456,17 @@ pub(crate) fn push_relocated(dst: &mut Program, src: &Program, vdm_delta: usize)
                 vd,
                 base,
                 offset: offset + delta,
+            },
+            Instruction::VGather {
+                vd,
+                base,
+                offset,
+                vi,
+            } => Instruction::VGather {
+                vd,
+                base,
+                offset: offset + delta,
+                vi,
             },
             other => other,
         };

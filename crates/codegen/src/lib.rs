@@ -24,7 +24,13 @@
 //!   (ciphertext add, NTT-domain multiply);
 //! * [`ConvolutionSpec`] — the fused negacyclic polynomial product
 //!   (forward NTT ×2 → pointwise multiply → inverse NTT) of Fig. 1,
-//!   as a single B512 program.
+//!   as a single B512 program;
+//! * [`AutomorphismSpec`] — the coefficient permutation of a Galois
+//!   automorphism `x → x^g` (HE rotation), realized with the `vgather`
+//!   indexed load and a baked-in index/sign table;
+//! * [`KeySwitchSpec`] — one gadget digit of a key switch (forward NTT →
+//!   multiply by a resident key component → accumulate), the inner loop
+//!   of relinearization and rotation.
 //!
 //! Generated kernels carry their VDM/SDM memory images and golden
 //! outputs, so the functional simulator can verify them end to end.
@@ -46,16 +52,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod automorphism;
 mod elementwise;
 mod gen;
 mod kernel;
+mod keyswitch;
 mod layout;
 mod pipeline;
 mod sched;
 
+pub use automorphism::AutomorphismSpec;
 pub use elementwise::{ElementwiseOp, ElementwiseSpec};
 pub use gen::NttKernel;
 pub use kernel::{Kernel, KernelKey, KernelOp, KernelSpec, NttSpec};
+pub use keyswitch::KeySwitchSpec;
 pub use layout::KernelLayout;
 pub use pipeline::ConvolutionSpec;
 pub use sched::list_schedule;

@@ -67,6 +67,7 @@ impl KernelSpec for ConvolutionSpec {
             q: self.q,
             direction: Direction::Forward,
             style: self.style,
+            param: 0,
         }
     }
 

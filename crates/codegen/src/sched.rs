@@ -231,6 +231,19 @@ fn mem_access(instr: &Instruction) -> Option<(MemFootprint, bool)> {
         Instruction::VBroadcast { offset, .. } => {
             Some((footprint(offset, rpu_isa::AddrMode::Unit), false))
         }
+        // Indexed loads read data-dependent addresses: give them a
+        // whole-VDM footprint so the scheduler never reorders one across
+        // any store. (Within generated automorphism kernels the index
+        // tables are constants, but the DAG cannot see that.)
+        Instruction::VGather { offset, .. } => Some((
+            MemFootprint {
+                lo: 0,
+                hi: usize::MAX,
+                offset: offset as usize,
+                mode: rpu_isa::AddrMode::Unit,
+            },
+            false,
+        )),
         _ => None,
     }
 }

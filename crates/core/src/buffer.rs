@@ -255,6 +255,22 @@ impl BufferAllocator {
         self.base + self.high_water
     }
 
+    /// The free list as `(offset, len)` blocks, sorted by offset and
+    /// fully coalesced — introspection for invariant checking (the
+    /// device-buffer property tests assert that free and live blocks
+    /// partition the heap with no overlap and no adjacent free blocks).
+    pub fn free_blocks(&self) -> Vec<(usize, usize)> {
+        self.free.clone()
+    }
+
+    /// Every live allocation as `(offset, len)`, sorted by offset —
+    /// introspection for invariant checking.
+    pub fn live_blocks(&self) -> Vec<(usize, usize)> {
+        let mut blocks: Vec<(usize, usize)> = self.live.values().copied().collect();
+        blocks.sort_unstable();
+        blocks
+    }
+
     fn largest_free(&self) -> usize {
         self.free.iter().map(|&(_, len)| len).max().unwrap_or(0)
     }

@@ -47,6 +47,7 @@ use crate::RpuError;
 use rpu_codegen::{CodegenStyle, ConvolutionSpec, Kernel, KernelSpec};
 use rpu_ntt::{RnsContext, RnsPolynomial};
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -79,6 +80,105 @@ impl<'a> Lane<'a> {
         self.busy_us += report.runtime_us;
         self.transfer.absorb(&report.transfer);
     }
+}
+
+/// One generic unit of work for [`RpuCluster::run_jobs`]: runs on
+/// whichever lane steals it, driving that lane through the
+/// [`LaneWorker`] it is handed.
+pub type LaneJob<'j, T> =
+    Box<dyn FnOnce(&mut LaneWorker<'_, '_>) -> Result<T, RpuError> + Send + 'j>;
+
+/// A lane as seen from inside a work-stealing job: the lane's session
+/// plus per-lane accounting, so everything a job uploads, dispatches,
+/// and downloads lands in that lane's [`LaneStats`] (and therefore in
+/// the run's [`ClusterRunReport`]).
+#[derive(Debug)]
+pub struct LaneWorker<'l, 'a> {
+    index: usize,
+    lane: &'l mut Lane<'a>,
+}
+
+impl<'l, 'a> LaneWorker<'l, 'a> {
+    /// The lane this worker drives (jobs use it to pick lane-resident
+    /// key material, kernels, or accumulators out of per-lane tables).
+    pub fn lane_index(&self) -> usize {
+        self.index
+    }
+
+    /// Raw access to the lane's session — traffic through it bypasses
+    /// the per-lane transfer accounting (dispatch accounting still
+    /// happens inside the session's reports only). Prefer the worker's
+    /// own methods.
+    pub fn session(&mut self) -> &mut RpuSession<'a> {
+        &mut self.lane.session
+    }
+
+    /// Compiles (or recalls) `spec` on this lane's kernel cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] if generation fails or verification faults.
+    pub fn compile<S: KernelSpec + ?Sized>(&mut self, spec: &S) -> Result<Arc<Kernel>, RpuError> {
+        self.lane.session.compile(spec)
+    }
+
+    /// Uploads `data` into a fresh lane-local buffer, with accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] when the lane's heap is exhausted.
+    pub fn upload(&mut self, data: &[u128]) -> Result<DeviceBuffer, RpuError> {
+        let buf = self.lane.session.upload(data)?;
+        self.lane.transfer.host_to_device += data.len();
+        Ok(buf)
+    }
+
+    /// Allocates `len` elements on this lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] when the lane's heap is exhausted.
+    pub fn alloc(&mut self, len: usize) -> Result<DeviceBuffer, RpuError> {
+        self.lane.session.alloc(len)
+    }
+
+    /// Downloads a lane-local buffer, with accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles.
+    pub fn download(&mut self, buf: &DeviceBuffer) -> Result<Vec<u128>, RpuError> {
+        let data = self.lane.session.download(buf)?;
+        self.lane.transfer.device_to_host += data.len();
+        Ok(data)
+    }
+
+    /// Frees a lane-local buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles.
+    pub fn free(&mut self, buf: DeviceBuffer) -> Result<(), RpuError> {
+        self.lane.session.free(buf)
+    }
+
+    /// Dispatches a compiled kernel over this lane's resident buffers,
+    /// folding the report into the lane's accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles or shape
+    /// mismatches, [`RpuError::Exec`] if the program faults.
+    pub fn dispatch(
+        &mut self,
+        kernel: &Arc<Kernel>,
+        inputs: &[DeviceBuffer],
+        outputs: &[DeviceBuffer],
+    ) -> Result<RunReport, RpuError> {
+        let report = self.lane.session.dispatch(kernel, inputs, outputs)?;
+        self.lane.account(&report);
+        Ok(report)
+    }
 
     /// Uploads, dispatches the tower's fused convolution, downloads, and
     /// frees — one complete tower job, entirely lane-local.
@@ -90,25 +190,21 @@ impl<'a> Lane<'a> {
         b: &[u128],
         style: CodegenStyle,
     ) -> Result<Vec<u128>, RpuError> {
-        let kernel = self.session.compile(&ConvolutionSpec::new(n, q, style))?;
+        let kernel = self.compile(&ConvolutionSpec::new(n, q, style))?;
         let mut held: Vec<DeviceBuffer> = Vec::with_capacity(3);
         let result = (|| {
-            let da = self.session.upload(a)?;
+            let da = self.upload(a)?;
             held.push(da);
-            let db = self.session.upload(b)?;
+            let db = self.upload(b)?;
             held.push(db);
-            let dc = self.session.alloc(n)?;
+            let dc = self.alloc(n)?;
             held.push(dc);
-            self.transfer.host_to_device += a.len() + b.len();
-            let report = self.session.dispatch(&kernel, &[da, db], &[dc])?;
-            self.account(&report);
-            let out = self.session.download(&dc)?;
-            self.transfer.device_to_host += out.len();
-            Ok(out)
+            self.dispatch(&kernel, &[da, db], &[dc])?;
+            self.download(&dc)
         })();
         // Tower buffers never outlive the job, success or not.
         for buf in held {
-            let _ = self.session.free(buf);
+            let _ = self.lane.session.free(buf);
         }
         result
     }
@@ -369,6 +465,13 @@ impl<'a> RpuCluster<'a> {
     /// no memory, so this is a download + upload + free), returning the
     /// new handle. A no-op move (same lane) returns the original handle.
     ///
+    /// The move is **failure-atomic**: the source is freed only after
+    /// the destination copy exists, so when the destination lane's
+    /// allocation fails (heap exhausted) the source stays live and
+    /// downloadable with its placement-map entry intact — nothing leaks
+    /// and nothing half-moves. If freeing the source somehow fails, the
+    /// destination copy is rolled back before the error propagates.
+    ///
     /// # Errors
     ///
     /// Returns [`RpuError::Buffer`] for stale handles or an exhausted
@@ -386,8 +489,31 @@ impl<'a> RpuCluster<'a> {
         }
         let data = self.download(&buf)?;
         let moved = self.upload_to(to, &data)?;
-        self.free(buf)?;
+        if let Err(e) = self.free(buf) {
+            // Never leak the copy when the source release fails: roll
+            // the destination back and surface the original error.
+            let _ = self.free(moved);
+            return Err(e);
+        }
         Ok(moved)
+    }
+
+    /// Copies a buffer to another lane over the host link **without**
+    /// freeing the source — the replication primitive ciphertext
+    /// operations use when both lanes need the same operand (lanes share
+    /// no memory). Same-lane replication produces an independent copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Buffer`] for stale handles or an exhausted
+    /// target heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn replicate(&mut self, buf: &DeviceBuffer, to: usize) -> Result<DeviceBuffer, RpuError> {
+        let data = self.download(buf)?;
+        self.upload_to(to, &data)
     }
 
     /// Compiles (or recalls) `spec` on `lane`'s kernel cache, verifying
@@ -483,25 +609,36 @@ impl<'a> RpuCluster<'a> {
         self.lanes.iter().map(|l| l.dispatches).sum()
     }
 
-    /// Runs `towers.len()` independent tower jobs across the lanes with
-    /// the work-stealing scheduler (the engine behind [`RnsExecutor`]):
-    /// every lane runs on its own OS thread, pulling the next un-started
-    /// tower from the shared queue until it drains. Returns per-tower
-    /// results in tower order plus the aggregated report.
+    /// Runs `jobs.len()` independent lane jobs across the lanes with the
+    /// work-stealing scheduler — the engine behind [`RnsExecutor`]'s
+    /// tower sharding *and* the per-digit key-switch products of
+    /// `RlweEvaluator::mul`/`rotate`. Every lane runs on its own OS
+    /// thread, pulling the next un-started job from the shared queue
+    /// until it drains; results come back in job order plus the
+    /// aggregated report.
+    ///
+    /// A job that **panics** (as opposed to returning an error) is
+    /// caught on the worker thread and surfaced as
+    /// [`RpuError::LanePanic`] — the queue drains cleanly and no mutex
+    /// is poisoned, so the remaining lanes stop instead of wedging.
+    /// Buffers the panicking job had allocated on its lane are leaked
+    /// (their handles died with the job); the cluster itself stays
+    /// usable.
     ///
     /// # Errors
     ///
-    /// Returns the first tower error (remaining queued work is
-    /// abandoned; in-flight towers finish their dispatch).
-    pub fn run_towers(
+    /// Returns the first job error or panic (remaining queued work is
+    /// abandoned; in-flight jobs finish their current dispatch).
+    pub fn run_jobs<'j, T: Send>(
         &mut self,
-        towers: &[TowerJob<'_>],
-        style: CodegenStyle,
-    ) -> Result<(Vec<Vec<u128>>, ClusterRunReport), RpuError> {
+        jobs: Vec<LaneJob<'j, T>>,
+    ) -> Result<(Vec<T>, ClusterRunReport), RpuError> {
         let before: Vec<LaneStats> = self.stats();
+        let njobs = jobs.len();
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Vec<u128>>>> =
-            towers.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<LaneJob<'j, T>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..njobs).map(|_| Mutex::new(None)).collect();
         let failure: Mutex<Option<RpuError>> = Mutex::new(None);
         // Open the queue only once every lane thread is running, so a
         // fast first lane cannot drain short queues before its peers
@@ -511,22 +648,46 @@ impl<'a> RpuCluster<'a> {
 
         std::thread::scope(|scope| {
             let next = &next;
+            let slots = &slots;
             let results = &results;
             let failure = &failure;
             let start = &start;
-            for lane in self.lanes.iter_mut() {
+            for (index, lane) in self.lanes.iter_mut().enumerate() {
                 scope.spawn(move || {
                     start.wait();
+                    let mut worker = LaneWorker { index, lane };
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
-                        if t >= towers.len() || failure.lock().expect("not poisoned").is_some() {
+                        if t >= njobs || failure.lock().expect("not poisoned").is_some() {
                             break;
                         }
-                        let job = &towers[t];
-                        match lane.run_tower(job.n, job.q, job.a, job.b, style) {
-                            Ok(out) => *results[t].lock().expect("not poisoned") = Some(out),
-                            Err(e) => {
+                        let job = slots[t]
+                            .lock()
+                            .expect("not poisoned")
+                            .take()
+                            .expect("the atomic counter claims each job exactly once");
+                        // No lock is held across the job, and a panic is
+                        // converted to an error here on the worker
+                        // thread — so a faulty job can never poison the
+                        // queue state the other lanes are draining.
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| job(&mut worker))) {
+                            Ok(Ok(v)) => *results[t].lock().expect("not poisoned") = Some(v),
+                            Ok(Err(e)) => {
                                 failure.lock().expect("not poisoned").get_or_insert(e);
+                                break;
+                            }
+                            Err(payload) => {
+                                let message = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "lane job panicked".into());
+                                failure.lock().expect("not poisoned").get_or_insert(
+                                    RpuError::LanePanic {
+                                        lane: index,
+                                        message,
+                                    },
+                                );
                                 break;
                             }
                         }
@@ -539,12 +700,12 @@ impl<'a> RpuCluster<'a> {
         if let Some(e) = failure.into_inner().expect("not poisoned") {
             return Err(e);
         }
-        let outputs: Vec<Vec<u128>> = results
+        let outputs: Vec<T> = results
             .into_iter()
             .map(|m| {
                 m.into_inner()
                     .expect("not poisoned")
-                    .expect("every tower completed")
+                    .expect("every job completed")
             })
             .collect();
 
@@ -564,7 +725,7 @@ impl<'a> RpuCluster<'a> {
         Ok((
             outputs,
             ClusterRunReport {
-                towers: towers.len(),
+                towers: njobs,
                 lanes: self.lanes.len(),
                 per_lane,
                 makespan_us,
@@ -574,6 +735,31 @@ impl<'a> RpuCluster<'a> {
                 wall_us,
             },
         ))
+    }
+
+    /// Runs `towers.len()` independent tower jobs across the lanes (a
+    /// [`run_jobs`](RpuCluster::run_jobs) convenience for the fused
+    /// negacyclic convolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first tower error (remaining queued work is
+    /// abandoned; in-flight towers finish their dispatch).
+    pub fn run_towers(
+        &mut self,
+        towers: &[TowerJob<'_>],
+        style: CodegenStyle,
+    ) -> Result<(Vec<Vec<u128>>, ClusterRunReport), RpuError> {
+        let jobs: Vec<LaneJob<'_, Vec<u128>>> = towers
+            .iter()
+            .map(|job| {
+                let job = *job;
+                Box::new(move |w: &mut LaneWorker<'_, '_>| {
+                    w.run_tower(job.n, job.q, job.a, job.b, style)
+                }) as LaneJob<'_, Vec<u128>>
+            })
+            .collect();
+        self.run_jobs(jobs)
     }
 }
 

@@ -140,10 +140,12 @@ mod rlwe;
 mod run;
 mod session;
 
-pub use buffer::{BufferError, DeviceBuffer, TransferStats};
+pub use buffer::{BufferAllocator, BufferError, DeviceBuffer, TransferStats};
 pub use explore::{evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES};
-pub use lanes::{ClusterRunReport, LaneStats, RnsExecutor, RpuCluster, TowerJob};
-pub use rlwe::{DeviceCiphertext, RlweEvaluator};
+pub use lanes::{
+    ClusterRunReport, LaneJob, LaneStats, LaneWorker, RnsExecutor, RpuCluster, TowerJob,
+};
+pub use rlwe::{DeviceCiphertext, DeviceKeySwitchKey, RlweEvaluator};
 #[allow(deprecated)]
 pub use run::NttRun;
 pub use run::{Rpu, RunReport};
@@ -159,8 +161,8 @@ pub use rpu_sim as sim;
 
 // And the most-used types at the top level.
 pub use rpu_codegen::{
-    CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec, Kernel, KernelKey,
-    KernelOp, KernelSpec, NttKernel, NttSpec,
+    AutomorphismSpec, CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec,
+    Kernel, KernelKey, KernelOp, KernelSpec, KeySwitchSpec, NttKernel, NttSpec,
 };
 pub use rpu_model::{AreaModel, DesignPoint, EnergyModel, F1Comparison};
 pub use rpu_ntt::{Ntt128Plan, Ntt64Plan, PeaseSchedule, Polynomial, RnsPolynomial};
@@ -207,6 +209,15 @@ pub enum RpuError {
     Buffer(BufferError),
     /// The host-side ring/RLWE library rejected the parameters.
     Ring(rpu_ntt::NttError),
+    /// A lane worker panicked mid-job in the cluster scheduler; the
+    /// panic was caught on the worker thread and the run aborted cleanly
+    /// (no poisoned queue, no wedged lanes).
+    LanePanic {
+        /// The lane whose job panicked.
+        lane: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for RpuError {
@@ -220,6 +231,9 @@ impl core::fmt::Display for RpuError {
             RpuError::Exec(e) => write!(f, "kernel execution failed: {e}"),
             RpuError::Buffer(e) => write!(f, "device buffer operation failed: {e}"),
             RpuError::Ring(e) => write!(f, "ring parameters rejected: {e}"),
+            RpuError::LanePanic { lane, message } => {
+                write!(f, "lane {lane} worker panicked mid-job: {message}")
+            }
         }
     }
 }

@@ -18,9 +18,19 @@
 //!   is uploaded to both lanes rather than moved between them);
 //! * `add` / `sub` / `mul_plain` — per-component pointwise kernels,
 //!   one lane each;
+//! * `mul` — ciphertext×ciphertext: the degree-2 tensor as pointwise
+//!   dispatches split across the component lanes, then relinearization
+//!   as `ℓ` gadget-digit jobs ([`KeySwitchSpec`], one fused
+//!   NTT-multiply-accumulate program each) spread over **every** lane by
+//!   the cluster's work-stealing scheduler against per-lane replicated
+//!   key material;
+//! * `rotate` / `apply_galois` — the Galois automorphism `σ_g` as the
+//!   on-device coefficient-permutation kernel ([`AutomorphismSpec`],
+//!   built on the `vgather` indexed load), followed by the same
+//!   scheduled key switch;
 //! * `decrypt` — `a·s` on the mask lane, one host-link migration, then
 //!   `b − a·s` and the inverse NTT on the payload lane; only the final
-//!   coefficient vector is downloaded for rounding;
+//!   coefficient vector is downloaded for centered `mod t` decoding;
 //! * `convolve` — the fused negacyclic polynomial product
 //!   ([`ConvolutionSpec`]) over resident coefficient buffers, dispatched
 //!   on whichever lane holds the operands.
@@ -31,15 +41,23 @@
 //! exactly, on any lane count.
 
 use crate::buffer::{BufferError, DeviceBuffer};
-use crate::lanes::RpuCluster;
+use crate::lanes::{LaneJob, LaneWorker, RpuCluster};
 use crate::run::{Rpu, RunReport};
 use crate::session::RpuSession;
 use crate::RpuError;
+use rpu_arith::gadget_decompose;
 use rpu_codegen::{
-    CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec, Kernel, NttSpec,
+    AutomorphismSpec, CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec,
+    Kernel, KeySwitchSpec, NttSpec,
 };
-use rpu_ntt::rlwe::{Ciphertext, RlweContext, RlweParams, SecretKey, Splitmix};
+use rpu_ntt::rlwe::{Ciphertext, KeySwitchKey, RlweContext, RlweParams, SecretKey, Splitmix};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Default gadget digit base (`B = 2^16`) for relinearization and Galois
+/// keys: 8 digits at the default ~126-bit primes, keeping per-digit
+/// noise ≪ q while the key material stays a few ring elements per lane.
+const DEFAULT_KSK_BASE_LOG: u32 = 16;
 
 /// A ciphertext whose components live in device memory, in the RPU
 /// kernel's NTT (evaluation) ordering. On a multi-lane evaluator the
@@ -50,6 +68,54 @@ pub struct DeviceCiphertext {
     pub a: DeviceBuffer,
     /// The resident payload component `b̂`.
     pub b: DeviceBuffer,
+}
+
+/// Key-switch key material resident on the cluster: for every gadget
+/// digit `j`, the evaluation-form components `(â_j, b̂_j)` replicated on
+/// **every** lane, so the work-stealing scheduler can run digit `j`'s
+/// products on whichever lane steals the job without any cross-lane
+/// traffic. Created by [`RlweEvaluator::relin_keygen`] /
+/// [`RlweEvaluator::rotation_keygen`].
+#[derive(Debug)]
+pub struct DeviceKeySwitchKey {
+    base_log: u32,
+    /// `a[j][lane]` — digit `j`'s mask component on each lane.
+    a: Vec<Vec<DeviceBuffer>>,
+    /// `b[j][lane]` — digit `j`'s payload component on each lane.
+    b: Vec<Vec<DeviceBuffer>>,
+}
+
+impl DeviceKeySwitchKey {
+    /// The digit base exponent `log2(B)`.
+    pub fn base_log(&self) -> u32 {
+        self.base_log
+    }
+
+    /// Number of gadget digits `ℓ`.
+    pub fn levels(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Total resident elements this key occupies across all lanes
+    /// (`2 · ℓ · n · lanes` — the key-material footprint the README's
+    /// size table quotes).
+    pub fn resident_elements(&self) -> usize {
+        self.a
+            .iter()
+            .chain(self.b.iter())
+            .flat_map(|per_lane| per_lane.iter())
+            .map(DeviceBuffer::len)
+            .sum()
+    }
+
+    /// Every handle of the key, for bulk release.
+    fn all_handles(&self) -> Vec<DeviceBuffer> {
+        self.a
+            .iter()
+            .chain(self.b.iter())
+            .flat_map(|per_lane| per_lane.iter().copied())
+            .collect()
+    }
 }
 
 /// The six compiled kernel shapes of one lane.
@@ -118,6 +184,20 @@ pub struct RlweEvaluator<'a> {
     /// component lanes after `keygen`.
     sk_a: Option<DeviceBuffer>,
     sk_b: Option<DeviceBuffer>,
+    /// Host copy of the secret key (needed to derive key-switch keys).
+    host_sk: Option<SecretKey>,
+    /// Gadget digit base for key-switch keys generated by this
+    /// evaluator.
+    ksk_base_log: u32,
+    /// Resident relinearization key (per-lane replicated), if generated.
+    relin: Option<DeviceKeySwitchKey>,
+    /// Resident Galois keys by Galois element.
+    galois: HashMap<usize, DeviceKeySwitchKey>,
+    /// The fused key-switch kernel compiled per lane (populated at the
+    /// first key-switch keygen).
+    ksw_kernels: Vec<Arc<Kernel>>,
+    /// Automorphism kernels per (component lane, Galois element).
+    autom_kernels: HashMap<(usize, usize), Arc<Kernel>>,
     dispatches: u64,
     simulated_us: f64,
 }
@@ -153,6 +233,12 @@ impl<'a> RlweEvaluator<'a> {
             kb,
             sk_a: None,
             sk_b: None,
+            host_sk: None,
+            ksk_base_log: DEFAULT_KSK_BASE_LOG,
+            relin: None,
+            galois: HashMap::new(),
+            ksw_kernels: Vec::new(),
+            autom_kernels: HashMap::new(),
             dispatches: 0,
             simulated_us: 0.0,
         })
@@ -218,7 +304,12 @@ impl<'a> RlweEvaluator<'a> {
         Ok(report)
     }
 
-    /// The kernel set of `lane` (only ever called with a component lane).
+    /// The kernel set used on `lane`. Non-component lanes (possible
+    /// during key-material upload on wide clusters) deliberately share
+    /// the mask lane's compiled programs: a [`Kernel`] is a data-free
+    /// program object, so dispatching it on another lane's session is
+    /// exactly a host loading the same binary into a second die's
+    /// instruction memory — only the per-lane *cache* state differs.
     fn kernels(&self, lane: usize) -> &LaneKernels {
         if lane == self.lane_b && self.lane_b != self.lane_a {
             &self.kb
@@ -247,6 +338,14 @@ impl<'a> RlweEvaluator<'a> {
         {
             self.cluster.free(old)?;
         }
+        // Key-switch material derived from the previous key is now
+        // useless: release it rather than let stale keys mis-relinearize.
+        if let Some(old) = self.relin.take() {
+            self.release_device_key(old);
+        }
+        for (_, old) in std::mem::take(&mut self.galois) {
+            self.release_device_key(old);
+        }
         let coeffs = sk.s_coeffs();
         self.sk_a = Some(self.upload_eval(self.lane_a, &coeffs)?);
         self.sk_b = if self.lane_b == self.lane_a {
@@ -254,6 +353,7 @@ impl<'a> RlweEvaluator<'a> {
         } else {
             Some(self.upload_eval(self.lane_b, &coeffs)?)
         };
+        self.host_sk = Some(sk.clone());
         Ok(sk)
     }
 
@@ -486,8 +586,8 @@ impl<'a> RlweEvaluator<'a> {
     /// `â ⊙ ŝ` runs on the mask lane, crosses to the payload lane over
     /// the host link (the one inter-lane move of the pipeline), then
     /// `b̂ ⊖ â·ŝ` and the inverse NTT run there; only the noisy
-    /// coefficient vector is downloaded, and the `Δ`-rounding to
-    /// plaintext happens on the host.
+    /// coefficient vector is downloaded, and the centered `mod t`
+    /// decoding to plaintext happens on the host.
     ///
     /// # Errors
     ///
@@ -512,12 +612,7 @@ impl<'a> RlweEvaluator<'a> {
             self.or_release(r, &[t])?
         };
         self.cluster.free(t)?;
-        let params = self.ctx.params();
-        let delta = self.ctx.delta();
-        Ok(noisy
-            .iter()
-            .map(|&c| (c + delta / 2) / delta % params.t)
-            .collect())
+        Ok(self.ctx.decode_noisy(&noisy))
     }
 
     /// Downloads a resident ciphertext into host form (via on-device
@@ -541,6 +636,473 @@ impl<'a> RlweEvaluator<'a> {
     pub fn free_ciphertext(&mut self, ct: DeviceCiphertext) -> Result<(), RpuError> {
         self.cluster.free(ct.a)?;
         self.cluster.free(ct.b)
+    }
+
+    // ------------------------------------------------------------------
+    // Key switching: relinearization and Galois rotation
+    // ------------------------------------------------------------------
+
+    /// The gadget digit base exponent key-switch keys are generated
+    /// with (`log2(B)`, default 16).
+    pub fn key_base_log(&self) -> u32 {
+        self.ksk_base_log
+    }
+
+    /// Overrides the gadget digit base for *future* key generations.
+    /// Smaller bases mean more digits (more dispatches, less noise per
+    /// digit); the default 16 is comfortable for every supported prime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] outside `[1, 64]`.
+    pub fn set_key_base_log(&mut self, base_log: u32) -> Result<(), RpuError> {
+        if !(1..=64).contains(&base_log) {
+            return Err(RpuError::Config(format!(
+                "key-switch base_log must be in [1, 64], got {base_log}"
+            )));
+        }
+        self.ksk_base_log = base_log;
+        Ok(())
+    }
+
+    /// The resident relinearization key, if generated.
+    pub fn relin_key(&self) -> Option<&DeviceKeySwitchKey> {
+        self.relin.as_ref()
+    }
+
+    /// The resident Galois key for element `g`, if generated.
+    pub fn galois_key(&self, g: usize) -> Option<&DeviceKeySwitchKey> {
+        self.galois.get(&g)
+    }
+
+    /// Best-effort release of a whole device key (used when re-keying;
+    /// handles are known-live so the frees cannot fail in practice).
+    fn release_device_key(&mut self, key: DeviceKeySwitchKey) {
+        for buf in key.all_handles() {
+            let _ = self.cluster.free(buf);
+        }
+    }
+
+    /// Compiles the fused key-switch kernel on every lane (once), so
+    /// digit jobs can run wherever the scheduler places them.
+    fn ensure_ksw_kernels(&mut self) -> Result<(), RpuError> {
+        if !self.ksw_kernels.is_empty() {
+            return Ok(());
+        }
+        let params = self.ctx.params();
+        let style = self.ka.conv.key().style;
+        let spec = KeySwitchSpec::new(params.n, params.q, style);
+        let kernels = (0..self.cluster.lane_count())
+            .map(|lane| self.cluster.compile_on(lane, &spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.ksw_kernels = kernels;
+        Ok(())
+    }
+
+    /// Uploads host key-switch key material to **every** lane in device
+    /// evaluation form: per digit, the `(a_j, b_j)` coefficients are
+    /// uploaded and forward-transformed on each lane, where they stay
+    /// resident (`2·ℓ·n` elements per lane — the price of letting any
+    /// lane steal any digit job).
+    fn upload_keyswitch_key(&mut self, ksk: &KeySwitchKey) -> Result<DeviceKeySwitchKey, RpuError> {
+        self.ensure_ksw_kernels()?;
+        let lanes = self.cluster.lane_count();
+        let mut uploaded: Vec<DeviceBuffer> = Vec::new();
+        let result = (|| {
+            let mut a_parts = Vec::with_capacity(ksk.levels());
+            let mut b_parts = Vec::with_capacity(ksk.levels());
+            for (a_j, b_j) in ksk.parts() {
+                let (a_coeffs, b_coeffs) = (a_j.coeffs(), b_j.coeffs());
+                let mut a_lane = Vec::with_capacity(lanes);
+                let mut b_lane = Vec::with_capacity(lanes);
+                for lane in 0..lanes {
+                    let a = self.upload_eval(lane, &a_coeffs)?;
+                    uploaded.push(a);
+                    a_lane.push(a);
+                    let b = self.upload_eval(lane, &b_coeffs)?;
+                    uploaded.push(b);
+                    b_lane.push(b);
+                }
+                a_parts.push(a_lane);
+                b_parts.push(b_lane);
+            }
+            Ok(DeviceKeySwitchKey {
+                base_log: ksk.base_log(),
+                a: a_parts,
+                b: b_parts,
+            })
+        })();
+        if result.is_err() {
+            // Heap exhaustion mid-upload must not strand half a key.
+            for buf in uploaded {
+                let _ = self.cluster.free(buf);
+            }
+        }
+        result
+    }
+
+    /// Generates a relinearization key — host-side gadget encryptions of
+    /// `s²` drawn from `rng` (the same stream [`RlweContext::relin_keygen`]
+    /// uses, so host and device key material match bit-exactly) — and
+    /// uploads it to every lane, replacing any previous relin key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] without a prior
+    /// [`keygen`](RlweEvaluator::keygen), or [`RpuError`] on heap
+    /// exhaustion / dispatch failure during upload.
+    pub fn relin_keygen(&mut self, rng: &mut Splitmix) -> Result<(), RpuError> {
+        let sk = self.require_host_key()?.clone();
+        let rk = self.ctx.relin_keygen(&sk, rng, self.ksk_base_log);
+        let dev = self.upload_keyswitch_key(rk.key_switch_key())?;
+        if let Some(old) = self.relin.take() {
+            self.release_device_key(old);
+        }
+        self.relin = Some(dev);
+        Ok(())
+    }
+
+    /// Generates and uploads the Galois key for the automorphism
+    /// `x → x^g`, and compiles the `σ_g` coefficient-permutation kernel
+    /// on both component lanes. Returns the (normalized) Galois element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] without a prior keygen,
+    /// [`RpuError::Ring`] for an even `g`, or [`RpuError`] on upload
+    /// failure.
+    pub fn galois_keygen(&mut self, g: usize, rng: &mut Splitmix) -> Result<usize, RpuError> {
+        let sk = self.require_host_key()?.clone();
+        let gk = self.ctx.galois_keygen(&sk, g, rng, self.ksk_base_log)?;
+        let g = gk.galois_element();
+        let params = self.ctx.params();
+        let style = self.ka.conv.key().style;
+        let spec = AutomorphismSpec::new(params.n, params.q, g, style);
+        for lane in [self.lane_a, self.lane_b] {
+            let kernel = self.cluster.compile_on(lane, &spec)?;
+            self.autom_kernels.insert((lane, g), kernel);
+        }
+        let dev = self.upload_keyswitch_key(gk.key_switch_key())?;
+        if let Some(old) = self.galois.remove(&g) {
+            self.release_device_key(old);
+        }
+        self.galois.insert(g, dev);
+        Ok(g)
+    }
+
+    /// Generates the rotation key for `steps` positions
+    /// (`g = 5^steps mod 2n`); see
+    /// [`galois_keygen`](RlweEvaluator::galois_keygen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError`] as `galois_keygen` does.
+    pub fn rotation_keygen(&mut self, steps: usize, rng: &mut Splitmix) -> Result<usize, RpuError> {
+        let g = self.ctx.galois_element(steps);
+        self.galois_keygen(g, rng)
+    }
+
+    fn require_host_key(&self) -> Result<&SecretKey, RpuError> {
+        self.host_sk.as_ref().ok_or_else(|| {
+            RpuError::Config("no resident secret key: call RlweEvaluator::keygen first".into())
+        })
+    }
+
+    /// The gadget key-switch inner product, scheduled across **all**
+    /// lanes: `src_coeffs` is decomposed into `ℓ` digits, and each digit
+    /// becomes one work-stealing job (upload the digit, then two fused
+    /// NTT-multiply-accumulate dispatches against that lane's resident
+    /// key parts and per-lane accumulators). Per-lane partial sums are
+    /// then folded onto the component lanes — modular addition is
+    /// associative-commutative, so the result is bit-exact whatever the
+    /// steal order. Returns `(Σ d̂_j·â_j on lane_a, Σ d̂_j·b̂_j on
+    /// lane_b)`.
+    fn key_switch(
+        &mut self,
+        src_coeffs: &[u128],
+        base_log: u32,
+        key_a: Vec<Vec<DeviceBuffer>>,
+        key_b: Vec<Vec<DeviceBuffer>>,
+    ) -> Result<(DeviceBuffer, DeviceBuffer), RpuError> {
+        let n = self.ctx.params().n;
+        let lanes = self.cluster.lane_count();
+        let levels = key_a.len();
+        let digits = gadget_decompose(src_coeffs, base_log, levels);
+
+        // Zero accumulators per lane per component side.
+        let zeros = vec![0u128; n];
+        let mut temps: Vec<DeviceBuffer> = Vec::new();
+        let mut acc_a = Vec::with_capacity(lanes);
+        let mut acc_b = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let a = {
+                let r = self.cluster.upload_to(lane, &zeros);
+                self.or_release(r, &temps)?
+            };
+            temps.push(a);
+            acc_a.push(a);
+            let b = {
+                let r = self.cluster.upload_to(lane, &zeros);
+                self.or_release(r, &temps)?
+            };
+            temps.push(b);
+            acc_b.push(b);
+        }
+
+        let ksw = self.ksw_kernels.clone();
+        let jobs: Vec<LaneJob<'_, ()>> = digits
+            .into_iter()
+            .enumerate()
+            .map(|(j, digit)| {
+                let ksw = ksw.clone();
+                let part_a = key_a[j].clone();
+                let part_b = key_b[j].clone();
+                let acc_a = acc_a.clone();
+                let acc_b = acc_b.clone();
+                Box::new(move |w: &mut LaneWorker<'_, '_>| {
+                    let l = w.lane_index();
+                    let d = w.upload(&digit)?;
+                    let r = (|| {
+                        w.dispatch(&ksw[l], &[d, part_a[l], acc_a[l]], &[acc_a[l]])?;
+                        w.dispatch(&ksw[l], &[d, part_b[l], acc_b[l]], &[acc_b[l]])?;
+                        Ok(())
+                    })();
+                    let _ = w.free(d);
+                    r
+                }) as LaneJob<'_, ()>
+            })
+            .collect();
+        {
+            let r = self.cluster.run_jobs(jobs);
+            let (_, report) = self.or_release(r, &temps)?;
+            self.dispatches += report.per_lane.iter().map(|l| l.dispatches).sum::<u64>();
+            self.simulated_us += report.sequential_us;
+        }
+
+        // Fold per-lane partials onto the component lanes. After this,
+        // only the two totals stay live.
+        let tot_a = {
+            let r = self.fold_partials(&acc_a, self.lane_a);
+            self.or_release(r, &temps)?
+        };
+        temps.retain(|t| !acc_a.contains(t));
+        let tot_b = {
+            let r = self.fold_partials(&acc_b, self.lane_b);
+            let mut guard = temps.clone();
+            guard.push(tot_a);
+            self.or_release(r, &guard)?
+        };
+        Ok((tot_a, tot_b))
+    }
+
+    /// Sums per-lane partial accumulators into the copy on `home`
+    /// (migrating the others over the host link), freeing everything but
+    /// the returned total.
+    fn fold_partials(
+        &mut self,
+        accs: &[DeviceBuffer],
+        home: usize,
+    ) -> Result<DeviceBuffer, RpuError> {
+        let tot = accs[home];
+        let add = Arc::clone(&self.kernels(home).pwadd);
+        for (lane, acc) in accs.iter().enumerate() {
+            if lane == home {
+                continue;
+            }
+            let moved = self.cluster.migrate(*acc, home)?;
+            let r = self.dispatch(home, &add, &[tot, moved], &[tot]).map(|_| ());
+            self.or_release(r, &[moved])?;
+            self.cluster.free(moved)?;
+        }
+        Ok(tot)
+    }
+
+    /// Ciphertext×ciphertext multiplication on the RPU: tensor the
+    /// degree-2 ciphertext — `c2 = â_x ⊙ â_y` on the mask lane,
+    /// `c0 = b̂_x ⊙ b̂_y` on the payload lane, and the cross terms
+    /// `c1 = â_x ⊙ b̂_y ⊕ â_y ⊙ b̂_x` on the mask lane (the payload
+    /// components are replicated across once) — then relinearize `c2`
+    /// back to degree 1: inverse-NTT it, gadget-decompose on the host,
+    /// and run the `ℓ` digit products through the cluster's
+    /// work-stealing scheduler against the resident relinearization key
+    /// ([`relin_keygen`](RlweEvaluator::relin_keygen)).
+    ///
+    /// Decrypts to `m_x·m_y mod (x^n + 1, t)`, bit-exactly equal to the
+    /// host reference [`RlweContext::mul`] on any lane count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] without a relinearization key, or
+    /// [`RpuError`] on heap exhaustion / dispatch failure.
+    pub fn mul(
+        &mut self,
+        x: &DeviceCiphertext,
+        y: &DeviceCiphertext,
+    ) -> Result<DeviceCiphertext, RpuError> {
+        let relin = self.relin.as_ref().ok_or_else(|| {
+            RpuError::Config(
+                "no relinearization key: call RlweEvaluator::relin_keygen first".into(),
+            )
+        })?;
+        let (base_log, key_a, key_b) = (relin.base_log, relin.a.clone(), relin.b.clone());
+        let (la, lb) = (self.lane_a, self.lane_b);
+        let pwmul_a = Arc::clone(&self.kernels(la).pwmul);
+        let pwadd_a = Arc::clone(&self.kernels(la).pwadd);
+        let pwmul_b = Arc::clone(&self.kernels(lb).pwmul);
+        let pwadd_b = Arc::clone(&self.kernels(lb).pwadd);
+        let mut temps: Vec<DeviceBuffer> = Vec::new();
+        macro_rules! step {
+            ($e:expr) => {{
+                let r = $e;
+                self.or_release(r, &temps)?
+            }};
+        }
+
+        // Tensor: c2 on the mask lane, c0 on the payload lane.
+        let c2 = step!(self.pointwise(la, &pwmul_a, &x.a, &y.a));
+        temps.push(c2);
+        let c0 = step!(self.pointwise(lb, &pwmul_b, &x.b, &y.b));
+        temps.push(c0);
+        // Cross terms on the mask lane; replicate the payload components
+        // over unless both components already share one lane.
+        let (xb_r, yb_r) = if lb == la {
+            (x.b, y.b)
+        } else {
+            let xb = step!(self.cluster.replicate(&x.b, la));
+            temps.push(xb);
+            let yb = step!(self.cluster.replicate(&y.b, la));
+            temps.push(yb);
+            (xb, yb)
+        };
+        let t1 = step!(self.pointwise(la, &pwmul_a, &x.a, &yb_r));
+        temps.push(t1);
+        let t2 = step!(self.pointwise(la, &pwmul_a, &y.a, &xb_r));
+        temps.push(t2);
+        let c1 = step!(self.pointwise(la, &pwadd_a, &t1, &t2));
+        temps.push(c1);
+
+        // Relinearize: digits of c2 through the scheduled key switch.
+        let c2_coeffs = step!(self.download_coeffs(la, &c2));
+        let (ka, kb) = step!(self.key_switch(&c2_coeffs, base_log, key_a, key_b));
+        temps.push(ka);
+        temps.push(kb);
+        let a = step!(self.pointwise(la, &pwadd_a, &c1, &ka));
+        temps.push(a);
+        let b = step!(self.pointwise(lb, &pwadd_b, &c0, &kb));
+
+        // Success: release every temporary, keep the result components
+        // (`a` is the only temp that survives; `b` was never pushed).
+        for buf in temps {
+            if buf != a {
+                self.cluster.free(buf)?;
+            }
+        }
+        Ok(DeviceCiphertext { a, b })
+    }
+
+    /// Homomorphic rotation by `steps` positions: applies the Galois
+    /// automorphism `x → x^{5^steps mod 2n}` via
+    /// [`apply_galois`](RlweEvaluator::apply_galois). Requires the
+    /// matching [`rotation_keygen`](RlweEvaluator::rotation_keygen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] without the rotation key, or
+    /// [`RpuError`] on dispatch failure.
+    pub fn rotate(
+        &mut self,
+        ct: &DeviceCiphertext,
+        steps: usize,
+    ) -> Result<DeviceCiphertext, RpuError> {
+        let g = self.ctx.galois_element(steps);
+        self.apply_galois(ct, g)
+    }
+
+    /// Applies the Galois automorphism `x → x^g` to a resident
+    /// ciphertext: each component is inverse-NTT'd and permuted by the
+    /// on-device `σ_g` coefficient-permutation kernel (the `vgather`
+    /// program compiled at
+    /// [`galois_keygen`](RlweEvaluator::galois_keygen)); the permuted
+    /// payload is re-transformed on its lane while the permuted mask's
+    /// coefficients feed the gadget key switch that brings the result
+    /// back under the original key. Decrypts to `σ_g(m) mod t`,
+    /// bit-exactly equal to [`RlweContext::apply_galois`] on any lane
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpuError::Config`] if no Galois key for `g` is
+    /// resident, or [`RpuError`] on dispatch failure.
+    pub fn apply_galois(
+        &mut self,
+        ct: &DeviceCiphertext,
+        g: usize,
+    ) -> Result<DeviceCiphertext, RpuError> {
+        let g = g % (2 * self.ctx.params().n);
+        let gk = self.galois.get(&g).ok_or_else(|| {
+            RpuError::Config(format!(
+                "no Galois key for g = {g}: call RlweEvaluator::galois_keygen({g}, …) first"
+            ))
+        })?;
+        let (base_log, key_a, key_b) = (gk.base_log, gk.a.clone(), gk.b.clone());
+        let (la, lb) = (self.lane_a, self.lane_b);
+        let n = self.ctx.params().n;
+        let pwadd_b = Arc::clone(&self.kernels(lb).pwadd);
+        let autom_a = Arc::clone(&self.autom_kernels[&(la, g)]);
+        let autom_b = Arc::clone(&self.autom_kernels[&(lb, g)]);
+        let mut temps: Vec<DeviceBuffer> = Vec::new();
+        macro_rules! step {
+            ($e:expr) => {{
+                let r = $e;
+                self.or_release(r, &temps)?
+            }};
+        }
+
+        // Mask side: to coefficients, permute, download the permuted
+        // coefficients (they feed the gadget decomposition; the switched
+        // mask is rebuilt entirely from key material).
+        let inv_a = Arc::clone(&self.kernels(la).inv);
+        let a_coef = step!(self.cluster.alloc_on(la, n));
+        temps.push(a_coef);
+        step!(self.dispatch(la, &inv_a, &[ct.a], &[a_coef]).map(|_| ()));
+        let a_perm = step!(self.cluster.alloc_on(la, n));
+        temps.push(a_perm);
+        step!(self
+            .dispatch(la, &autom_a, &[a_coef], &[a_perm])
+            .map(|_| ()));
+        let sigma_a = step!(self.cluster.download(&a_perm));
+
+        // Payload side: to coefficients, permute, back to evaluation.
+        let inv_b = Arc::clone(&self.kernels(lb).inv);
+        let fwd_b = Arc::clone(&self.kernels(lb).fwd);
+        let b_coef = step!(self.cluster.alloc_on(lb, n));
+        temps.push(b_coef);
+        step!(self.dispatch(lb, &inv_b, &[ct.b], &[b_coef]).map(|_| ()));
+        let b_perm = step!(self.cluster.alloc_on(lb, n));
+        temps.push(b_perm);
+        step!(self
+            .dispatch(lb, &autom_b, &[b_coef], &[b_perm])
+            .map(|_| ()));
+        let sigma_b_hat = step!(self.cluster.alloc_on(lb, n));
+        temps.push(sigma_b_hat);
+        step!(self
+            .dispatch(lb, &fwd_b, &[b_perm], &[sigma_b_hat])
+            .map(|_| ()));
+
+        // Key switch: a'' is purely the accumulated mask-side product;
+        // b'' folds the accumulated payload-side product into σ(b).
+        let (ka, kb) = step!(self.key_switch(&sigma_a, base_log, key_a, key_b));
+        temps.push(kb);
+        let b = {
+            let r = self.pointwise(lb, &pwadd_b, &sigma_b_hat, &kb);
+            let mut guard = temps.clone();
+            guard.push(ka);
+            self.or_release(r, &guard)?
+        };
+        for buf in temps {
+            self.cluster.free(buf)?;
+        }
+        Ok(DeviceCiphertext { a: ka, b })
     }
 
     /// The full negacyclic polynomial product `a ·_neg b` over resident

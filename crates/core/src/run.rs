@@ -209,6 +209,15 @@ impl Rpu {
     /// Generates, validates, and times an NTT kernel for ring degree `n`
     /// with an automatically chosen ~126-bit NTT prime.
     ///
+    /// Accounting contract (audited, pinned by the shim-equivalence
+    /// test): each shim call opens a **throwaway** session and performs
+    /// exactly *one* kernel-cache lookup there — never two — so its
+    /// report always has `cache_hit == false` and repeated shim calls
+    /// return identical reports while regenerating every time. A held
+    /// session's `ntt()`/`run()` perform the same single lookup but
+    /// against persistent state, which is why they are the recommended
+    /// replacement.
+    ///
     /// # Errors
     ///
     /// Returns [`RpuError`] if generation fails or no prime exists.
@@ -253,6 +262,7 @@ impl Rpu {
             q: kernel.modulus(),
             direction: kernel.direction(),
             style: kernel.style(),
+            param: 0,
         };
         self.assemble_report(kernel.program(), key, None, false, false)
     }

@@ -297,14 +297,39 @@ impl PrimeTable {
     }
 
     /// The table's NTT prime for ring degree `n` (`q ≡ 1 (mod 2n)`),
-    /// memoized across calls.
+    /// memoized across calls. The search itself is bounded (see
+    /// [`rpu_arith::find_ntt_prime_u128`]), and impossible requests —
+    /// a degree that is not a power of two, or a `prime_bits` width too
+    /// narrow to hold any `k·2n + 1` — come back as clean errors instead
+    /// of panicking inside the searcher or walking forever.
     ///
     /// # Errors
     ///
-    /// Returns [`RpuError::NoPrime`] if no such prime exists.
+    /// Returns [`RpuError::Config`] for a zero / non-power-of-two degree
+    /// or a width outside `[2, 126]`, and [`RpuError::NoPrime`] if no
+    /// prime `q < 2^bits` with `q ≡ 1 (mod 2n)` exists (e.g. 8-bit
+    /// primes for n = 4096: the smallest candidate, `2n + 1 = 8193`,
+    /// already overflows the width).
     pub fn ntt_prime(&mut self, n: usize) -> Result<u128, RpuError> {
         if let Some(&q) = self.primes.get(&n) {
             return Ok(q);
+        }
+        if n == 0 || !n.is_power_of_two() || n > 1 << 40 {
+            return Err(RpuError::Config(format!(
+                "NTT ring degree must be a power of two (got {n})"
+            )));
+        }
+        if !(2..=MAX_PRIME_BITS).contains(&self.bits) {
+            return Err(RpuError::Config(format!(
+                "prime table width must be in [2, {MAX_PRIME_BITS}] bits, got {}",
+                self.bits
+            )));
+        }
+        // Reject widths that cannot even represent the smallest
+        // candidate 2n + 1 up front — the stride search would scan
+        // nothing, but the error should say *why*.
+        if (1u128 << self.bits) <= 2 * n as u128 + 1 {
+            return Err(RpuError::NoPrime { degree: n });
         }
         let q = rpu_arith::find_ntt_prime_u128(self.bits, 2 * n as u128)
             .ok_or(RpuError::NoPrime { degree: n })?;
@@ -1049,6 +1074,34 @@ mod tests {
             rpu_arith::find_ntt_prime_u128(126, 2048).unwrap(),
             "table must agree with the direct search"
         );
+    }
+
+    #[test]
+    fn prime_table_impossible_requests_error_cleanly() {
+        // Regression: a width too narrow for q ≡ 1 (mod 2n) to exist —
+        // e.g. 8-bit primes with n = 4096 — must come back as a prompt
+        // NoPrime, and malformed widths/degrees as Config errors; none
+        // of these may panic inside the searcher or spin.
+        let mut t = PrimeTable::with_bits(8);
+        assert!(matches!(
+            t.ntt_prime(4096),
+            Err(RpuError::NoPrime { degree: 4096 })
+        ));
+        assert!(matches!(
+            PrimeTable::with_bits(0).ntt_prime(1024),
+            Err(RpuError::Config(_))
+        ));
+        assert!(matches!(
+            PrimeTable::with_bits(200).ntt_prime(1024),
+            Err(RpuError::Config(_))
+        ));
+        let mut t = PrimeTable::new();
+        assert!(matches!(t.ntt_prime(0), Err(RpuError::Config(_))));
+        assert!(matches!(t.ntt_prime(1000), Err(RpuError::Config(_))));
+        // narrow-but-possible widths still succeed (65537 ≡ 1 mod 8192)
+        let mut t = PrimeTable::with_bits(17);
+        let q = t.ntt_prime(4096).unwrap();
+        assert!(q < 1 << 17 && q % 8192 == 1);
     }
 
     #[test]

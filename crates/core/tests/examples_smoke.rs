@@ -64,3 +64,8 @@ fn smoke_he_workload() {
 fn smoke_poly_mult_pipeline() {
     run_example("poly_mult_pipeline");
 }
+
+#[test]
+fn smoke_rotate_dot_product() {
+    run_example("rotate_dot_product");
+}

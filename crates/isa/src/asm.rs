@@ -112,6 +112,16 @@ fn parse_line(line: &str) -> Result<Instruction, String> {
                 }
             }
         }
+        "vgather" => {
+            argc(3)?;
+            let (base, offset) = mem_operand(ops[1])?;
+            VGather {
+                vd: vreg(ops[0])?,
+                base,
+                offset,
+                vi: vreg(ops[2])?,
+            }
+        }
         "vbroadcast" => {
             argc(2)?;
             let (base, offset) = mem_operand(ops[1])?;

@@ -43,8 +43,9 @@ pub const INSTR_BITS: usize = 64;
 /// Maximum number of instructions the IM can hold.
 pub const IM_MAX_INSTRS: usize = IM_BYTES / (INSTR_BITS / 8);
 
-/// Number of distinct instructions in B512.
-pub const NUM_INSTRUCTIONS: usize = 17;
+/// Number of distinct instructions in B512: the paper's 17 (Section III)
+/// plus the `vgather` indexed-load extension.
+pub const NUM_INSTRUCTIONS: usize = 18;
 
 #[cfg(test)]
 mod tests {

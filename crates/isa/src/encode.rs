@@ -7,7 +7,10 @@
 //!   VD1     VT1   BFLY  Opcode  Address    VD    VS/Mode  VT/RT/Value   RM
 //! ```
 //!
-//! Sixteen opcode values plus the BFLY bit cover the 17 instructions.
+//! Sixteen opcode values plus the BFLY bit cover the 17 paper
+//! instructions; the flag bit on the `vload` opcode additionally encodes
+//! the `vgather` extension (an indexed load has no static addressing
+//! mode, so the MODE/VALUE fields are free to carry the index register).
 //! Decoding is strict: any bits that an instruction does not use must be
 //! zero, so `decode(encode(i)) == i` and every valid word has exactly one
 //! meaning.
@@ -152,6 +155,19 @@ pub fn encode(instr: &Instruction) -> u64 {
             f.vt_rt_value = mode.value_bits() as u64;
             f.rm = base.index() as u64;
         }
+        VGather {
+            vd,
+            base,
+            offset,
+            vi,
+        } => {
+            f.opcode = OP_VLOAD;
+            f.bfly = 1;
+            f.address = (offset & ADDR_MASK) as u64;
+            f.vd = vd.index() as u64;
+            f.vt_rt_value = vi.index() as u64;
+            f.rm = base.index() as u64;
+        }
         VBroadcast { vd, base, offset } => {
             f.opcode = OP_VBROADCAST;
             f.address = (offset & ADDR_MASK) as u64;
@@ -268,7 +284,7 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
         return Err(DecodeError::NonCanonical { word });
     }
     let vd1_vt1_zero = f.vd1 == 0 && f.vt1 == 0;
-    if f.bfly == 1 && f.opcode != OP_VADDMOD {
+    if f.bfly == 1 && f.opcode != OP_VADDMOD && f.opcode != OP_VLOAD {
         return Err(DecodeError::StrayButterflyBit { word });
     }
     let vreg = |v: u64| VReg::new(v as u8).expect("6-bit field");
@@ -285,6 +301,17 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
 
     use Instruction::*;
     let instr = match f.opcode {
+        OP_VLOAD if f.bfly == 1 => {
+            // The flag bit on the load opcode selects the indexed form;
+            // the MODE field must be zero (there is no addressing mode).
+            require(vd1_vt1_zero && f.vs_mode == 0)?;
+            VGather {
+                vd: vreg(f.vd),
+                base: areg(f.rm),
+                offset: f.address as u32,
+                vi: vreg(f.vt_rt_value),
+            }
+        }
         OP_VLOAD | OP_VSTORE => {
             require(vd1_vt1_zero)?;
             let mode = AddrMode::from_bits(f.vs_mode as u8, f.vt_rt_value as u8)
@@ -415,6 +442,12 @@ mod tests {
                 offset: 16,
                 mode: AddrMode::Strided { log2_stride: 1 },
             },
+            VGather {
+                vd: v(33),
+                base: a,
+                offset: 4096,
+                vi: v(34),
+            },
             VBroadcast {
                 vd: v(19),
                 base: a,
@@ -493,7 +526,7 @@ mod tests {
     }
 
     #[test]
-    fn covers_all_17_instructions() {
+    fn covers_all_instructions() {
         let mut sample = all_sample_instructions();
         sample.push(Instruction::PkLo {
             vd: VReg::at(0),
@@ -541,6 +574,32 @@ mod tests {
         };
         let w = encode(&i) | (1 << 48);
         assert_eq!(decode(w), Err(DecodeError::StrayButterflyBit { word: w }));
+        // …including on a store: only loads have the indexed form.
+        let s = Instruction::VStore {
+            vs: VReg::at(0),
+            base: AReg::at(0),
+            offset: 0,
+            mode: AddrMode::Unit,
+        };
+        let w = encode(&s) | (1 << 48);
+        assert_eq!(decode(w), Err(DecodeError::StrayButterflyBit { word: w }));
+    }
+
+    #[test]
+    fn gather_uses_flag_bit_on_load_opcode() {
+        let g = Instruction::VGather {
+            vd: VReg::at(1),
+            base: AReg::at(2),
+            offset: 77,
+            vi: VReg::at(3),
+        };
+        let w = encode(&g);
+        assert_eq!((w >> 48) & 1, 1, "flag bit");
+        assert_eq!((w >> 44) & 0xF, 0, "shares the vload opcode");
+        assert_eq!(decode(w), Ok(g));
+        // a nonzero MODE field on the indexed form is non-canonical
+        let bad = w | (3 << 12);
+        assert_eq!(decode(bad), Err(DecodeError::NonCanonical { word: bad }));
     }
 
     #[test]

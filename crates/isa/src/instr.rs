@@ -1,4 +1,7 @@
-//! The 17 B512 instructions and their semantics metadata.
+//! The B512 instructions and their semantics metadata: the paper's 17
+//! (Section III) plus the `vgather` indexed-load extension that exposes
+//! the VBAR's per-lane routing to software (the permutation side of the
+//! vector ISA that Galois automorphisms need).
 
 use crate::regs::{AReg, MReg, SReg, VReg};
 
@@ -121,6 +124,7 @@ impl core::fmt::Display for PipeClass {
 /// |---|---|
 /// | `vload`  | `VRF[vd][i] = VDM[ARF[base] + offset + mode(i)]` |
 /// | `vstore` | `VDM[ARF[base] + offset + mode(i)] = VRF[vs][i]` |
+/// | `vgather` | `VRF[vd][i] = VDM[ARF[base] + offset + VRF[vi][i]]` |
 /// | `vbroadcast` | `VRF[vd][i] = VDM[ARF[base] + offset]` |
 /// | `sload`  | `SRF[rt] = SDM[ARF[base] + offset]` |
 /// | `mload`  | `MRF[rt] = SDM[ARF[base] + offset]` |
@@ -147,6 +151,17 @@ pub enum Instruction {
         base: AReg,
         offset: u32,
         mode: AddrMode,
+    },
+    /// Indexed (per-lane) load: lane `i` reads the VDM element at
+    /// `ARF[base] + offset + VRF[vi][i]`. The index vector is data, so
+    /// one instruction realizes an arbitrary element permutation — the
+    /// coefficient shuffles of Galois automorphisms that no static
+    /// addressing mode can express.
+    VGather {
+        vd: VReg,
+        base: AReg,
+        offset: u32,
+        vi: VReg,
     },
     VBroadcast {
         vd: VReg,
@@ -243,6 +258,7 @@ impl Instruction {
         match self {
             VLoad { .. }
             | VStore { .. }
+            | VGather { .. }
             | VBroadcast { .. }
             | SLoad { .. }
             | MLoad { .. }
@@ -264,6 +280,7 @@ impl Instruction {
         match self {
             VLoad { .. } => "vload",
             VStore { .. } => "vstore",
+            VGather { .. } => "vgather",
             VBroadcast { .. } => "vbroadcast",
             SLoad { .. } => "sload",
             MLoad { .. } => "mload",
@@ -287,6 +304,7 @@ impl Instruction {
         use Instruction::*;
         match *self {
             VStore { vs, .. } => [Some(vs), None, None],
+            VGather { vi, .. } => [Some(vi), None, None],
             VAddMod { vs, vt, .. } | VSubMod { vs, vt, .. } | VMulMod { vs, vt, .. } => {
                 [Some(vs), Some(vt), None]
             }
@@ -306,7 +324,7 @@ impl Instruction {
     pub fn dst_vregs(&self) -> [Option<VReg>; 2] {
         use Instruction::*;
         match *self {
-            VLoad { vd, .. } | VBroadcast { vd, .. } => [Some(vd), None],
+            VLoad { vd, .. } | VGather { vd, .. } | VBroadcast { vd, .. } => [Some(vd), None],
             VAddMod { vd, .. }
             | VSubMod { vd, .. }
             | VMulMod { vd, .. }
@@ -344,6 +362,7 @@ impl Instruction {
         match *self {
             VLoad { base, .. }
             | VStore { base, .. }
+            | VGather { base, .. }
             | VBroadcast { base, .. }
             | SLoad { base, .. }
             | MLoad { base, .. }
@@ -412,6 +431,14 @@ impl core::fmt::Display for Instruction {
                 mode,
             } => {
                 write!(f, "vstore  {vs}, [{base} + {offset}], {mode}")
+            }
+            VGather {
+                vd,
+                base,
+                offset,
+                vi,
+            } => {
+                write!(f, "vgather {vd}, [{base} + {offset}], {vi}")
             }
             VBroadcast { vd, base, offset } => {
                 write!(f, "vbroadcast {vd}, [{base} + {offset}]")

@@ -48,6 +48,14 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
                 mode,
             }
         }),
+        (arb_vreg(), arb_areg(), arb_offset(), arb_vreg()).prop_map(|(vd, base, offset, vi)| {
+            Instruction::VGather {
+                vd,
+                base,
+                offset,
+                vi,
+            }
+        }),
         (arb_vreg(), arb_areg(), arb_offset())
             .prop_map(|(vd, base, offset)| Instruction::VBroadcast { vd, base, offset }),
         (arb_sreg(), arb_areg(), arb_offset()).prop_map(|(rt, base, offset)| Instruction::SLoad {

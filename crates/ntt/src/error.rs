@@ -13,6 +13,12 @@ pub enum NttError {
         /// The ring degree that was requested.
         degree: usize,
     },
+    /// The Galois element is not a unit mod `2n` (it must be odd), so it
+    /// does not define a ring automorphism.
+    InvalidGaloisElement {
+        /// The rejected element.
+        g: usize,
+    },
 }
 
 impl core::fmt::Display for NttError {
@@ -28,6 +34,9 @@ impl core::fmt::Display for NttError {
                     "modulus lacks a primitive {}th root of unity",
                     2 * degree
                 )
+            }
+            NttError::InvalidGaloisElement { g } => {
+                write!(f, "Galois element {g} must be odd to be a unit mod 2n")
             }
         }
     }

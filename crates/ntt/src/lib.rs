@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod automorphism;
 pub mod baseline;
 mod error;
 mod pease;
@@ -28,6 +29,7 @@ mod rns_poly;
 #[doc(hidden)]
 pub mod testutil;
 
+pub use automorphism::{apply_automorphism, automorphism_map, galois_element};
 pub use error::NttError;
 pub use pease::PeaseSchedule;
 pub use plan128::Ntt128Plan;

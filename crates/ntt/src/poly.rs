@@ -261,6 +261,24 @@ impl Polynomial {
         }
     }
 
+    /// The Galois automorphism `σ_g : a(x) → a(x^g)` (odd `g`): the
+    /// coefficient permutation with sign fix-ups that HE rotation is
+    /// built on. Domain-preserving — an evaluation-form operand is
+    /// converted, permuted in the coefficient domain, and converted
+    /// back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidGaloisElement`] for even `g`.
+    pub fn automorphism(&self, g: usize) -> Result<Polynomial, NttError> {
+        let rotated = crate::apply_automorphism(&self.coeffs(), g, self.ctx.modulus().value())?;
+        let mut out = Polynomial::from_coeffs(&self.ctx, rotated).expect("length preserved");
+        if self.domain == Domain::Evaluation {
+            out.to_evaluation();
+        }
+        Ok(out)
+    }
+
     fn check_compatible(&self, rhs: &Polynomial) {
         assert!(
             Arc::ptr_eq(&self.ctx, &rhs.ctx),

@@ -1,20 +1,33 @@
 //! A minimal RLWE symmetric encryption scheme — the workload the RPU
 //! exists to accelerate (Section II-A and Fig. 1 of the paper).
 //!
-//! This is the textbook BFV-style symmetric construction: a ciphertext
-//! is a pair `(a, b = a·s + e + Δ·m)` over `Z_q[x]/(x^n + 1)` with a
-//! small ternary secret `s`, small error `e`, and scaling factor
-//! `Δ = ⌊q/t⌋`. It supports the homomorphic operations that do not need
-//! key switching: ciphertext addition and plaintext multiplication.
-//! Every polynomial product runs through the NTT — exactly the dataflow
-//! the RPU accelerates (and `examples/poly_mult_pipeline.rs` runs those
-//! NTTs on the simulated RPU itself).
+//! A ciphertext is a pair `(a, b = a·s + t·e + m)` over
+//! `Z_q[x]/(x^n + 1)` with a small ternary secret `s` and small error
+//! `e`: the plaintext rides in the **least-significant** residues and
+//! the noise is lifted by the plaintext modulus `t` (the BGV-style
+//! noise placement). That choice is what makes single-modulus
+//! ciphertext×ciphertext multiplication *exact*: the tensor
+//! `(m1 + t·e1)(m2 + t·e2) = m1·m2 + t·(…)` needs no rescaling, so the
+//! whole multiply — tensor, gadget decomposition, relinearization —
+//! runs in `Z_q` end to end and decrypts with a centered `mod t`.
+//! (The earlier MSB/`Δ·m` encoding cannot do this: `Δ² > q`, so a
+//! BFV-exact multiply needs the `t/q` rounding of an un-reduced tensor,
+//! which a single-modulus pipeline never materializes.)
+//!
+//! Supported homomorphic operations: addition, subtraction, plaintext
+//! multiplication, ciphertext×ciphertext multiplication with
+//! gadget-decomposed relinearization ([`RlweContext::mul`] /
+//! [`RelinKey`]), and Galois rotation ([`RlweContext::apply_galois`] /
+//! [`GaloisKey`]). Every polynomial product runs through the NTT —
+//! exactly the dataflow the RPU accelerates — and every operation here
+//! is the bit-exact host reference for the on-device `RlweEvaluator`.
 //!
 //! This is a pedagogical implementation for driving realistic RLWE
 //! traffic through the stack; it makes no constant-time or
 //! parameter-security claims.
 
 use crate::{Ntt128Plan, NttError, Polynomial};
+use rpu_arith::{gadget_decompose, gadget_levels};
 use std::sync::Arc;
 
 /// Parameters of the toy scheme.
@@ -56,7 +69,7 @@ impl Ciphertext {
         &self.a
     }
 
-    /// The payload component `b = a·s + e + Δ·m`.
+    /// The payload component `b = a·s + t·e + m`.
     pub fn b(&self) -> &Polynomial {
         &self.b
     }
@@ -87,7 +100,70 @@ impl Ciphertext {
 pub struct RlweContext {
     params: RlweParams,
     plan: Arc<Ntt128Plan>,
-    delta: u128,
+}
+
+/// A gadget-decomposed key-switch key: for each digit level `j`, a pair
+/// `(a_j, b_j = a_j·s + t·e_j + B^j·M)` encrypting the scaled switch
+/// target `M` (e.g. `s²` for relinearization, `−σ_g(s)` for rotation)
+/// under `s`, with digit base `B = 2^base_log`. Components are stored in
+/// evaluation form — the form an accelerator keeps them resident in.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    base_log: u32,
+    parts: Vec<(Polynomial, Polynomial)>,
+}
+
+impl KeySwitchKey {
+    /// The digit base exponent `log2(B)`.
+    pub fn base_log(&self) -> u32 {
+        self.base_log
+    }
+
+    /// Number of gadget digits `ℓ`.
+    pub fn levels(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The per-digit `(a_j, b_j)` pairs, evaluation form.
+    pub fn parts(&self) -> &[(Polynomial, Polynomial)] {
+        &self.parts
+    }
+}
+
+/// A relinearization key: switches the `s²` component of a degree-2
+/// tensor ciphertext back to degree 1.
+#[derive(Debug, Clone)]
+pub struct RelinKey {
+    ksk: KeySwitchKey,
+}
+
+impl RelinKey {
+    /// The underlying key-switch key.
+    pub fn key_switch_key(&self) -> &KeySwitchKey {
+        &self.ksk
+    }
+}
+
+/// A Galois key for the automorphism `x → x^g`: switches `σ_g(s)` back
+/// to `s`. The key material encrypts `−B^j·σ_g(s)` — the negation folds
+/// the rotation key switch into the same accumulate-add dataflow as
+/// relinearization (one fused kernel shape serves both).
+#[derive(Debug, Clone)]
+pub struct GaloisKey {
+    g: usize,
+    ksk: KeySwitchKey,
+}
+
+impl GaloisKey {
+    /// The Galois element this key switches from.
+    pub fn galois_element(&self) -> usize {
+        self.g
+    }
+
+    /// The underlying key-switch key.
+    pub fn key_switch_key(&self) -> &KeySwitchKey {
+        &self.ksk
+    }
 }
 
 /// A tiny deterministic PRNG (splitmix64) so tests and examples are
@@ -126,14 +202,9 @@ impl Splitmix {
         }
     }
 
-    /// A small centred error in `[-4, 4]` represented mod `q`.
-    fn small_error(&mut self, q: u128) -> u128 {
-        let e = (self.next_u64() % 9) as i64 - 4;
-        if e >= 0 {
-            e as u128
-        } else {
-            q - (-e) as u128
-        }
+    /// A small centred error in `[-4, 4]` as a signed value.
+    fn small_error_signed(&mut self) -> i64 {
+        (self.next_u64() % 9) as i64 - 4
     }
 }
 
@@ -149,12 +220,7 @@ impl RlweContext {
             return Err(NttError::InvalidModulus);
         }
         let plan = Polynomial::context(params.n, params.q)?;
-        let delta = params.q / params.t;
-        Ok(RlweContext {
-            params,
-            plan,
-            delta,
-        })
+        Ok(RlweContext { params, plan })
     }
 
     /// The parameters.
@@ -167,13 +233,21 @@ impl RlweContext {
         &self.plan
     }
 
-    /// The plaintext scaling factor `Δ = ⌊q/t⌋`.
-    pub fn delta(&self) -> u128 {
-        self.delta
+    /// `t·e mod q` for a freshly drawn small signed error `e` — the
+    /// noise term of the LSB encoding (`|e| ≤ 4`, so the product never
+    /// approaches `q` and stays exact in `u128`).
+    fn sample_noise(&self, rng: &mut Splitmix) -> u128 {
+        let (q, t) = (self.params.q, self.params.t);
+        let e = rng.small_error_signed();
+        if e >= 0 {
+            t * e as u128 % q
+        } else {
+            q - t * (-e) as u128 % q
+        }
     }
 
     /// The randomness front half of [`encrypt`](RlweContext::encrypt):
-    /// samples the uniform mask `a` and the payload `Δ·m + e`, both as
+    /// samples the uniform mask `a` and the payload `m + t·e`, both as
     /// natural-order coefficient vectors. Exposed so an accelerator
     /// runtime can draw the *same* randomness stream as the host path
     /// and finish `b = a·s + payload` on-device.
@@ -192,9 +266,10 @@ impl RlweContext {
         let a_coeffs: Vec<u128> = (0..n).map(|_| rng.below(q)).collect();
         let payload: Vec<u128> = message
             .iter()
-            .map(|&m| (m % self.params.t) * self.delta % q)
-            .zip((0..n).map(|_| rng.small_error(q)))
-            .map(|(m, e)| (m + e) % q)
+            .map(|&m| {
+                let noise = self.sample_noise(rng);
+                ((m % self.params.t) + noise) % q
+            })
             .collect();
         (a_coeffs, payload)
     }
@@ -218,7 +293,7 @@ impl RlweContext {
         let (a_coeffs, payload_coeffs) = self.sample_mask_and_payload(message, rng);
         let mut a = Polynomial::from_coeffs(&self.plan, a_coeffs).expect("length matches");
         a.to_evaluation();
-        // b = a*s + e + delta*m
+        // b = a*s + t*e + m
         let mut payload =
             Polynomial::from_coeffs(&self.plan, payload_coeffs).expect("length matches");
         payload.to_evaluation();
@@ -226,20 +301,33 @@ impl RlweContext {
         Ciphertext { a, b }
     }
 
-    /// Decrypts a ciphertext back to coefficients mod `t`.
-    pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Vec<u128> {
-        let t = self.params.t;
-        // m~ = b - a*s, then round(m~ / delta) mod t
-        let noisy = ct.b.sub(&ct.a.mul(&sk.s));
+    /// Decodes a noisy phase polynomial `m + t·e (mod q)` to plaintext
+    /// residues: each coefficient is centered into `(-q/2, q/2]` and
+    /// reduced mod `t` — exact as long as the accumulated noise stays
+    /// below `q/2`. Shared by [`decrypt`](RlweContext::decrypt) and by
+    /// accelerator runtimes that download the noisy vector and finish
+    /// decoding host-side.
+    pub fn decode_noisy(&self, noisy: &[u128]) -> Vec<u128> {
+        let (q, t) = (self.params.q, self.params.t);
         noisy
-            .coeffs()
             .iter()
             .map(|&c| {
-                // centred rounding: (c + delta/2) / delta
-                let rounded = (c + self.delta / 2) / self.delta;
-                rounded % t
+                if c > q / 2 {
+                    // c represents the negative value c - q, and
+                    // (c - q) mod t = (c mod t) - (q mod t) mod t
+                    ((c % t) + (t - q % t) % t) % t
+                } else {
+                    c % t
+                }
             })
             .collect()
+    }
+
+    /// Decrypts a ciphertext back to coefficients mod `t`.
+    pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Vec<u128> {
+        // phase = b - a*s = m + t*e, then centered mod t
+        let noisy = ct.b.sub(&ct.a.mul(&sk.s));
+        self.decode_noisy(&noisy.coeffs())
     }
 
     /// Homomorphic addition.
@@ -272,6 +360,146 @@ impl RlweContext {
             a: x.a.mul(&p),
             b: x.b.mul(&p),
         }
+    }
+
+    /// Generates a key-switch key for target `M` (evaluation form):
+    /// `ℓ` pairs `(a_j, b_j = a_j·s + t·e_j + B^j·M)`. The randomness
+    /// order is fixed — per level, `n` mask draws then `n` error draws —
+    /// so an accelerator runtime replaying the same stream produces
+    /// bit-identical key material.
+    fn keyswitch_keygen(
+        &self,
+        sk: &SecretKey,
+        target: &Polynomial,
+        rng: &mut Splitmix,
+        base_log: u32,
+    ) -> KeySwitchKey {
+        let (n, q) = (self.params.n, self.params.q);
+        let m = self.plan.modulus();
+        let levels = gadget_levels(q, base_log);
+        let base = m.reduce(1u128 << base_log.min(127));
+        let parts = (0..levels)
+            .map(|j| {
+                let a_coeffs: Vec<u128> = (0..n).map(|_| rng.below(q)).collect();
+                let noise: Vec<u128> = (0..n).map(|_| self.sample_noise(rng)).collect();
+                let mut a = Polynomial::from_coeffs(&self.plan, a_coeffs).expect("length matches");
+                a.to_evaluation();
+                let mut e = Polynomial::from_coeffs(&self.plan, noise).expect("length matches");
+                e.to_evaluation();
+                let b = a
+                    .mul(&sk.s)
+                    .add(&e)
+                    .add(&target.scale(m.pow(base, j as u128)));
+                (a, b)
+            })
+            .collect();
+        KeySwitchKey { base_log, parts }
+    }
+
+    /// Generates a relinearization key: a key-switch key for `s²`, the
+    /// degree-2 component a tensor ciphertext leaves behind.
+    pub fn relin_keygen(&self, sk: &SecretKey, rng: &mut Splitmix, base_log: u32) -> RelinKey {
+        let s2 = sk.s.mul(&sk.s);
+        RelinKey {
+            ksk: self.keyswitch_keygen(sk, &s2, rng, base_log),
+        }
+    }
+
+    /// Generates a Galois key for the automorphism `x → x^g`: a
+    /// key-switch key for `−σ_g(s)` (negated so rotation uses the same
+    /// accumulate-add key-switch as relinearization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidGaloisElement`] for even `g`.
+    pub fn galois_keygen(
+        &self,
+        sk: &SecretKey,
+        g: usize,
+        rng: &mut Splitmix,
+        base_log: u32,
+    ) -> Result<GaloisKey, NttError> {
+        let sigma_s = sk.s.automorphism(g)?;
+        let neg = sigma_s.scale(self.params.q - 1);
+        Ok(GaloisKey {
+            g: g % (2 * self.params.n),
+            ksk: self.keyswitch_keygen(sk, &neg, rng, base_log),
+        })
+    }
+
+    /// The Galois element realizing a rotation by `steps`
+    /// ([`crate::galois_element`]: `5^steps mod 2n`).
+    pub fn galois_element(&self, steps: usize) -> usize {
+        crate::galois_element(self.params.n, steps)
+    }
+
+    /// The gadget-decomposed key-switch inner product: decomposes
+    /// `src_coeffs` into digits and returns
+    /// `(Σ_j d̂_j·â_j, Σ_j d̂_j·b̂_j)` in evaluation form — the pair the
+    /// caller folds into its base ciphertext. This is the exact dataflow
+    /// the RPU runs as `ℓ` fused NTT-multiply-accumulate dispatches.
+    pub fn key_switch(&self, src_coeffs: &[u128], ksk: &KeySwitchKey) -> (Polynomial, Polynomial) {
+        let levels = ksk.levels();
+        let digits = gadget_decompose(src_coeffs, ksk.base_log, levels);
+        let mut acc_a = Polynomial::zero(&self.plan);
+        let mut acc_b = Polynomial::zero(&self.plan);
+        acc_a.to_evaluation();
+        acc_b.to_evaluation();
+        for (digit, (a_j, b_j)) in digits.into_iter().zip(&ksk.parts) {
+            let mut d = Polynomial::from_coeffs(&self.plan, digit).expect("length matches");
+            d.to_evaluation();
+            acc_a = acc_a.add(&d.mul(a_j));
+            acc_b = acc_b.add(&d.mul(b_j));
+        }
+        (acc_a, acc_b)
+    }
+
+    /// Ciphertext×ciphertext multiplication: tensor to the degree-2
+    /// ciphertext `(c0, c1, c2) = (b1·b2, a1·b2 + b1·a2, a1·a2)` whose
+    /// phase is `c0 − c1·s + c2·s²`, then relinearize the `s²` component
+    /// back to degree 1 with the gadget-decomposed key switch. Exact in
+    /// `Z_q`; decrypts to `m1·m2 mod (x^n + 1, t)` while the accumulated
+    /// noise stays below `q/2`.
+    pub fn mul(&self, rk: &RelinKey, x: &Ciphertext, y: &Ciphertext) -> Ciphertext {
+        let c0 = x.b.mul(&y.b);
+        let c1 = x.a.mul(&y.b).add(&x.b.mul(&y.a));
+        let c2 = x.a.mul(&y.a);
+        let (ka, kb) = self.key_switch(&c2.coeffs(), &rk.ksk);
+        Ciphertext {
+            a: c1.add(&ka),
+            b: c0.add(&kb),
+        }
+    }
+
+    /// Applies the Galois automorphism `x → x^g` homomorphically:
+    /// permutes both components (an encryption of `σ_g(m)` under
+    /// `σ_g(s)`), then key-switches back to `s` using the digits of the
+    /// permuted mask. Decrypts to `σ_g(m) mod t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidGaloisElement`] if `gk`'s element and
+    /// the requested automorphism cannot be applied (even `g`).
+    pub fn apply_galois(&self, gk: &GaloisKey, ct: &Ciphertext) -> Result<Ciphertext, NttError> {
+        let sigma_a = ct.a.automorphism(gk.g)?;
+        let sigma_b = ct.b.automorphism(gk.g)?;
+        let (ka, kb) = self.key_switch(&sigma_a.coeffs(), &gk.ksk);
+        Ok(Ciphertext {
+            a: ka,
+            b: sigma_b.add(&kb),
+        })
+    }
+
+    /// The expected plaintext of a rotation: `σ_g(m) mod (x^n + 1, t)`
+    /// — the reference tests compare decrypted rotations against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::InvalidGaloisElement`] for even `g`.
+    pub fn rotate_plaintext(&self, message: &[u128], g: usize) -> Result<Vec<u128>, NttError> {
+        let t = self.params.t;
+        let reduced: Vec<u128> = message.iter().map(|&v| v % t).collect();
+        crate::apply_automorphism(&reduced, g, t)
     }
 }
 
@@ -396,6 +624,103 @@ mod tests {
         assert_eq!(rebuilt.a().values(), ct.a().values());
         assert_eq!(c.decrypt(&sk, &rebuilt), msg);
         assert!(Ciphertext::from_coeff_parts(&c, vec![0; 31], vec![0; 32]).is_err());
+    }
+
+    #[test]
+    fn ciphertext_multiplication_decrypts_to_product() {
+        let n = 64usize;
+        let c = ctx(n);
+        let mut rng = Splitmix::new(0xC0FFEE);
+        let sk = c.keygen(&mut rng);
+        let rk = c.relin_keygen(&sk, &mut rng, 16);
+        let m1: Vec<u128> = (0..n as u128).map(|i| (i * 3 + 1) % 50).collect();
+        let m2: Vec<u128> = (0..n as u128).map(|i| (i * 7 + 2) % 50).collect();
+        let prod = c.mul(
+            &rk,
+            &c.encrypt(&sk, &m1, &mut rng),
+            &c.encrypt(&sk, &m2, &mut rng),
+        );
+        // reference: schoolbook negacyclic product mod t
+        let t = rpu_arith::Modulus128::new(65537).unwrap();
+        let expect = crate::testutil::schoolbook_negacyclic(t, &m1, &m2);
+        assert_eq!(c.decrypt(&sk, &prod), expect);
+    }
+
+    #[test]
+    fn multiplication_composes_with_addition() {
+        let n = 64usize;
+        let c = ctx(n);
+        let mut rng = Splitmix::new(5);
+        let sk = c.keygen(&mut rng);
+        let rk = c.relin_keygen(&sk, &mut rng, 16);
+        let m1 = vec![2u128; n];
+        let m2 = vec![3u128; n];
+        let x = c.encrypt(&sk, &m1, &mut rng);
+        let y = c.encrypt(&sk, &m2, &mut rng);
+        // (x*y) + x decrypts to m1*m2 + m1
+        let got = c.decrypt(&sk, &c.add(&c.mul(&rk, &x, &y), &x));
+        let t = rpu_arith::Modulus128::new(65537).unwrap();
+        let mut expect = crate::testutil::schoolbook_negacyclic(t, &m1, &m2);
+        for (e, &m) in expect.iter_mut().zip(&m1) {
+            *e = (*e + m) % 65537;
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn galois_rotation_decrypts_to_rotated_plaintext() {
+        let n = 64usize;
+        let c = ctx(n);
+        let mut rng = Splitmix::new(0xB512);
+        let sk = c.keygen(&mut rng);
+        let msg: Vec<u128> = (0..n as u128).map(|i| (i * 31 + 3) % 1000).collect();
+        let ct = c.encrypt(&sk, &msg, &mut rng);
+        for steps in [1usize, 2, 5] {
+            let g = c.galois_element(steps);
+            let gk = c.galois_keygen(&sk, g, &mut rng, 16).unwrap();
+            assert_eq!(gk.galois_element(), g);
+            let rotated = c.apply_galois(&gk, &ct).unwrap();
+            assert_eq!(
+                c.decrypt(&sk, &rotated),
+                c.rotate_plaintext(&msg, g).unwrap(),
+                "steps {steps}"
+            );
+        }
+        // even Galois elements are rejected at keygen
+        assert!(matches!(
+            c.galois_keygen(&sk, 8, &mut rng, 16),
+            Err(NttError::InvalidGaloisElement { g: 8 })
+        ));
+    }
+
+    #[test]
+    fn rotation_of_a_sum_rotates_both_terms() {
+        let n = 32usize;
+        let c = ctx(n);
+        let mut rng = Splitmix::new(21);
+        let sk = c.keygen(&mut rng);
+        let g = c.galois_element(1);
+        let gk = c.galois_keygen(&sk, g, &mut rng, 16).unwrap();
+        let m1: Vec<u128> = (1..=n as u128).collect();
+        let m2: Vec<u128> = (0..n as u128).map(|i| i * 2).collect();
+        let x = c.encrypt(&sk, &m1, &mut rng);
+        let y = c.encrypt(&sk, &m2, &mut rng);
+        let got = c.decrypt(&sk, &c.apply_galois(&gk, &c.add(&x, &y)).unwrap());
+        let sum: Vec<u128> = m1.iter().zip(&m2).map(|(&a, &b)| a + b).collect();
+        assert_eq!(got, c.rotate_plaintext(&sum, g).unwrap());
+    }
+
+    #[test]
+    fn keyswitch_key_shapes() {
+        let c = ctx(32);
+        let mut rng = Splitmix::new(1);
+        let sk = c.keygen(&mut rng);
+        let q_bits = 128 - c.params().q.leading_zeros();
+        let rk = c.relin_keygen(&sk, &mut rng, 16);
+        let ksk = rk.key_switch_key();
+        assert_eq!(ksk.base_log(), 16);
+        assert_eq!(ksk.levels() as u32, q_bits.div_ceil(16));
+        assert_eq!(ksk.parts().len(), ksk.levels());
     }
 
     #[test]

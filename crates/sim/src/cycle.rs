@@ -314,6 +314,18 @@ impl CycleSim {
                 stats.vbar_elems += vl;
                 (occ, cfg.ls_latency)
             }
+            VGather { .. } => {
+                // Indexed routing: the bank pattern is data-dependent, so
+                // the model charges a double-pumped VBAR pass — twice the
+                // port-limited unit-stride cost — rather than assuming a
+                // conflict-free spread the hardware cannot guarantee.
+                let port_cycles = vl.div_ceil(cfg.num_hples as u64);
+                let bank_floor = vl.div_ceil(cfg.vdm_banks as u64);
+                stats.vdm_elem_reads += vl;
+                stats.vrf_elem_writes += vl;
+                stats.vbar_elems += vl;
+                (2 * port_cycles.max(bank_floor), cfg.ls_latency)
+            }
             VBroadcast { .. } => {
                 stats.vdm_elem_reads += 1;
                 stats.vrf_elem_writes += vl;
@@ -436,6 +448,14 @@ fn vdm_access(instr: &Instruction) -> Option<MemAccess> {
         Instruction::VBroadcast { offset, .. } => Some(MemAccess {
             lo: offset as usize,
             hi: offset as usize + 1,
+            offset: offset as usize,
+            mode: AddrMode::Unit,
+        }),
+        // A gather's indices are register data: its footprint is unknown
+        // statically, so order it conservatively against every store.
+        Instruction::VGather { offset, .. } => Some(MemAccess {
+            lo: offset as usize,
+            hi: usize::MAX,
             offset: offset as usize,
             mode: AddrMode::Unit,
         }),

@@ -310,6 +310,25 @@ impl FunctionalSim {
                     self.vdm[addr] = self.vrf[vs.index() as usize][i];
                 }
             }
+            VGather {
+                vd,
+                base,
+                offset,
+                vi,
+            } => {
+                // Per-lane indexed load: indices come from a register, so
+                // every lane can read an arbitrary VDM element.
+                for i in 0..VECTOR_LEN {
+                    let idx = self.vrf[vi.index() as usize][i];
+                    let lane_off = usize::try_from(idx).map_err(|_| ExecError::VdmOutOfBounds {
+                        address: usize::MAX,
+                        capacity: self.vdm.len(),
+                        pc,
+                    })?;
+                    let addr = self.vdm_addr(base, offset, lane_off, pc)?;
+                    self.vrf[vd.index() as usize][i] = self.vdm[addr];
+                }
+            }
             VBroadcast { vd, base, offset } => {
                 let addr = self.vdm_addr(base, offset, 0, pc)?;
                 let value = self.vdm[addr];
@@ -596,6 +615,48 @@ mod tests {
         assert_eq!(f.vreg(VReg::at(1))[0], 2); // 3+100 mod 101
         assert_eq!(f.vreg(VReg::at(2))[0], 4); // 3-100 mod 101
         assert_eq!(f.vreg(VReg::at(3))[0], 300 % 101);
+    }
+
+    #[test]
+    fn gather_routes_arbitrary_elements() {
+        let mut f = sim();
+        let data: Vec<u128> = (100..612).collect();
+        f.write_vdm(64, &data);
+        // index vector: lane i reads element (511 - i) — a full reversal,
+        // inexpressible with any static addressing mode
+        let rev: Vec<u128> = (0..512u128).map(|i| 511 - i).collect();
+        f.write_vdm(1024, &rev);
+        let p = parse_asm(
+            "gather",
+            "vload v1, [a0 + 1024], unit\n\
+             vgather v2, [a0 + 64], v1\n",
+        )
+        .unwrap();
+        f.run(&p).unwrap();
+        let got = f.vreg(VReg::at(2));
+        for i in 0..512 {
+            assert_eq!(got[i], data[511 - i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn gather_bounds_checked_per_lane() {
+        let mut f = FunctionalSim::new(600, 16);
+        // lane 7's index points past the VDM
+        let mut idx = vec![0u128; 512];
+        idx[7] = 10_000;
+        f.write_vdm(0, &idx);
+        let p = parse_asm(
+            "oob",
+            "vload v0, [a0 + 0], unit\nvgather v1, [a0 + 0], v0\n",
+        )
+        .unwrap();
+        let err = f.run(&p).unwrap_err();
+        assert!(matches!(err, ExecError::VdmOutOfBounds { pc: 1, .. }));
+        // an index that does not even fit usize is caught, not wrapped
+        idx[7] = u128::MAX;
+        f.write_vdm(0, &idx);
+        assert!(f.run(&p).is_err());
     }
 
     #[test]

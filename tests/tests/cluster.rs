@@ -4,7 +4,10 @@
 //! heap corruption.
 
 use rpu::arith::find_ntt_prime_chain;
-use rpu::{BufferError, CodegenStyle, ElementwiseOp, ElementwiseSpec, RnsExecutor, Rpu, RpuError};
+use rpu::{
+    BufferError, CodegenStyle, ElementwiseOp, ElementwiseSpec, LaneJob, LaneWorker, RnsExecutor,
+    Rpu, RpuError,
+};
 
 fn mul_spec(n: usize, q: u128) -> ElementwiseSpec {
     ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, CodegenStyle::Optimized)
@@ -73,6 +76,123 @@ fn cross_lane_handles_error_not_corrupt() {
         c.lane_session(1).download(&x0),
         Err(RpuError::Buffer(BufferError::StaleHandle { .. }))
     ));
+}
+
+#[test]
+fn failed_migrate_leaks_nothing() {
+    // Regression (negative path): when the destination lane's heap
+    // cannot take the buffer, `migrate` must leave the source live,
+    // downloadable, and still tracked in the placement map — no leaked
+    // source, no stranded placement entry, no phantom destination
+    // allocation.
+    let rpu = Rpu::builder()
+        .device_heap_elements(4096)
+        .lanes(2)
+        .build()
+        .unwrap();
+    let mut c = rpu.cluster();
+    let data: Vec<u128> = (0..1024).collect();
+    let src = c.upload_to(0, &data).unwrap();
+    // Exhaust lane 1 completely.
+    let hog = c.upload_to(1, &vec![7u128; 4096]).unwrap();
+    let err = c.migrate(src, 1).unwrap_err();
+    assert!(
+        matches!(err, RpuError::Buffer(BufferError::OutOfMemory { .. })),
+        "got {err}"
+    );
+    // Source untouched: still on lane 0, still downloadable, still live.
+    assert_eq!(c.locate(&src), Some(0));
+    assert_eq!(c.download(&src).unwrap(), data);
+    assert_eq!(c.lane_session(0).device_mem_in_use(), 1024);
+    assert_eq!(c.lane_session(0).live_buffers(), 1);
+    // Destination unchanged: the failed move allocated nothing lasting.
+    assert_eq!(c.lane_session(1).device_mem_in_use(), 4096);
+    assert_eq!(c.lane_session(1).live_buffers(), 1);
+    // Freeing space on the destination lets the same migrate succeed.
+    c.free(hog).unwrap();
+    let moved = c.migrate(src, 1).unwrap();
+    assert_eq!(c.locate(&moved), Some(1));
+    assert_eq!(c.download(&moved).unwrap(), data);
+    assert_eq!(c.lane_session(0).device_mem_in_use(), 0);
+}
+
+#[test]
+fn replicate_copies_without_consuming_the_source() {
+    let rpu = Rpu::builder().lanes(2).build().unwrap();
+    let mut c = rpu.cluster();
+    let data: Vec<u128> = (0..256).collect();
+    let src = c.upload_to(0, &data).unwrap();
+    let copy = c.replicate(&src, 1).unwrap();
+    assert_eq!(c.locate(&src), Some(0));
+    assert_eq!(c.locate(&copy), Some(1));
+    assert_eq!(c.download(&src).unwrap(), data);
+    assert_eq!(c.download(&copy).unwrap(), data);
+    // same-lane replication is an independent copy, not an alias
+    let twin = c.replicate(&src, 0).unwrap();
+    assert_ne!(twin.id(), src.id());
+    c.free(src).unwrap();
+    assert_eq!(c.download(&twin).unwrap(), data);
+}
+
+#[test]
+fn panicking_job_surfaces_as_error_not_hang() {
+    // Regression: a lane worker panicking mid-job must not poison the
+    // queue state or wedge the remaining lanes — the run returns
+    // RpuError::LanePanic, later jobs are abandoned, and the cluster
+    // stays usable for the next run.
+    let rpu = Rpu::builder().lanes(2).build().unwrap();
+    let mut c = rpu.cluster();
+    // NOTE: the deliberate panic below prints a short backtrace banner
+    // to stderr — expected. (Deliberately NOT swapping the process-wide
+    // panic hook: tests run in parallel and a no-op hook would swallow
+    // an unrelated concurrent failure's diagnostics.)
+    let jobs: Vec<LaneJob<'_, u64>> = (0..8)
+        .map(|i| {
+            Box::new(move |w: &mut LaneWorker<'_, '_>| {
+                if i == 3 {
+                    panic!("deliberate mid-job failure");
+                }
+                Ok(w.lane_index() as u64)
+            }) as LaneJob<'_, u64>
+        })
+        .collect();
+    let err = c.run_jobs(jobs).unwrap_err();
+    match err {
+        RpuError::LanePanic { message, .. } => {
+            assert!(
+                message.contains("deliberate"),
+                "payload survives: {message}"
+            )
+        }
+        other => panic!("expected LanePanic, got {other}"),
+    }
+    // The cluster is not wedged: a healthy follow-up run completes.
+    let jobs: Vec<LaneJob<'_, u64>> = (0..4)
+        .map(|i| Box::new(move |_w: &mut LaneWorker<'_, '_>| Ok(i as u64)) as LaneJob<'_, u64>)
+        .collect();
+    let (got, report) = c.run_jobs(jobs).unwrap();
+    assert_eq!(got, vec![0, 1, 2, 3]);
+    assert_eq!(report.towers, 4);
+}
+
+#[test]
+fn failing_job_error_short_circuits_cleanly() {
+    // An Err (not panic) from a job behaves the same: first error wins,
+    // no hang, no partial silent result.
+    let rpu = Rpu::builder().lanes(3).build().unwrap();
+    let mut c = rpu.cluster();
+    let jobs: Vec<LaneJob<'_, ()>> = (0..6)
+        .map(|i| {
+            Box::new(move |_w: &mut LaneWorker<'_, '_>| {
+                if i % 2 == 1 {
+                    Err(RpuError::Config(format!("job {i} refused")))
+                } else {
+                    Ok(())
+                }
+            }) as LaneJob<'_, ()>
+        })
+        .collect();
+    assert!(matches!(c.run_jobs(jobs), Err(RpuError::Config(_))));
 }
 
 #[test]

@@ -4,9 +4,44 @@
 
 use proptest::prelude::*;
 use rpu::{
-    BufferError, CodegenStyle, Direction, ElementwiseOp, ElementwiseSpec, NttSpec, PrimeTable, Rpu,
-    RpuConfig, RpuError,
+    BufferAllocator, BufferError, CodegenStyle, Direction, ElementwiseOp, ElementwiseSpec, NttSpec,
+    PrimeTable, Rpu, RpuConfig, RpuError,
 };
+
+/// Asserts the allocator's structural invariants: free and live blocks
+/// partition `[base, base + capacity)` with no overlap, and coalescing
+/// leaves no two adjacent free blocks.
+fn assert_allocator_invariants(a: &BufferAllocator, base: usize, capacity: usize) {
+    let free = a.free_blocks();
+    let live = a.live_blocks();
+    // free list is sorted, in-range, and fully coalesced
+    for w in free.windows(2) {
+        assert!(
+            w[0].0 + w[0].1 < w[1].0,
+            "adjacent/overlapping free blocks: {free:?}"
+        );
+    }
+    for &(off, len) in &free {
+        assert!(
+            len > 0 && off >= base && off + len <= base + capacity,
+            "free {free:?}"
+        );
+    }
+    // live blocks don't overlap each other or any free block
+    let mut all: Vec<(usize, usize, bool)> = free.iter().map(|&(o, l)| (o, l, true)).collect();
+    all.extend(live.iter().map(|&(o, l)| (o, l, false)));
+    all.sort_unstable();
+    for w in all.windows(2) {
+        assert!(w[0].0 + w[0].1 <= w[1].0, "overlap in {all:?}");
+    }
+    // free + live partition the heap exactly
+    let covered: usize = all.iter().map(|&(_, l, _)| l).sum();
+    assert_eq!(
+        covered, capacity,
+        "free {free:?} + live {live:?} must cover the heap"
+    );
+    assert_eq!(a.in_use(), live.iter().map(|&(_, l)| l).sum::<usize>());
+}
 
 fn test_data(len: usize, seed: u64) -> Vec<u128> {
     (0..len as u128)
@@ -82,6 +117,100 @@ proptest! {
         for (buf, expect) in &extra {
             prop_assert_eq!(&s.download(buf).unwrap(), expect);
         }
+    }
+
+    /// Allocator invariants hold after every step of a random
+    /// alloc/free interleaving driven directly against the allocator:
+    /// free + live partition the heap, nothing overlaps, and frees
+    /// always coalesce (no two adjacent free blocks survive).
+    #[test]
+    fn allocator_invariants_hold_under_random_interleavings(
+        ops in prop::collection::vec((any::<u16>(), 1usize..700), 1..60),
+        base in 0usize..2048,
+    ) {
+        let capacity = 8192usize;
+        let mut a = BufferAllocator::new(base, capacity);
+        let mut live = Vec::new();
+        for (sel, len) in ops {
+            // ~1/3 frees (when anything is live), ~2/3 allocs
+            if sel % 3 == 0 && !live.is_empty() {
+                let victim = live.swap_remove(sel as usize % live.len());
+                a.free(&victim).unwrap();
+            } else {
+                match a.alloc(len) {
+                    Ok(buf) => live.push(buf),
+                    Err(BufferError::OutOfMemory { largest_free, .. }) => {
+                        // the refusal must be honest: no free block fits
+                        prop_assert!(largest_free < len);
+                    }
+                    Err(e) => panic!("unexpected alloc failure: {e}"),
+                }
+            }
+            assert_allocator_invariants(&a, base, capacity);
+        }
+        // drain everything: the heap must coalesce back to one block
+        for buf in live {
+            a.free(&buf).unwrap();
+            assert_allocator_invariants(&a, base, capacity);
+        }
+        prop_assert_eq!(a.free_blocks(), vec![(base, capacity)]);
+        prop_assert_eq!(a.in_use(), 0);
+    }
+
+    /// The same invariants through the cluster API, with `migrate`
+    /// mixed in: random alloc/free/migrate interleavings over two lanes
+    /// leave every lane's heap consistent and every surviving buffer's
+    /// contents intact.
+    #[test]
+    fn cluster_alloc_free_migrate_interleavings_stay_consistent(
+        ops in prop::collection::vec((any::<u16>(), 1usize..500), 1..24),
+        seed in any::<u64>(),
+    ) {
+        let rpu = Rpu::builder().device_heap_elements(4096).lanes(2).build().unwrap();
+        let mut c = rpu.cluster();
+        let mut live: Vec<(rpu::DeviceBuffer, Vec<u128>)> = Vec::new();
+        for (i, (sel, len)) in ops.into_iter().enumerate() {
+            match sel % 4 {
+                0 | 1 => {
+                    let data = test_data(len, seed ^ i as u64);
+                    let lane = (sel / 4) as usize % 2;
+                    if let Ok(buf) = c.upload_to(lane, &data) {
+                        live.push((buf, data));
+                    }
+                }
+                2 if !live.is_empty() => {
+                    let (buf, _) = live.swap_remove(sel as usize % live.len());
+                    c.free(buf).unwrap();
+                }
+                _ if !live.is_empty() => {
+                    let idx = sel as usize % live.len();
+                    let to = (sel / 8) as usize % 2;
+                    let (buf, data) = live.swap_remove(idx);
+                    match c.migrate(buf, to) {
+                        Ok(moved) => live.push((moved, data)),
+                        Err(RpuError::Buffer(BufferError::OutOfMemory { .. })) => {
+                            // failed migrate must leave the source live
+                            prop_assert_eq!(&c.download(&buf).unwrap(), &data);
+                            live.push((buf, data));
+                        }
+                        Err(e) => panic!("unexpected migrate failure: {e}"),
+                    }
+                }
+                _ => {}
+            }
+            // every survivor still holds its exact contents
+            let total: usize = live.iter().map(|(b, _)| b.len()).sum();
+            let in_use: usize =
+                (0..2).map(|l| c.lane_session(l).device_mem_in_use()).sum();
+            prop_assert_eq!(total, in_use, "live handles and heap accounting agree");
+        }
+        for (buf, data) in &live {
+            prop_assert_eq!(&c.download(buf).unwrap(), data);
+        }
+        for (buf, _) in live {
+            c.free(buf).unwrap();
+        }
+        prop_assert_eq!((0..2).map(|l| c.lane_session(l).device_mem_in_use()).sum::<usize>(), 0);
     }
 }
 

@@ -208,3 +208,58 @@ fn deprecated_shims_match_session_reports() {
     assert_eq!(explicit.runtime_us, via_spec.runtime_us);
     assert!(explicit.verified && via_spec.verified);
 }
+
+/// Cache-accounting audit pin: every `run()`/`ntt()` call performs
+/// exactly ONE cache lookup (hits + misses advance by one per call,
+/// never two), and the deprecated shims are stateless — each call is a
+/// fresh single-lookup session, so repeated shim calls report
+/// `cache_hit == false` with otherwise identical numbers.
+#[test]
+#[allow(deprecated)]
+fn shim_and_session_cache_accounting_is_one_lookup_per_run() {
+    let n = 1024usize;
+    let rpu = Rpu::builder().build().unwrap();
+
+    // Held session: lookups == calls, whatever mix of run()/ntt().
+    let mut s = rpu.session();
+    let spec = NttSpec::new(n, prime(n), Direction::Forward, CodegenStyle::Optimized);
+    let mut calls = 0u64;
+    for _ in 0..3 {
+        s.run(&spec).unwrap();
+        calls += 1;
+        let st = s.cache_stats();
+        assert_eq!(
+            st.hits + st.misses,
+            calls,
+            "run() must cost exactly one lookup per call"
+        );
+    }
+    for _ in 0..2 {
+        s.ntt(n, Direction::Forward, CodegenStyle::Optimized)
+            .unwrap();
+        calls += 1;
+        let st = s.cache_stats();
+        assert_eq!(
+            st.hits + st.misses,
+            calls,
+            "ntt() must cost exactly one lookup per call"
+        );
+    }
+    let st = s.cache_stats();
+    assert_eq!(st.misses, 1, "one distinct shape generated once");
+    assert_eq!(st.hits, calls - 1);
+
+    // Shims: stateless, never a phantom hit, reports repeat exactly.
+    let first = rpu
+        .run_ntt(n, Direction::Forward, CodegenStyle::Optimized)
+        .unwrap();
+    let second = rpu
+        .run_ntt(n, Direction::Forward, CodegenStyle::Optimized)
+        .unwrap();
+    assert!(!first.cache_hit && !second.cache_hit);
+    assert_eq!(first.stats.cycles, second.stats.cycles);
+    assert_eq!(
+        first.transfer.host_to_device,
+        second.transfer.host_to_device
+    );
+}
