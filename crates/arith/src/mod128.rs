@@ -87,9 +87,17 @@ impl Modulus128 {
     }
 
     /// Reduces an arbitrary `u128` into `[0, q)`.
+    ///
+    /// Inputs are usually already reduced (the simulators keep register
+    /// values in `[0, q)`), so the common case is a branch, not a 128-bit
+    /// division.
     #[inline]
     pub const fn reduce(self, a: u128) -> u128 {
-        a % self.q
+        if a < self.q {
+            a
+        } else {
+            a % self.q
+        }
     }
 
     /// Modular addition of reduced operands.

@@ -42,10 +42,10 @@ fn bench_functional_sim(c: &mut Criterion) {
     c.bench_function("functional_sim_1k_kernel", |bench| {
         bench.iter(|| {
             let mut sim = FunctionalSim::new(k.layout().total_elements, 16);
-            sim.write_vdm(0, &image);
-            sim.write_sdm(0, &sdm);
+            sim.write_vdm(0, &image).expect("fits");
+            sim.write_sdm(0, &sdm).expect("fits");
             sim.run(k.program()).expect("executes");
-            black_box(sim.read_vdm(0, 8))
+            black_box(sim.read_vdm(0, 8).expect("in bounds"))
         })
     });
 }

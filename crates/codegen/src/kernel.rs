@@ -14,7 +14,7 @@
 //!   whose [`KernelKey`] identifies the generated kernel for caching.
 
 use crate::{CodegenError, CodegenStyle, Direction, NttKernel};
-use rpu_isa::{Instruction, Program};
+use rpu_isa::{Instruction, PredecodedProgram, Program};
 use rpu_sim::{ExecError, FunctionalSim};
 use std::sync::OnceLock;
 
@@ -112,7 +112,11 @@ pub(crate) type GoldenFn = Box<dyn Fn(&[&[u128]]) -> Vec<u128> + Send + Sync>;
 /// over resident buffers).
 pub struct Kernel {
     key: KernelKey,
-    program: Program,
+    /// The generated program, pre-decoded once at generation time so
+    /// every dispatch can run the fast-path executor without re-paying
+    /// per-step instruction matching (the kernel cache is the
+    /// amortization point).
+    program: PredecodedProgram,
     /// Full VDM image with all operand regions zeroed (constant tables
     /// such as twiddles are pre-placed).
     base_image: Vec<u128>,
@@ -150,7 +154,7 @@ impl Kernel {
     ) -> Self {
         Kernel {
             key,
-            program,
+            program: PredecodedProgram::new(program),
             base_image,
             sdm,
             input_ranges,
@@ -182,6 +186,12 @@ impl Kernel {
 
     /// The generated B512 program.
     pub fn program(&self) -> &Program {
+        self.program.program()
+    }
+
+    /// The pre-decoded form of the program, for the fast-path executor
+    /// (`FunctionalSim::run_predecoded`).
+    pub fn predecoded(&self) -> &PredecodedProgram {
         &self.program
     }
 
@@ -244,13 +254,14 @@ impl Kernel {
     /// constants such as twiddle tables are never written by the
     /// generated programs, so they stay valid across runs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the simulator's VDM or SDM is smaller than the kernel's
-    /// working set (grow it first with `ensure_vdm`/`ensure_sdm`).
-    pub fn load_into(&self, sim: &mut FunctionalSim) {
-        sim.write_vdm(0, &self.base_image);
-        sim.write_sdm(0, &self.sdm);
+    /// Returns [`ExecError::HostTransferOutOfBounds`] if the simulator's
+    /// VDM or SDM is smaller than the kernel's working set (grow it
+    /// first with `ensure_vdm`/`ensure_sdm`).
+    pub fn load_into(&self, sim: &mut FunctionalSim) -> Result<(), ExecError> {
+        sim.write_vdm(0, &self.base_image)?;
+        sim.write_sdm(0, &self.sdm)
     }
 
     /// Golden output for the given operands, from the scalar model.
@@ -280,11 +291,14 @@ impl Kernel {
     /// Panics if the operand count or lengths mismatch the kernel.
     pub fn execute(&self, operands: &[&[u128]]) -> Result<Vec<u128>, ExecError> {
         let mut sim = FunctionalSim::new(self.total_elements(), self.sdm.len().max(16));
-        sim.write_vdm(0, &self.vdm_image(operands));
-        sim.write_sdm(0, &self.sdm);
-        sim.run(&self.program)?;
+        sim.write_vdm(0, &self.vdm_image(operands))?;
+        sim.write_sdm(0, &self.sdm)?;
+        // The interpreter, deliberately: `execute`/`verify` are the
+        // oracle side of the differential contract, so they must not
+        // share an executor with the fast path they check.
+        sim.run(self.program.program())?;
         let (off, len) = self.output_range;
-        Ok(sim.read_vdm(off, len))
+        sim.read_vdm(off, len)
     }
 
     /// The deterministic synthetic operand family [`verify`](Kernel::verify)

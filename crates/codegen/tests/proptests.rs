@@ -121,14 +121,14 @@ fn fresh_sim() -> FunctionalSim {
     let image: Vec<u128> = (0..MEM_ELEMS as u128)
         .map(|i| (i * 2654435761) % Q)
         .collect();
-    sim.write_vdm(0, &image);
+    sim.write_vdm(0, &image).unwrap();
     sim
 }
 
 fn run(program: &Program) -> (Vec<u128>, Vec<Vec<u128>>) {
     let mut sim = fresh_sim();
     sim.run(program).expect("in-bounds program executes");
-    let mem = sim.read_vdm(0, MEM_ELEMS);
+    let mem = sim.read_vdm(0, MEM_ELEMS).unwrap();
     let regs: Vec<Vec<u128>> = (0..64).map(|r| sim.vreg(VReg::at(r)).to_vec()).collect();
     (mem, regs)
 }

@@ -18,12 +18,23 @@ pub const PAPER_BANKS: [usize; 4] = [32, 64, 128, 256];
 ///
 /// # Errors
 ///
-/// Returns [`RpuError`] if kernel generation fails.
+/// Returns [`RpuError::Config`] for an empty sweep grid (an empty axis
+/// would silently produce zero points, and every consumer that then
+/// picks a best/fastest point would panic), or [`RpuError`] if kernel
+/// generation fails.
 pub fn explore_design_space(
     n: usize,
     hples: &[usize],
     banks: &[usize],
 ) -> Result<Vec<DesignPoint>, RpuError> {
+    if hples.is_empty() || banks.is_empty() {
+        return Err(RpuError::Config(format!(
+            "design-space sweep needs at least one HPLE count and one bank count \
+             (got {} and {})",
+            hples.len(),
+            banks.len()
+        )));
+    }
     let q = rpu_arith::find_ntt_prime_u128(126, 2 * n as u128)
         .ok_or(RpuError::NoPrime { degree: n })?;
     let kernel = NttKernel::generate(n, q, Direction::Forward, CodegenStyle::Optimized)?;
@@ -94,6 +105,22 @@ mod tests {
         let f = pareto_frontier(&pts);
         assert!(!f.is_empty());
         assert!(f.len() < pts.len());
+    }
+
+    #[test]
+    fn empty_sweep_axes_are_a_config_error_not_a_panic() {
+        for (h, b) in [
+            (&[][..], &[32][..]),
+            (&[4][..], &[][..]),
+            (&[][..], &[][..]),
+        ] {
+            match explore_design_space(4096, h, b) {
+                Err(RpuError::Config(msg)) => {
+                    assert!(msg.contains("at least one"), "msg: {msg}");
+                }
+                other => panic!("expected Config error for empty grid, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct Rpu {
     kernel_cache_capacity: Option<usize>,
     device_heap_elements: usize,
     lanes: usize,
+    force_interpreter: bool,
 }
 
 /// The result of running one kernel on an [`Rpu`] — the uniform report
@@ -110,6 +111,7 @@ impl Rpu {
         kernel_cache_capacity: Option<usize>,
         device_heap_elements: usize,
         lanes: usize,
+        force_interpreter: bool,
     ) -> Result<Self, RpuError> {
         let cycle_sim = CycleSim::new(config).map_err(RpuError::Config)?;
         Ok(Rpu {
@@ -122,6 +124,7 @@ impl Rpu {
             kernel_cache_capacity,
             device_heap_elements,
             lanes,
+            force_interpreter,
         })
     }
 
@@ -183,6 +186,13 @@ impl Rpu {
     /// each session lays out above its kernel workspace.
     pub fn device_heap_elements(&self) -> usize {
         self.device_heap_elements
+    }
+
+    /// `true` if sessions on this instance execute kernels with the
+    /// step-by-step reference interpreter instead of the pre-decoded
+    /// fast path ([`RpuBuilder::force_interpreter`]).
+    pub fn force_interpreter(&self) -> bool {
+        self.force_interpreter
     }
 
     /// Converts a cycle count to microseconds at this instance's clock.
@@ -280,11 +290,14 @@ impl Rpu {
             .map(|i| (i * 0x9E37_79B9 + 12345) % q)
             .collect();
         let mut sim = FunctionalSim::new(kernel.layout().total_elements, 16);
-        sim.write_vdm(0, &kernel.vdm_image(&input));
-        sim.write_sdm(0, &kernel.sdm_image());
+        sim.write_vdm(0, &kernel.vdm_image(&input))
+            .map_err(RpuError::Exec)?;
+        sim.write_sdm(0, &kernel.sdm_image())
+            .map_err(RpuError::Exec)?;
         sim.run(kernel.program()).map_err(RpuError::Exec)?;
         let (off, len) = kernel.output_range();
-        Ok(sim.read_vdm(off, len) == kernel.expected_output(&input))
+        let out = sim.read_vdm(off, len).map_err(RpuError::Exec)?;
+        Ok(out == kernel.expected_output(&input))
     }
 
     /// Cycle-simulates a program (sessions memoize the result per kernel

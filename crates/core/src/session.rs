@@ -102,6 +102,7 @@ pub struct RpuBuilder {
     kernel_cache_capacity: Option<usize>,
     device_heap_elements: Option<usize>,
     lanes: usize,
+    force_interpreter: bool,
 }
 
 /// Most lanes a cluster may be built with: past this the simulated VDM
@@ -127,6 +128,7 @@ impl RpuBuilder {
             kernel_cache_capacity: None,
             device_heap_elements: None,
             lanes: 1,
+            force_interpreter: false,
         }
     }
 
@@ -199,6 +201,19 @@ impl RpuBuilder {
         self
     }
 
+    /// Forces sessions to execute kernels with the step-by-step
+    /// reference interpreter instead of the pre-decoded fast path.
+    ///
+    /// Dispatch results are bit-identical either way (the interpreter is
+    /// the fast path's oracle — see `FunctionalSim`'s
+    /// interpreter-as-oracle contract); this switch exists for
+    /// differential testing and for debugging suspected fast-path
+    /// divergences at the cost of much slower dispatches.
+    pub fn force_interpreter(mut self, force: bool) -> Self {
+        self.force_interpreter = force;
+        self
+    }
+
     /// Builds the [`Rpu`].
     ///
     /// # Errors
@@ -258,6 +273,7 @@ impl RpuBuilder {
             self.kernel_cache_capacity,
             heap,
             self.lanes,
+            self.force_interpreter,
         )
     }
 }
@@ -616,7 +632,10 @@ impl<'a> RpuSession<'a> {
     /// Returns [`RpuError::Buffer`] when the heap is exhausted.
     pub fn upload(&mut self, data: &[u128]) -> Result<DeviceBuffer, RpuError> {
         let buf = self.alloc(data.len())?;
-        self.device.sim.write_vdm(buf.offset_elements(), data);
+        self.device
+            .sim
+            .write_vdm(buf.offset_elements(), data)
+            .map_err(RpuError::Exec)?;
         Ok(buf)
     }
 
@@ -636,7 +655,10 @@ impl<'a> RpuSession<'a> {
             }
             .into());
         }
-        self.device.sim.write_vdm(offset, data);
+        self.device
+            .sim
+            .write_vdm(offset, data)
+            .map_err(RpuError::Exec)?;
         Ok(())
     }
 
@@ -648,7 +670,10 @@ impl<'a> RpuSession<'a> {
     /// Returns [`RpuError::Buffer`] for stale handles.
     pub fn download(&mut self, buf: &DeviceBuffer) -> Result<Vec<u128>, RpuError> {
         let (offset, len) = self.device.heap.resolve(buf)?;
-        Ok(self.device.sim.read_vdm(offset, len))
+        self.device
+            .sim
+            .read_vdm(offset, len)
+            .map_err(RpuError::Exec)
     }
 
     /// Frees a device buffer; the handle becomes stale and the space is
@@ -792,7 +817,11 @@ impl<'a> RpuSession<'a> {
 
         // Load the kernel's constant image unless it is already resident.
         if self.device.loaded != Some(kernel.key()) {
-            kernel.load_into(&mut self.device.sim);
+            if let Err(e) = kernel.load_into(&mut self.device.sim) {
+                // The workspace may hold a partial image now.
+                self.device.loaded = None;
+                return Err(RpuError::Exec(e));
+            }
             transfer.image_elements = kernel.total_elements();
             self.device.loaded = Some(kernel.key());
         } else {
@@ -801,21 +830,35 @@ impl<'a> RpuSession<'a> {
 
         // Bind operands: heap → workspace, entirely on-device.
         for (&src, &(dst, len)) in in_locs.iter().zip(kernel.input_ranges()) {
-            self.device.sim.copy_vdm(dst, src, len);
+            self.device
+                .sim
+                .copy_vdm(dst, src, len)
+                .map_err(RpuError::Exec)?;
             transfer.device_copies += len;
         }
 
         // Generated programs assume `a0 = 0`; re-assert it in case a
         // previous program loaded address registers.
         self.device.sim.set_arf(AReg::at(0), 0);
-        if let Err(e) = self.device.sim.run(kernel.program()) {
+        // The pre-decoded fast path is the production executor; the
+        // interpreter is the bit-exact oracle, selectable for
+        // differential runs via `RpuBuilder::force_interpreter`.
+        let ran = if self.rpu.force_interpreter() {
+            self.device.sim.run(kernel.program())
+        } else {
+            self.device.sim.run_predecoded(kernel.predecoded())
+        };
+        if let Err(e) = ran {
             // The workspace may hold a partial image now.
             self.device.loaded = None;
             return Err(RpuError::Exec(e));
         }
 
         // Result write-back: workspace → heap, still on-device.
-        self.device.sim.copy_vdm(out_offset, out_ws, out_len);
+        self.device
+            .sim
+            .copy_vdm(out_offset, out_ws, out_len)
+            .map_err(RpuError::Exec)?;
         transfer.device_copies += out_len;
         Ok(transfer)
     }

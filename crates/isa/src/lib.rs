@@ -30,12 +30,14 @@
 
 mod asm;
 pub mod consts;
+pub mod decoded;
 mod encode;
 mod instr;
 mod program;
 mod regs;
 
 pub use asm::{parse_asm, ParseAsmError};
+pub use decoded::{DecodedOp, PredecodedProgram};
 pub use encode::{decode, encode, DecodeError};
 pub use instr::{AddrMode, Instruction, PipeClass};
 pub use program::{InstructionMix, Program};

@@ -26,7 +26,7 @@ use crate::instr::{Instruction, PipeClass};
 /// let back = Program::from_words("demo", &binary).unwrap();
 /// assert_eq!(back.instructions(), p.instructions());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     name: String,
     instructions: Vec<Instruction>,

@@ -1,0 +1,570 @@
+//! Pre-decoded fast-path executor over the same architectural state as
+//! the reference interpreter.
+//!
+//! [`FunctionalSim::run`] re-matches every instruction (register
+//! newtypes, addressing modes) and bounds-checks every lane on every
+//! step. This module executes a [`PredecodedProgram`] instead: one flat
+//! match per op on raw indices, one hoisted bounds check per vector
+//! access (using the span precomputed at decode time), and mod-arith
+//! inner loops over whole vectors with no per-element dispatch.
+//!
+//! **Exactness contract:** the fast path is observationally identical to
+//! the interpreter — same results, same [`ExecError`]s, same partial
+//! architectural state after a fault. Two design rules make that cheap
+//! to maintain:
+//!
+//! 1. Effective addresses are recomputed from `ARF[base] + offset` at
+//!    every execution of every op — never cached — so `aload`
+//!    indirection and VDM/SDM growth between dispatches
+//!    ([`FunctionalSim::ensure_vdm`]) are handled by construction.
+//! 2. Any op the fast path cannot prove safe (a failed span check, a
+//!    gather with a hostile index, an invalid modulus) is re-executed
+//!    through the interpreter's own `step`, which raises the exact
+//!    error and leaves the exact partial state the oracle would.
+
+use crate::func::{shuffle_into, ExecError, FunctionalSim, ShuffleKind};
+use rpu_arith::Modulus128;
+use rpu_isa::consts::VECTOR_LEN;
+use rpu_isa::decoded::{AluOp, DecodedOp, ShuffleOp};
+use rpu_isa::{AddrMode, PredecodedProgram};
+
+/// Lane-wise vector-vector loop: sources are read into `scratch`, then
+/// the destination is replaced by pointer swap — alias-safe (`vd` may
+/// equal `vs`/`vt`) with no per-lane bounds checks and no copies.
+#[inline]
+fn vv_into(
+    vrf: &mut [Vec<u128>],
+    scratch: &mut Vec<u128>,
+    vd: usize,
+    vs: usize,
+    vt: usize,
+    f: impl Fn(u128, u128) -> u128,
+) {
+    {
+        let a = &vrf[vs];
+        let b = &vrf[vt];
+        for ((o, &x), &y) in scratch.iter_mut().zip(a).zip(b) {
+            *o = f(x, y);
+        }
+    }
+    std::mem::swap(&mut vrf[vd], scratch);
+}
+
+/// Lane-wise vector-scalar loop (same swap discipline as [`vv_into`]).
+#[inline]
+fn vs_into(
+    vrf: &mut [Vec<u128>],
+    scratch: &mut Vec<u128>,
+    vd: usize,
+    vs: usize,
+    f: impl Fn(u128) -> u128,
+) {
+    {
+        let a = &vrf[vs];
+        for (o, &x) in scratch.iter_mut().zip(a) {
+            *o = f(x);
+        }
+    }
+    std::mem::swap(&mut vrf[vd], scratch);
+}
+
+impl FunctionalSim {
+    /// Executes a pre-decoded program to completion on the fast path.
+    ///
+    /// Observationally identical to running
+    /// [`run`](FunctionalSim::run) on the source program (see the
+    /// interpreter-as-oracle contract on [`FunctionalSim`]), at a small
+    /// fraction of the wall-clock cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ExecError`] the interpreter would, with the
+    /// same architectural state retained up to the fault.
+    pub fn run_predecoded(&mut self, program: &PredecodedProgram) -> Result<(), ExecError> {
+        // Reusable full-vector scratch buffers: destination registers are
+        // replaced by pointer swap, so steady-state execution allocates
+        // nothing.
+        let mut scratch = vec![0u128; VECTOR_LEN];
+        let mut scratch2 = vec![0u128; VECTOR_LEN];
+        let instrs = program.program().instructions();
+        for (pc, op) in program.ops().iter().enumerate() {
+            if !self.fast_op(op, &mut scratch, &mut scratch2) {
+                // Slow path: re-run the source instruction through the
+                // interpreter for oracle-exact errors and partial state.
+                self.step(&instrs[pc], pc)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Prepares the modulus in `MRF[rm]`, sharing the interpreter's
+    /// cache of Montgomery constants. `None` (invalid modulus) sends the
+    /// caller to the interpreter fallback for the exact error.
+    #[inline]
+    fn fast_modulus(&mut self, rm: usize) -> Option<Modulus128> {
+        let value = self.mrf[rm];
+        if let Some(m) = self.modulus_cache.get(&value) {
+            return Some(*m);
+        }
+        let m = Modulus128::new(value)?;
+        self.modulus_cache.insert(value, m);
+        Some(m)
+    }
+
+    /// Effective VDM window of a static-mode access, if provably in
+    /// bounds: `Some(start)` means every lane of the access lands in
+    /// `vdm[start .. start + span]`.
+    #[inline]
+    fn vdm_window(&self, base: usize, offset: usize, span: usize) -> Option<usize> {
+        let start = (self.arf[base] as usize).checked_add(offset)?;
+        let end = start.checked_add(span)?;
+        (end <= self.vdm.len()).then_some(start)
+    }
+
+    /// Executes one pre-decoded op on the fast path. Returns `false` if
+    /// the op must be replayed through the interpreter (possible fault
+    /// or unsupported corner) — in that case architectural state has not
+    /// been touched.
+    #[inline]
+    fn fast_op(
+        &mut self,
+        op: &DecodedOp,
+        scratch: &mut Vec<u128>,
+        scratch2: &mut Vec<u128>,
+    ) -> bool {
+        match *op {
+            DecodedOp::Load {
+                vd,
+                base,
+                offset,
+                mode,
+                span,
+            } => {
+                let Some(start) = self.vdm_window(base, offset, span) else {
+                    return false;
+                };
+                let dst = &mut self.vrf[vd];
+                let vdm = &self.vdm;
+                match mode {
+                    AddrMode::Unit => dst.copy_from_slice(&vdm[start..start + VECTOR_LEN]),
+                    AddrMode::Strided { log2_stride } => {
+                        let stride = 1usize << log2_stride;
+                        for (o, v) in dst.iter_mut().zip(vdm[start..].iter().step_by(stride)) {
+                            *o = *v;
+                        }
+                    }
+                    AddrMode::StridedSkip { log2_block } => {
+                        let block = (1usize << log2_block).min(VECTOR_LEN);
+                        for (c, chunk) in dst.chunks_exact_mut(block).enumerate() {
+                            let s0 = start + c * 2 * block;
+                            chunk.copy_from_slice(&vdm[s0..s0 + block]);
+                        }
+                    }
+                    AddrMode::Repeated { log2_block } => {
+                        let block = (1usize << log2_block).min(VECTOR_LEN);
+                        let src = &vdm[start..start + block];
+                        for chunk in dst.chunks_exact_mut(block) {
+                            chunk.copy_from_slice(src);
+                        }
+                    }
+                }
+                true
+            }
+            DecodedOp::Store {
+                vs,
+                base,
+                offset,
+                mode,
+                span,
+            } => {
+                let Some(start) = self.vdm_window(base, offset, span) else {
+                    return false;
+                };
+                let src = &self.vrf[vs];
+                let vdm = &mut self.vdm;
+                match mode {
+                    AddrMode::Unit => vdm[start..start + VECTOR_LEN].copy_from_slice(src),
+                    AddrMode::Strided { log2_stride } => {
+                        let stride = 1usize << log2_stride;
+                        for (v, &x) in vdm[start..].iter_mut().step_by(stride).zip(src) {
+                            *v = x;
+                        }
+                    }
+                    AddrMode::StridedSkip { log2_block } => {
+                        let block = (1usize << log2_block).min(VECTOR_LEN);
+                        for (c, chunk) in src.chunks_exact(block).enumerate() {
+                            let s0 = start + c * 2 * block;
+                            vdm[s0..s0 + block].copy_from_slice(chunk);
+                        }
+                    }
+                    AddrMode::Repeated { log2_block } => {
+                        let block = (1usize << log2_block).min(VECTOR_LEN);
+                        // The interpreter writes lanes in order, so lane
+                        // i lands on offset i % block and the *last*
+                        // writer of each offset wins: the top `block`
+                        // lanes.
+                        vdm[start..start + block].copy_from_slice(&src[VECTOR_LEN - block..]);
+                    }
+                }
+                true
+            }
+            DecodedOp::Gather {
+                vd,
+                base,
+                offset,
+                vi,
+            } => {
+                if vd == vi {
+                    // The interpreter reads indices lane by lane while
+                    // writing the destination, so a self-referential
+                    // gather sees its own partial output. Rare and
+                    // weird: let the oracle handle it.
+                    return false;
+                }
+                let Some(start) = (self.arf[base] as usize).checked_add(offset) else {
+                    return false;
+                };
+                let len = self.vdm.len();
+                // Prove every lane in bounds first; any hostile index
+                // goes back to the interpreter, which reports the fault
+                // after committing exactly the preceding lanes.
+                for &idx in self.vrf[vi].iter() {
+                    match usize::try_from(idx).ok().and_then(|i| start.checked_add(i)) {
+                        Some(addr) if addr < len => {}
+                        _ => return false,
+                    }
+                }
+                {
+                    let idxs = &self.vrf[vi];
+                    let vdm = &self.vdm;
+                    for (o, &idx) in scratch.iter_mut().zip(idxs) {
+                        *o = vdm[start + idx as usize];
+                    }
+                }
+                std::mem::swap(&mut self.vrf[vd], scratch);
+                true
+            }
+            DecodedOp::Broadcast { vd, base, offset } => {
+                let Some(start) = self.vdm_window(base, offset, 1) else {
+                    return false;
+                };
+                let value = self.vdm[start];
+                self.vrf[vd].fill(value);
+                true
+            }
+            DecodedOp::LoadScalar { rt, base, offset } => match self.sdm_window(base, offset) {
+                Some(addr) => {
+                    self.srf[rt] = self.sdm[addr];
+                    true
+                }
+                None => false,
+            },
+            DecodedOp::LoadModulus { rt, base, offset } => match self.sdm_window(base, offset) {
+                Some(addr) => {
+                    self.mrf[rt] = self.sdm[addr];
+                    true
+                }
+                None => false,
+            },
+            DecodedOp::LoadAddress { rt, base, offset } => match self.sdm_window(base, offset) {
+                Some(addr) => {
+                    self.arf[rt] = self.sdm[addr] as u64;
+                    true
+                }
+                None => false,
+            },
+            DecodedOp::VectorVector { op, vd, vs, vt, rm } => {
+                let Some(m) = self.fast_modulus(rm) else {
+                    return false;
+                };
+                let vrf = &mut self.vrf;
+                match op {
+                    AluOp::Add => vv_into(vrf, scratch, vd, vs, vt, |a, b| {
+                        m.add(m.reduce(a), m.reduce(b))
+                    }),
+                    AluOp::Sub => vv_into(vrf, scratch, vd, vs, vt, |a, b| {
+                        m.sub(m.reduce(a), m.reduce(b))
+                    }),
+                    AluOp::Mul => vv_into(vrf, scratch, vd, vs, vt, |a, b| {
+                        m.mul(m.reduce(a), m.reduce(b))
+                    }),
+                }
+                true
+            }
+            DecodedOp::VectorScalar { op, vd, vs, rt, rm } => {
+                let Some(m) = self.fast_modulus(rm) else {
+                    return false;
+                };
+                let s = m.reduce(self.srf[rt]);
+                let vrf = &mut self.vrf;
+                match op {
+                    AluOp::Add => vs_into(vrf, scratch, vd, vs, |a| m.add(m.reduce(a), s)),
+                    AluOp::Sub => vs_into(vrf, scratch, vd, vs, |a| m.sub(m.reduce(a), s)),
+                    AluOp::Mul => vs_into(vrf, scratch, vd, vs, |a| m.mul(m.reduce(a), s)),
+                }
+                true
+            }
+            DecodedOp::Butterfly {
+                vd,
+                vd1,
+                vs,
+                vt,
+                vt1,
+                rm,
+            } => {
+                let Some(m) = self.fast_modulus(rm) else {
+                    return false;
+                };
+                {
+                    let a = &self.vrf[vs];
+                    let b = &self.vrf[vt];
+                    let t = &self.vrf[vt1];
+                    for i in 0..VECTOR_LEN {
+                        let prod = m.mul(m.reduce(b[i]), m.reduce(t[i]));
+                        let ai = m.reduce(a[i]);
+                        scratch[i] = m.add(ai, prod);
+                        scratch2[i] = m.sub(ai, prod);
+                    }
+                }
+                // Swap the sum first, the difference second: if vd == vd1
+                // the difference wins, matching the interpreter's
+                // per-lane write order.
+                std::mem::swap(&mut self.vrf[vd], scratch);
+                std::mem::swap(&mut self.vrf[vd1], scratch2);
+                true
+            }
+            DecodedOp::Shuffle { op, vd, vs, vt } => {
+                let kind = match op {
+                    ShuffleOp::UnpkLo => ShuffleKind::UnpkLo,
+                    ShuffleOp::UnpkHi => ShuffleKind::UnpkHi,
+                    ShuffleOp::PkLo => ShuffleKind::PkLo,
+                    ShuffleOp::PkHi => ShuffleKind::PkHi,
+                };
+                {
+                    let s = &self.vrf[vs];
+                    let t = &self.vrf[vt];
+                    shuffle_into(s, t, kind, scratch);
+                }
+                std::mem::swap(&mut self.vrf[vd], scratch);
+                true
+            }
+        }
+    }
+
+    /// Effective SDM address of a scalar load, if in bounds.
+    #[inline]
+    fn sdm_window(&self, base: usize, offset: usize) -> Option<usize> {
+        let addr = (self.arf[base] as usize).checked_add(offset)?;
+        (addr < self.sdm.len()).then_some(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_isa::{parse_asm, MReg, Program};
+
+    const Q: u128 = 0xFFFF_FFFF_0000_0001;
+
+    fn predecoded(asm: &str) -> PredecodedProgram {
+        PredecodedProgram::new(parse_asm("t", asm).unwrap())
+    }
+
+    fn seeded_pair(vdm: usize, sdm: usize) -> (FunctionalSim, FunctionalSim) {
+        let mut sim = FunctionalSim::new(vdm, sdm);
+        sim.set_mrf(MReg::at(0), Q);
+        let data: Vec<u128> = (0..vdm as u128).map(|i| (i * 0x9E37 + 7) % Q).collect();
+        sim.write_vdm(0, &data).unwrap();
+        let scalars: Vec<u128> = (0..sdm as u128).map(|i| (i * 13 + 97) % 1000).collect();
+        sim.write_sdm(0, &scalars).unwrap();
+        (sim.clone(), sim)
+    }
+
+    /// Runs `asm` through both engines and asserts identical outcomes
+    /// and identical full architectural state.
+    fn assert_differential(asm: &str, vdm: usize, sdm: usize) {
+        let (mut interp, mut fast) = seeded_pair(vdm, sdm);
+        let program = predecoded(asm);
+        let a = interp.run(program.program());
+        let b = fast.run_predecoded(&program);
+        assert_eq!(a, b, "outcomes must match for {asm:?}");
+        assert_state_eq(&interp, &fast, asm);
+    }
+
+    fn assert_state_eq(interp: &FunctionalSim, fast: &FunctionalSim, label: &str) {
+        assert_eq!(interp.vdm, fast.vdm, "VDM diverged: {label}");
+        assert_eq!(interp.sdm, fast.sdm, "SDM diverged: {label}");
+        assert_eq!(interp.vrf, fast.vrf, "VRF diverged: {label}");
+        assert_eq!(interp.srf, fast.srf, "SRF diverged: {label}");
+        assert_eq!(interp.arf, fast.arf, "ARF diverged: {label}");
+        assert_eq!(interp.mrf, fast.mrf, "MRF diverged: {label}");
+    }
+
+    #[test]
+    fn every_addressing_mode_round_trips() {
+        for mode in [
+            "unit", "stride:2", "stride:8", "skip:4", "skip:256", "rep:8",
+        ] {
+            assert_differential(
+                &format!(
+                    "vload v1, [a0 + 3], {mode}\n\
+                     vstore v1, [a0 + 8192], {mode}\n"
+                ),
+                1 << 15,
+                16,
+            );
+        }
+    }
+
+    #[test]
+    fn compute_and_shuffle_ops_match() {
+        assert_differential(
+            "vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             vaddmod v2, v0, v1, m0\n\
+             vsubmod v3, v0, v1, m0\n\
+             vmulmod v4, v0, v1, m0\n\
+             bfly v5, v6, v0, v1, v4, m0\n\
+             sload s1, [a0 + 2]\n\
+             vsaddmod v7, v0, s1, m0\n\
+             vssubmod v8, v0, s1, m0\n\
+             vsmulmod v9, v0, s1, m0\n\
+             unpklo v10, v0, v1\n\
+             unpkhi v11, v0, v1\n\
+             pklo v12, v10, v11\n\
+             pkhi v13, v10, v11\n\
+             vstore v13, [a0 + 4096], unit\n",
+            1 << 14,
+            16,
+        );
+    }
+
+    #[test]
+    fn aliased_destinations_match_the_oracle() {
+        // vd == vs, vd == vt, bfly with vd == vd1, shuffle onto a source
+        assert_differential(
+            "vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             vaddmod v0, v0, v1, m0\n\
+             vmulmod v1, v0, v1, m0\n\
+             bfly v2, v2, v0, v1, v0, m0\n\
+             unpklo v0, v0, v1\n\
+             vstore v0, [a0 + 1024], unit\n",
+            1 << 13,
+            16,
+        );
+    }
+
+    #[test]
+    fn gather_broadcast_and_scalar_loads_match() {
+        assert_differential(
+            "vload v1, [a0 + 0], unit\n\
+             vgather v2, [a0 + 100], v1\n\
+             vbroadcast v3, [a0 + 5]\n\
+             sload s2, [a0 + 1]\n\
+             mload m2, [a0 + 3]\n\
+             aload a2, [a0 + 2]\n\
+             vload v4, [a2 + 0], unit\n",
+            1 << 13,
+            16,
+        );
+    }
+
+    #[test]
+    fn self_referential_gather_matches() {
+        // vd == vi exercises the interpreter-fallback path
+        assert_differential(
+            "vload v1, [a0 + 0], unit\n\
+             vgather v1, [a0 + 0], v1\n",
+            1 << 13,
+            16,
+        );
+    }
+
+    #[test]
+    fn faults_leave_identical_partial_state() {
+        // mid-vector OOB store: lanes before the faulting lane are
+        // committed by the oracle; the fast path must match exactly
+        let cases = [
+            // store whose tail crosses the VDM end
+            (
+                "vload v0, [a0 + 0], unit\nvstore v0, [a0 + 300], unit\n",
+                600,
+                1,
+            ),
+            // strided load reaching past the end
+            ("vload v0, [a0 + 0], stride:2\n", 600, 1),
+            // gather whose index vector walks out of bounds mid-vector
+            (
+                "vload v0, [a0 + 0], unit\nvgather v1, [a0 + 0], v0\n",
+                600,
+                2,
+            ),
+        ];
+        for (asm, vdm, mult) in cases {
+            let mut interp = FunctionalSim::new(vdm, 16);
+            interp.set_mrf(MReg::at(0), Q);
+            let data: Vec<u128> = (0..vdm as u128).map(|i| i * mult).collect();
+            interp.write_vdm(0, &data).unwrap();
+            let mut fast = interp.clone();
+            let program = predecoded(asm);
+            let a = interp.run(program.program());
+            let b = fast.run_predecoded(&program);
+            assert!(a.is_err(), "case must fault: {asm:?}");
+            assert_eq!(a, b, "fault must match for {asm:?}");
+            assert_state_eq(&interp, &fast, asm);
+        }
+    }
+
+    #[test]
+    fn invalid_modulus_reports_like_the_oracle() {
+        let program = predecoded("vaddmod v0, v1, v2, m7\n");
+        let mut fast = FunctionalSim::new(1024, 16);
+        assert_eq!(
+            fast.run_predecoded(&program),
+            Err(ExecError::InvalidModulus { mreg: 7, pc: 0 })
+        );
+    }
+
+    #[test]
+    fn repeated_store_last_writer_wins() {
+        // rep:4 store: all 512 lanes fold onto 4 slots; the oracle's
+        // lane order means lanes 508..512 win
+        let (mut interp, mut fast) = seeded_pair(4096, 16);
+        let program = predecoded(
+            "vload v0, [a0 + 0], unit\n\
+             vstore v0, [a0 + 2048], rep:4\n",
+        );
+        interp.run(program.program()).unwrap();
+        fast.run_predecoded(&program).unwrap();
+        assert_eq!(
+            fast.read_vdm(2048, 4).unwrap(),
+            interp.read_vdm(2048, 4).unwrap()
+        );
+        assert_state_eq(&interp, &fast, "rep store");
+    }
+
+    #[test]
+    fn growth_between_runs_is_picked_up() {
+        // Satellite of the invalidation-safety requirement: the same
+        // PredecodedProgram must see a grown VDM on its next run because
+        // nothing absolute is cached at decode time.
+        let mut sim = FunctionalSim::new(600, 16);
+        sim.set_mrf(MReg::at(0), Q);
+        let program = predecoded("vload v0, [a0 + 0], unit\nvstore v0, [a0 + 512], unit\n");
+        assert!(sim.run_predecoded(&program).is_err(), "1024 > 600");
+        sim.ensure_vdm(2048);
+        sim.write_vdm(0, &vec![9u128; 512]).unwrap();
+        sim.run_predecoded(&program).unwrap();
+        assert_eq!(sim.read_vdm(512, 512).unwrap(), vec![9u128; 512]);
+    }
+
+    #[test]
+    fn empty_program_is_a_no_op() {
+        let mut sim = FunctionalSim::new(16, 4);
+        let before = sim.clone();
+        sim.run_predecoded(&PredecodedProgram::new(Program::new("empty")))
+            .unwrap();
+        assert_state_eq(&before, &sim, "empty");
+    }
+}

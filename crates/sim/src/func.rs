@@ -40,6 +40,20 @@ pub enum ExecError {
         /// Index of the offending instruction.
         pc: usize,
     },
+    /// A host-side transfer ([`FunctionalSim::write_vdm`] and friends)
+    /// fell outside the memory's capacity. Unlike the program-fault
+    /// variants there is no `pc`: the fault is in the dispatch-side
+    /// operand binding, not in any instruction.
+    HostTransferOutOfBounds {
+        /// Which memory was addressed (`"VDM"` or `"SDM"`).
+        memory: &'static str,
+        /// Element offset of the transfer.
+        offset: usize,
+        /// Length of the transfer in elements.
+        len: usize,
+        /// Capacity of the memory in elements.
+        capacity: usize,
+    },
 }
 
 impl core::fmt::Display for ExecError {
@@ -67,6 +81,16 @@ impl core::fmt::Display for ExecError {
                     "instruction {pc}: MRF[{mreg}] does not hold a valid modulus"
                 )
             }
+            ExecError::HostTransferOutOfBounds {
+                memory,
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "host transfer of {len} element(s) at offset {offset} exceeds \
+                 the {capacity}-element {memory}"
+            ),
         }
     }
 }
@@ -74,6 +98,20 @@ impl core::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Architectural state of an RPU plus the functional executor.
+///
+/// # The interpreter-as-oracle contract
+///
+/// [`run`](FunctionalSim::run) steps the program one instruction at a
+/// time, matching each instruction afresh — slow, but *definitional*:
+/// its observable behavior (final VRF/SRF/ARF/MRF/VDM/SDM state, the
+/// exact [`ExecError`] on a fault, and the partial architectural state
+/// left behind by a mid-instruction fault) is the reference semantics of
+/// the ISA. The pre-decoded fast path
+/// ([`run_predecoded`](FunctionalSim::run_predecoded)) must be
+/// bit-exactly indistinguishable from it on **every** program, success
+/// or fault; the differential and fuzz suites in `tests/` hold it to
+/// that. Changes to instruction semantics must be made here first — the
+/// fast path follows the oracle, never the other way round.
 ///
 /// # Examples
 ///
@@ -84,8 +122,8 @@ impl std::error::Error for ExecError {}
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut sim = FunctionalSim::new(1 << 20, 1 << 10);
 /// sim.set_mrf(MReg::at(0), 97);
-/// sim.write_vdm(0, &vec![5u128; 512]);
-/// sim.write_vdm(512, &vec![6u128; 512]);
+/// sim.write_vdm(0, &vec![5u128; 512])?;
+/// sim.write_vdm(512, &vec![6u128; 512])?;
 /// let p = parse_asm(
 ///     "add",
 ///     "vload v0, [a0 + 0], unit\n\
@@ -94,20 +132,22 @@ impl std::error::Error for ExecError {}
 ///      vstore v2, [a0 + 1024], unit",
 /// )?;
 /// sim.run(&p)?;
-/// assert_eq!(sim.read_vdm(1024, 512), vec![11u128; 512]);
+/// assert_eq!(sim.read_vdm(1024, 512)?, vec![11u128; 512]);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct FunctionalSim {
-    vrf: Vec<Vec<u128>>,
-    srf: [u128; NUM_SREGS],
-    arf: [u64; NUM_AREGS],
-    mrf: [u128; NUM_MREGS],
-    vdm: Vec<u128>,
-    sdm: Vec<u128>,
+    // Architectural state is pub(crate) so the fast-path executor
+    // (`fastpath.rs`) shares it without accessor overhead.
+    pub(crate) vrf: Vec<Vec<u128>>,
+    pub(crate) srf: [u128; NUM_SREGS],
+    pub(crate) arf: [u64; NUM_AREGS],
+    pub(crate) mrf: [u128; NUM_MREGS],
+    pub(crate) vdm: Vec<u128>,
+    pub(crate) sdm: Vec<u128>,
     /// Cache of prepared moduli (Montgomery constants are expensive).
-    modulus_cache: HashMap<u128, Modulus128>,
+    pub(crate) modulus_cache: HashMap<u128, Modulus128>,
 }
 
 impl FunctionalSim {
@@ -158,48 +198,75 @@ impl FunctionalSim {
         }
     }
 
+    /// Checks a host-transfer range against a memory's capacity (shared
+    /// by the fallible transfer methods below).
+    fn check_transfer(
+        memory: &'static str,
+        capacity: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<(), ExecError> {
+        let oob = ExecError::HostTransferOutOfBounds {
+            memory,
+            offset,
+            len,
+            capacity,
+        };
+        match offset.checked_add(len) {
+            Some(end) if end <= capacity => Ok(()),
+            _ => Err(oob),
+        }
+    }
+
     /// Copies `len` elements inside the VDM from `src` to `dst` (the
     /// on-device transfer a dispatch uses to bind resident buffers to a
     /// kernel's operand windows — no host round trip). Overlapping
     /// ranges behave like `memmove`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either range exceeds VDM capacity.
-    pub fn copy_vdm(&mut self, dst: usize, src: usize, len: usize) {
-        assert!(src + len <= self.vdm.len(), "copy_vdm source out of bounds");
-        assert!(
-            dst + len <= self.vdm.len(),
-            "copy_vdm destination out of bounds"
-        );
+    /// Returns [`ExecError::HostTransferOutOfBounds`] if either range
+    /// exceeds VDM capacity; the VDM is untouched.
+    pub fn copy_vdm(&mut self, dst: usize, src: usize, len: usize) -> Result<(), ExecError> {
+        Self::check_transfer("VDM", self.vdm.len(), src, len)?;
+        Self::check_transfer("VDM", self.vdm.len(), dst, len)?;
         self.vdm.copy_within(src..src + len, dst);
+        Ok(())
     }
 
     /// Writes elements into the VDM at an element offset.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the write exceeds VDM capacity.
-    pub fn write_vdm(&mut self, offset: usize, data: &[u128]) {
+    /// Returns [`ExecError::HostTransferOutOfBounds`] if the write
+    /// exceeds VDM capacity; the VDM is untouched.
+    pub fn write_vdm(&mut self, offset: usize, data: &[u128]) -> Result<(), ExecError> {
+        Self::check_transfer("VDM", self.vdm.len(), offset, data.len())?;
         self.vdm[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Reads `len` elements from the VDM at an element offset.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the read exceeds VDM capacity.
-    pub fn read_vdm(&self, offset: usize, len: usize) -> Vec<u128> {
-        self.vdm[offset..offset + len].to_vec()
+    /// Returns [`ExecError::HostTransferOutOfBounds`] if the read
+    /// exceeds VDM capacity.
+    pub fn read_vdm(&self, offset: usize, len: usize) -> Result<Vec<u128>, ExecError> {
+        Self::check_transfer("VDM", self.vdm.len(), offset, len)?;
+        Ok(self.vdm[offset..offset + len].to_vec())
     }
 
     /// Writes elements into the SDM at an element offset.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the write exceeds SDM capacity.
-    pub fn write_sdm(&mut self, offset: usize, data: &[u128]) {
+    /// Returns [`ExecError::HostTransferOutOfBounds`] if the write
+    /// exceeds SDM capacity; the SDM is untouched.
+    pub fn write_sdm(&mut self, offset: usize, data: &[u128]) -> Result<(), ExecError> {
+        Self::check_transfer("SDM", self.sdm.len(), offset, data.len())?;
         self.sdm[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Sets a modulus register directly (hosts do this before launching a
@@ -285,7 +352,11 @@ impl FunctionalSim {
         Ok(addr)
     }
 
-    fn step(&mut self, instr: &Instruction, pc: usize) -> Result<(), ExecError> {
+    /// Executes one instruction with full reference semantics. The fast
+    /// path falls back to this for any op it cannot prove safe, so
+    /// faulting instructions report errors (and leave partial state)
+    /// exactly as the oracle does.
+    pub(crate) fn step(&mut self, instr: &Instruction, pc: usize) -> Result<(), ExecError> {
         use Instruction::*;
         match *instr {
             VLoad {
@@ -504,8 +575,8 @@ mod tests {
         let mut f = sim();
         let a: Vec<u128> = (0..512).collect();
         let b: Vec<u128> = (512..1024).collect();
-        f.write_vdm(0, &a);
-        f.write_vdm(512, &b);
+        f.write_vdm(0, &a).unwrap();
+        f.write_vdm(512, &b).unwrap();
         let p = parse_asm(
             "inv",
             "vload v0, [a0 + 0], unit\n\
@@ -530,9 +601,9 @@ mod tests {
         let b: Vec<u128> = (0..512u128).map(|i| (i * 777 + 5) % q).collect();
         let t: Vec<u128> = (0..512u128).map(|i| (i * 31 + 1) % q).collect();
         for f in [&mut f1, &mut f2] {
-            f.write_vdm(0, &a);
-            f.write_vdm(512, &b);
-            f.write_vdm(1024, &t);
+            f.write_vdm(0, &a).unwrap();
+            f.write_vdm(512, &b).unwrap();
+            f.write_vdm(1024, &t).unwrap();
         }
         let fused = parse_asm(
             "fused",
@@ -562,7 +633,7 @@ mod tests {
     fn addressing_modes_load() {
         let mut f = sim();
         let data: Vec<u128> = (0..2048).collect();
-        f.write_vdm(0, &data);
+        f.write_vdm(0, &data).unwrap();
         let p = parse_asm(
             "modes",
             "vload v0, [a0 + 0], stride:2\n\
@@ -581,7 +652,7 @@ mod tests {
     #[test]
     fn scalar_and_modulus_loads() {
         let mut f = sim();
-        f.write_sdm(0, &[41, 97, 7]);
+        f.write_sdm(0, &[41, 97, 7]).unwrap();
         let p = parse_asm(
             "scalar",
             "sload s1, [a0 + 0]\n\
@@ -602,7 +673,7 @@ mod tests {
         let mut f = sim();
         f.set_mrf(MReg::at(1), 101);
         f.set_srf(SReg::at(0), 100);
-        f.write_vdm(0, &vec![3u128; 512]);
+        f.write_vdm(0, &vec![3u128; 512]).unwrap();
         let p = parse_asm(
             "vs",
             "vload v0, [a0 + 0], unit\n\
@@ -621,11 +692,11 @@ mod tests {
     fn gather_routes_arbitrary_elements() {
         let mut f = sim();
         let data: Vec<u128> = (100..612).collect();
-        f.write_vdm(64, &data);
+        f.write_vdm(64, &data).unwrap();
         // index vector: lane i reads element (511 - i) — a full reversal,
         // inexpressible with any static addressing mode
         let rev: Vec<u128> = (0..512u128).map(|i| 511 - i).collect();
-        f.write_vdm(1024, &rev);
+        f.write_vdm(1024, &rev).unwrap();
         let p = parse_asm(
             "gather",
             "vload v1, [a0 + 1024], unit\n\
@@ -645,7 +716,7 @@ mod tests {
         // lane 7's index points past the VDM
         let mut idx = vec![0u128; 512];
         idx[7] = 10_000;
-        f.write_vdm(0, &idx);
+        f.write_vdm(0, &idx).unwrap();
         let p = parse_asm(
             "oob",
             "vload v0, [a0 + 0], unit\nvgather v1, [a0 + 0], v0\n",
@@ -655,14 +726,14 @@ mod tests {
         assert!(matches!(err, ExecError::VdmOutOfBounds { pc: 1, .. }));
         // an index that does not even fit usize is caught, not wrapped
         idx[7] = u128::MAX;
-        f.write_vdm(0, &idx);
+        f.write_vdm(0, &idx).unwrap();
         assert!(f.run(&p).is_err());
     }
 
     #[test]
     fn broadcast_replicates() {
         let mut f = sim();
-        f.write_vdm(7, &[1234]);
+        f.write_vdm(7, &[1234]).unwrap();
         let p = parse_asm("b", "vbroadcast v9, [a0 + 7]\n").unwrap();
         f.run(&p).unwrap();
         assert!(f.vreg(VReg::at(9)).iter().all(|&v| v == 1234));
@@ -671,26 +742,50 @@ mod tests {
     #[test]
     fn growth_preserves_contents_and_copy_moves_data() {
         let mut f = FunctionalSim::new(16, 4);
-        f.write_vdm(0, &[1, 2, 3, 4]);
+        f.write_vdm(0, &[1, 2, 3, 4]).unwrap();
         f.ensure_vdm(1024);
         assert_eq!(f.vdm_capacity(), 1024);
-        assert_eq!(f.read_vdm(0, 4), vec![1, 2, 3, 4]);
+        assert_eq!(f.read_vdm(0, 4).unwrap(), vec![1, 2, 3, 4]);
         f.ensure_vdm(8); // never shrinks
         assert_eq!(f.vdm_capacity(), 1024);
-        f.copy_vdm(1000, 0, 4);
-        assert_eq!(f.read_vdm(1000, 4), vec![1, 2, 3, 4]);
+        f.copy_vdm(1000, 0, 4).unwrap();
+        assert_eq!(f.read_vdm(1000, 4).unwrap(), vec![1, 2, 3, 4]);
         // overlapping copy behaves like memmove
-        f.copy_vdm(1, 0, 4);
-        assert_eq!(f.read_vdm(0, 5), vec![1, 1, 2, 3, 4]);
+        f.copy_vdm(1, 0, 4).unwrap();
+        assert_eq!(f.read_vdm(0, 5).unwrap(), vec![1, 1, 2, 3, 4]);
         f.ensure_sdm(64);
         assert_eq!(f.sdm_capacity(), 64);
     }
 
     #[test]
-    #[should_panic(expected = "destination out of bounds")]
-    fn copy_vdm_checks_bounds() {
+    fn host_transfers_fail_closed_on_out_of_bounds() {
+        // Regression: these used to panic (assert!/slice index), killing
+        // the host process on a bad operand binding. They must now fail
+        // with a typed error and leave the memories untouched.
         let mut f = FunctionalSim::new(16, 4);
-        f.copy_vdm(14, 0, 4);
+        f.write_vdm(0, &[7; 16]).unwrap();
+        let err = f.copy_vdm(14, 0, 4).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::HostTransferOutOfBounds {
+                memory: "VDM",
+                offset: 14,
+                len: 4,
+                capacity: 16,
+            }
+        );
+        assert!(f.copy_vdm(0, 14, 4).is_err(), "source range checked too");
+        assert!(f.write_vdm(15, &[1, 2]).is_err());
+        assert!(f.read_vdm(10, 7).is_err());
+        assert!(f.write_sdm(3, &[1, 2]).is_err());
+        // offset + len overflowing usize must not wrap into "in bounds"
+        assert!(f.write_vdm(usize::MAX, &[1]).is_err());
+        assert!(f.read_vdm(usize::MAX, 2).is_err());
+        assert!(f.copy_vdm(usize::MAX, 0, 2).is_err());
+        // nothing was clobbered by the rejected transfers
+        assert_eq!(f.read_vdm(0, 16).unwrap(), vec![7u128; 16]);
+        // the error carries a readable message
+        assert!(err.to_string().contains("host transfer"));
     }
 
     #[test]
@@ -718,8 +813,8 @@ mod tests {
         // without changing instructions").
         let p = parse_asm("win", "vload v0, [a1 + 0], unit\n").unwrap();
         let mut f = sim();
-        f.write_vdm(0, &vec![1u128; 512]);
-        f.write_vdm(512, &vec![2u128; 512]);
+        f.write_vdm(0, &vec![1u128; 512]).unwrap();
+        f.write_vdm(512, &vec![2u128; 512]).unwrap();
         f.set_arf(AReg::at(1), 0);
         f.run(&p).unwrap();
         assert_eq!(f.vreg(VReg::at(0))[0], 1);

@@ -24,6 +24,7 @@
 
 mod config;
 mod cycle;
+mod fastpath;
 mod func;
 mod hbm;
 mod stats;

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use rpu::{
-    BufferAllocator, BufferError, CodegenStyle, Direction, ElementwiseOp, ElementwiseSpec, NttSpec,
-    PrimeTable, Rpu, RpuConfig, RpuError,
+    BufferAllocator, BufferError, CodegenStyle, Direction, ElementwiseOp, ElementwiseSpec,
+    KernelSpec, NttSpec, PrimeTable, Rpu, RpuConfig, RpuError,
 };
 
 /// Asserts the allocator's structural invariants: free and live blocks
@@ -518,4 +518,77 @@ fn stale_handle_stays_stale_after_heap_growth() {
     // the grown allocation is intact and the freed id was not recycled
     assert_eq!(s.download(&big).unwrap(), test_data(1 << 15, 2));
     assert_ne!(big.id(), small.id());
+}
+
+#[test]
+fn dispatch_stays_correct_after_heap_growth() {
+    // Regression test for the fast-path executor against lazy simulator
+    // growth: a kernel dispatched *before* `ensure_vdm` grows the
+    // backing memory must still compute correctly *after* a growth —
+    // nothing pre-resolved at compile() time may point at the old
+    // allocation. Dispatching the interpreter alongside pins the
+    // expected values.
+    let n = 1024usize;
+    let rpu = Rpu::builder()
+        .device_heap_elements(1 << 16)
+        .build()
+        .unwrap();
+    let interp = Rpu::builder()
+        .device_heap_elements(1 << 16)
+        .force_interpreter(true)
+        .build()
+        .unwrap();
+    let mut s = rpu.session();
+    let mut o = interp.session();
+    let q = s.primes_for(n).unwrap();
+    let spec = ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, CodegenStyle::Optimized);
+    let mul = s.compile(&spec).unwrap();
+    let mul_o = o.compile(&spec).unwrap();
+
+    let run = |s: &mut rpu::RpuSession<'_>, k, a: &[u128], b: &[u128]| {
+        let x = s.upload(a).unwrap();
+        let y = s.upload(b).unwrap();
+        let out = s.alloc(n).unwrap();
+        s.dispatch(k, &[x, y], &[out]).unwrap();
+        let got = s.download(&out).unwrap();
+        s.free(x).unwrap();
+        s.free(y).unwrap();
+        s.free(out).unwrap();
+        got
+    };
+
+    let a = test_data(n, 21).iter().map(|v| v % q).collect::<Vec<_>>();
+    let b = test_data(n, 22).iter().map(|v| v % q).collect::<Vec<_>>();
+    assert_eq!(run(&mut s, &mul, &a, &b), run(&mut o, &mul_o, &a, &b));
+
+    // Force the backing simulator to grow well past the first dispatch's
+    // high-water mark, then dispatch the *same* compiled kernel again at
+    // buffers living in the newly grown range.
+    let big = s.upload(&test_data(1 << 15, 2)).unwrap();
+    let big_o = o.upload(&test_data(1 << 15, 2)).unwrap();
+    let c = test_data(n, 23).iter().map(|v| v % q).collect::<Vec<_>>();
+    let d = test_data(n, 24).iter().map(|v| v % q).collect::<Vec<_>>();
+    assert_eq!(run(&mut s, &mul, &c, &d), run(&mut o, &mul_o, &c, &d));
+    // untouched by either post-growth dispatch
+    assert_eq!(s.download(&big).unwrap(), test_data(1 << 15, 2));
+    assert_eq!(o.download(&big_o).unwrap(), test_data(1 << 15, 2));
+}
+
+#[test]
+fn oversized_kernel_image_is_an_exec_error_not_a_panic() {
+    // `Kernel::load_into` on a too-small simulator used to panic inside
+    // `write_vdm`; it must now surface as `RpuError::Exec` with the
+    // fail-closed `HostTransferOutOfBounds` inside.
+    let n = 1024usize;
+    let q = rpu::arith::find_ntt_prime_u128(126, 2 * n as u128).unwrap();
+    let kernel = NttSpec::new(n, q, Direction::Forward, CodegenStyle::Optimized)
+        .generate()
+        .unwrap();
+    let mut sim = rpu::FunctionalSim::new(16, 1);
+    match kernel.load_into(&mut sim) {
+        Err(rpu::sim::ExecError::HostTransferOutOfBounds { memory, .. }) => {
+            assert_eq!(memory, "VDM");
+        }
+        other => panic!("expected HostTransferOutOfBounds, got {other:?}"),
+    }
 }

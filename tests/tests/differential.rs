@@ -18,7 +18,10 @@ use proptest::prelude::*;
 use rpu::arith::{find_ntt_prime_chain, Modulus128};
 use rpu::ntt::baseline;
 use rpu::ntt::{Ntt128Plan, Polynomial};
-use rpu::{CodegenStyle, ConvolutionSpec, KernelSpec, RnsExecutor, Rpu};
+use rpu::{
+    AutomorphismSpec, CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec,
+    KernelSpec, KeySwitchSpec, NttSpec, RnsExecutor, Rpu,
+};
 
 /// A deterministic residue vector mod `q`.
 fn residues(n: usize, q: u128, seed: u64) -> Vec<u128> {
@@ -125,6 +128,109 @@ fn naive_transform_anchors_the_fast_paths() {
             naive,
             "bits={bits}"
         );
+    }
+}
+
+/// Compiles `spec`, dispatches it over resident buffers on `rpu`, and
+/// returns the downloaded output (one full resident round trip through
+/// whichever executor the instance selects).
+fn dispatch_once(rpu: &Rpu, spec: &dyn KernelSpec, operands: &[Vec<u128>]) -> Vec<u128> {
+    let mut s = rpu.session();
+    let kernel = s.compile(spec).expect("spec compiles");
+    let inputs: Vec<_> = operands
+        .iter()
+        .map(|op| s.upload(op).expect("operand uploads"))
+        .collect();
+    let out = s.alloc(kernel.output_range().1).expect("output allocates");
+    s.dispatch(&kernel, &inputs, &[out]).expect("dispatches");
+    s.download(&out).expect("downloads")
+}
+
+/// Every kernel family, dispatched on the default (pre-decoded fast
+/// path) executor and on a `force_interpreter` instance, must produce
+/// bit-identical outputs — and both must equal the host-side
+/// interpreter run (`Kernel::execute`), closing the loop on the
+/// interpreter-as-oracle contract for random inputs.
+#[test]
+fn fast_path_matches_interpreter_for_every_kernel_family() {
+    let n = rpu::smoke_cap(2048);
+    let q = find_ntt_prime_chain(120, 2 * n as u128, 1)[0];
+    let style = CodegenStyle::Optimized;
+    let fast = Rpu::builder().build().unwrap();
+    let oracle = Rpu::builder().force_interpreter(true).build().unwrap();
+    assert!(!fast.force_interpreter());
+    assert!(oracle.force_interpreter());
+
+    let families: Vec<(&str, Box<dyn KernelSpec>)> = vec![
+        (
+            "ntt-fwd",
+            Box::new(NttSpec::new(n, q, Direction::Forward, style)),
+        ),
+        (
+            "ntt-inv",
+            Box::new(NttSpec::new(n, q, Direction::Inverse, style)),
+        ),
+        (
+            "pwmul",
+            Box::new(ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, style)),
+        ),
+        (
+            "pwadd",
+            Box::new(ElementwiseSpec::new(ElementwiseOp::AddMod, n, q, style)),
+        ),
+        (
+            "pwsub",
+            Box::new(ElementwiseSpec::new(ElementwiseOp::SubMod, n, q, style)),
+        ),
+        ("conv", Box::new(ConvolutionSpec::new(n, q, style))),
+        ("autom", Box::new(AutomorphismSpec::new(n, q, 5, style))),
+        ("keyswitch", Box::new(KeySwitchSpec::new(n, q, style))),
+    ];
+    for (i, (label, spec)) in families.iter().enumerate() {
+        let kernel = spec.generate().expect("spec generates");
+        let operands: Vec<Vec<u128>> = (0..kernel.arity())
+            .map(|k| residues(n, q, (i as u64) << 8 | k as u64))
+            .collect();
+        let refs: Vec<&[u128]> = operands.iter().map(Vec::as_slice).collect();
+        let host = kernel.execute(&refs).expect("host oracle runs");
+        let fast_out = dispatch_once(&fast, spec.as_ref(), &operands);
+        let oracle_out = dispatch_once(&oracle, spec.as_ref(), &operands);
+        assert_eq!(
+            fast_out, oracle_out,
+            "family {label}: fast path vs interpreter"
+        );
+        assert_eq!(fast_out, host, "family {label}: dispatch vs host oracle");
+    }
+}
+
+/// Lane sharding composed with the fast path: tower results at lanes
+/// 1, 2, and 4 must all equal a single-lane `force_interpreter` run.
+#[test]
+fn fast_path_is_bit_exact_across_lane_counts() {
+    let n = rpu::smoke_cap(1024);
+    let towers = 4usize;
+    let primes = find_ntt_prime_chain(60, 2 * n as u128, towers);
+    assert_eq!(primes.len(), towers);
+    let a: Vec<Vec<u128>> = primes
+        .iter()
+        .enumerate()
+        .map(|(t, &q)| residues(n, q, 300 + t as u64))
+        .collect();
+    let b: Vec<Vec<u128>> = primes
+        .iter()
+        .enumerate()
+        .map(|(t, &q)| residues(n, q, 400 + t as u64))
+        .collect();
+
+    let interp = Rpu::builder().force_interpreter(true).build().unwrap();
+    let mut oracle = RnsExecutor::new(interp.cluster_with(1));
+    let (want, _) = oracle.negacyclic_mul_towers(n, &primes, &a, &b).unwrap();
+
+    for lanes in [1usize, 2, 4] {
+        let rpu = Rpu::builder().lanes(lanes).build().unwrap();
+        let mut exec = RnsExecutor::new(rpu.cluster());
+        let (got, _) = exec.negacyclic_mul_towers(n, &primes, &a, &b).unwrap();
+        assert_eq!(got, want, "lanes={lanes}");
     }
 }
 

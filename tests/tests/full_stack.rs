@@ -27,11 +27,14 @@ fn full_stack(n: usize) {
     // model (proves the encoding carries full semantics).
     let input: Vec<u128> = (0..n as u128).map(|i| (i * i + 17) % q).collect();
     let mut sim = FunctionalSim::new(kernel.layout().total_elements, 16);
-    sim.write_vdm(0, &kernel.vdm_image(&input));
-    sim.write_sdm(0, &kernel.sdm_image());
+    sim.write_vdm(0, &kernel.vdm_image(&input)).unwrap();
+    sim.write_sdm(0, &kernel.sdm_image()).unwrap();
     sim.run(&decoded).expect("executes");
     let (off, len) = kernel.output_range();
-    assert_eq!(sim.read_vdm(off, len), kernel.expected_output(&input));
+    assert_eq!(
+        sim.read_vdm(off, len).unwrap(),
+        kernel.expected_output(&input)
+    );
 
     // Cycle timing is positive and the energy model consumes the stats.
     let cs = CycleSim::new(RpuConfig::pareto_128x128()).expect("valid config");
@@ -64,11 +67,11 @@ fn full_stack_inverse_round_trip() {
     let run = |k: &NttKernel, data: &[u128]| {
         let p = rpu::isa::Program::from_words("x", &k.program().to_words()).unwrap();
         let mut sim = FunctionalSim::new(k.layout().total_elements, 16);
-        sim.write_vdm(0, &k.vdm_image(data));
-        sim.write_sdm(0, &k.sdm_image());
+        sim.write_vdm(0, &k.vdm_image(data)).unwrap();
+        sim.write_sdm(0, &k.sdm_image()).unwrap();
         sim.run(&p).unwrap();
         let (off, len) = k.output_range();
-        sim.read_vdm(off, len)
+        sim.read_vdm(off, len).unwrap()
     };
     let transformed = run(&fwd, &input);
     assert_eq!(run(&inv, &transformed), input);
@@ -152,8 +155,8 @@ fn mixed_tower_moduli_via_mrf() {
     let mut sim = FunctionalSim::new(2048, 16);
     sim.set_mrf(MReg::at(0), 97);
     sim.set_mrf(MReg::at(1), 101);
-    sim.write_vdm(0, &vec![60u128; 512]);
-    sim.write_vdm(512, &vec![50u128; 512]);
+    sim.write_vdm(0, &vec![60u128; 512]).unwrap();
+    sim.write_vdm(512, &vec![50u128; 512]).unwrap();
     sim.run(&p).unwrap();
     assert_eq!(sim.vreg(v(2))[0], 110 % 97);
     assert_eq!(sim.vreg(v(3))[0], 110 % 101);

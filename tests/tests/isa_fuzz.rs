@@ -1,0 +1,297 @@
+//! Random-program differential fuzzing over the whole ISA — the seed of
+//! the ROADMAP's "ISA fuzz" item.
+//!
+//! A deterministic generator builds random *legal* B512 programs (every
+//! register index valid, every instruction encodable; execution may
+//! still fault, and fault parity is part of the contract). Each program
+//! is run three ways:
+//!
+//! 1. the reference interpreter ([`FunctionalSim::run`]) — the oracle;
+//! 2. the pre-decoded fast path ([`FunctionalSim::run_predecoded`]);
+//! 3. the interpreter again, on the program after an encode → decode
+//!    round trip through its binary form.
+//!
+//! All three must agree on the outcome (`Ok` or the exact `ExecError`)
+//! and on every piece of publicly observable architectural state.
+
+use proptest::prelude::*;
+use rpu::isa::{AReg, AddrMode, Instruction, MReg, PredecodedProgram, Program, SReg, VReg};
+use rpu::FunctionalSim;
+
+const VDM_ELEMS: usize = 1 << 14;
+const SDM_ELEMS: usize = 64;
+
+/// Small valid moduli pre-seeded into `m0..m3` and cycled through the
+/// SDM (so `mload`/`aload` pick up values that keep programs mostly
+/// alive while still exercising invalid-modulus and OOB faults).
+const PRIMES: [u128; 4] = [97, 193, 769, 3329];
+
+/// splitmix64 — deterministic, seedable, no external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn vreg(&mut self) -> VReg {
+        VReg::at(self.below(64) as u8)
+    }
+
+    fn sreg(&mut self) -> SReg {
+        SReg::at(self.below(64) as u8)
+    }
+
+    fn areg(&mut self) -> AReg {
+        // Bias towards a0 (= 0) so most addresses stay in bounds, but
+        // roam the whole ARF to exercise `aload`-indirected addressing.
+        if self.below(4) == 0 {
+            AReg::at(self.below(64) as u8)
+        } else {
+            AReg::at(0)
+        }
+    }
+
+    fn mreg(&mut self) -> MReg {
+        // Mostly the pre-seeded valid moduli; occasionally any MRF entry
+        // (usually zero → InvalidModulus, checking fault parity).
+        if self.below(8) == 0 {
+            MReg::at(self.below(64) as u8)
+        } else {
+            MReg::at(self.below(4) as u8)
+        }
+    }
+
+    fn offset(&mut self) -> u32 {
+        // Mostly in-bounds for the 2^14-element VDM; occasionally up to
+        // the 20-bit architectural field so span checks must fault.
+        if self.below(6) == 0 {
+            self.below(1 << 20) as u32
+        } else {
+            self.below(1 << 13) as u32
+        }
+    }
+
+    fn sdm_offset(&mut self) -> u32 {
+        if self.below(8) == 0 {
+            self.below(1 << 10) as u32 // usually OOB for the 64-entry SDM
+        } else {
+            self.below(SDM_ELEMS as u64) as u32
+        }
+    }
+
+    fn mode(&mut self) -> AddrMode {
+        match self.below(4) {
+            0 => AddrMode::Unit,
+            1 => AddrMode::Strided {
+                log2_stride: self.below(5) as u8,
+            },
+            2 => AddrMode::StridedSkip {
+                log2_block: self.below(10) as u8,
+            },
+            _ => AddrMode::Repeated {
+                log2_block: self.below(10) as u8,
+            },
+        }
+    }
+}
+
+/// Generates a random well-formed program of `len` instructions.
+fn random_legal_program(seed: u64, len: usize) -> Program {
+    let mut r = Rng(seed);
+    let mut p = Program::new(format!("fuzz_{seed:x}"));
+    for _ in 0..len {
+        let instr = match r.below(18) {
+            0 => Instruction::VLoad {
+                vd: r.vreg(),
+                base: r.areg(),
+                offset: r.offset(),
+                mode: r.mode(),
+            },
+            1 => Instruction::VStore {
+                vs: r.vreg(),
+                base: r.areg(),
+                offset: r.offset(),
+                mode: r.mode(),
+            },
+            2 => Instruction::VGather {
+                vd: r.vreg(),
+                base: r.areg(),
+                offset: r.offset(),
+                vi: r.vreg(),
+            },
+            3 => Instruction::VBroadcast {
+                vd: r.vreg(),
+                base: r.areg(),
+                offset: r.offset(),
+            },
+            4 => Instruction::SLoad {
+                rt: r.sreg(),
+                base: r.areg(),
+                offset: r.sdm_offset(),
+            },
+            5 => Instruction::MLoad {
+                rt: r.mreg(),
+                base: r.areg(),
+                offset: r.sdm_offset(),
+            },
+            6 => Instruction::ALoad {
+                rt: r.areg(),
+                base: r.areg(),
+                offset: r.sdm_offset(),
+            },
+            7 => Instruction::VAddMod {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                vt: r.vreg(),
+                rm: r.mreg(),
+            },
+            8 => Instruction::VSubMod {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                vt: r.vreg(),
+                rm: r.mreg(),
+            },
+            9 => Instruction::VMulMod {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                vt: r.vreg(),
+                rm: r.mreg(),
+            },
+            10 => Instruction::VSAddMod {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                rt: r.sreg(),
+                rm: r.mreg(),
+            },
+            11 => Instruction::VSSubMod {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                rt: r.sreg(),
+                rm: r.mreg(),
+            },
+            12 => Instruction::VSMulMod {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                rt: r.sreg(),
+                rm: r.mreg(),
+            },
+            13 => Instruction::Bfly {
+                vd: r.vreg(),
+                vd1: r.vreg(),
+                vs: r.vreg(),
+                vt: r.vreg(),
+                vt1: r.vreg(),
+                rm: r.mreg(),
+            },
+            14 => Instruction::UnpkLo {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                vt: r.vreg(),
+            },
+            15 => Instruction::UnpkHi {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                vt: r.vreg(),
+            },
+            16 => Instruction::PkLo {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                vt: r.vreg(),
+            },
+            _ => Instruction::PkHi {
+                vd: r.vreg(),
+                vs: r.vreg(),
+                vt: r.vreg(),
+            },
+        };
+        p.push(instr);
+    }
+    p
+}
+
+/// A fully seeded simulator: non-trivial VDM image, SDM holding small
+/// valid primes, `m0..m3` and `s0..s3` preset.
+fn fresh_sim() -> FunctionalSim {
+    let mut sim = FunctionalSim::new(VDM_ELEMS, SDM_ELEMS);
+    let image: Vec<u128> = (0..VDM_ELEMS as u128)
+        .map(|i| (i * 37 + 11) % 3329)
+        .collect();
+    sim.write_vdm(0, &image).unwrap();
+    let sdm: Vec<u128> = (0..SDM_ELEMS).map(|i| PRIMES[i % PRIMES.len()]).collect();
+    sim.write_sdm(0, &sdm).unwrap();
+    for (i, &q) in PRIMES.iter().enumerate() {
+        sim.set_mrf(MReg::at(i as u8), q);
+        sim.set_srf(SReg::at(i as u8), q / 3);
+    }
+    sim
+}
+
+/// Everything an integration test can observe of a simulator's state.
+fn observable_state(sim: &FunctionalSim) -> (Vec<u128>, Vec<Vec<u128>>, Vec<u128>) {
+    let vdm = sim.read_vdm(0, VDM_ELEMS).unwrap();
+    let vregs: Vec<Vec<u128>> = (0..64).map(|v| sim.vreg(VReg::at(v)).to_vec()).collect();
+    let sregs: Vec<u128> = (0..64).map(|s| sim.sreg(SReg::at(s))).collect();
+    (vdm, vregs, sregs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interpreter == fast path == encode/decode round trip, on outcome
+    /// and on all observable state, for random legal programs.
+    #[test]
+    fn three_executions_of_a_random_program_agree(
+        seed in any::<u64>(),
+        len in 1usize..48,
+    ) {
+        let program = random_legal_program(seed, len);
+
+        let mut interp = fresh_sim();
+        let oracle = interp.run(&program);
+
+        let mut fast = fresh_sim();
+        let fast_out = fast.run_predecoded(&PredecodedProgram::new(program.clone()));
+        prop_assert_eq!(&oracle, &fast_out, "outcome: fast path vs interpreter");
+        prop_assert_eq!(observable_state(&interp), observable_state(&fast));
+
+        let rt = Program::from_words("rt", &program.to_words()).expect("round trip decodes");
+        prop_assert_eq!(rt.instructions(), program.instructions());
+        let mut replay = fresh_sim();
+        let rt_out = replay.run(&rt);
+        prop_assert_eq!(&oracle, &rt_out, "outcome: round trip vs interpreter");
+        prop_assert_eq!(observable_state(&interp), observable_state(&replay));
+    }
+
+    /// The same `PredecodedProgram` value stays oracle-exact when run
+    /// repeatedly with evolving state (nothing may be cached between
+    /// runs that depends on a particular VDM size or ARF contents).
+    #[test]
+    fn predecoded_programs_are_reusable(seed in any::<u64>()) {
+        let program = random_legal_program(seed, 16);
+        let pre = PredecodedProgram::new(program.clone());
+        let mut interp = fresh_sim();
+        let mut fast = fresh_sim();
+        for growth in [0usize, 0, 4096] {
+            if growth > 0 {
+                interp.ensure_vdm(VDM_ELEMS + growth);
+                fast.ensure_vdm(VDM_ELEMS + growth);
+            }
+            let a = interp.run(&program);
+            let b = fast.run_predecoded(&pre);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(
+                interp.read_vdm(0, VDM_ELEMS).unwrap(),
+                fast.read_vdm(0, VDM_ELEMS).unwrap()
+            );
+        }
+    }
+}
