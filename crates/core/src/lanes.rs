@@ -46,10 +46,10 @@ use crate::session::{CacheStats, PrimeTable, RpuSession};
 use crate::RpuError;
 use rpu_codegen::{CodegenStyle, ConvolutionSpec, Kernel, KernelSpec};
 use rpu_ntt::{RnsContext, RnsPolynomial};
-use std::collections::HashMap;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// One lane: a session plus its lifetime dispatch accounting.
@@ -59,6 +59,11 @@ struct Lane<'a> {
     dispatches: u64,
     cycles: u64,
     busy_us: f64,
+    /// Jobs this lane executed through a worker pool.
+    jobs: u64,
+    /// Host wall-clock spent *executing* pool jobs on this lane, in
+    /// microseconds (excludes time parked waiting for work).
+    wall_busy_us: f64,
     transfer: TransferStats,
 }
 
@@ -69,6 +74,8 @@ impl<'a> Lane<'a> {
             dispatches: 0,
             cycles: 0,
             busy_us: 0.0,
+            jobs: 0,
+            wall_busy_us: 0.0,
             transfer: TransferStats::default(),
         }
     }
@@ -222,6 +229,16 @@ pub struct LaneStats {
     pub cycles: u64,
     /// Total simulated on-RPU time, in microseconds.
     pub busy_us: f64,
+    /// Pool jobs executed on this lane ([`RpuCluster::run_jobs`] /
+    /// [`RpuCluster::with_workers`]); direct `dispatch_on` traffic does
+    /// not count as a job.
+    pub jobs: u64,
+    /// Host wall-clock spent executing pool jobs on this lane, in
+    /// microseconds — the lane's *occupancy*, as opposed to `busy_us`
+    /// which is simulated device time. Time parked waiting for work is
+    /// excluded, so `wall_busy_us / report.wall_us` is the lane's
+    /// utilization over a run.
+    pub wall_busy_us: f64,
     /// Aggregated data movement (uploads, downloads, on-device copies).
     pub transfer: TransferStats,
 }
@@ -236,6 +253,8 @@ impl LaneStats {
             dispatches,
             cycles: after.cycles - before.cycles,
             busy_us: after.busy_us - before.busy_us,
+            jobs: after.jobs - before.jobs,
+            wall_busy_us: after.wall_busy_us - before.wall_busy_us,
             transfer: TransferStats {
                 host_to_device: after.transfer.host_to_device - before.transfer.host_to_device,
                 device_to_host: after.transfer.device_to_host - before.transfer.device_to_host,
@@ -273,6 +292,10 @@ pub struct ClusterRunReport {
     /// Host wall-clock of the sharded run, in microseconds (the lanes'
     /// functional simulators really do run on parallel OS threads).
     pub wall_us: f64,
+    /// High-water mark of the pool's pending-job queues over the run
+    /// (pinned + shared, jobs submitted but not yet started) — how deep
+    /// the backlog got, the number a serving scheduler watches.
+    pub queue_peak: usize,
 }
 
 impl ClusterRunReport {
@@ -291,6 +314,247 @@ impl ClusterRunReport {
     pub fn lanes_used(&self) -> usize {
         self.per_lane.iter().filter(|l| l.dispatches > 0).count()
     }
+}
+
+/// One unit of work for a persistent [`LanePool`]: it runs on a worker
+/// thread, driving whichever lane it lands on through the
+/// [`LaneWorker`] it is handed. Pool jobs carry no return channel —
+/// callers thread results out through whatever shared state the closure
+/// captures (a ticket cell, a `Mutex<Vec<_>>` slot, a condvar).
+pub type PoolJob<'j> = Box<dyn FnOnce(&mut LaneWorker<'_, '_>) + Send + 'j>;
+
+/// Everything the pool's mutex guards: the queues plus the counters the
+/// scheduler and the report read from one place.
+struct PoolState<'j> {
+    /// Lane-affine queues: jobs that must run on one particular lane, in
+    /// submission order (lane-resident ciphertexts, ordered frees).
+    pinned: Vec<VecDeque<PoolJob<'j>>>,
+    /// The work-stealing queue: any lane takes the next job the moment
+    /// it goes idle.
+    shared: VecDeque<PoolJob<'j>>,
+    /// Still accepting work; flips when the owning scope shuts down, at
+    /// which point workers drain what is queued and exit.
+    open: bool,
+    /// Jobs currently executing on some worker.
+    active: usize,
+    /// Jobs submitted but not yet started (pinned + shared).
+    pending: usize,
+    /// Jobs finished — successfully or by caught panic — over the
+    /// pool's lifetime.
+    executed: usize,
+    /// High-water mark of `pending`.
+    depth_peak: usize,
+    /// First caught job panic, as `(lane, message)`.
+    panic: Option<(usize, String)>,
+}
+
+impl std::fmt::Debug for PoolState<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolState")
+            .field(
+                "pinned",
+                &self.pinned.iter().map(VecDeque::len).collect::<Vec<_>>(),
+            )
+            .field("shared", &self.shared.len())
+            .field("open", &self.open)
+            .field("active", &self.active)
+            .field("pending", &self.pending)
+            .field("executed", &self.executed)
+            .field("depth_peak", &self.depth_peak)
+            .field("panic", &self.panic)
+            .finish()
+    }
+}
+
+/// A persistent per-lane worker pool over an [`RpuCluster`], created by
+/// [`RpuCluster::with_workers`]. One OS thread per lane stays parked on
+/// the pool for the scope's lifetime; callers feed it two kinds of work:
+///
+/// * [`submit`](LanePool::submit) — any-lane jobs, work-stealing: the
+///   next idle lane takes the next job, so throughput work balances
+///   itself whatever the job/lane ratio;
+/// * [`submit_to`](LanePool::submit_to) — lane-pinned jobs, FIFO per
+///   lane: for work that must touch one lane's resident state (a
+///   tenant's home-lane ciphertexts, an ordered teardown).
+///
+/// The pool is `Sync`: many client threads may submit concurrently
+/// while the workers drain. A job that panics is caught on its worker
+/// thread and recorded ([`panicked`](LanePool::panicked)); the pool
+/// keeps draining — long-lived callers decide whether that is fatal.
+#[derive(Debug)]
+pub struct LanePool<'j> {
+    lanes: usize,
+    queues: Mutex<PoolState<'j>>,
+    /// Signals workers: new work, or shutdown.
+    work: Condvar,
+    /// Signals waiters: the pool just went idle.
+    idle: Condvar,
+}
+
+impl<'j> LanePool<'j> {
+    fn new(lanes: usize) -> Self {
+        LanePool {
+            lanes,
+            queues: Mutex::new(PoolState {
+                pinned: (0..lanes).map(|_| VecDeque::new()).collect(),
+                shared: VecDeque::new(),
+                open: true,
+                active: 0,
+                pending: 0,
+                executed: 0,
+                depth_peak: 0,
+                panic: None,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        }
+    }
+
+    /// Number of lanes (worker threads) feeding from this pool.
+    pub fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    /// Submits a job any lane may steal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has already shut down (impossible through
+    /// [`RpuCluster::with_workers`], which closes the pool only after
+    /// the caller's closure returns).
+    pub fn submit(&self, job: PoolJob<'j>) {
+        self.push(None, job);
+    }
+
+    /// Submits a job pinned to `lane`: it runs there and nowhere else,
+    /// after every pinned job submitted to that lane before it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or the pool has shut down.
+    pub fn submit_to(&self, lane: usize, job: PoolJob<'j>) {
+        assert!(
+            lane < self.lanes,
+            "pinned submit to lane {lane} of a {}-lane pool",
+            self.lanes
+        );
+        self.push(Some(lane), job);
+    }
+
+    fn push(&self, lane: Option<usize>, job: PoolJob<'j>) {
+        let mut q = self.queues.lock().expect("not poisoned");
+        assert!(q.open, "job submitted to a closed pool");
+        match lane {
+            Some(l) => q.pinned[l].push_back(job),
+            None => q.shared.push_back(job),
+        }
+        q.pending += 1;
+        if q.pending > q.depth_peak {
+            q.depth_peak = q.pending;
+        }
+        drop(q);
+        // Pinned work must reach one specific parked worker, and the
+        // condvar cannot aim — wake them all, the others re-park.
+        self.work.notify_all();
+    }
+
+    /// Blocks until every job submitted so far has finished.
+    pub fn wait_idle(&self) {
+        let mut q = self.queues.lock().expect("not poisoned");
+        while q.pending > 0 || q.active > 0 {
+            q = self.idle.wait(q).expect("not poisoned");
+        }
+    }
+
+    /// Jobs submitted but not yet started (pinned + shared).
+    pub fn queued(&self) -> usize {
+        self.queues.lock().expect("not poisoned").pending
+    }
+
+    /// Jobs finished over the pool's lifetime.
+    pub fn executed(&self) -> usize {
+        self.queues.lock().expect("not poisoned").executed
+    }
+
+    /// High-water mark of the pending-job backlog so far.
+    pub fn queue_peak(&self) -> usize {
+        self.queues.lock().expect("not poisoned").depth_peak
+    }
+
+    /// The first job panic the pool caught, as `(lane, message)` — the
+    /// pool keeps draining after a panic, so check this where a panic
+    /// must be fatal ([`RpuCluster::run_jobs`] turns it into
+    /// [`RpuError::LanePanic`]).
+    pub fn panicked(&self) -> Option<(usize, String)> {
+        self.queues.lock().expect("not poisoned").panic.clone()
+    }
+
+    /// Worker side: the next job for `lane` (its pinned queue first,
+    /// then the shared queue), parking until one arrives. `None` means
+    /// the pool shut down and drained — the worker loop exits.
+    fn next_job(&self, lane: usize) -> Option<PoolJob<'j>> {
+        let mut q = self.queues.lock().expect("not poisoned");
+        loop {
+            let job = match q.pinned[lane].pop_front() {
+                Some(j) => Some(j),
+                None => q.shared.pop_front(),
+            };
+            if let Some(job) = job {
+                q.pending -= 1;
+                q.active += 1;
+                return Some(job);
+            }
+            if !q.open {
+                return None;
+            }
+            q = self.work.wait(q).expect("not poisoned");
+        }
+    }
+
+    /// Worker side: accounts a finished job (and its panic, if caught).
+    fn finish(&self, lane: usize, panic: Option<Box<dyn Any + Send>>) {
+        let mut q = self.queues.lock().expect("not poisoned");
+        q.active -= 1;
+        q.executed += 1;
+        if let Some(payload) = panic {
+            if q.panic.is_none() {
+                q.panic = Some((lane, panic_message(payload.as_ref())));
+            }
+        }
+        if q.pending == 0 && q.active == 0 {
+            drop(q);
+            self.idle.notify_all();
+        }
+    }
+
+    /// Stops accepting work and wakes every parked worker; they drain
+    /// what is already queued, then exit.
+    fn close(&self) {
+        let mut q = self.queues.lock().expect("not poisoned");
+        q.open = false;
+        drop(q);
+        self.work.notify_all();
+    }
+}
+
+/// Closes the pool even if the caller's closure unwinds — parked
+/// workers would otherwise never observe shutdown and the owning thread
+/// scope would join forever.
+struct PoolCloseGuard<'p, 'j>(&'p LanePool<'j>);
+
+impl Drop for PoolCloseGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Best-effort text out of a caught panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "lane job panicked".into())
 }
 
 /// `k` independent RPU lanes behind one host: each lane owns a full
@@ -574,6 +838,8 @@ impl<'a> RpuCluster<'a> {
             dispatches: l.dispatches,
             cycles: l.cycles,
             busy_us: l.busy_us,
+            jobs: l.jobs,
+            wall_busy_us: l.wall_busy_us,
             transfer: l.transfer,
         }
     }
@@ -609,13 +875,101 @@ impl<'a> RpuCluster<'a> {
         self.lanes.iter().map(|l| l.dispatches).sum()
     }
 
+    /// Spawns one persistent worker thread per lane and hands the
+    /// calling thread a [`LanePool`] to feed: `f` submits shared
+    /// (any-lane, work-stealing) or pinned (lane-affine, per-lane FIFO)
+    /// jobs while the workers drain them concurrently. When `f` returns
+    /// the pool closes, the workers finish whatever is still queued and
+    /// exit, and `f`'s result comes back with the aggregated
+    /// [`ClusterRunReport`] for everything that ran.
+    ///
+    /// This is the persistent engine behind
+    /// [`run_jobs`](RpuCluster::run_jobs) — and behind the serving
+    /// layer's scheduler, which keeps one pool open for the lifetime of
+    /// the service instead of re-spawning threads per batch. The pool is
+    /// `Sync`, so `f` may share it with client threads of its own
+    /// (e.g. via [`std::thread::scope`]).
+    ///
+    /// A job that **panics** is caught on its worker thread and recorded
+    /// ([`LanePool::panicked`]); no mutex is poisoned and the pool keeps
+    /// draining, so a faulty job cannot wedge the cluster — long-lived
+    /// callers decide whether a panic is fatal. Buffers the panicking
+    /// job had allocated on its lane are leaked (their handles died with
+    /// the job); the cluster itself stays usable.
+    pub fn with_workers<'j, R>(
+        &mut self,
+        f: impl FnOnce(&LanePool<'j>) -> R,
+    ) -> (R, ClusterRunReport) {
+        let before: Vec<LaneStats> = self.stats();
+        let nlanes = self.lanes.len();
+        let pool = LanePool::new(nlanes);
+        // Release `f` only once every worker thread is actually parked
+        // on the pool, so a fast caller cannot fill *and* observe the
+        // queues before all lanes exist.
+        let start = std::sync::Barrier::new(nlanes + 1);
+        let started = Instant::now();
+        let out = std::thread::scope(|scope| {
+            let pool = &pool;
+            let start = &start;
+            for (index, lane) in self.lanes.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    start.wait();
+                    let mut worker = LaneWorker { index, lane };
+                    while let Some(job) = pool.next_job(index) {
+                        // No lock is held across the job, and a panic is
+                        // caught right here on the worker thread — so a
+                        // faulty job can never poison the queue state
+                        // the other lanes are draining.
+                        let t0 = Instant::now();
+                        let outcome =
+                            std::panic::catch_unwind(AssertUnwindSafe(|| job(&mut worker)));
+                        worker.lane.jobs += 1;
+                        worker.lane.wall_busy_us += t0.elapsed().as_secs_f64() * 1e6;
+                        pool.finish(index, outcome.err());
+                    }
+                });
+            }
+            start.wait();
+            let _close = PoolCloseGuard(pool);
+            f(pool)
+        });
+        let wall_us = started.elapsed().as_secs_f64() * 1e6;
+
+        let per_lane: Vec<LaneStats> = self
+            .stats()
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| LaneStats::delta(a, b))
+            .collect();
+        let makespan_us = per_lane.iter().map(|l| l.busy_us).fold(0.0, f64::max);
+        let sequential_us = per_lane.iter().map(|l| l.busy_us).sum();
+        let total_cycles = per_lane.iter().map(|l| l.cycles).sum();
+        let mut transfer = TransferStats::default();
+        for l in &per_lane {
+            transfer.absorb(&l.transfer);
+        }
+        let report = ClusterRunReport {
+            towers: pool.executed(),
+            lanes: nlanes,
+            per_lane,
+            makespan_us,
+            sequential_us,
+            total_cycles,
+            transfer,
+            wall_us,
+            queue_peak: pool.queue_peak(),
+        };
+        (out, report)
+    }
+
     /// Runs `jobs.len()` independent lane jobs across the lanes with the
     /// work-stealing scheduler — the engine behind [`RnsExecutor`]'s
     /// tower sharding *and* the per-digit key-switch products of
     /// `RlweEvaluator::mul`/`rotate`. Every lane runs on its own OS
     /// thread, pulling the next un-started job from the shared queue
     /// until it drains; results come back in job order plus the
-    /// aggregated report.
+    /// aggregated report. (A one-shot convenience over
+    /// [`with_workers`](RpuCluster::with_workers).)
     ///
     /// A job that **panics** (as opposed to returning an error) is
     /// caught on the worker thread and surfaced as
@@ -633,69 +987,36 @@ impl<'a> RpuCluster<'a> {
         &mut self,
         jobs: Vec<LaneJob<'j, T>>,
     ) -> Result<(Vec<T>, ClusterRunReport), RpuError> {
-        let before: Vec<LaneStats> = self.stats();
-        let njobs = jobs.len();
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<LaneJob<'j, T>>>> =
-            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-        let results: Vec<Mutex<Option<T>>> = (0..njobs).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
         let failure: Mutex<Option<RpuError>> = Mutex::new(None);
-        // Open the queue only once every lane thread is running, so a
-        // fast first lane cannot drain short queues before its peers
-        // have even been scheduled.
-        let start = std::sync::Barrier::new(self.lanes.len());
-        let started = Instant::now();
-
-        std::thread::scope(|scope| {
-            let next = &next;
-            let slots = &slots;
-            let results = &results;
-            let failure = &failure;
-            let start = &start;
-            for (index, lane) in self.lanes.iter_mut().enumerate() {
-                scope.spawn(move || {
-                    start.wait();
-                    let mut worker = LaneWorker { index, lane };
-                    loop {
-                        let t = next.fetch_add(1, Ordering::Relaxed);
-                        if t >= njobs || failure.lock().expect("not poisoned").is_some() {
-                            break;
+        let ((), report) = self.with_workers(|pool| {
+            for (t, job) in jobs.into_iter().enumerate() {
+                let results = &results;
+                let failure = &failure;
+                pool.submit(Box::new(move |w| {
+                    // Abandon still-queued work the moment anything has
+                    // failed — one-shot batches stop on first error.
+                    if failure.lock().expect("not poisoned").is_some() {
+                        return;
+                    }
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| job(w))) {
+                        Ok(Ok(v)) => *results[t].lock().expect("not poisoned") = Some(v),
+                        Ok(Err(e)) => {
+                            failure.lock().expect("not poisoned").get_or_insert(e);
                         }
-                        let job = slots[t]
-                            .lock()
-                            .expect("not poisoned")
-                            .take()
-                            .expect("the atomic counter claims each job exactly once");
-                        // No lock is held across the job, and a panic is
-                        // converted to an error here on the worker
-                        // thread — so a faulty job can never poison the
-                        // queue state the other lanes are draining.
-                        match std::panic::catch_unwind(AssertUnwindSafe(|| job(&mut worker))) {
-                            Ok(Ok(v)) => *results[t].lock().expect("not poisoned") = Some(v),
-                            Ok(Err(e)) => {
-                                failure.lock().expect("not poisoned").get_or_insert(e);
-                                break;
-                            }
-                            Err(payload) => {
-                                let message = payload
-                                    .downcast_ref::<&str>()
-                                    .map(|s| s.to_string())
-                                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "lane job panicked".into());
-                                failure.lock().expect("not poisoned").get_or_insert(
-                                    RpuError::LanePanic {
-                                        lane: index,
-                                        message,
-                                    },
-                                );
-                                break;
-                            }
+                        Err(payload) => {
+                            failure.lock().expect("not poisoned").get_or_insert(
+                                RpuError::LanePanic {
+                                    lane: w.lane_index(),
+                                    message: panic_message(payload.as_ref()),
+                                },
+                            );
                         }
                     }
-                });
+                }));
             }
+            pool.wait_idle();
         });
-        let wall_us = started.elapsed().as_secs_f64() * 1e6;
 
         if let Some(e) = failure.into_inner().expect("not poisoned") {
             return Err(e);
@@ -708,33 +1029,7 @@ impl<'a> RpuCluster<'a> {
                     .expect("every job completed")
             })
             .collect();
-
-        let per_lane: Vec<LaneStats> = self
-            .stats()
-            .iter()
-            .zip(&before)
-            .map(|(a, b)| LaneStats::delta(a, b))
-            .collect();
-        let makespan_us = per_lane.iter().map(|l| l.busy_us).fold(0.0, f64::max);
-        let sequential_us = per_lane.iter().map(|l| l.busy_us).sum();
-        let total_cycles = per_lane.iter().map(|l| l.cycles).sum();
-        let mut transfer = TransferStats::default();
-        for l in &per_lane {
-            transfer.absorb(&l.transfer);
-        }
-        Ok((
-            outputs,
-            ClusterRunReport {
-                towers: njobs,
-                lanes: self.lanes.len(),
-                per_lane,
-                makespan_us,
-                sequential_us,
-                total_cycles,
-                transfer,
-                wall_us,
-            },
-        ))
+        Ok((outputs, report))
     }
 
     /// Runs `towers.len()` independent tower jobs across the lanes (a

@@ -113,22 +113,15 @@
 //! # }
 //! ```
 //!
-//! # Migrating from the one-shot API
+//! # Serving many tenants
 //!
-//! `Rpu::run_ntt` / `Rpu::run_ntt_with_modulus` (deprecated) regenerated
-//! the kernel and re-searched the prime on every call. The session form
-//! is a drop-in replacement that amortizes both:
-//!
-//! ```text
-//! // before                                          // after
-//! rpu.run_ntt(n, dir, style)?                        rpu.session().ntt(n, dir, style)?
-//! rpu.run_ntt_with_modulus(n, q, dir, style)?        rpu.session().run(&NttSpec { n, q, direction: dir, style })?
-//! ```
-//!
-//! Both return the same numbers; `NttRun` is now a deprecated alias of
-//! [`RunReport`], which carries the same fields plus the workload class
-//! and a `cache_hit` flag. Hold one session for the lifetime of your
-//! traffic loop — a fresh session per call keeps the old cost model.
+//! The `rpu-serve` crate (workspace member) layers a persistent
+//! multi-tenant service on the cluster: typed encrypt/eval/decrypt jobs
+//! behind ticketed submission, weighted-fair scheduling, bounded queues
+//! with typed backpressure, and per-tenant key isolation. Its engine is
+//! [`RpuCluster::with_workers`] — one parked worker thread per lane
+//! draining a [`LanePool`] of shared (work-stealing) and lane-pinned
+//! jobs for as long as the service lives.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -143,11 +136,10 @@ mod session;
 pub use buffer::{BufferAllocator, BufferError, DeviceBuffer, TransferStats};
 pub use explore::{evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES};
 pub use lanes::{
-    ClusterRunReport, LaneJob, LaneStats, LaneWorker, RnsExecutor, RpuCluster, TowerJob,
+    ClusterRunReport, LaneJob, LanePool, LaneStats, LaneWorker, PoolJob, RnsExecutor, RpuCluster,
+    TowerJob,
 };
 pub use rlwe::{DeviceCiphertext, DeviceKeySwitchKey, RlweEvaluator};
-#[allow(deprecated)]
-pub use run::NttRun;
 pub use run::{Rpu, RunReport};
 pub use session::{CacheStats, CachedKernel, KernelCache, PrimeTable, RpuBuilder, RpuSession};
 

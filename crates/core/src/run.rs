@@ -78,13 +78,6 @@ pub struct RunReport {
     pub transfer: TransferStats,
 }
 
-/// The pre-session name of [`RunReport`].
-#[deprecated(
-    since = "0.2.0",
-    note = "renamed to RunReport; see the crate-level migration note"
-)]
-pub type NttRun = RunReport;
-
 impl Rpu {
     /// Creates an RPU with the given microarchitectural configuration and
     /// default (paper-calibrated) area/energy models.
@@ -214,54 +207,6 @@ impl Rpu {
     /// The energy model.
     pub fn energy_model(&self) -> &EnergyModel {
         &self.energy_model
-    }
-
-    /// Generates, validates, and times an NTT kernel for ring degree `n`
-    /// with an automatically chosen ~126-bit NTT prime.
-    ///
-    /// Accounting contract (audited, pinned by the shim-equivalence
-    /// test): each shim call opens a **throwaway** session and performs
-    /// exactly *one* kernel-cache lookup there — never two — so its
-    /// report always has `cache_hit == false` and repeated shim calls
-    /// return identical reports while regenerating every time. A held
-    /// session's `ntt()`/`run()` perform the same single lookup but
-    /// against persistent state, which is why they are the recommended
-    /// replacement.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RpuError`] if generation fails or no prime exists.
-    #[deprecated(
-        since = "0.2.0",
-        note = "open a session: rpu.session().ntt(n, direction, style) — see the crate-level migration note"
-    )]
-    pub fn run_ntt(
-        &self,
-        n: usize,
-        direction: Direction,
-        style: CodegenStyle,
-    ) -> Result<RunReport, RpuError> {
-        self.session().ntt(n, direction, style)
-    }
-
-    /// Like `run_ntt` with an explicit modulus.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RpuError`] if generation or functional execution fails.
-    #[deprecated(
-        since = "0.2.0",
-        note = "open a session: rpu.session().run(&NttSpec::new(n, q, direction, style))"
-    )]
-    pub fn run_ntt_with_modulus(
-        &self,
-        n: usize,
-        q: u128,
-        direction: Direction,
-        style: CodegenStyle,
-    ) -> Result<RunReport, RpuError> {
-        self.session()
-            .run(&rpu_codegen::NttSpec::new(n, q, direction, style))
     }
 
     /// Cycle-times an already-generated NTT kernel (no functional run).

@@ -1,0 +1,61 @@
+//! End-to-end serving-layer benchmark: full `serve` + synthetic
+//! traffic runs across workload mixes and lane counts, reporting
+//! ops/sec and p50/p99 end-to-end job latency (the numbers recorded in
+//! EXPERIMENTS.md). `RPU_MAX_N` caps the ring so the CI smoke job can
+//! run it quickly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu::ntt::rlwe::RlweParams;
+use rpu::Rpu;
+use rpu_serve::{run_traffic, serve, OpMix, ServeConfig, TenantLoad, TrafficReport, TrafficSpec};
+
+const JOBS_PER_TENANT: usize = 16;
+
+fn run_mix(lanes: usize, mix: OpMix, seed: u64) -> TrafficReport {
+    let rpu = Rpu::builder()
+        .lanes(lanes)
+        .device_heap_elements(1 << 20)
+        .build()
+        .expect("rpu builds");
+    let n = rpu::smoke_cap(2048);
+    let q = rpu.session().primes_for(n).expect("prime exists");
+    let params = RlweParams { n, q, t: 65537 };
+    let loads = vec![
+        TenantLoad::new(JOBS_PER_TENANT * 2).weight(2),
+        TenantLoad::new(JOBS_PER_TENANT),
+        TenantLoad::new(JOBS_PER_TENANT),
+    ];
+    let spec = TrafficSpec::new(seed, mix, loads);
+    let (report, _serve_report) = serve(&rpu, ServeConfig::new(params), |server| {
+        run_traffic(server, &spec)
+    })
+    .expect("serve runs");
+    report.expect("traffic runs")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mixes: [(&str, OpMix); 3] = [
+        ("transport", OpMix::transport()),
+        ("eval_heavy", OpMix::eval_heavy()),
+        ("dot_product", OpMix::dot_product()),
+    ];
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(2);
+    for lanes in [2usize, 4] {
+        for (name, mix) in mixes {
+            let mut last: Option<TrafficReport> = None;
+            g.bench_function(format!("{name}/{lanes}lanes"), |b| {
+                b.iter(|| last = Some(run_mix(lanes, mix, 7)));
+            });
+            let r = last.expect("at least one iteration ran");
+            println!(
+                "serve/{name}/{lanes}lanes: ops={} ops/s={:.1} p50={}us p99={}us retries={}",
+                r.ops, r.ops_per_sec, r.p50_us, r.p99_us, r.retries
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

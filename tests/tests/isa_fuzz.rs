@@ -13,6 +13,17 @@
 //!
 //! All three must agree on the outcome (`Ok` or the exact `ExecError`)
 //! and on every piece of publicly observable architectural state.
+//!
+//! Programs are drawn from **weighted shape profiles** rather than a
+//! uniform instruction mix: memory-heavy, compute-heavy,
+//! butterfly/pack, and gather-heavy programs stress different simulator
+//! paths (address generation, the modular ALUs, the permute network,
+//! and indexed access respectively) far harder than uniform draws do.
+//!
+//! The case count defaults to 128 and is tunable with `RPU_FUZZ_CASES`
+//! (a long soak sets thousands); the generic `PROPTEST_CASES` variable
+//! still wins over both when set, since the proptest runner reads it
+//! last.
 
 use proptest::prelude::*;
 use rpu::isa::{AReg, AddrMode, Instruction, MReg, PredecodedProgram, Program, SReg, VReg};
@@ -104,12 +115,56 @@ impl Rng {
     }
 }
 
-/// Generates a random well-formed program of `len` instructions.
+/// Fuzz case count: `RPU_FUZZ_CASES` overrides the default of 128
+/// (raise it for soak runs). The proptest runner's own
+/// `PROPTEST_CASES` variable still takes precedence over both.
+fn fuzz_cases() -> u32 {
+    std::env::var("RPU_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// A program shape: relative weights over the 18 instruction kinds
+/// (indexed as in the generator's match below). Skewed mixes reach
+/// deeper into single subsystems than uniform draws — long load/store
+/// runs hit address-generation corner cases, dense compute runs hit
+/// ALU/fault parity, butterfly/pack runs hit the permute network, and
+/// gather runs hit indexed addressing.
+const SHAPES: [[u32; 18]; 4] = [
+    // Memory-heavy: loads, stores, broadcasts, scalar/modulus/address
+    // loads dominate.
+    [8, 8, 2, 6, 5, 5, 5, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1],
+    // Compute-heavy: the six modular-arithmetic kinds dominate.
+    [2, 1, 1, 1, 1, 2, 1, 8, 8, 8, 6, 6, 6, 2, 1, 1, 1, 1],
+    // Butterfly/pack: Bfly and the pack/unpack quartet dominate.
+    [2, 1, 1, 1, 1, 2, 1, 1, 1, 2, 1, 1, 1, 10, 6, 6, 6, 6],
+    // Gather-heavy: indexed access plus the loads that feed it.
+    [6, 3, 12, 3, 2, 2, 4, 2, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1],
+];
+
+/// Draws an instruction-kind index from a weight table.
+fn weighted_kind(r: &mut Rng, weights: &[u32; 18]) -> u64 {
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    let mut draw = r.below(total);
+    for (kind, &w) in weights.iter().enumerate() {
+        let w = u64::from(w);
+        if draw < w {
+            return kind as u64;
+        }
+        draw -= w;
+    }
+    unreachable!("draw is below the weight total")
+}
+
+/// Generates a random well-formed program of `len` instructions, with
+/// the instruction mix drawn from a seed-selected shape profile.
 fn random_legal_program(seed: u64, len: usize) -> Program {
     let mut r = Rng(seed);
+    let shape = &SHAPES[r.below(SHAPES.len() as u64) as usize];
     let mut p = Program::new(format!("fuzz_{seed:x}"));
     for _ in 0..len {
-        let instr = match r.below(18) {
+        let instr = match weighted_kind(&mut r, shape) {
             0 => Instruction::VLoad {
                 vd: r.vreg(),
                 base: r.areg(),
@@ -244,7 +299,7 @@ fn observable_state(sim: &FunctionalSim) -> (Vec<u128>, Vec<Vec<u128>>, Vec<u128
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
 
     /// Interpreter == fast path == encode/decode round trip, on outcome
     /// and on all observable state, for random legal programs.

@@ -1,0 +1,570 @@
+//! Serving-layer integration tests: multi-tenant differential
+//! correctness against the host RLWE reference, weighted-fair
+//! scheduling bounds read off the dispatch log, typed backpressure,
+//! tenant isolation, and the rekey/teardown buffer lifecycle.
+
+use proptest::prelude::*;
+use rpu::ntt::rlwe::{Ciphertext, RlweContext, RlweParams, Splitmix};
+use rpu::Rpu;
+use rpu_serve::{
+    serve, CtHandle, JobOutput, JobRequest, ServeConfig, ServeError, ServerHandle, TenantId,
+    TenantSpec,
+};
+
+const N: usize = 1024;
+const T: u128 = 65537;
+
+fn params(rpu: &Rpu) -> RlweParams {
+    let q = rpu.session().primes_for(N).expect("prime exists");
+    RlweParams { n: N, q, t: T }
+}
+
+fn message(seed: u128) -> Vec<u128> {
+    (0..N as u128).map(|i| (i * 17 + seed) % 97).collect()
+}
+
+fn ct_of(out: JobOutput) -> CtHandle {
+    match out {
+        JobOutput::Ciphertext(ct) => ct,
+        other => panic!("expected ciphertext, got {other:?}"),
+    }
+}
+
+fn plain_of(out: JobOutput) -> Vec<u128> {
+    match out {
+        JobOutput::Plaintext(p) => p,
+        other => panic!("expected plaintext, got {other:?}"),
+    }
+}
+
+fn submit_wait(server: &ServerHandle, tenant: TenantId, req: JobRequest) -> JobOutput {
+    server
+        .submit(tenant, req)
+        .expect("submission accepted")
+        .wait()
+        .expect("job succeeds")
+}
+
+/// Three tenants on two lanes, each driven from its own client thread:
+/// encrypt, multiply, rotate, dot-product, decrypt. Every decrypted
+/// vector must be bit-identical to a host-side [`RlweContext`] mirror
+/// replaying the same per-tenant randomness stream — concurrency and
+/// batching must not perturb any tenant's results.
+#[test]
+fn concurrent_tenants_match_host_mirror() {
+    let rpu = Rpu::builder().lanes(2).build().unwrap();
+    let p = params(&rpu);
+    let seeds: [u64; 3] = [0xA11CE, 0xB0B5, 0xC4A7];
+
+    let (got, report) = serve(&rpu, ServeConfig::new(p), |server| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &seed)| {
+                    let server = server.clone();
+                    scope.spawn(move || {
+                        let tenant = server
+                            .register_tenant(TenantSpec::new(seed).rotations(vec![1]))
+                            .unwrap();
+                        let m1 = message(i as u128 + 1);
+                        let m2 = message(i as u128 + 100);
+                        let e1 = ct_of(submit_wait(
+                            &server,
+                            tenant,
+                            JobRequest::Encrypt { message: m1 },
+                        ));
+                        let e2 = ct_of(submit_wait(
+                            &server,
+                            tenant,
+                            JobRequest::Encrypt { message: m2 },
+                        ));
+                        let prod = ct_of(submit_wait(
+                            &server,
+                            tenant,
+                            JobRequest::Mul { x: e1, y: e2 },
+                        ));
+                        let rot = ct_of(submit_wait(
+                            &server,
+                            tenant,
+                            JobRequest::Rotate { ct: prod, steps: 1 },
+                        ));
+                        let dot = ct_of(submit_wait(
+                            &server,
+                            tenant,
+                            JobRequest::Dot {
+                                x: e1,
+                                y: e2,
+                                len: 3,
+                            },
+                        ));
+                        [prod, rot, dot].map(|ct| {
+                            plain_of(submit_wait(&server, tenant, JobRequest::Decrypt { ct }))
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread succeeds"))
+                .collect::<Vec<_>>()
+        })
+    })
+    .unwrap();
+    assert_eq!(report.completed, 3 * 8);
+    assert_eq!(report.rejected, 0);
+
+    // Host mirror: same per-tenant stream, same draw order (keys at
+    // registration, then encrypt randomness in submission order), same
+    // operation dataflow.
+    let ctx = RlweContext::new(p).unwrap();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let mut rng = Splitmix::new(seed);
+        let sk = ctx.keygen(&mut rng);
+        let rk = ctx.relin_keygen(&sk, &mut rng, 16);
+        let gk = ctx
+            .galois_keygen(&sk, ctx.galois_element(1), &mut rng, 16)
+            .unwrap();
+        let c1 = ctx.encrypt(&sk, &message(i as u128 + 1), &mut rng);
+        let c2 = ctx.encrypt(&sk, &message(i as u128 + 100), &mut rng);
+        let prod = ctx.mul(&rk, &c1, &c2);
+        let rot = ctx.apply_galois(&gk, &prod).unwrap();
+        let dot = {
+            let first = ctx.mul(&rk, &c1, &c2);
+            let mut acc = first.clone();
+            let mut cur = first;
+            for _ in 1..3 {
+                cur = ctx.apply_galois(&gk, &cur).unwrap();
+                acc = ctx.add(&acc, &cur);
+            }
+            acc
+        };
+        let expect = |ct: &Ciphertext| -> Vec<u128> { ctx.decrypt(&sk, ct) };
+        assert_eq!(got[i][0], expect(&prod), "tenant {i} product");
+        assert_eq!(got[i][1], expect(&rot), "tenant {i} rotation");
+        assert_eq!(got[i][2], expect(&dot), "tenant {i} dot product");
+    }
+}
+
+/// Runs a two-tenant single-lane flood with the queues prefilled under
+/// `pause`, then reads the dispatch log back: returns how many heavy
+/// jobs were dispatched before the light tenant's backlog finished.
+fn heavy_jobs_before_light_done(
+    heavy_weight: u32,
+    light_weight: u32,
+    heavy_jobs: usize,
+    light_jobs: usize,
+) -> (usize, usize) {
+    let rpu = Rpu::builder().lanes(1).build().unwrap();
+    let p = params(&rpu);
+    let (counts, _report) = serve(&rpu, ServeConfig::new(p), |server| {
+        let heavy = server
+            .register_tenant(TenantSpec::new(1).weight(heavy_weight))
+            .unwrap();
+        let light = server
+            .register_tenant(TenantSpec::new(2).weight(light_weight))
+            .unwrap();
+        server.pause();
+        let mut tickets = Vec::new();
+        for _ in 0..heavy_jobs {
+            tickets.push(
+                server
+                    .submit(
+                        heavy,
+                        JobRequest::Encrypt {
+                            message: message(1),
+                        },
+                    )
+                    .unwrap(),
+            );
+        }
+        for _ in 0..light_jobs {
+            tickets.push(
+                server
+                    .submit(
+                        light,
+                        JobRequest::Encrypt {
+                            message: message(2),
+                        },
+                    )
+                    .unwrap(),
+            );
+        }
+        server.resume();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.wait_all();
+        let log = server.dispatch_log();
+        let mut heavy_before = 0;
+        let mut light_seen = 0;
+        for rec in &log {
+            if rec.tenant == light {
+                light_seen += rec.batch;
+            } else if rec.tenant == heavy && light_seen < light_jobs {
+                heavy_before += rec.batch;
+            }
+        }
+        (heavy_before, light_seen)
+    })
+    .unwrap();
+    counts
+}
+
+/// Equal weights: a tenant flooding 40 jobs gets no more than its fair
+/// share (plus batching slack) before a light 8-job tenant drains.
+#[test]
+fn saturating_tenant_cannot_starve_equal_weight_tenant() {
+    let (heavy_before, light_seen) = heavy_jobs_before_light_done(1, 1, 40, 8);
+    assert_eq!(light_seen, 8);
+    // Fair share for equal weights is parity; allow two batch quanta
+    // of slack for in-flight granularity.
+    assert!(
+        heavy_before <= 8 + 2 * 4,
+        "heavy got {heavy_before} jobs before light finished"
+    );
+}
+
+/// A weight-3 tenant should get roughly 3× the service of a weight-1
+/// tenant while both are backlogged.
+#[test]
+fn weighted_shares_are_respected() {
+    let rpu = Rpu::builder().lanes(1).build().unwrap();
+    let p = params(&rpu);
+    let ((a_total, b_when_a_done), _report) = serve(&rpu, ServeConfig::new(p), |server| {
+        let a = server
+            .register_tenant(TenantSpec::new(1).weight(3))
+            .unwrap();
+        let b = server
+            .register_tenant(TenantSpec::new(2).weight(1))
+            .unwrap();
+        server.pause();
+        let mut tickets = Vec::new();
+        for _ in 0..24 {
+            tickets.push(
+                server
+                    .submit(
+                        a,
+                        JobRequest::Encrypt {
+                            message: message(1),
+                        },
+                    )
+                    .unwrap(),
+            );
+            tickets.push(
+                server
+                    .submit(
+                        b,
+                        JobRequest::Encrypt {
+                            message: message(2),
+                        },
+                    )
+                    .unwrap(),
+            );
+        }
+        server.resume();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.wait_all();
+        let log = server.dispatch_log();
+        let mut a_seen = 0;
+        let mut b_when_a_done = 0;
+        for rec in &log {
+            if rec.tenant == a {
+                a_seen += rec.batch;
+            } else if a_seen < 24 {
+                b_when_a_done += rec.batch;
+            }
+        }
+        (a_seen, b_when_a_done)
+    })
+    .unwrap();
+    assert_eq!(a_total, 24);
+    // WFQ with weights 3:1 serves B about 24/3 = 8 jobs while A's
+    // backlog drains; allow a batch quantum of slack either way.
+    assert!(
+        (4..=16).contains(&b_when_a_done),
+        "weight-1 tenant got {b_when_a_done} jobs while weight-3 drained 24"
+    );
+}
+
+/// Backpressure: the capacity'th+1 submission is rejected with the
+/// typed error instead of queueing, and capacity frees up as tickets
+/// drain.
+#[test]
+fn queue_full_surfaces_instead_of_unbounded_growth() {
+    let rpu = Rpu::builder().lanes(1).build().unwrap();
+    let p = params(&rpu);
+    let mut config = ServeConfig::new(p);
+    config.capacity = 4;
+    serve(&rpu, config, |server| {
+        let tenant = server.register_tenant(TenantSpec::new(9)).unwrap();
+        server.pause();
+        let tickets: Vec<_> = (0..4)
+            .map(|_| {
+                server
+                    .submit(
+                        tenant,
+                        JobRequest::Encrypt {
+                            message: message(3),
+                        },
+                    )
+                    .expect("within capacity")
+            })
+            .collect();
+        let err = server
+            .submit(
+                tenant,
+                JobRequest::Encrypt {
+                    message: message(3),
+                },
+            )
+            .expect_err("over capacity");
+        assert_eq!(
+            err,
+            ServeError::QueueFull {
+                tenant,
+                capacity: 4
+            }
+        );
+        server.resume();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        // Draining restored capacity.
+        submit_wait(
+            server,
+            tenant,
+            JobRequest::Encrypt {
+                message: message(3),
+            },
+        );
+        let stats = server.tenant_stats(tenant).unwrap();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 5);
+    })
+    .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property: whatever the capacity, a client that floods one extra
+    /// submission gets `QueueFull` with the configured bound echoed
+    /// back, and the tenant's outstanding count never exceeds it.
+    #[test]
+    fn prop_backpressure_bounds_outstanding(capacity in 1usize..6) {
+        let rpu = Rpu::builder().lanes(1).build().unwrap();
+        let p = params(&rpu);
+        let mut config = ServeConfig::new(p);
+        config.capacity = capacity;
+        serve(&rpu, config, |server| {
+            let tenant = server.register_tenant(TenantSpec::new(77)).unwrap();
+            server.pause();
+            let tickets: Vec<_> = (0..capacity)
+                .map(|_| server.submit(tenant, JobRequest::Encrypt { message: message(4) }).unwrap())
+                .collect();
+            prop_assert_eq!(server.outstanding(tenant).unwrap(), capacity);
+            let err = server
+                .submit(tenant, JobRequest::Encrypt { message: message(4) })
+                .expect_err("over capacity");
+            prop_assert_eq!(err, ServeError::QueueFull { tenant, capacity });
+            server.resume();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+            prop_assert_eq!(server.outstanding(tenant).unwrap(), 0);
+        })
+        .unwrap();
+    }
+
+    /// Property: across weight ratios, a flooding tenant's service
+    /// before a light tenant's backlog drains stays within its
+    /// weighted share plus batching slack.
+    #[test]
+    fn prop_no_starvation_beyond_weight(heavy_w in 1u32..4, light_w in 1u32..4) {
+        let light_jobs = 8usize;
+        let (heavy_before, light_seen) =
+            heavy_jobs_before_light_done(heavy_w, light_w, 24, light_jobs);
+        prop_assert_eq!(light_seen, light_jobs);
+        let share = (light_jobs * heavy_w as usize).div_ceil(light_w as usize);
+        let bound = share + 2 * 4; // two batch quanta of slack
+        prop_assert!(
+            heavy_before <= bound,
+            "heavy ({heavy_w}) got {heavy_before} jobs before light ({light_w}) drained; bound {bound}"
+        );
+    }
+}
+
+/// Cross-tenant handles, missing rotation keys, malformed messages, and
+/// freed handles all surface as their typed errors.
+#[test]
+fn tenant_isolation_and_typed_errors() {
+    let rpu = Rpu::builder().lanes(2).build().unwrap();
+    let p = params(&rpu);
+    serve(&rpu, ServeConfig::new(p), |server| {
+        let a = server
+            .register_tenant(TenantSpec::new(1).rotations(vec![1]))
+            .unwrap();
+        let b = server.register_tenant(TenantSpec::new(2)).unwrap();
+        let ct_a = ct_of(submit_wait(
+            server,
+            a,
+            JobRequest::Encrypt {
+                message: message(5),
+            },
+        ));
+
+        // Tenant B cannot touch A's ciphertexts.
+        let err = server
+            .submit(b, JobRequest::Mul { x: ct_a, y: ct_a })
+            .expect_err("foreign handle rejected");
+        assert_eq!(
+            err,
+            ServeError::ForeignCiphertext {
+                tenant: b,
+                ct: ct_a
+            }
+        );
+
+        // No rotation key for 2 steps (only 1 was prepared).
+        let err = server
+            .submit(a, JobRequest::Rotate { ct: ct_a, steps: 2 })
+            .expect_err("missing rotation key");
+        assert_eq!(
+            err,
+            ServeError::NoRotationKey {
+                tenant: a,
+                steps: 2
+            }
+        );
+
+        // Malformed requests are typed BadRequest at submission.
+        assert!(matches!(
+            server.submit(
+                a,
+                JobRequest::Encrypt {
+                    message: vec![1; 3]
+                }
+            ),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            server.submit(
+                a,
+                JobRequest::Dot {
+                    x: ct_a,
+                    y: ct_a,
+                    len: 0
+                }
+            ),
+            Err(ServeError::BadRequest(_))
+        ));
+
+        // Freeing consumes the handle; later use fails through the ticket.
+        assert_eq!(
+            submit_wait(server, a, JobRequest::Free { ct: ct_a }),
+            JobOutput::Freed
+        );
+        let err = server
+            .submit(a, JobRequest::Decrypt { ct: ct_a })
+            .unwrap()
+            .wait()
+            .expect_err("freed handle is gone");
+        assert_eq!(err, ServeError::UnknownCiphertext(ct_a));
+    })
+    .unwrap();
+}
+
+/// Rekeying invalidates old-key ciphertexts but keeps the tenant
+/// serviceable; teardown deactivates it and releases every device
+/// buffer it held — after all tenants are gone the lanes hold zero
+/// live buffers.
+#[test]
+fn rekey_and_teardown_release_device_buffers() {
+    let rpu = Rpu::builder().lanes(2).build().unwrap();
+    let p = params(&rpu);
+    let (_, report) = serve(&rpu, ServeConfig::new(p), |server| {
+        let a = server
+            .register_tenant(TenantSpec::new(1).rotations(vec![1]))
+            .unwrap();
+        let b = server.register_tenant(TenantSpec::new(2)).unwrap();
+
+        let msg = message(6);
+        let ct = ct_of(submit_wait(
+            server,
+            a,
+            JobRequest::Encrypt {
+                message: msg.clone(),
+            },
+        ));
+        assert_eq!(
+            plain_of(submit_wait(server, a, JobRequest::Decrypt { ct })),
+            msg.iter().map(|m| m % T).collect::<Vec<_>>()
+        );
+
+        // Rekey: the old handle is invalidated, fresh traffic works.
+        server.wait_all();
+        server.rekey(a).unwrap();
+        let err = server
+            .submit(a, JobRequest::Decrypt { ct })
+            .unwrap()
+            .wait()
+            .expect_err("old-key ciphertext invalidated");
+        assert_eq!(err, ServeError::UnknownCiphertext(ct));
+        let ct2 = ct_of(submit_wait(
+            server,
+            a,
+            JobRequest::Encrypt {
+                message: msg.clone(),
+            },
+        ));
+        assert_eq!(
+            plain_of(submit_wait(server, a, JobRequest::Decrypt { ct: ct2 })),
+            msg
+        );
+
+        // Teardown deactivates the tenant...
+        server.teardown(a).unwrap();
+        assert!(matches!(
+            server.submit(
+                a,
+                JobRequest::Encrypt {
+                    message: msg.clone()
+                }
+            ),
+            Err(ServeError::UnknownTenant(_))
+        ));
+        assert_eq!(server.tenant_stats(a).unwrap().resident_cts, 0);
+        // ...while other tenants keep working, and registration still
+        // functions after a teardown.
+        submit_wait(
+            server,
+            b,
+            JobRequest::Encrypt {
+                message: msg.clone(),
+            },
+        );
+        server.teardown(b).unwrap();
+        let c = server.register_tenant(TenantSpec::new(3)).unwrap();
+        submit_wait(server, c, JobRequest::Encrypt { message: msg });
+        server.teardown(c).unwrap();
+    })
+    .unwrap();
+    assert_eq!(
+        report.resident_buffers,
+        vec![0; 2],
+        "teardown must return every lane to an empty device heap"
+    );
+}
+
+/// The client-facing handles must be shareable across threads.
+#[test]
+fn handles_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServerHandle>();
+    assert_send_sync::<rpu_serve::JobTicket>();
+    assert_send_sync::<CtHandle>();
+    assert_send_sync::<ServeError>();
+}

@@ -168,42 +168,38 @@ fn mixed_batch_all_verified() {
     assert_eq!(stats.hits, 1, "the duplicate spec hits the cache");
 }
 
-/// The deprecated one-shot shims must produce the same numbers as the
-/// session path they delegate to.
+/// A throwaway session (the pattern the removed one-shot shims
+/// delegated to) must produce the same numbers as a held session — the
+/// cache only amortizes cost, it never changes results.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_session_reports() {
+fn fresh_and_held_sessions_report_identical_numbers() {
     let n = 1024usize;
     let rpu = Rpu::builder().build().unwrap();
 
-    let legacy = rpu
-        .run_ntt(n, Direction::Forward, CodegenStyle::Optimized)
-        .unwrap();
-    let session = rpu
+    let fresh = rpu
         .session()
         .ntt(n, Direction::Forward, CodegenStyle::Optimized)
         .unwrap();
-    assert_eq!(legacy.n, session.n);
-    assert_eq!(legacy.q, session.q);
-    assert_eq!(legacy.stats.cycles, session.stats.cycles);
-    assert_eq!(legacy.runtime_us, session.runtime_us);
-    assert_eq!(legacy.energy.total_uj(), session.energy.total_uj());
-    assert_eq!(legacy.mix, session.mix);
-    assert!(legacy.verified && session.verified);
+    let mut held = rpu.session();
+    let warm = {
+        held.ntt(n, Direction::Forward, CodegenStyle::Optimized)
+            .unwrap();
+        held.ntt(n, Direction::Forward, CodegenStyle::Optimized)
+            .unwrap()
+    };
+    assert_eq!(fresh.n, warm.n);
+    assert_eq!(fresh.q, warm.q);
+    assert_eq!(fresh.stats.cycles, warm.stats.cycles);
+    assert_eq!(fresh.runtime_us, warm.runtime_us);
+    assert_eq!(fresh.energy.total_uj(), warm.energy.total_uj());
+    assert_eq!(fresh.mix, warm.mix);
+    assert!(fresh.verified && warm.verified);
+    assert!(!fresh.cache_hit && warm.cache_hit);
 
     let q = prime(n);
-    let explicit = rpu
-        .run_ntt_with_modulus(n, q, Direction::Inverse, CodegenStyle::Optimized)
-        .unwrap();
-    let via_spec = rpu
-        .session()
-        .run(&NttSpec::new(
-            n,
-            q,
-            Direction::Inverse,
-            CodegenStyle::Optimized,
-        ))
-        .unwrap();
+    let spec = NttSpec::new(n, q, Direction::Inverse, CodegenStyle::Optimized);
+    let explicit = rpu.session().run(&spec).unwrap();
+    let via_spec = rpu.session().run(&spec).unwrap();
     assert_eq!(explicit.stats.cycles, via_spec.stats.cycles);
     assert_eq!(explicit.runtime_us, via_spec.runtime_us);
     assert!(explicit.verified && via_spec.verified);
@@ -211,12 +207,11 @@ fn deprecated_shims_match_session_reports() {
 
 /// Cache-accounting audit pin: every `run()`/`ntt()` call performs
 /// exactly ONE cache lookup (hits + misses advance by one per call,
-/// never two), and the deprecated shims are stateless — each call is a
-/// fresh single-lookup session, so repeated shim calls report
+/// never two), and throwaway sessions are stateless — each one is a
+/// fresh single-lookup cache, so repeated single-use sessions report
 /// `cache_hit == false` with otherwise identical numbers.
 #[test]
-#[allow(deprecated)]
-fn shim_and_session_cache_accounting_is_one_lookup_per_run() {
+fn session_cache_accounting_is_one_lookup_per_run() {
     let n = 1024usize;
     let rpu = Rpu::builder().build().unwrap();
 
@@ -249,12 +244,15 @@ fn shim_and_session_cache_accounting_is_one_lookup_per_run() {
     assert_eq!(st.misses, 1, "one distinct shape generated once");
     assert_eq!(st.hits, calls - 1);
 
-    // Shims: stateless, never a phantom hit, reports repeat exactly.
+    // Throwaway sessions: stateless, never a phantom hit, reports
+    // repeat exactly.
     let first = rpu
-        .run_ntt(n, Direction::Forward, CodegenStyle::Optimized)
+        .session()
+        .ntt(n, Direction::Forward, CodegenStyle::Optimized)
         .unwrap();
     let second = rpu
-        .run_ntt(n, Direction::Forward, CodegenStyle::Optimized)
+        .session()
+        .ntt(n, Direction::Forward, CodegenStyle::Optimized)
         .unwrap();
     assert!(!first.cache_hit && !second.cache_hit);
     assert_eq!(first.stats.cycles, second.stats.cycles);
