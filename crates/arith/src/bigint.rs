@@ -110,6 +110,27 @@ impl UBig {
         out
     }
 
+    /// Returns `self - rhs`, or `None` when `rhs > self` (the result
+    /// would be negative — unrepresentable for an unsigned integer).
+    pub fn checked_sub(&self, rhs: &UBig) -> Option<UBig> {
+        if rhs > self {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let r = *rhs.limbs.get(i).unwrap_or(&0);
+            let (d, b1) = self.limbs[i].overflowing_sub(r);
+            let (d, b2) = d.overflowing_sub(borrow);
+            limbs.push(d);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0, "rhs <= self rules out a final borrow");
+        let mut out = UBig { limbs };
+        out.normalize();
+        Some(out)
+    }
+
     /// Returns `self mod m` for a non-zero 128-bit modulus.
     ///
     /// # Panics
@@ -215,6 +236,24 @@ mod tests {
         let b = UBig::from_u128(u128::MAX).mul_u128(2);
         assert!(a < b);
         assert_eq!(a.cmp(&UBig::from_u128(5)), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn checked_sub_borrows_and_rejects_underflow() {
+        let big = UBig::from_u128(u128::MAX).mul_u128(3);
+        let small = UBig::from_u128(u128::MAX);
+        let diff = big.checked_sub(&small).unwrap();
+        // 3(2^128 - 1) - (2^128 - 1) = 2(2^128 - 1)
+        assert_eq!(diff, small.mul_u128(2));
+        assert!(small.checked_sub(&big).is_none());
+        assert_eq!(small.checked_sub(&small).unwrap(), UBig::zero());
+        // borrow propagation across a limb boundary
+        let a = UBig::from_u128(1u128 << 64);
+        let b = UBig::from_u128(1);
+        assert_eq!(
+            a.checked_sub(&b).unwrap().to_u128(),
+            Some((1u128 << 64) - 1)
+        );
     }
 
     #[test]

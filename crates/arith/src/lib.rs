@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bigint;
+mod chain;
 mod gadget;
 mod mod128;
 mod mod64;
@@ -45,13 +46,15 @@ mod roots;
 mod u256;
 
 pub use bigint::UBig;
+pub use chain::{ChainError, ModulusChain};
 pub use gadget::{gadget_decompose, gadget_levels};
 pub use mod128::Modulus128;
 pub use mod64::Modulus64;
 pub use primes::{
-    find_ntt_prime_chain, find_ntt_prime_u128, find_ntt_prime_u64, is_prime_u128, is_prime_u64,
+    find_congruent_prime_chain, find_ntt_prime_chain, find_ntt_prime_u128, find_ntt_prime_u64,
+    is_prime_u128, is_prime_u64,
 };
-pub use rns::{RnsBasis, RnsError};
+pub use rns::{mod_inverse, RnsBasis, RnsError};
 pub use roots::{
     bit_reverse, power_table, power_table_bitrev, primitive_root_of_unity, FindRootError,
 };

@@ -192,6 +192,43 @@ pub fn find_ntt_prime_chain(bits: u32, modulo: u128, count: usize) -> Vec<u128> 
     out
 }
 
+/// Finds `count` distinct primes just below `2^bits` with
+/// `q ≡ 1 (mod stride)` for an **arbitrary** non-zero stride — the
+/// generalization of [`find_ntt_prime_chain`] that leveled modulus
+/// chains need, where the stride is `2n·t` so every chain prime is both
+/// NTT-friendly (`q ≡ 1 mod 2n`) and plaintext-neutral (`q ≡ 1 mod t`,
+/// making the rescale factor `q^{-1} ≡ 1 mod t`).
+///
+/// Primes are returned in descending order. Returns fewer than `count`
+/// primes if the range below `2^bits` (or the per-prime search budget)
+/// is exhausted.
+///
+/// # Panics
+///
+/// Panics unless `1 <= bits <= 127` and `stride` is non-zero.
+pub fn find_congruent_prime_chain(bits: u32, stride: u128, count: usize) -> Vec<u128> {
+    assert!((1..=127).contains(&bits), "bits must be in 1..=127");
+    assert!(stride != 0, "stride must be non-zero");
+    let top = 1u128 << bits;
+    if top <= 2 {
+        return Vec::new();
+    }
+    let mut k = (top - 2) / stride;
+    let mut out = Vec::with_capacity(count);
+    let mut budget = SEARCH_BUDGET;
+    while k > 0 && out.len() < count && budget > 0 {
+        let q = k * stride + 1;
+        if is_prime_u128(q) {
+            out.push(q);
+            budget = SEARCH_BUDGET;
+        } else {
+            budget -= 1;
+        }
+        k -= 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +295,22 @@ mod tests {
         for &q in &chain {
             assert!(is_prime_u128(q));
             assert_eq!(q % (1 << 13), 1);
+        }
+    }
+
+    #[test]
+    fn congruent_chain_honours_arbitrary_stride() {
+        // Stride 2n·t with n = 512, t = 65537 — not a power of two.
+        let stride = 1024u128 * 65537;
+        let chain = find_congruent_prime_chain(60, stride, 4);
+        assert_eq!(chain.len(), 4);
+        for w in chain.windows(2) {
+            assert!(w[0] > w[1], "descending order");
+        }
+        for &q in &chain {
+            assert!(is_prime_u128(q));
+            assert_eq!(q % stride, 1);
+            assert!(q < 1u128 << 60);
         }
     }
 

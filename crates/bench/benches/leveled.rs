@@ -1,0 +1,98 @@
+//! Leveled-pipeline scaling benchmark: multiply-and-rescale chains of
+//! depth 1–3 over a 4-prime RNS chain, with the per-tower kernels
+//! pinned across 1 / 2 / 4 lanes. The printed depth × lanes makespan
+//! table is the one recorded in EXPERIMENTS.md.
+//!
+//! Two numbers matter per configuration:
+//!
+//! * the **simulated cost** of the chain — sequential-equivalent
+//!   microseconds vs the overlapped makespan across lanes (towers are
+//!   sharded lane `l % lanes`, so deeper chains with more live towers
+//!   overlap better);
+//! * the **host wall clock** criterion measures for a depth-3
+//!   `mul_rescale` chain (the lanes really run on parallel threads).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rpu::ntt::rlwe::Splitmix;
+use rpu::{CodegenStyle, LeveledContext, LeveledEvaluator, Rpu};
+
+const T: u128 = 65537;
+const BITS: u32 = 59;
+const LEVELS: usize = 4;
+
+fn leveled_scaling(c: &mut Criterion) {
+    let n = rpu::smoke_cap(1024);
+    let msg: Vec<u128> = (0..n as u128).map(|i| (i * 13 + 7) % 64).collect();
+
+    let mut group = c.benchmark_group("leveled_chain_1k");
+    group.sample_size(10);
+
+    println!("depth x lanes makespan (4 x {BITS}-bit chain, n = {n}):");
+    for lanes in [1usize, 2, 4] {
+        let rpu = Rpu::builder().lanes(lanes).build().expect("valid config");
+        let ctx = LeveledContext::generate(n, T, BITS, LEVELS).expect("chain exists");
+        let mut eval =
+            LeveledEvaluator::new(&rpu, ctx, CodegenStyle::Optimized).expect("evaluator");
+        eval.set_key_base_log(32).expect("valid base");
+        let mut rng = Splitmix::new(0xBEEF);
+        eval.keygen(&mut rng).expect("keygen");
+        eval.relin_keygen(&mut rng).expect("relin keygen");
+        let ct = eval.encrypt(&msg, &mut rng).expect("encrypt");
+
+        // Warm every kernel cache (all three levels' mul + rescale),
+        // then measure one chain per depth.
+        let mut acc = ct.clone();
+        for _ in 0..3 {
+            let next = eval.mul_rescale(&acc, &acc).expect("mul_rescale");
+            if acc.level() < LEVELS - 1 {
+                eval.free_ciphertext(acc).expect("free");
+            }
+            acc = next;
+        }
+        eval.free_ciphertext(acc).expect("free");
+
+        for depth in 1usize..=3 {
+            let (d0, us0, mk0) = (
+                eval.dispatch_count(),
+                eval.simulated_us(),
+                eval.makespan_us(),
+            );
+            let mut acc = ct.clone();
+            for _ in 0..depth {
+                let next = eval.mul_rescale(&acc, &acc).expect("mul_rescale");
+                if acc.level() < LEVELS - 1 {
+                    eval.free_ciphertext(acc).expect("free");
+                }
+                acc = next;
+            }
+            eval.free_ciphertext(acc).expect("free");
+            let us = eval.simulated_us() - us0;
+            let mk = eval.makespan_us() - mk0;
+            println!(
+                "  depth={depth} lanes={lanes}: {} dispatches, simulated {us:.2} us, \
+                 makespan {mk:.2} us ({:.2}x overlap)",
+                eval.dispatch_count() - d0,
+                us / mk,
+            );
+        }
+
+        group.bench_function(format!("depth3_lanes_{lanes}"), |bench| {
+            bench.iter(|| {
+                let mut acc = ct.clone();
+                for _ in 0..3 {
+                    let next = eval.mul_rescale(&acc, &acc).expect("mul_rescale");
+                    if acc.level() < LEVELS - 1 {
+                        eval.free_ciphertext(acc).expect("free");
+                    }
+                    acc = next;
+                }
+                eval.free_ciphertext(acc).expect("free");
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, leveled_scaling);
+criterion_main!(benches);

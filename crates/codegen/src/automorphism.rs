@@ -76,7 +76,7 @@ impl KernelSpec for AutomorphismSpec {
             q: self.q,
             direction: Direction::Forward,
             style: self.style,
-            param: self.g as u64,
+            param: self.g as u128,
         }
     }
 

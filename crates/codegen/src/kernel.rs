@@ -39,6 +39,11 @@ pub enum KernelOp {
     /// pointwise multiply by a resident key component, accumulate —
     /// one fused B512 program.
     KeySwitch,
+    /// One surviving tower's share of a leveled rescale: forward NTT of
+    /// the rounding correction `δ`, subtract from the evaluation-form
+    /// component, scale by the dropped prime's inverse — one fused B512
+    /// program.
+    Rescale,
 }
 
 impl core::fmt::Display for KernelOp {
@@ -51,6 +56,7 @@ impl core::fmt::Display for KernelOp {
             KernelOp::NegacyclicMul => write!(f, "negamul"),
             KernelOp::Automorphism => write!(f, "autom"),
             KernelOp::KeySwitch => write!(f, "keyswitch"),
+            KernelOp::Rescale => write!(f, "rescale"),
         }
     }
 }
@@ -70,10 +76,11 @@ pub struct KernelKey {
     /// Code-generation style.
     pub style: CodegenStyle,
     /// Op-specific parameter: the Galois element `g` for
-    /// [`KernelOp::Automorphism`] kernels, `0` for every other op. Part
-    /// of the identity so kernels for different automorphisms never
-    /// collide in a cache.
-    pub param: u64,
+    /// [`KernelOp::Automorphism`] kernels, the dropped prime for
+    /// [`KernelOp::Rescale`] kernels, `0` for every other op. Part of
+    /// the identity so kernels for different automorphisms (or
+    /// different dropped towers) never collide in a cache.
+    pub param: u128,
 }
 
 /// A specification of one RPU workload: a pure value that knows its

@@ -30,7 +30,10 @@
 //!   indexed load and a baked-in index/sign table;
 //! * [`KeySwitchSpec`] — one gadget digit of a key switch (forward NTT →
 //!   multiply by a resident key component → accumulate), the inner loop
-//!   of relinearization and rotation.
+//!   of relinearization and rotation;
+//! * [`RescaleSpec`] — one surviving tower's leveled rescale (forward
+//!   NTT of the rounding correction → subtract → scale by the dropped
+//!   prime's inverse), the device half of modulus switching.
 //!
 //! Generated kernels carry their VDM/SDM memory images and golden
 //! outputs, so the functional simulator can verify them end to end.
@@ -59,6 +62,7 @@ mod kernel;
 mod keyswitch;
 mod layout;
 mod pipeline;
+mod rescale;
 mod sched;
 
 pub use automorphism::AutomorphismSpec;
@@ -68,6 +72,7 @@ pub use kernel::{Kernel, KernelKey, KernelOp, KernelSpec, NttSpec};
 pub use keyswitch::KeySwitchSpec;
 pub use layout::KernelLayout;
 pub use pipeline::ConvolutionSpec;
+pub use rescale::RescaleSpec;
 pub use sched::list_schedule;
 
 /// Transform direction of a generated kernel.

@@ -1,0 +1,255 @@
+//! The fused rescale kernel: `out = (ĉ − NTT(δ)) · p⁻¹ mod q`.
+//!
+//! Dropping the last live prime `p` of a leveled RNS ciphertext is,
+//! per surviving tower `q`, a three-step dataflow on the evaluation-form
+//! component `ĉ`: transform the host-computed rounding correction `δ`
+//! (natural-order coefficients, `δ ≡ c mod p`, `δ ≡ 0 mod t`) into the
+//! evaluation domain, subtract it, and scale every lane by the constant
+//! `p⁻¹ mod q`. This module fuses the three into one B512 program —
+//! the same NTT-plus-staged-pointwise shape as the key-switch kernel,
+//! with a scalar-broadcast multiply (`vsmulmod`) as the final stage:
+//!
+//! ```text
+//! VDM:  [ fwd-NTT window: δ in, δ̂ out ][ ĉ ][ ĉ − δ̂ ][ out ]
+//! SDM:  [ n⁻¹, q, p⁻¹ ]
+//! ```
+//!
+//! Because the NTT is linear and `δ`, `p⁻¹` are exact integers, the
+//! device result is bit-identical to the host oracle's coefficient-
+//! domain divide-and-round — the differential suites pin this.
+
+use crate::elementwise::emit_pointwise;
+use crate::kernel::{push_relocated, GoldenFn, Kernel, KernelKey, KernelOp, KernelSpec};
+use crate::sched::list_schedule;
+use crate::{CodegenError, CodegenStyle, Direction, ElementwiseOp, NttKernel};
+use rpu_isa::consts::{VDM_MAX_BYTES, VECTOR_LEN};
+use rpu_isa::{AReg, AddrMode, Instruction, MReg, Program, SReg, VReg};
+
+/// Specification of one surviving tower's rescale step over
+/// `Z_q[x]/(x^n + 1)` when dropping prime `p`: operands are the
+/// rounding correction `δ` (natural-order coefficients mod `q`) and the
+/// evaluation-form component `ĉ`; the output is the rescaled
+/// evaluation-form component.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_codegen::{CodegenStyle, KernelSpec, RescaleSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let chain = rpu_arith::ModulusChain::generate(1024, 65537, 59, 2)?;
+/// let spec = RescaleSpec::new(1024, chain.prime(0), chain.prime(1), CodegenStyle::Optimized);
+/// let kernel = spec.generate()?;
+/// assert_eq!(kernel.arity(), 2);
+/// assert!(kernel.verify()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RescaleSpec {
+    /// Ring degree (power of two ≥ 1024).
+    pub n: usize,
+    /// The surviving tower's prime modulus (`q ≡ 1 (mod 2n)`).
+    pub q: u128,
+    /// The dropped prime `p` (coprime to `q`).
+    pub p: u128,
+    /// Code-generation style applied to every segment.
+    pub style: CodegenStyle,
+}
+
+impl RescaleSpec {
+    /// Creates a rescale spec for surviving modulus `q`, dropped prime `p`.
+    pub fn new(n: usize, q: u128, p: u128, style: CodegenStyle) -> Self {
+        RescaleSpec { n, q, p, style }
+    }
+}
+
+impl KernelSpec for RescaleSpec {
+    fn key(&self) -> KernelKey {
+        KernelKey {
+            op: KernelOp::Rescale,
+            n: self.n,
+            q: self.q,
+            direction: Direction::Forward,
+            style: self.style,
+            param: self.p,
+        }
+    }
+
+    fn generate(&self) -> Result<Kernel, CodegenError> {
+        let RescaleSpec { n, q, p, style } = *self;
+        if p < 2 || p % q == 0 || q % p == 0 {
+            // p must be invertible mod q for the scale stage to exist.
+            return Err(CodegenError::Schedule(rpu_ntt::NttError::InvalidModulus));
+        }
+        let fwd = NttKernel::generate(n, q, Direction::Forward, style)?;
+        let w = fwd.layout().total_elements;
+        // Regions above the NTT window; each stage reads and writes
+        // disjoint ranges so the list scheduler stays honest.
+        let (hat_off, diff_off, out_off) = (w, w + n, w + 2 * n);
+        let total = w + 3 * n;
+        if total * rpu_isa::consts::ELEM_BYTES > VDM_MAX_BYTES {
+            return Err(CodegenError::WorkingSetTooLarge {
+                bytes: total * rpu_isa::consts::ELEM_BYTES,
+            });
+        }
+
+        let p_inv = rpu_arith::mod_inverse(p % q, q);
+        let (fwd_out, _) = fwd.output_range();
+        let mut program = Program::new(format!("rescale{n}_{style}"));
+        // Forward transform of δ (window 0); its prologue leaves q in m0
+        // for the pointwise stages.
+        push_relocated(&mut program, fwd.program(), 0);
+        // ĉ − δ̂ → diff.
+        let mut seg = Program::new("sub");
+        emit_pointwise(
+            &mut seg,
+            ElementwiseOp::SubMod,
+            n,
+            style,
+            hat_off,
+            fwd_out,
+            diff_off,
+        );
+        if style != CodegenStyle::Unoptimized {
+            seg = list_schedule(&seg);
+        }
+        push_relocated(&mut program, &seg, 0);
+        // diff · p⁻¹ → out, p⁻¹ broadcast from SDM slot 2.
+        let mut seg = Program::new("scale");
+        emit_scale_by_scalar(&mut seg, n, diff_off, out_off);
+        if style != CodegenStyle::Unoptimized {
+            seg = list_schedule(&seg);
+        }
+        push_relocated(&mut program, &seg, 0);
+
+        let mut base_image = vec![0u128; total];
+        base_image[..w].copy_from_slice(&fwd.vdm_image(&vec![0u128; n]));
+        let mut sdm = fwd.sdm_image(); // [n_inv, q]
+        sdm.push(p_inv);
+
+        let schedule = fwd.schedule().clone();
+        let modulus = schedule.modulus();
+        let golden: GoldenFn = Box::new(move |ops: &[&[u128]]| {
+            let delta_hat = schedule.forward(ops[0]);
+            ops[1]
+                .iter()
+                .zip(&delta_hat)
+                .map(|(&c, &d)| modulus.mul(modulus.sub(modulus.reduce(c), d), p_inv))
+                .collect()
+        });
+        Ok(Kernel::new(
+            self.key(),
+            program,
+            base_image,
+            sdm,
+            vec![(0, n), (hat_off, n)],
+            (out_off, n),
+            golden,
+        ))
+    }
+}
+
+/// Emits the scalar-broadcast scale stage: `dst[i] = src[i] · s0 mod q`
+/// over `n / 512` vectors, with `s0` loaded once from SDM slot 2 and
+/// `m0` already holding the modulus.
+fn emit_scale_by_scalar(program: &mut Program, n: usize, src: usize, dst: usize) {
+    let base = AReg::at(0);
+    let m0 = MReg::at(0);
+    let s0 = SReg::at(0);
+    program.push(Instruction::SLoad {
+        rt: s0,
+        base,
+        offset: 2,
+    });
+    for v in 0..n / VECTOR_LEN {
+        let r = VReg::at(1 + (v % 4) as u8);
+        program.push(Instruction::VLoad {
+            vd: r,
+            base,
+            offset: (src + v * VECTOR_LEN) as u32,
+            mode: AddrMode::Unit,
+        });
+        program.push(Instruction::VSMulMod {
+            vd: r,
+            vs: r,
+            rt: s0,
+            rm: m0,
+        });
+        program.push(Instruction::VStore {
+            vs: r,
+            base,
+            offset: (dst + v * VECTOR_LEN) as u32,
+            mode: AddrMode::Unit,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_arith::{Modulus128, ModulusChain};
+    use rpu_ntt::PeaseSchedule;
+
+    fn chain(n: usize) -> ModulusChain {
+        ModulusChain::generate(n, 65537, 59, 2).expect("chain exists")
+    }
+
+    #[test]
+    fn verifies_against_golden_model_both_styles() {
+        let n = 1024usize;
+        let c = chain(n);
+        for style in [CodegenStyle::Optimized, CodegenStyle::Unoptimized] {
+            let kernel = RescaleSpec::new(n, c.prime(0), c.prime(1), style)
+                .generate()
+                .unwrap();
+            assert!(kernel.verify().unwrap(), "{style:?}");
+            assert_eq!(kernel.arity(), 2);
+        }
+    }
+
+    #[test]
+    fn computes_subtract_then_scale() {
+        let n = 1024usize;
+        let c = chain(n);
+        let (q, p) = (c.prime(0), c.prime(1));
+        let kernel = RescaleSpec::new(n, q, p, CodegenStyle::Optimized)
+            .generate()
+            .unwrap();
+        let m = Modulus128::new(q).unwrap();
+        let p_inv = rpu_arith::mod_inverse(p % q, q);
+        assert_eq!(m.mul(p_inv, m.reduce(p)), 1);
+        let delta: Vec<u128> = (0..n as u128).map(|i| (i * 17 + 1) % q).collect();
+        let chat: Vec<u128> = (0..n as u128).map(|i| (i * 29 + 2) % q).collect();
+        let got = kernel.execute(&[&delta, &chat]).unwrap();
+        let sched = PeaseSchedule::new(n, q).unwrap();
+        let hat = sched.forward(&delta);
+        for i in (0..n).step_by(97) {
+            assert_eq!(got[i], m.mul(m.sub(chat[i], hat[i]), p_inv), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn distinct_dropped_primes_have_distinct_keys() {
+        let n = 1024usize;
+        let c = ModulusChain::generate(n, 65537, 59, 3).expect("chain exists");
+        let a = RescaleSpec::new(n, c.prime(0), c.prime(1), CodegenStyle::Optimized).key();
+        let b = RescaleSpec::new(n, c.prime(0), c.prime(2), CodegenStyle::Optimized).key();
+        assert_ne!(a, b, "dropped prime is part of the cache identity");
+        assert_eq!(a.param, c.prime(1));
+    }
+
+    #[test]
+    fn rejects_non_invertible_dropped_prime() {
+        let n = 1024usize;
+        let c = chain(n);
+        assert!(
+            RescaleSpec::new(n, c.prime(0), c.prime(0), CodegenStyle::Optimized)
+                .generate()
+                .is_err()
+        );
+        assert!(RescaleSpec::new(n, c.prime(0), 0, CodegenStyle::Optimized)
+            .generate()
+            .is_err());
+    }
+}

@@ -129,6 +129,7 @@
 mod buffer;
 mod explore;
 mod lanes;
+mod leveled;
 mod rlwe;
 mod run;
 mod session;
@@ -139,6 +140,7 @@ pub use lanes::{
     ClusterRunReport, LaneJob, LanePool, LaneStats, LaneWorker, PoolJob, RnsExecutor, RpuCluster,
     TowerJob,
 };
+pub use leveled::{DeviceLeveledCiphertext, DeviceLeveledRelinKey, LeveledEvaluator};
 pub use rlwe::{DeviceCiphertext, DeviceKeySwitchKey, RlweEvaluator};
 pub use run::{Rpu, RunReport};
 pub use session::{CacheStats, CachedKernel, KernelCache, PrimeTable, RpuBuilder, RpuSession};
@@ -154,9 +156,12 @@ pub use rpu_sim as sim;
 // And the most-used types at the top level.
 pub use rpu_codegen::{
     AutomorphismSpec, CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec,
-    Kernel, KernelKey, KernelOp, KernelSpec, KeySwitchSpec, NttKernel, NttSpec,
+    Kernel, KernelKey, KernelOp, KernelSpec, KeySwitchSpec, NttKernel, NttSpec, RescaleSpec,
 };
 pub use rpu_model::{AreaModel, DesignPoint, EnergyModel, F1Comparison};
+pub use rpu_ntt::leveled::{
+    LeveledCiphertext, LeveledContext, LeveledError, LeveledRelinKey, LeveledSecretKey, NoiseBudget,
+};
 pub use rpu_ntt::{Ntt128Plan, Ntt64Plan, PeaseSchedule, Polynomial, RnsPolynomial};
 pub use rpu_sim::{CycleSim, FunctionalSim, HbmModel, RpuConfig, SimStats};
 
@@ -201,6 +206,9 @@ pub enum RpuError {
     Buffer(BufferError),
     /// The host-side ring/RLWE library rejected the parameters.
     Ring(rpu_ntt::NttError),
+    /// The leveled-ciphertext layer rejected an operation (bad chain,
+    /// bottom-of-chain rescale, level out of range, …).
+    Leveled(rpu_ntt::leveled::LeveledError),
     /// A lane worker panicked mid-job in the cluster scheduler; the
     /// panic was caught on the worker thread and the run aborted cleanly
     /// (no poisoned queue, no wedged lanes).
@@ -223,6 +231,7 @@ impl core::fmt::Display for RpuError {
             RpuError::Exec(e) => write!(f, "kernel execution failed: {e}"),
             RpuError::Buffer(e) => write!(f, "device buffer operation failed: {e}"),
             RpuError::Ring(e) => write!(f, "ring parameters rejected: {e}"),
+            RpuError::Leveled(e) => write!(f, "leveled ciphertext operation failed: {e}"),
             RpuError::LanePanic { lane, message } => {
                 write!(f, "lane {lane} worker panicked mid-job: {message}")
             }
@@ -237,6 +246,7 @@ impl std::error::Error for RpuError {
             RpuError::Exec(e) => Some(e),
             RpuError::Buffer(e) => Some(e),
             RpuError::Ring(e) => Some(e),
+            RpuError::Leveled(e) => Some(e),
             _ => None,
         }
     }
@@ -257,5 +267,11 @@ impl From<BufferError> for RpuError {
 impl From<rpu_ntt::NttError> for RpuError {
     fn from(e: rpu_ntt::NttError) -> Self {
         RpuError::Ring(e)
+    }
+}
+
+impl From<rpu_ntt::leveled::LeveledError> for RpuError {
+    fn from(e: rpu_ntt::leveled::LeveledError) -> Self {
+        RpuError::Leveled(e)
     }
 }

@@ -1,0 +1,1035 @@
+//! Leveled RNS ciphertexts — the host-reference oracle for depth-`L`
+//! homomorphic evaluation.
+//!
+//! Extends the single-modulus scheme of [`crate::rlwe`] to a
+//! [`ModulusChain`]: a ciphertext component is a vector of tower
+//! polynomials, one per live chain prime, and every ring operation runs
+//! per tower. After each multiplication the ciphertext is *rescaled* —
+//! divided (with rounding) by the last live prime — which both shrinks
+//! the noise by ~`log2(q_l)` bits and drops one tower of work.
+//!
+//! Because every chain prime satisfies `q ≡ 1 (mod t)`, the implicit
+//! rescale factor `q_l^{-1} mod t` is `1`: LSB-encoded plaintexts pass
+//! through any number of rescales unchanged, and level alignment between
+//! operands is a plain tower truncation (mod-drop) with no scale
+//! bookkeeping.
+//!
+//! Everything here is the bit-exact definitional oracle for the
+//! on-device `LeveledEvaluator` in the `rpu` crate: the same rounding
+//! corrections, the same pinned randomness order, the same tower
+//! layouts. The [`NoiseBudget`] tracker maintains a rigorous worst-case
+//! bound on the centered phase magnitude; [`measure_noise`] decrypts
+//! against this oracle to validate the estimate.
+//!
+//! [`measure_noise`]: LeveledContext::measure_noise
+
+use crate::rlwe::Splitmix;
+use crate::{Ntt128Plan, NttError, Polynomial};
+use rpu_arith::{gadget_decompose, gadget_levels, ChainError, ModulusChain};
+use std::sync::Arc;
+
+/// Error from leveled-ciphertext operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeveledError {
+    /// The modulus chain could not be built.
+    Chain(ChainError),
+    /// A chain prime does not admit the requested negacyclic NTT (or a
+    /// ring parameter is invalid).
+    Ntt(NttError),
+    /// Rescale or mod-drop was requested at level 0 — no tower left to
+    /// drop.
+    BottomLevel,
+    /// A level index exceeded the ciphertext's (or the chain's) level.
+    LevelTooHigh {
+        /// The level that was requested.
+        requested: usize,
+        /// The highest level available.
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for LeveledError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LeveledError::Chain(e) => write!(f, "modulus chain: {e}"),
+            LeveledError::Ntt(e) => write!(f, "ring setup: {e}"),
+            LeveledError::BottomLevel => {
+                write!(f, "already at level 0: no tower left to drop")
+            }
+            LeveledError::LevelTooHigh { requested, max } => {
+                write!(f, "level {requested} exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeveledError {}
+
+impl From<ChainError> for LeveledError {
+    fn from(e: ChainError) -> Self {
+        LeveledError::Chain(e)
+    }
+}
+
+impl From<NttError> for LeveledError {
+    fn from(e: NttError) -> Self {
+        LeveledError::Ntt(e)
+    }
+}
+
+/// A rigorous worst-case bound on the centered phase magnitude of a
+/// ciphertext, in bits.
+///
+/// The *phase* of a ciphertext is `b − a·s = m + t·e (mod Q_l)`;
+/// decryption is exact while its centered magnitude stays below
+/// `Q_l / 2`. The tracker composes worst-case inequalities per
+/// operation, so the estimate is always conservative: measured noise
+/// (via [`LeveledContext::measure_noise`]) never exceeds it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBudget {
+    bits: f64,
+}
+
+/// `log2(2^a + 2^b)` without overflowing for large exponents.
+fn log2_sum(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (1.0 + (lo - hi).exp2()).log2()
+}
+
+impl NoiseBudget {
+    /// Bound for a fresh encryption: `|m + t·e| ≤ (t−1) + 4t < 5t`.
+    pub fn fresh(t: u128) -> Self {
+        NoiseBudget {
+            bits: (5.0 * t as f64).log2(),
+        }
+    }
+
+    /// The phase-magnitude bound in bits.
+    pub fn bits(&self) -> f64 {
+        self.bits
+    }
+
+    /// After addition or subtraction: magnitudes add.
+    pub fn after_add(self, other: NoiseBudget) -> Self {
+        NoiseBudget {
+            bits: log2_sum(self.bits, other.bits),
+        }
+    }
+
+    /// After tensor + relinearization: the negacyclic product bound
+    /// `n·|x|·|y|` plus the key-switch noise `parts·n·B·4t` (each of
+    /// `parts = Σ_i ℓ_i` digit products contributes a degree-`n`
+    /// convolution of a `< B` digit with a `t·e` key error, `|e| ≤ 4`).
+    pub fn after_mul(
+        self,
+        other: NoiseBudget,
+        n: usize,
+        t: u128,
+        parts: usize,
+        base_log: u32,
+    ) -> Self {
+        let tensor = (n as f64).log2() + self.bits + other.bits;
+        let relin =
+            (parts as f64).log2() + (n as f64).log2() + base_log as f64 + (4.0 * t as f64).log2();
+        NoiseBudget {
+            bits: log2_sum(tensor, relin),
+        }
+    }
+
+    /// After rescaling by dropped prime `p`: the phase shrinks by
+    /// `log2(p)` and picks up a rounding correction bounded by
+    /// `t·(n + 2)/2` (the centered `δ` terms, including the `δ_a·s`
+    /// convolution with the ternary secret, `‖s‖₁ ≤ n`).
+    pub fn after_rescale(self, p: u128, n: usize, t: u128) -> Self {
+        let scaled = self.bits - (p as f64).log2();
+        let rounding = (t as f64 * (n as f64 + 2.0) / 2.0).log2();
+        NoiseBudget {
+            bits: log2_sum(scaled, rounding),
+        }
+    }
+
+    /// Estimated budget left in bits: `log2(Q_l) − 1 − bound`. Negative
+    /// means the tracker predicts decryption failure.
+    pub fn remaining(&self, log2_q: f64) -> f64 {
+        log2_q - 1.0 - self.bits
+    }
+
+    /// `true` when the tracker predicts decryption may fail at a live
+    /// modulus of `log2_q` bits.
+    pub fn is_exhausted(&self, log2_q: f64) -> bool {
+        self.remaining(log2_q) <= 0.0
+    }
+}
+
+/// A leveled secret key: one ternary polynomial, stored per tower in
+/// evaluation form (the same `{-1, 0, 1}` draw reduced modulo each
+/// chain prime).
+#[derive(Debug, Clone)]
+pub struct LeveledSecretKey {
+    /// `s mod q_l` in evaluation form, one per chain prime.
+    s: Vec<Polynomial>,
+}
+
+impl LeveledSecretKey {
+    /// Natural-order coefficients of `s mod q_l` — what an accelerator
+    /// runtime uploads before transforming the key on-device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a valid tower index.
+    pub fn s_coeffs(&self, l: usize) -> Vec<u128> {
+        self.s[l].coeffs()
+    }
+
+    /// The per-tower secret polynomials, evaluation form.
+    pub fn towers(&self) -> &[Polynomial] {
+        &self.s
+    }
+}
+
+/// A leveled RNS ciphertext `(a, b)` at some level `l`: each component
+/// holds `l + 1` tower polynomials (evaluation form), and the phase
+/// `b − a·s ≡ m + t·e (mod Q_l)`.
+#[derive(Debug, Clone)]
+pub struct LeveledCiphertext {
+    level: usize,
+    a: Vec<Polynomial>,
+    b: Vec<Polynomial>,
+    noise: NoiseBudget,
+}
+
+impl LeveledCiphertext {
+    /// The ciphertext's level (`towers − 1`).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The mask towers `a mod q_0 ..= q_l`, evaluation form.
+    pub fn a_towers(&self) -> &[Polynomial] {
+        &self.a
+    }
+
+    /// The payload towers `b mod q_0 ..= q_l`, evaluation form.
+    pub fn b_towers(&self) -> &[Polynomial] {
+        &self.b
+    }
+
+    /// The tracked noise bound.
+    pub fn noise(&self) -> NoiseBudget {
+        self.noise
+    }
+
+    /// Rebuilds a ciphertext from per-tower natural-order coefficient
+    /// vectors (e.g. downloaded from an accelerator), tagging it with an
+    /// explicit noise estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeveledError`] if the tower counts disagree with each
+    /// other or the chain, or a vector length differs from `n`.
+    pub fn from_coeff_towers(
+        ctx: &LeveledContext,
+        a: Vec<Vec<u128>>,
+        b: Vec<Vec<u128>>,
+        noise: NoiseBudget,
+    ) -> Result<Self, LeveledError> {
+        if a.len() != b.len() || a.is_empty() {
+            return Err(LeveledError::LevelTooHigh {
+                requested: a.len().max(b.len()),
+                max: ctx.max_level(),
+            });
+        }
+        let level = a.len() - 1;
+        if level > ctx.max_level() {
+            return Err(LeveledError::LevelTooHigh {
+                requested: level,
+                max: ctx.max_level(),
+            });
+        }
+        let lift = |towers: Vec<Vec<u128>>| -> Result<Vec<Polynomial>, LeveledError> {
+            towers
+                .into_iter()
+                .enumerate()
+                .map(|(l, coeffs)| {
+                    let mut p = Polynomial::from_coeffs(&ctx.plans[l], coeffs)?;
+                    p.to_evaluation();
+                    Ok(p)
+                })
+                .collect()
+        };
+        Ok(LeveledCiphertext {
+            level,
+            a: lift(a)?,
+            b: lift(b)?,
+            noise,
+        })
+    }
+}
+
+/// A leveled relinearization key: for each source tower `i` and gadget
+/// digit `j` (base `B = 2^base_log`, `ℓ_i = ⌈bits(q_i)/base_log⌉`
+/// digits), a full-RNS pair `(a_{ij}, b_{ij} = a_{ij}·s + t·e_{ij} +
+/// B^j·ŝ²_i)` where `ŝ²_i` is `s²` on tower `i` and zero on every other
+/// tower (the RNS indicator of the digit's origin). Mod-dropping the
+/// key is a tower truncation, like the ciphertexts it serves.
+#[derive(Debug, Clone)]
+pub struct LeveledRelinKey {
+    base_log: u32,
+    /// `parts[i][j] = (a, b)` with one polynomial per chain tower,
+    /// evaluation form.
+    parts: Vec<Vec<(Vec<Polynomial>, Vec<Polynomial>)>>,
+}
+
+impl LeveledRelinKey {
+    /// The digit base exponent `log2(B)`.
+    pub fn base_log(&self) -> u32 {
+        self.base_log
+    }
+
+    /// The per-(tower, digit) key pairs; `parts()[i][j]` serves digit
+    /// `j` of source tower `i`.
+    pub fn parts(&self) -> &[Vec<(Vec<Polynomial>, Vec<Polynomial>)>] {
+        &self.parts
+    }
+
+    /// Total digit products `Σ_{i ≤ level} ℓ_i` a key switch at `level`
+    /// performs — the `parts` factor of the noise model.
+    pub fn parts_at_level(&self, level: usize) -> usize {
+        self.parts[..=level].iter().map(Vec::len).sum()
+    }
+}
+
+/// The leveled encryption/evaluation context: a modulus chain plus one
+/// NTT plan per chain prime. The definitional host oracle for the
+/// on-device `LeveledEvaluator`.
+#[derive(Debug)]
+pub struct LeveledContext {
+    n: usize,
+    chain: ModulusChain,
+    plans: Vec<Arc<Ntt128Plan>>,
+}
+
+impl LeveledContext {
+    /// Builds a context over an existing chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeveledError::Ntt`] if any chain prime does not admit
+    /// a degree-`n` negacyclic NTT.
+    pub fn new(n: usize, chain: ModulusChain) -> Result<Self, LeveledError> {
+        let plans = chain
+            .primes()
+            .iter()
+            .map(|&q| Polynomial::context(n, q))
+            .collect::<Result<_, _>>()?;
+        Ok(LeveledContext { n, chain, plans })
+    }
+
+    /// Generates a chain of `levels` primes just below `2^bits` (each
+    /// `≡ 1 mod 2n·t`) and builds the context over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeveledError`] if prime generation or ring setup fails.
+    pub fn generate(n: usize, t: u128, bits: u32, levels: usize) -> Result<Self, LeveledError> {
+        let chain = ModulusChain::generate(n, t, bits, levels)?;
+        LeveledContext::new(n, chain)
+    }
+
+    /// Ring degree `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus chain.
+    pub fn chain(&self) -> &ModulusChain {
+        &self.chain
+    }
+
+    /// The NTT plan for tower `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a valid tower index.
+    pub fn plan(&self, l: usize) -> &Arc<Ntt128Plan> {
+        &self.plans[l]
+    }
+
+    /// The highest level (`chain length − 1`) — where fresh ciphertexts
+    /// start.
+    pub fn max_level(&self) -> usize {
+        self.chain.levels() - 1
+    }
+
+    /// Samples a ternary secret key. Randomness order: `n` ternary
+    /// draws, shared across towers (an accelerator replaying the stream
+    /// reproduces the key bit-exactly).
+    pub fn keygen(&self, rng: &mut Splitmix) -> LeveledSecretKey {
+        let signs: Vec<u8> = (0..self.n).map(|_| (rng.next_u64() % 3) as u8).collect();
+        let s = self
+            .plans
+            .iter()
+            .map(|plan| {
+                let q = plan.modulus().value();
+                let coeffs: Vec<u128> = signs
+                    .iter()
+                    .map(|&v| match v {
+                        0 => 0,
+                        1 => 1,
+                        _ => q - 1,
+                    })
+                    .collect();
+                let mut p = Polynomial::from_coeffs(plan, coeffs).expect("length matches");
+                p.to_evaluation();
+                p
+            })
+            .collect();
+        LeveledSecretKey { s }
+    }
+
+    /// The randomness front half of [`encrypt`](Self::encrypt): the
+    /// per-tower uniform masks and per-tower payloads `m + t·e`, as
+    /// natural-order coefficient vectors. Randomness order is pinned —
+    /// tower-major mask draws (`n` below `q_0`, then `n` below `q_1`,
+    /// …), then `n` shared signed error draws — so an accelerator
+    /// runtime replaying the stream finishes `b_l = a_l·s_l + payload_l`
+    /// on-device bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != n`.
+    pub fn sample_mask_and_payload(
+        &self,
+        message: &[u128],
+        rng: &mut Splitmix,
+    ) -> (Vec<Vec<u128>>, Vec<Vec<u128>>) {
+        assert_eq!(message.len(), self.n, "message length must equal n");
+        let t = self.chain.t();
+        let masks: Vec<Vec<u128>> = self
+            .plans
+            .iter()
+            .map(|plan| {
+                let q = plan.modulus().value();
+                (0..self.n).map(|_| rng.below(q)).collect()
+            })
+            .collect();
+        let errors: Vec<i64> = (0..self.n).map(|_| rng.small_error_signed()).collect();
+        let payloads = self
+            .plans
+            .iter()
+            .map(|plan| {
+                let q = plan.modulus().value();
+                message
+                    .iter()
+                    .zip(&errors)
+                    .map(|(&m, &e)| {
+                        let m = m % t;
+                        if e >= 0 {
+                            (m + t * e as u128) % q
+                        } else {
+                            (m + q - t * (-e) as u128 % q) % q
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (masks, payloads)
+    }
+
+    /// Encrypts a plaintext vector (coefficients mod `t`) at the top
+    /// level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != n`.
+    pub fn encrypt(
+        &self,
+        sk: &LeveledSecretKey,
+        message: &[u128],
+        rng: &mut Splitmix,
+    ) -> LeveledCiphertext {
+        let (masks, payloads) = self.sample_mask_and_payload(message, rng);
+        let mut a = Vec::with_capacity(self.plans.len());
+        let mut b = Vec::with_capacity(self.plans.len());
+        for (l, (mask, payload)) in masks.into_iter().zip(payloads).enumerate() {
+            let mut a_l = Polynomial::from_coeffs(&self.plans[l], mask).expect("length matches");
+            a_l.to_evaluation();
+            let mut p_l = Polynomial::from_coeffs(&self.plans[l], payload).expect("length matches");
+            p_l.to_evaluation();
+            b.push(a_l.mul(&sk.s[l]).add(&p_l));
+            a.push(a_l);
+        }
+        LeveledCiphertext {
+            level: self.max_level(),
+            a,
+            b,
+            noise: NoiseBudget::fresh(self.chain.t()),
+        }
+    }
+
+    /// Decodes per-tower phase coefficients (`m + t·e mod Q_l`,
+    /// natural order) to plaintext residues: CRT-combine, center into
+    /// `(−Q_l/2, Q_l/2]`, reduce mod `t`. Because `Q_l ≡ 1 (mod t)`,
+    /// the negative branch is a single `−1` correction. Shared by
+    /// [`decrypt`](Self::decrypt) and by accelerator runtimes that
+    /// download the per-tower noisy vectors and finish host-side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tower count or a vector length is inconsistent.
+    pub fn decode_phase_towers(&self, towers: &[Vec<u128>]) -> Vec<u128> {
+        let level = towers.len() - 1;
+        let basis = self.chain.basis(level);
+        let big_q = basis.product();
+        let t = self.chain.t();
+        (0..self.n)
+            .map(|c| {
+                let residues: Vec<u128> = towers.iter().map(|tw| tw[c]).collect();
+                let x = basis.reconstruct(&residues);
+                let m = x.rem_u128(t);
+                if x.mul_u128(2) > big_q {
+                    // x encodes the negative value x − Q, and Q ≡ 1 mod t.
+                    (m + t - 1) % t
+                } else {
+                    m
+                }
+            })
+            .collect()
+    }
+
+    /// Decrypts a ciphertext back to coefficients mod `t`.
+    pub fn decrypt(&self, sk: &LeveledSecretKey, ct: &LeveledCiphertext) -> Vec<u128> {
+        let towers = self.phase_towers(sk, ct);
+        self.decode_phase_towers(&towers)
+    }
+
+    /// Per-tower phase coefficients `b_l − a_l·s_l`, natural order.
+    fn phase_towers(&self, sk: &LeveledSecretKey, ct: &LeveledCiphertext) -> Vec<Vec<u128>> {
+        (0..=ct.level)
+            .map(|l| ct.b[l].sub(&ct.a[l].mul(&sk.s[l])).coeffs())
+            .collect()
+    }
+
+    /// Floor-`log2` of the largest centered phase magnitude across
+    /// per-tower phase coefficient vectors — the measured counterpart
+    /// of the [`NoiseBudget`] estimate (`measured ≤ estimate` always).
+    pub fn phase_noise_bits(&self, towers: &[Vec<u128>]) -> f64 {
+        let level = towers.len() - 1;
+        let basis = self.chain.basis(level);
+        let big_q = basis.product();
+        let mut max_bits = 0u32;
+        for c in 0..self.n {
+            let residues: Vec<u128> = towers.iter().map(|tw| tw[c]).collect();
+            let x = basis.reconstruct(&residues);
+            let mag = if x.mul_u128(2) > big_q {
+                big_q.checked_sub(&x).expect("x < Q")
+            } else {
+                x
+            };
+            max_bits = max_bits.max(mag.bits());
+        }
+        (max_bits.saturating_sub(1)) as f64
+    }
+
+    /// Measures the actual noise of a ciphertext (floor-`log2` of the
+    /// largest centered phase magnitude, in bits) by decrypting against
+    /// the host oracle — the debug path that validates the tracker.
+    pub fn measure_noise(&self, sk: &LeveledSecretKey, ct: &LeveledCiphertext) -> f64 {
+        let towers = self.phase_towers(sk, ct);
+        self.phase_noise_bits(&towers)
+    }
+
+    /// Homomorphic addition with automatic level alignment: the result
+    /// lives at `min(x.level, y.level)` and higher towers of the deeper
+    /// operand are implicitly mod-dropped.
+    pub fn add(&self, x: &LeveledCiphertext, y: &LeveledCiphertext) -> LeveledCiphertext {
+        self.add_sub(x, y, false)
+    }
+
+    /// Homomorphic subtraction with automatic level alignment.
+    pub fn sub(&self, x: &LeveledCiphertext, y: &LeveledCiphertext) -> LeveledCiphertext {
+        self.add_sub(x, y, true)
+    }
+
+    fn add_sub(
+        &self,
+        x: &LeveledCiphertext,
+        y: &LeveledCiphertext,
+        subtract: bool,
+    ) -> LeveledCiphertext {
+        let level = x.level.min(y.level);
+        let combine = |xs: &[Polynomial], ys: &[Polynomial]| -> Vec<Polynomial> {
+            xs[..=level]
+                .iter()
+                .zip(&ys[..=level])
+                .map(|(a, b)| if subtract { a.sub(b) } else { a.add(b) })
+                .collect()
+        };
+        LeveledCiphertext {
+            level,
+            a: combine(&x.a, &y.a),
+            b: combine(&x.b, &y.b),
+            noise: x.noise.after_add(y.noise),
+        }
+    }
+
+    /// Explicit mod-drop to a lower level: truncates towers. Exact
+    /// while the phase magnitude stays below `Q_level / 2`; the noise
+    /// bound is unchanged (the budget shrinks because `Q` does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeveledError::LevelTooHigh`] if `level > x.level`.
+    pub fn mod_drop(
+        &self,
+        x: &LeveledCiphertext,
+        level: usize,
+    ) -> Result<LeveledCiphertext, LeveledError> {
+        if level > x.level {
+            return Err(LeveledError::LevelTooHigh {
+                requested: level,
+                max: x.level,
+            });
+        }
+        Ok(LeveledCiphertext {
+            level,
+            a: x.a[..=level].to_vec(),
+            b: x.b[..=level].to_vec(),
+            noise: x.noise,
+        })
+    }
+
+    /// The rounding-correction residues for dropping prime
+    /// `p = q_level`: given the dropped tower's natural-order
+    /// coefficients `d` of one component, returns for each surviving
+    /// tower `i < level` the residues of
+    /// `δ = t·center(t^{-1}·d mod p)` — the unique polynomial with
+    /// `δ ≡ d (mod p)`, `δ ≡ 0 (mod t)`, and `|δ| ≤ t·p/2`. Subtracting
+    /// `δ` makes the component divisible by `p` without disturbing the
+    /// plaintext. Shared verbatim by the device rescale path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or out of range, or `d.len() != n`.
+    pub fn rescale_correction(&self, level: usize, d: &[u128]) -> Vec<Vec<u128>> {
+        assert!(level > 0, "no tower below level 0");
+        assert_eq!(d.len(), self.n, "dropped tower length must equal n");
+        let p = self.chain.prime(level);
+        let mp = self.chain.modulus(level);
+        let t_inv = self.chain.t_inv(level);
+        let t = self.chain.t();
+        // Centered u = t^{-1}·d mod p as (sign, magnitude) pairs.
+        let centered: Vec<(bool, u128)> = d
+            .iter()
+            .map(|&c| {
+                let u = mp.mul(mp.reduce(c), t_inv);
+                if u > p / 2 {
+                    (true, p - u) // negative: δ = −t·(p − u)
+                } else {
+                    (false, u)
+                }
+            })
+            .collect();
+        (0..level)
+            .map(|i| {
+                let mi = self.chain.modulus(i);
+                let t_i = mi.reduce(t);
+                centered
+                    .iter()
+                    .map(|&(neg, mag)| {
+                        let v = mi.mul(t_i, mi.reduce(mag));
+                        if neg {
+                            mi.sub(0, v)
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Rescales: divides (with rounding) by the last live prime,
+    /// dropping one tower. Per component and surviving tower `i`:
+    /// `c'_i = (c_i − δ)·q_level^{-1} mod q_i`. The plaintext is
+    /// untouched (`q_level ≡ 1 mod t`) and the noise shrinks by
+    /// ~`log2(q_level)` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeveledError::BottomLevel`] at level 0.
+    pub fn rescale(&self, x: &LeveledCiphertext) -> Result<LeveledCiphertext, LeveledError> {
+        if x.level == 0 {
+            return Err(LeveledError::BottomLevel);
+        }
+        let level = x.level;
+        let scale_component = |towers: &[Polynomial]| -> Vec<Polynomial> {
+            let dropped = towers[level].coeffs();
+            let delta = self.rescale_correction(level, &dropped);
+            (0..level)
+                .map(|i| {
+                    let mut d_i = Polynomial::from_coeffs(&self.plans[i], delta[i].clone())
+                        .expect("length matches");
+                    d_i.to_evaluation();
+                    towers[i].sub(&d_i).scale(self.chain.p_inv(level, i))
+                })
+                .collect()
+        };
+        Ok(LeveledCiphertext {
+            level: level - 1,
+            a: scale_component(&x.a),
+            b: scale_component(&x.b),
+            noise: x
+                .noise
+                .after_rescale(self.chain.prime(level), self.n, self.chain.t()),
+        })
+    }
+
+    /// Generates a leveled relinearization key for `s²`. Randomness
+    /// order is pinned per part `(i, j)`: tower-major mask draws (`n`
+    /// below each `q_k`), then `n` shared error draws — replayable by an
+    /// accelerator runtime.
+    pub fn relin_keygen(
+        &self,
+        sk: &LeveledSecretKey,
+        rng: &mut Splitmix,
+        base_log: u32,
+    ) -> LeveledRelinKey {
+        let t = self.chain.t();
+        let parts = (0..self.chain.levels())
+            .map(|i| {
+                let levels_i = gadget_levels(self.chain.prime(i), base_log);
+                (0..levels_i)
+                    .map(|j| {
+                        let masks: Vec<Vec<u128>> = self
+                            .plans
+                            .iter()
+                            .map(|plan| {
+                                let q = plan.modulus().value();
+                                (0..self.n).map(|_| rng.below(q)).collect()
+                            })
+                            .collect();
+                        let errors: Vec<i64> =
+                            (0..self.n).map(|_| rng.small_error_signed()).collect();
+                        let mut a_parts = Vec::with_capacity(self.plans.len());
+                        let mut b_parts = Vec::with_capacity(self.plans.len());
+                        for (k, plan) in self.plans.iter().enumerate() {
+                            let m = plan.modulus();
+                            let q = m.value();
+                            let noise: Vec<u128> = errors
+                                .iter()
+                                .map(|&e| {
+                                    if e >= 0 {
+                                        t * e as u128 % q
+                                    } else {
+                                        q - t * (-e) as u128 % q
+                                    }
+                                })
+                                .collect();
+                            let mut a_k = Polynomial::from_coeffs(plan, masks[k].clone())
+                                .expect("length matches");
+                            a_k.to_evaluation();
+                            let mut e_k =
+                                Polynomial::from_coeffs(plan, noise).expect("length matches");
+                            e_k.to_evaluation();
+                            let mut b_k = a_k.mul(&sk.s[k]).add(&e_k);
+                            if k == i {
+                                // B^j·s² lands only on the digit's own
+                                // tower: the RNS indicator element.
+                                let base = m.reduce(1u128 << base_log.min(127));
+                                let s2 = sk.s[k].mul(&sk.s[k]);
+                                b_k = b_k.add(&s2.scale(m.pow(base, j as u128)));
+                            }
+                            a_parts.push(a_k);
+                            b_parts.push(b_k);
+                        }
+                        (a_parts, b_parts)
+                    })
+                    .collect()
+            })
+            .collect();
+        LeveledRelinKey { base_log, parts }
+    }
+
+    /// The gadget-decomposed RNS key switch at `level`: decomposes each
+    /// source tower of `c2` into digits and accumulates
+    /// `(Σ_{ij} d̂_{ij}·â_{ij,k}, Σ_{ij} d̂_{ij}·b̂_{ij,k})` on every live
+    /// tower `k`. Digits are `< 2^base_log`, valid in every tower
+    /// without conversion — the RNS analogue of the single-modulus
+    /// dataflow, and exactly what the RPU runs as fused dispatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c2_towers.len() != level + 1` or `level` exceeds the
+    /// chain.
+    pub fn key_switch(
+        &self,
+        level: usize,
+        c2_towers: &[Vec<u128>],
+        rk: &LeveledRelinKey,
+    ) -> (Vec<Polynomial>, Vec<Polynomial>) {
+        assert_eq!(c2_towers.len(), level + 1, "one source vector per tower");
+        let mut acc_a: Vec<Polynomial> = (0..=level)
+            .map(|k| {
+                let mut z = Polynomial::zero(&self.plans[k]);
+                z.to_evaluation();
+                z
+            })
+            .collect();
+        let mut acc_b = acc_a.clone();
+        for (i, src) in c2_towers.iter().enumerate() {
+            let levels_i = rk.parts[i].len();
+            let digits = gadget_decompose(src, rk.base_log, levels_i);
+            for (j, digit) in digits.into_iter().enumerate() {
+                let (a_ij, b_ij) = &rk.parts[i][j];
+                for k in 0..=level {
+                    let mut d = Polynomial::from_coeffs(&self.plans[k], digit.clone())
+                        .expect("length matches");
+                    d.to_evaluation();
+                    acc_a[k] = acc_a[k].add(&d.mul(&a_ij[k]));
+                    acc_b[k] = acc_b[k].add(&d.mul(&b_ij[k]));
+                }
+            }
+        }
+        (acc_a, acc_b)
+    }
+
+    /// Ciphertext×ciphertext multiplication at the operands' common
+    /// level: per tower, tensor to
+    /// `(c0, c1, c2) = (b_x·b_y, a_x·b_y + b_x·a_y, a_x·a_y)`, then
+    /// relinearize the `s²` component with the RNS key switch. The
+    /// result stays at the same level — follow with
+    /// [`rescale`](Self::rescale) to shed the noise growth (the
+    /// evaluator's `mul` fuses both).
+    pub fn mul(
+        &self,
+        rk: &LeveledRelinKey,
+        x: &LeveledCiphertext,
+        y: &LeveledCiphertext,
+    ) -> LeveledCiphertext {
+        let level = x.level.min(y.level);
+        let mut c0 = Vec::with_capacity(level + 1);
+        let mut c1 = Vec::with_capacity(level + 1);
+        let mut c2 = Vec::with_capacity(level + 1);
+        for l in 0..=level {
+            c0.push(x.b[l].mul(&y.b[l]));
+            c1.push(x.a[l].mul(&y.b[l]).add(&x.b[l].mul(&y.a[l])));
+            c2.push(x.a[l].mul(&y.a[l]).coeffs());
+        }
+        let (ka, kb) = self.key_switch(level, &c2, rk);
+        let a = c1.iter().zip(&ka).map(|(c, k)| c.add(k)).collect();
+        let b = c0.iter().zip(&kb).map(|(c, k)| c.add(k)).collect();
+        LeveledCiphertext {
+            level,
+            a,
+            b,
+            noise: x.noise.after_mul(
+                y.noise,
+                self.n,
+                self.chain.t(),
+                rk.parts_at_level(level),
+                rk.base_log,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_arith::Modulus128;
+
+    const T: u128 = 65537;
+
+    fn ctx(n: usize, bits: u32, levels: usize) -> LeveledContext {
+        LeveledContext::generate(n, T, bits, levels).expect("chain exists")
+    }
+
+    fn msg(n: usize, seed: u128) -> Vec<u128> {
+        (0..n as u128).map(|i| (i * 31 + seed) % 251).collect()
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_at_top_level() {
+        let c = ctx(64, 55, 4);
+        let mut rng = Splitmix::new(7);
+        let sk = c.keygen(&mut rng);
+        let m = msg(64, 3);
+        let ct = c.encrypt(&sk, &m, &mut rng);
+        assert_eq!(ct.level(), 3);
+        assert_eq!(ct.a_towers().len(), 4);
+        assert_eq!(c.decrypt(&sk, &ct), m);
+        // fresh noise estimate dominates the measured phase
+        assert!(c.measure_noise(&sk, &ct) <= ct.noise().bits());
+    }
+
+    #[test]
+    fn add_aligns_levels_automatically() {
+        let c = ctx(64, 55, 3);
+        let mut rng = Splitmix::new(9);
+        let sk = c.keygen(&mut rng);
+        let m1 = msg(64, 1);
+        let m2 = msg(64, 2);
+        let x = c.encrypt(&sk, &m1, &mut rng);
+        let y = c.mod_drop(&c.encrypt(&sk, &m2, &mut rng), 1).unwrap();
+        let sum = c.add(&x, &y);
+        assert_eq!(sum.level(), 1);
+        let expect: Vec<u128> = m1.iter().zip(&m2).map(|(&a, &b)| (a + b) % T).collect();
+        assert_eq!(c.decrypt(&sk, &sum), expect);
+        let diff = c.sub(&x, &y);
+        let expect: Vec<u128> = m1
+            .iter()
+            .zip(&m2)
+            .map(|(&a, &b)| (a + T - b % T) % T)
+            .collect();
+        assert_eq!(c.decrypt(&sk, &diff), expect);
+    }
+
+    #[test]
+    fn mod_drop_is_exact_and_bounded() {
+        let c = ctx(64, 55, 3);
+        let mut rng = Splitmix::new(21);
+        let sk = c.keygen(&mut rng);
+        let m = msg(64, 5);
+        let ct = c.encrypt(&sk, &m, &mut rng);
+        for level in (0..=2).rev() {
+            let dropped = c.mod_drop(&ct, level).unwrap();
+            assert_eq!(dropped.level(), level);
+            assert_eq!(c.decrypt(&sk, &dropped), m);
+        }
+        assert!(matches!(
+            c.mod_drop(&ct, 3),
+            Err(LeveledError::LevelTooHigh { requested: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rescale_preserves_plaintext_and_sheds_noise() {
+        let c = ctx(64, 55, 4);
+        let mut rng = Splitmix::new(0xE5);
+        let sk = c.keygen(&mut rng);
+        let m = msg(64, 11);
+        let ct = c.encrypt(&sk, &m, &mut rng);
+        let mut cur = ct;
+        for expect_level in (0..=2).rev() {
+            let before = c.measure_noise(&sk, &cur);
+            cur = c.rescale(&cur).unwrap();
+            assert_eq!(cur.level(), expect_level);
+            assert_eq!(c.decrypt(&sk, &cur), m, "level {expect_level}");
+            // measured stays under the tracked bound
+            let measured = c.measure_noise(&sk, &cur);
+            assert!(measured <= cur.noise().bits());
+            // dropping ~55 bits of modulus must not grow absolute noise
+            assert!(measured <= before + 1.0);
+        }
+        assert!(matches!(c.rescale(&cur), Err(LeveledError::BottomLevel)));
+    }
+
+    #[test]
+    fn depth_3_multiply_chain_decrypts_to_product() {
+        let n = 64usize;
+        let c = ctx(n, 55, 4);
+        let mut rng = Splitmix::new(0xC0FFEE);
+        let sk = c.keygen(&mut rng);
+        let rk = c.relin_keygen(&sk, &mut rng, 16);
+        let tm = Modulus128::new(T).unwrap();
+        let m1: Vec<u128> = (0..n as u128).map(|i| (i * 3 + 1) % 50).collect();
+        let m2: Vec<u128> = (0..n as u128).map(|i| (i * 7 + 2) % 50).collect();
+        let m3: Vec<u128> = (0..n as u128).map(|i| (i + 3) % 50).collect();
+        let m4: Vec<u128> = (0..n as u128).map(|i| (i * 5) % 50).collect();
+        let mut expect = crate::testutil::schoolbook_negacyclic(tm, &m1, &m2);
+        expect = crate::testutil::schoolbook_negacyclic(tm, &expect, &m3);
+        expect = crate::testutil::schoolbook_negacyclic(tm, &expect, &m4);
+
+        let cts: Vec<LeveledCiphertext> = [&m1, &m2, &m3, &m4]
+            .iter()
+            .map(|m| c.encrypt(&sk, m, &mut rng))
+            .collect();
+        let mut acc = c.rescale(&c.mul(&rk, &cts[0], &cts[1])).unwrap();
+        acc = c.rescale(&c.mul(&rk, &acc, &cts[2])).unwrap();
+        acc = c.rescale(&c.mul(&rk, &acc, &cts[3])).unwrap();
+        assert_eq!(acc.level(), 0);
+        assert!(
+            !acc.noise().is_exhausted(c.chain().log2_q(0)),
+            "tracker must still predict success at depth 3"
+        );
+        assert!(c.measure_noise(&sk, &acc) <= acc.noise().bits());
+        assert_eq!(c.decrypt(&sk, &acc), expect);
+    }
+
+    #[test]
+    fn decryption_correct_whenever_tracker_predicts_budget() {
+        // Single-prime chain: repeated squaring without rescale runs the
+        // budget down quickly; correctness must hold as long as the
+        // tracker predicts it.
+        let n = 64usize;
+        let c = ctx(n, 45, 1);
+        let mut rng = Splitmix::new(0xBAD5EED);
+        let sk = c.keygen(&mut rng);
+        let rk = c.relin_keygen(&sk, &mut rng, 16);
+        let tm = Modulus128::new(T).unwrap();
+        let m: Vec<u128> = (0..n as u128).map(|i| (i + 2) % 40).collect();
+        let mut expect = m.clone();
+        let mut cur = c.encrypt(&sk, &m, &mut rng);
+        let log2_q = c.chain().log2_q(0);
+        let mut exhausted_seen = false;
+        for _ in 0..3 {
+            cur = c.mul(&rk, &cur, &cur);
+            expect = crate::testutil::schoolbook_negacyclic(tm, &expect, &expect);
+            if cur.noise().is_exhausted(log2_q) {
+                exhausted_seen = true;
+                break;
+            }
+            assert_eq!(
+                c.decrypt(&sk, &cur),
+                expect,
+                "decryption must hold while budget remains"
+            );
+        }
+        assert!(
+            exhausted_seen,
+            "a 45-bit single prime must exhaust by depth 3"
+        );
+    }
+
+    #[test]
+    fn from_coeff_towers_round_trips() {
+        let c = ctx(64, 55, 2);
+        let mut rng = Splitmix::new(31);
+        let sk = c.keygen(&mut rng);
+        let m = msg(64, 9);
+        let ct = c.encrypt(&sk, &m, &mut rng);
+        let a: Vec<Vec<u128>> = ct.a_towers().iter().map(|p| p.coeffs()).collect();
+        let b: Vec<Vec<u128>> = ct.b_towers().iter().map(|p| p.coeffs()).collect();
+        let rebuilt = LeveledCiphertext::from_coeff_towers(&c, a, b, ct.noise()).unwrap();
+        for l in 0..=1 {
+            assert_eq!(rebuilt.a_towers()[l].values(), ct.a_towers()[l].values());
+            assert_eq!(rebuilt.b_towers()[l].values(), ct.b_towers()[l].values());
+        }
+        assert_eq!(c.decrypt(&sk, &rebuilt), m);
+        assert!(LeveledCiphertext::from_coeff_towers(
+            &c,
+            vec![vec![0; 64]; 3],
+            vec![vec![0; 64]; 3],
+            ct.noise()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn secret_key_towers_share_one_ternary_draw() {
+        let c = ctx(32, 55, 3);
+        let mut rng = Splitmix::new(2);
+        let sk = c.keygen(&mut rng);
+        assert_eq!(sk.towers().len(), 3);
+        let q0 = c.chain().prime(0);
+        let q1 = c.chain().prime(1);
+        let s0 = sk.s_coeffs(0);
+        let s1 = sk.s_coeffs(1);
+        for i in 0..32 {
+            let v0 = if s0[i] == q0 - 1 { -1i64 } else { s0[i] as i64 };
+            let v1 = if s1[i] == q1 - 1 { -1i64 } else { s1[i] as i64 };
+            assert_eq!(v0, v1, "towers must encode the same ternary value");
+        }
+    }
+}

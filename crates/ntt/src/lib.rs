@@ -19,6 +19,7 @@
 mod automorphism;
 pub mod baseline;
 mod error;
+pub mod leveled;
 mod pease;
 mod plan128;
 mod plan64;

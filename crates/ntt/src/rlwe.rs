@@ -194,7 +194,7 @@ impl Splitmix {
     }
 
     /// A ternary value in `{-1, 0, 1}` represented mod `q`.
-    fn ternary(&mut self, q: u128) -> u128 {
+    pub(crate) fn ternary(&mut self, q: u128) -> u128 {
         match self.next_u64() % 3 {
             0 => 0,
             1 => 1,
@@ -203,7 +203,7 @@ impl Splitmix {
     }
 
     /// A small centred error in `[-4, 4]` as a signed value.
-    fn small_error_signed(&mut self) -> i64 {
+    pub(crate) fn small_error_signed(&mut self) -> i64 {
         (self.next_u64() % 9) as i64 - 4
     }
 }

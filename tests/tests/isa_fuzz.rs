@@ -24,6 +24,12 @@
 //! (a long soak sets thousands); the generic `PROPTEST_CASES` variable
 //! still wins over both when set, since the proptest runner reads it
 //! last.
+//!
+//! On divergence the harness does not hand proptest the raw
+//! several-dozen-instruction program: a **greedy shrinker** first cuts
+//! the program down (suffix truncation, then single-instruction
+//! deletion) while the divergence still reproduces, and the failure
+//! message carries the minimal reproducer as an assembly listing.
 
 use proptest::prelude::*;
 use rpu::isa::{AReg, AddrMode, Instruction, MReg, PredecodedProgram, Program, SReg, VReg};
@@ -298,32 +304,188 @@ fn observable_state(sim: &FunctionalSim) -> (Vec<u128>, Vec<Vec<u128>>, Vec<u128
     (vdm, vregs, sregs)
 }
 
+/// Runs a program through all three execution paths and returns a
+/// description of the **first divergence** — interpreter vs fast path,
+/// interpreter vs decode(encode(p)) replay, or a round-trip decode
+/// mismatch — or `None` when all paths agree on the outcome and every
+/// piece of observable state.
+fn divergence(program: &Program) -> Option<String> {
+    let mut interp = fresh_sim();
+    let oracle = interp.run(program);
+
+    let mut fast = fresh_sim();
+    let fast_out = fast.run_predecoded(&PredecodedProgram::new(program.clone()));
+    if oracle != fast_out {
+        return Some(format!(
+            "outcome mismatch, interpreter {oracle:?} vs fast path {fast_out:?}"
+        ));
+    }
+    if observable_state(&interp) != observable_state(&fast) {
+        return Some("state mismatch, interpreter vs fast path".into());
+    }
+
+    let rt = match Program::from_words("rt", &program.to_words()) {
+        Ok(rt) => rt,
+        Err(e) => return Some(format!("binary round trip failed to decode: {e}")),
+    };
+    if rt.instructions() != program.instructions() {
+        return Some("binary round trip decoded different instructions".into());
+    }
+    let mut replay = fresh_sim();
+    let rt_out = replay.run(&rt);
+    if oracle != rt_out {
+        return Some(format!(
+            "outcome mismatch, interpreter {oracle:?} vs round-trip replay {rt_out:?}"
+        ));
+    }
+    if observable_state(&interp) != observable_state(&replay) {
+        return Some("state mismatch, interpreter vs round-trip replay".into());
+    }
+    None
+}
+
+/// Rebuilds a program from an instruction subset (same name).
+fn rebuild(name: &str, instrs: &[Instruction]) -> Program {
+    let mut p = Program::new(name);
+    for &i in instrs {
+        p.push(i);
+    }
+    p
+}
+
+/// Greedily shrinks `program` while `fails` keeps returning `true`:
+/// first binary suffix truncation (a divergence usually only needs the
+/// prefix up to the offending instruction), then repeated
+/// single-instruction deletion to a fixed point. The result still
+/// satisfies `fails`; deterministic, worst case `O(len²)` executions.
+fn shrink_program(program: &Program, fails: &dyn Fn(&Program) -> bool) -> Program {
+    let mut current: Vec<Instruction> = program.instructions().to_vec();
+    debug_assert!(fails(&rebuild("shrink", &current)));
+
+    // Phase 1: find the shortest failing prefix by bisection.
+    let mut lo = 1usize; // shortest length known to be able to fail
+    let mut hi = current.len(); // a length that definitely fails
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&rebuild("shrink", &current[..mid])) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    current.truncate(hi);
+
+    // Phase 2: drop single instructions while the failure reproduces.
+    // Restart after each successful deletion — removals can enable each
+    // other (e.g. a store only mattered because a later load read it).
+    loop {
+        let mut improved = false;
+        for i in (0..current.len()).rev() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if !candidate.is_empty() && fails(&rebuild("shrink", &candidate)) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    rebuild("minimal_reproducer", &current)
+}
+
+#[test]
+fn shrinker_isolates_a_single_offending_instruction() {
+    // Plant one gather in a 24-instruction memory-shape program and ask
+    // the shrinker to isolate it via a synthetic "fails if any gather"
+    // predicate — the greedy pass must reach exactly one instruction.
+    let mut p = random_legal_program(7, 24);
+    let has_gather = |p: &Program| {
+        p.instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::VGather { .. }))
+    };
+    if !has_gather(&p) {
+        p.push(Instruction::VGather {
+            vd: VReg::at(1),
+            base: AReg::at(0),
+            offset: 0,
+            vi: VReg::at(2),
+        });
+    }
+    let minimal = shrink_program(&p, &has_gather);
+    assert_eq!(minimal.instructions().len(), 1, "{}", minimal.to_asm());
+    assert!(has_gather(&minimal));
+}
+
+#[test]
+fn shrinker_keeps_codependent_pairs() {
+    // A predicate that needs both a store *and* a later load survives
+    // shrinking with both halves intact, in order.
+    let mut p = random_legal_program(21, 32);
+    let pair = |p: &Program| {
+        let is = p.instructions();
+        is.iter()
+            .position(|i| matches!(i, Instruction::VStore { .. }))
+            .is_some_and(|s| {
+                is[s + 1..]
+                    .iter()
+                    .any(|i| matches!(i, Instruction::VLoad { .. }))
+            })
+    };
+    if !pair(&p) {
+        p.push(Instruction::VStore {
+            vs: VReg::at(3),
+            base: AReg::at(0),
+            offset: 0,
+            mode: AddrMode::Unit,
+        });
+        p.push(Instruction::VLoad {
+            vd: VReg::at(4),
+            base: AReg::at(0),
+            offset: 0,
+            mode: AddrMode::Unit,
+        });
+    }
+    let minimal = shrink_program(&p, &pair);
+    assert_eq!(minimal.instructions().len(), 2, "{}", minimal.to_asm());
+    assert!(matches!(
+        minimal.instructions()[0],
+        Instruction::VStore { .. }
+    ));
+    assert!(matches!(
+        minimal.instructions()[1],
+        Instruction::VLoad { .. }
+    ));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
 
     /// Interpreter == fast path == encode/decode round trip, on outcome
-    /// and on all observable state, for random legal programs.
+    /// and on all observable state, for random legal programs. On
+    /// divergence, the failure message carries a greedily shrunken
+    /// minimal reproducer instead of the raw random program.
     #[test]
     fn three_executions_of_a_random_program_agree(
         seed in any::<u64>(),
         len in 1usize..48,
     ) {
         let program = random_legal_program(seed, len);
-
-        let mut interp = fresh_sim();
-        let oracle = interp.run(&program);
-
-        let mut fast = fresh_sim();
-        let fast_out = fast.run_predecoded(&PredecodedProgram::new(program.clone()));
-        prop_assert_eq!(&oracle, &fast_out, "outcome: fast path vs interpreter");
-        prop_assert_eq!(observable_state(&interp), observable_state(&fast));
-
-        let rt = Program::from_words("rt", &program.to_words()).expect("round trip decodes");
-        prop_assert_eq!(rt.instructions(), program.instructions());
-        let mut replay = fresh_sim();
-        let rt_out = replay.run(&rt);
-        prop_assert_eq!(&oracle, &rt_out, "outcome: round trip vs interpreter");
-        prop_assert_eq!(observable_state(&interp), observable_state(&replay));
+        if let Some(reason) = divergence(&program) {
+            let minimal = shrink_program(&program, &|p| divergence(p).is_some());
+            let final_reason = divergence(&minimal).expect("shrinker preserves failure");
+            prop_assert!(
+                false,
+                "seed {seed:#x}, len {len}: {reason}\n\
+                 minimal reproducer ({} of {} instructions, {final_reason}):\n{}",
+                minimal.instructions().len(),
+                len,
+                minimal.to_asm(),
+            );
+        }
     }
 
     /// The same `PredecodedProgram` value stays oracle-exact when run
