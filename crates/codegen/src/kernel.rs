@@ -83,6 +83,83 @@ pub struct KernelKey {
     pub param: u128,
 }
 
+impl KernelKey {
+    /// Size in bytes of the fixed-width wire encoding: one byte each for
+    /// op / direction / style, a `u64` ring degree, and two `u128`s
+    /// (modulus, op parameter), all little-endian.
+    pub const ENCODED_LEN: usize = 43;
+
+    /// Serializes the key into its fixed-width little-endian wire form —
+    /// the kernel-cache-key encoding the snapshot format records so a
+    /// restored session can re-pin every cached kernel.
+    pub fn to_bytes(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[0] = match self.op {
+            KernelOp::Ntt => 0,
+            KernelOp::PointwiseMul => 1,
+            KernelOp::PointwiseAdd => 2,
+            KernelOp::PointwiseSub => 3,
+            KernelOp::NegacyclicMul => 4,
+            KernelOp::Automorphism => 5,
+            KernelOp::KeySwitch => 6,
+            KernelOp::Rescale => 7,
+        };
+        out[1..9].copy_from_slice(&(self.n as u64).to_le_bytes());
+        out[9..25].copy_from_slice(&self.q.to_le_bytes());
+        out[25] = match self.direction {
+            Direction::Forward => 0,
+            Direction::Inverse => 1,
+        };
+        out[26] = match self.style {
+            CodegenStyle::Optimized => 0,
+            CodegenStyle::Unoptimized => 1,
+            CodegenStyle::StridedMemory => 2,
+        };
+        out[27..43].copy_from_slice(&self.param.to_le_bytes());
+        out
+    }
+
+    /// Decodes a key from its [`to_bytes`](KernelKey::to_bytes) form.
+    /// Returns `None` for unknown op / direction / style codes (a
+    /// corrupt or future-format record) instead of panicking.
+    pub fn from_bytes(bytes: &[u8; Self::ENCODED_LEN]) -> Option<KernelKey> {
+        let op = match bytes[0] {
+            0 => KernelOp::Ntt,
+            1 => KernelOp::PointwiseMul,
+            2 => KernelOp::PointwiseAdd,
+            3 => KernelOp::PointwiseSub,
+            4 => KernelOp::NegacyclicMul,
+            5 => KernelOp::Automorphism,
+            6 => KernelOp::KeySwitch,
+            7 => KernelOp::Rescale,
+            _ => return None,
+        };
+        let n = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+        let n: usize = n.try_into().ok()?;
+        let q = u128::from_le_bytes(bytes[9..25].try_into().expect("16 bytes"));
+        let direction = match bytes[25] {
+            0 => Direction::Forward,
+            1 => Direction::Inverse,
+            _ => return None,
+        };
+        let style = match bytes[26] {
+            0 => CodegenStyle::Optimized,
+            1 => CodegenStyle::Unoptimized,
+            2 => CodegenStyle::StridedMemory,
+            _ => return None,
+        };
+        let param = u128::from_le_bytes(bytes[27..43].try_into().expect("16 bytes"));
+        Some(KernelKey {
+            op,
+            n,
+            q,
+            direction,
+            style,
+            param,
+        })
+    }
+}
+
 /// A specification of one RPU workload: a pure value that knows its
 /// [`KernelKey`] and how to generate the corresponding [`Kernel`].
 ///

@@ -151,3 +151,51 @@ impl From<rpu_ntt::NttError> for CodegenError {
         CodegenError::Schedule(e)
     }
 }
+
+/// Rebuilds the [`KernelSpec`] a [`KernelKey`] came from, so a restored
+/// session can regenerate (re-pin) every kernel its cache held when the
+/// snapshot was taken.
+///
+/// Returns `None` when the key does not correspond to any spec this
+/// crate can produce — an op parameter out of range (e.g. an
+/// automorphism generator that does not round-trip) or a direction that
+/// the op ignores but the key records differently than the canonical
+/// spec would. Callers treat `None` as a corrupt snapshot record.
+pub fn spec_for_key(key: &KernelKey) -> Option<Box<dyn KernelSpec>> {
+    let spec: Box<dyn KernelSpec> = match key.op {
+        KernelOp::Ntt => Box::new(NttSpec::new(key.n, key.q, key.direction, key.style)),
+        KernelOp::PointwiseMul => Box::new(ElementwiseSpec::new(
+            ElementwiseOp::MulMod,
+            key.n,
+            key.q,
+            key.style,
+        )),
+        KernelOp::PointwiseAdd => Box::new(ElementwiseSpec::new(
+            ElementwiseOp::AddMod,
+            key.n,
+            key.q,
+            key.style,
+        )),
+        KernelOp::PointwiseSub => Box::new(ElementwiseSpec::new(
+            ElementwiseOp::SubMod,
+            key.n,
+            key.q,
+            key.style,
+        )),
+        KernelOp::NegacyclicMul => Box::new(ConvolutionSpec::new(key.n, key.q, key.style)),
+        KernelOp::Automorphism => {
+            let g: usize = key.param.try_into().ok()?;
+            Box::new(AutomorphismSpec::new(key.n, key.q, g, key.style))
+        }
+        KernelOp::KeySwitch => Box::new(KeySwitchSpec::new(key.n, key.q, key.style)),
+        KernelOp::Rescale => Box::new(RescaleSpec::new(key.n, key.q, key.param, key.style)),
+    };
+    // A canonical spec must reproduce the key exactly; anything else
+    // (normalized parameters, ignored fields set oddly) means the key
+    // did not come from this spec and cannot be trusted for re-pinning.
+    if spec.key() == *key {
+        Some(spec)
+    } else {
+        None
+    }
+}

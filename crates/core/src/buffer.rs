@@ -63,6 +63,13 @@ impl DeviceBuffer {
     pub fn id(&self) -> u64 {
         self.id
     }
+
+    /// Rebuilds a handle from its serialized identity — snapshot
+    /// restore only. The triple must come from a live entry of a
+    /// snapshotted allocator so the restored allocator resolves it.
+    pub(crate) fn from_raw(id: u64, offset: usize, len: usize) -> Self {
+        DeviceBuffer { id, offset, len }
+    }
 }
 
 /// Errors from the device-buffer layer.
@@ -237,6 +244,128 @@ impl BufferAllocator {
     /// Heap capacity in elements.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Absolute VDM element offset where the heap region begins.
+    pub(crate) fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Heap-relative high-water mark (see [`high_water_end`]).
+    ///
+    /// [`high_water_end`]: BufferAllocator::high_water_end
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Every live allocation as `(id, offset, len)`, sorted by id —
+    /// the identity-preserving form snapshots record so restored
+    /// handles resolve exactly as before.
+    pub(crate) fn live_entries(&self) -> Vec<(u64, usize, usize)> {
+        let mut entries: Vec<(u64, usize, usize)> = self
+            .live
+            .iter()
+            .map(|(&id, &(offset, len))| (id, offset, len))
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Replaces the allocator's entire state with a snapshotted one.
+    ///
+    /// Validates everything before touching `self` (all blocks inside
+    /// `[base, base + capacity)`, live + free exactly partition the
+    /// heap with no overlap), so a rejected restore leaves the
+    /// allocator unchanged. On success the global id counter is bumped
+    /// past every restored id, so buffers allocated later can never
+    /// alias a restored handle.
+    pub(crate) fn restore_state(
+        &mut self,
+        live: Vec<(u64, usize, usize)>,
+        free: Vec<(usize, usize)>,
+        high_water: usize,
+    ) -> Result<(), String> {
+        let end = self.base + self.capacity;
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(live.len() + free.len());
+        for &(id, offset, len) in &live {
+            if len == 0 {
+                return Err(format!("live buffer {id} has zero length"));
+            }
+            if offset < self.base || offset + len > end {
+                return Err(format!(
+                    "live buffer {id} at [{offset}, {}) escapes the heap [{}, {end})",
+                    offset + len,
+                    self.base
+                ));
+            }
+            if offset + len - self.base > high_water {
+                return Err(format!(
+                    "live buffer {id} ends past the high-water mark {high_water}"
+                ));
+            }
+            spans.push((offset, len));
+        }
+        for &(offset, len) in &free {
+            if len == 0 {
+                return Err(format!("free block at {offset} has zero length"));
+            }
+            if offset < self.base || offset + len > end {
+                return Err(format!(
+                    "free block [{offset}, {}) escapes the heap [{}, {end})",
+                    offset + len,
+                    self.base
+                ));
+            }
+            spans.push((offset, len));
+        }
+        spans.sort_unstable();
+        let mut covered = self.base;
+        for &(offset, len) in &spans {
+            if offset != covered {
+                return Err(format!(
+                    "heap blocks overlap or leave a gap at element {covered}"
+                ));
+            }
+            covered = offset + len;
+        }
+        if covered != end && !(self.capacity == 0 && spans.is_empty()) {
+            return Err(format!(
+                "heap blocks cover [{}, {covered}) but the heap ends at {end}",
+                self.base
+            ));
+        }
+        if high_water > self.capacity {
+            return Err(format!(
+                "high-water mark {high_water} exceeds heap capacity {}",
+                self.capacity
+            ));
+        }
+        let mut ids = std::collections::HashSet::with_capacity(live.len());
+        let mut max_id = 0u64;
+        for &(id, _, _) in &live {
+            if !ids.insert(id) {
+                return Err(format!("duplicate live buffer id {id}"));
+            }
+            max_id = max_id.max(id);
+        }
+        // All checks passed — swap in the new state atomically.
+        let mut new_free = free;
+        new_free.sort_unstable();
+        let mut coalesced: Vec<(usize, usize)> = Vec::with_capacity(new_free.len());
+        for (offset, len) in new_free {
+            match coalesced.last_mut() {
+                Some(last) if last.0 + last.1 == offset => last.1 += len,
+                _ => coalesced.push((offset, len)),
+            }
+        }
+        self.free = coalesced;
+        self.live = live
+            .into_iter()
+            .map(|(id, offset, len)| (id, (offset, len)))
+            .collect();
+        self.high_water = high_water;
+        NEXT_BUFFER_ID.fetch_max(max_id + 1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Elements currently allocated.

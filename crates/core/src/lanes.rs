@@ -43,6 +43,8 @@
 use crate::buffer::{BufferError, DeviceBuffer, TransferStats};
 use crate::run::{Rpu, RunReport};
 use crate::session::{CacheStats, PrimeTable, RpuSession};
+use crate::snapshot::{self, SnapshotError};
+use crate::trace::DispatchEvent;
 use crate::RpuError;
 use rpu_codegen::{CodegenStyle, ConvolutionSpec, Kernel, KernelSpec};
 use rpu_ntt::{RnsContext, RnsPolynomial};
@@ -68,9 +70,11 @@ struct Lane<'a> {
 }
 
 impl<'a> Lane<'a> {
-    fn new(rpu: &'a Rpu) -> Self {
+    fn new(rpu: &'a Rpu, index: usize) -> Self {
+        let mut session = rpu.session();
+        session.set_lane(index);
         Lane {
-            session: rpu.session(),
+            session,
             dispatches: 0,
             cycles: 0,
             busy_us: 0.0,
@@ -296,6 +300,11 @@ pub struct ClusterRunReport {
     /// (pinned + shared, jobs submitted but not yet started) — how deep
     /// the backlog got, the number a serving scheduler watches.
     pub queue_peak: usize,
+    /// The structured dispatch events this run recorded, in dispatch
+    /// order — empty unless a sink was installed via
+    /// [`RpuBuilder::trace`](crate::RpuBuilder::trace) (and the sink
+    /// retains events).
+    pub trace: Vec<DispatchEvent>,
 }
 
 impl ClusterRunReport {
@@ -597,7 +606,7 @@ impl<'a> RpuCluster<'a> {
         );
         RpuCluster {
             rpu,
-            lanes: (0..k).map(|_| Lane::new(rpu)).collect(),
+            lanes: (0..k).map(|index| Lane::new(rpu, index)).collect(),
             primes: PrimeTable::with_bits(rpu.prime_bits()),
             owners: HashMap::new(),
         }
@@ -875,6 +884,90 @@ impl<'a> RpuCluster<'a> {
         self.lanes.iter().map(|l| l.dispatches).sum()
     }
 
+    /// Serializes every lane's device state plus the buffer → lane
+    /// placement map as one versioned `SNAP_V1` cluster snapshot (see
+    /// [`RpuSession::snapshot`] for what each lane records).
+    pub fn snapshot_all(&self) -> Vec<u8> {
+        let mut owners: Vec<(u64, u64)> = self
+            .owners
+            .iter()
+            .map(|(&id, &lane)| (id, lane as u64))
+            .collect();
+        owners.sort_unstable();
+        let lanes: Vec<Vec<u8>> = self.lanes.iter().map(|l| l.session.snapshot()).collect();
+        snapshot::encode_cluster(&owners, &lanes)
+    }
+
+    /// Restores every lane (and the placement map) from a cluster
+    /// snapshot. Refuses while any lane still has live buffers — use
+    /// [`restore_all_replacing`](RpuCluster::restore_all_replacing) to
+    /// swap state out from under live handles atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`RpuError::Snapshot`] — [`SnapshotError::LiveBuffers`] when any
+    /// lane has live allocations, plus every failure
+    /// [`restore_all_replacing`](RpuCluster::restore_all_replacing) can
+    /// return. The cluster is unchanged on error.
+    pub fn restore_all(&mut self, bytes: &[u8]) -> Result<(), RpuError> {
+        let live: usize = self.lanes.iter().map(|l| l.session.live_buffers()).sum();
+        if live > 0 {
+            return Err(SnapshotError::LiveBuffers { live }.into());
+        }
+        self.restore_all_replacing(bytes)
+    }
+
+    /// Restores every lane from a cluster snapshot even if lanes have
+    /// live buffers: every lane is prepared (decoded, geometry-checked,
+    /// kernels regenerated) before *any* lane is mutated, so a
+    /// multi-lane restore is all-or-nothing. Buffers allocated after
+    /// the snapshot become stale on their lane (never double-freed);
+    /// handles held since the snapshot keep resolving.
+    ///
+    /// # Errors
+    ///
+    /// [`RpuError::Snapshot`] for corrupt or future-version bytes, a
+    /// lane-count or geometry mismatch, or a kernel that cannot be
+    /// rebuilt. The cluster is unchanged on error.
+    pub fn restore_all_replacing(&mut self, bytes: &[u8]) -> Result<(), RpuError> {
+        let (owners, lane_bytes) = snapshot::decode_cluster(bytes)?;
+        if lane_bytes.len() != self.lanes.len() {
+            return Err(SnapshotError::LaneCountMismatch {
+                snapshot: lane_bytes.len(),
+                cluster: self.lanes.len(),
+            }
+            .into());
+        }
+        let mut new_owners = HashMap::with_capacity(owners.len());
+        for &(id, lane) in &owners {
+            let lane: usize = lane.try_into().map_err(|_| {
+                RpuError::from(SnapshotError::Corrupt(
+                    "placement-map lane index overflows usize".into(),
+                ))
+            })?;
+            if lane >= self.lanes.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "placement map points buffer {id} at lane {lane}, but the \
+                     snapshot has {} lane(s)",
+                    self.lanes.len()
+                ))
+                .into());
+            }
+            new_owners.insert(id, lane);
+        }
+        let prepared = self
+            .lanes
+            .iter()
+            .zip(&lane_bytes)
+            .map(|(lane, bytes)| lane.session.prepare_restore(bytes))
+            .collect::<Result<Vec<_>, _>>()?;
+        for (lane, p) in self.lanes.iter_mut().zip(prepared) {
+            lane.session.apply_restore(p);
+        }
+        self.owners = new_owners;
+        Ok(())
+    }
+
     /// Spawns one persistent worker thread per lane and hands the
     /// calling thread a [`LanePool`] to feed: `f` submits shared
     /// (any-lane, work-stealing) or pinned (lane-affine, per-lane FIFO)
@@ -901,6 +994,7 @@ impl<'a> RpuCluster<'a> {
         f: impl FnOnce(&LanePool<'j>) -> R,
     ) -> (R, ClusterRunReport) {
         let before: Vec<LaneStats> = self.stats();
+        let trace_start = self.rpu.trace_sink().map(|sink| sink.next_seq());
         let nlanes = self.lanes.len();
         let pool = LanePool::new(nlanes);
         // Release `f` only once every worker thread is actually parked
@@ -958,6 +1052,10 @@ impl<'a> RpuCluster<'a> {
             transfer,
             wall_us,
             queue_peak: pool.queue_peak(),
+            trace: match (self.rpu.trace_sink(), trace_start) {
+                (Some(sink), Some(start)) => sink.events_since(start),
+                _ => Vec::new(),
+            },
         };
         (out, report)
     }

@@ -262,6 +262,33 @@ impl<'a> LeveledEvaluator<'a> {
         self.cluster.makespan_us()
     }
 
+    /// Serializes the underlying cluster's full device state — key
+    /// material, resident ciphertext towers, kernel caches — as one
+    /// `SNAP_V1` cluster snapshot ([`RpuCluster::snapshot_all`]).
+    ///
+    /// Every evaluator operation after key generation and encryption is
+    /// deterministic (no fresh host randomness), so a mid-pipeline
+    /// snapshot restored later and driven through the same remaining
+    /// operations reproduces bit-identical ciphertext towers.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.cluster.snapshot_all()
+    }
+
+    /// Restores the underlying cluster to a snapshotted state
+    /// ([`RpuCluster::restore_all_replacing`]): ciphertext and key
+    /// handles captured at snapshot time become valid again, and
+    /// buffers created after the snapshot become stale on their lane.
+    /// Host-side state (contexts, noise trackers, handle structs) is
+    /// the caller's to keep from snapshot time.
+    ///
+    /// # Errors
+    ///
+    /// [`RpuError::Snapshot`] for corrupt bytes or a cluster mismatch;
+    /// the evaluator is unchanged on error.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), RpuError> {
+        self.cluster.restore_all_replacing(bytes)
+    }
+
     /// Estimated noise budget left for `ct` in bits (tracker bound
     /// against the ciphertext's current live modulus). Negative means
     /// the tracker predicts decryption failure.

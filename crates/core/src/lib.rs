@@ -133,6 +133,8 @@ mod leveled;
 mod rlwe;
 mod run;
 mod session;
+mod snapshot;
+mod trace;
 
 pub use buffer::{BufferAllocator, BufferError, DeviceBuffer, TransferStats};
 pub use explore::{evaluate_point, explore_design_space, paper_sweep, PAPER_BANKS, PAPER_HPLES};
@@ -144,6 +146,8 @@ pub use leveled::{DeviceLeveledCiphertext, DeviceLeveledRelinKey, LeveledEvaluat
 pub use rlwe::{DeviceCiphertext, DeviceKeySwitchKey, RlweEvaluator};
 pub use run::{Rpu, RunReport};
 pub use session::{CacheStats, CachedKernel, KernelCache, PrimeTable, RpuBuilder, RpuSession};
+pub use snapshot::SnapshotError;
+pub use trace::{set_dispatch_tenant, DispatchEvent, RingTraceSink, TenantTag, TraceSink};
 
 // Re-export the component crates under stable names.
 pub use rpu_arith as arith;
@@ -218,6 +222,10 @@ pub enum RpuError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A device snapshot could not be decoded or restored (corrupt or
+    /// future-version bytes, geometry mismatch, live buffers in the
+    /// target, …).
+    Snapshot(SnapshotError),
 }
 
 impl core::fmt::Display for RpuError {
@@ -235,6 +243,7 @@ impl core::fmt::Display for RpuError {
             RpuError::LanePanic { lane, message } => {
                 write!(f, "lane {lane} worker panicked mid-job: {message}")
             }
+            RpuError::Snapshot(e) => write!(f, "device snapshot operation failed: {e}"),
         }
     }
 }
@@ -247,6 +256,7 @@ impl std::error::Error for RpuError {
             RpuError::Buffer(e) => Some(e),
             RpuError::Ring(e) => Some(e),
             RpuError::Leveled(e) => Some(e),
+            RpuError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -273,5 +283,11 @@ impl From<rpu_ntt::NttError> for RpuError {
 impl From<rpu_ntt::leveled::LeveledError> for RpuError {
     fn from(e: rpu_ntt::leveled::LeveledError) -> Self {
         RpuError::Leveled(e)
+    }
+}
+
+impl From<SnapshotError> for RpuError {
+    fn from(e: SnapshotError) -> Self {
+        RpuError::Snapshot(e)
     }
 }

@@ -4,10 +4,12 @@
 
 use crate::buffer::TransferStats;
 use crate::session::{RpuBuilder, RpuSession};
+use crate::trace::TraceSink;
 use crate::RpuError;
 use rpu_codegen::{CodegenStyle, Direction, KernelOp, NttKernel};
 use rpu_model::{AreaBreakdown, AreaModel, EnergyBreakdown, EnergyModel};
 use rpu_sim::{CycleSim, FunctionalSim, RpuConfig, SimStats};
+use std::sync::Arc;
 
 /// A configured Ring Processing Unit instance.
 ///
@@ -41,6 +43,7 @@ pub struct Rpu {
     device_heap_elements: usize,
     lanes: usize,
     force_interpreter: bool,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 /// The result of running one kernel on an [`Rpu`] — the uniform report
@@ -105,6 +108,7 @@ impl Rpu {
         device_heap_elements: usize,
         lanes: usize,
         force_interpreter: bool,
+        trace: Option<Arc<dyn TraceSink>>,
     ) -> Result<Self, RpuError> {
         let cycle_sim = CycleSim::new(config).map_err(RpuError::Config)?;
         Ok(Rpu {
@@ -118,6 +122,7 @@ impl Rpu {
             device_heap_elements,
             lanes,
             force_interpreter,
+            trace,
         })
     }
 
@@ -186,6 +191,12 @@ impl Rpu {
     /// fast path ([`RpuBuilder::force_interpreter`]).
     pub fn force_interpreter(&self) -> bool {
         self.force_interpreter
+    }
+
+    /// The dispatch-trace sink every session on this instance records
+    /// to, if one was installed via [`RpuBuilder::trace`].
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// Converts a cycle count to microseconds at this instance's clock.

@@ -53,6 +53,8 @@
 
 use crate::buffer::{BufferAllocator, BufferError, DeviceBuffer, TransferStats};
 use crate::run::{Rpu, RunReport};
+use crate::snapshot::{self, SessionImage, SnapshotError};
+use crate::trace::{self, DispatchEvent, TraceSink};
 use crate::RpuError;
 use rpu_codegen::{CodegenStyle, Direction, Kernel, KernelKey, KernelSpec, NttSpec};
 use rpu_isa::AReg;
@@ -60,6 +62,7 @@ use rpu_model::{AreaModel, EnergyModel};
 use rpu_sim::{FunctionalSim, RpuConfig, SimStats};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default bit width of session-chosen NTT primes (the paper's 128-bit
 /// coefficient pipeline leaves headroom for lazy reduction).
@@ -103,6 +106,7 @@ pub struct RpuBuilder {
     device_heap_elements: Option<usize>,
     lanes: usize,
     force_interpreter: bool,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 /// Most lanes a cluster may be built with: past this the simulated VDM
@@ -129,6 +133,7 @@ impl RpuBuilder {
             device_heap_elements: None,
             lanes: 1,
             force_interpreter: false,
+            trace: None,
         }
     }
 
@@ -214,6 +219,17 @@ impl RpuBuilder {
         self
     }
 
+    /// Installs a structured dispatch-trace sink: every session (and
+    /// every cluster lane) on the built RPU records one
+    /// [`DispatchEvent`] per successful dispatch to it. The default
+    /// [`RingTraceSink`](crate::RingTraceSink) keeps a bounded ring of
+    /// recent events in faithful dispatch order; keep your own clone of
+    /// the [`Arc`] to read them back.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Builds the [`Rpu`].
     ///
     /// # Errors
@@ -274,6 +290,7 @@ impl RpuBuilder {
             heap,
             self.lanes,
             self.force_interpreter,
+            self.trace,
         )
     }
 }
@@ -513,6 +530,48 @@ impl KernelCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// The key of every cached kernel, sorted by wire encoding so the
+    /// order (and thus a snapshot's bytes) is deterministic.
+    pub fn keys(&self) -> Vec<KernelKey> {
+        let mut keys: Vec<KernelKey> = self.map.keys().copied().collect();
+        keys.sort_unstable_by_key(|k| k.to_bytes());
+        keys
+    }
+
+    /// Replaces the cached kernels with `kernels` (snapshot restore):
+    /// the map is cleared, each kernel is inserted unverified, and — for
+    /// a bounded cache — least-recently-inserted entries are evicted if
+    /// the restored set exceeds the capacity. Hit/miss counters are
+    /// diagnostics, not device state, and are kept.
+    pub(crate) fn reseed(&mut self, kernels: Vec<Arc<Kernel>>) {
+        self.map.clear();
+        for kernel in kernels {
+            self.tick += 1;
+            if let Some(cap) = self.capacity {
+                while self.map.len() >= cap {
+                    let lru = self
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(k, _)| *k)
+                        .expect("cache is non-empty");
+                    self.map.remove(&lru);
+                    self.evictions += 1;
+                }
+            }
+            self.map.insert(
+                kernel.key(),
+                CacheEntry {
+                    cached: CachedKernel {
+                        kernel,
+                        verified: None,
+                    },
+                    stamp: self.tick,
+                },
+            );
+        }
+    }
 }
 
 /// The persistent device state of a session: the functional simulator
@@ -576,6 +635,9 @@ pub struct RpuSession<'a> {
     /// Memoized cycle-simulation results per kernel: timing is a pure
     /// function of the program, so warm dispatches skip re-simulation.
     timing: HashMap<KernelKey, SimStats>,
+    /// Lane index recorded on this session's trace events (0 for a
+    /// standalone session; clusters set per-lane indices).
+    lane: usize,
 }
 
 impl<'a> RpuSession<'a> {
@@ -589,7 +651,13 @@ impl<'a> RpuSession<'a> {
             primes: PrimeTable::with_bits(rpu.prime_bits()),
             device: DeviceState::new(rpu.config().vdm_elements(), rpu.device_heap_elements()),
             timing: HashMap::new(),
+            lane: 0,
         }
+    }
+
+    /// Sets the lane index stamped on this session's trace events.
+    pub(crate) fn set_lane(&mut self, lane: usize) {
+        self.lane = lane;
     }
 
     /// The RPU this session runs on.
@@ -751,8 +819,21 @@ impl<'a> RpuSession<'a> {
         let key = kernel.key();
         let verified = kernel.verification().unwrap_or(false);
         let cache_hit = true;
+        let started = Instant::now();
         let transfer = self.dispatch_raw(kernel, inputs, outputs)?;
         let stats = self.timed(kernel);
+        if let Some(sink) = self.rpu.trace_sink() {
+            sink.record(DispatchEvent {
+                seq: 0, // the sink assigns the real sequence number
+                key,
+                lane: self.lane,
+                inputs: inputs.iter().map(DeviceBuffer::id).collect(),
+                outputs: outputs.iter().map(DeviceBuffer::id).collect(),
+                cycles: stats.cycles,
+                wall_ns: started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                tenant: trace::current_tenant(),
+            });
+        }
         let mut report =
             self.rpu
                 .assemble_report(kernel.program(), key, Some(stats), verified, cache_hit);
@@ -1026,6 +1107,235 @@ impl<'a> RpuSession<'a> {
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the session's full persistent device state — VDM/SDM
+    /// contents, the heap map (live and free blocks), the kernel-cache
+    /// keys, and the loaded-image identity — as versioned `SNAP_V1`
+    /// bytes (see `docs/snapshot-format.md`). Identical device state
+    /// always produces identical bytes.
+    ///
+    /// Cache hit/miss counters and memoized cycle timings are
+    /// diagnostics, not device state, and are not serialized; register
+    /// files are not serialized either, because every generated program
+    /// initializes the registers it reads.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let vdm_len = self.device.sim.vdm_capacity();
+        let sdm_len = self.device.sim.sdm_capacity();
+        let vdm = self
+            .device
+            .sim
+            .read_vdm(0, vdm_len)
+            .expect("full-range VDM read is always in bounds");
+        let sdm = self
+            .device
+            .sim
+            .read_sdm(0, sdm_len)
+            .expect("full-range SDM read is always in bounds");
+        let image = SessionImage {
+            workspace: self.device.workspace as u64,
+            heap_base: self.device.heap.base() as u64,
+            heap_capacity: self.device.heap.capacity() as u64,
+            high_water: self.device.heap.high_water() as u64,
+            vdm,
+            sdm,
+            live: self
+                .device
+                .heap
+                .live_entries()
+                .into_iter()
+                .map(|(id, offset, len)| (id, offset as u64, len as u64))
+                .collect(),
+            free: self
+                .device
+                .heap
+                .free_blocks()
+                .into_iter()
+                .map(|(offset, len)| (offset as u64, len as u64))
+                .collect(),
+            keys: self.cache.keys(),
+            loaded: self.device.loaded,
+        };
+        snapshot::encode_session(&image)
+    }
+
+    /// Restores the session to a snapshotted state, returning handles
+    /// to the buffers that were live when the snapshot was taken (same
+    /// ids, offsets, and lengths — handles held since the snapshot keep
+    /// resolving).
+    ///
+    /// Refuses to run while this session still has live buffers, so a
+    /// handle can never silently outlive the state it pointed into; use
+    /// [`restore_replacing`](RpuSession::restore_replacing) to swap
+    /// state out from under live handles atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`RpuError::Snapshot`] — [`SnapshotError::LiveBuffers`] when the
+    /// session has live allocations, or any decode/geometry/kernel-
+    /// rebuild failure (see [`SnapshotError`]). The session is
+    /// unchanged on error.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<Vec<DeviceBuffer>, RpuError> {
+        let live = self.live_buffers();
+        if live > 0 {
+            return Err(SnapshotError::LiveBuffers { live }.into());
+        }
+        self.restore_replacing(bytes)
+    }
+
+    /// Restores the session to a snapshotted state even if it has live
+    /// buffers: the entire device state (heap map included) is replaced
+    /// in one step, every buffer allocated after the snapshot becomes
+    /// stale (its id is absent from the restored heap, so use returns
+    /// [`BufferError::StaleHandle`] — never a double free), and ids are
+    /// never recycled. Returns handles to the snapshot's live buffers.
+    ///
+    /// All fallible work (decode, geometry checks, kernel regeneration)
+    /// happens before any mutation, so the session is unchanged on
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`RpuError::Snapshot`] for corrupt or future-version bytes, a
+    /// geometry mismatch with this session, or a kernel that cannot be
+    /// rebuilt.
+    pub fn restore_replacing(&mut self, bytes: &[u8]) -> Result<Vec<DeviceBuffer>, RpuError> {
+        let prepared = self.prepare_restore(bytes)?;
+        Ok(self.apply_restore(prepared))
+    }
+
+    /// The fallible half of a restore: decode, geometry checks against
+    /// this session, heap-map validation, and kernel regeneration — no
+    /// mutation. Clusters prepare every lane before applying any, so a
+    /// multi-lane restore is all-or-nothing.
+    pub(crate) fn prepare_restore(&self, bytes: &[u8]) -> Result<PreparedRestore, RpuError> {
+        let image = snapshot::decode_session(bytes)?;
+        let checks: [(&'static str, u64, u64); 3] = [
+            (
+                "workspace size",
+                image.workspace,
+                self.device.workspace as u64,
+            ),
+            ("heap base", image.heap_base, self.device.heap.base() as u64),
+            (
+                "heap capacity",
+                image.heap_capacity,
+                self.device.heap.capacity() as u64,
+            ),
+        ];
+        for (what, snap, target) in checks {
+            if snap != target {
+                return Err(SnapshotError::GeometryMismatch {
+                    what,
+                    snapshot: snap,
+                    target,
+                }
+                .into());
+            }
+        }
+        let (live, free, high_water) = convert_heap_map(&image)?;
+        // Validate the heap map against a scratch allocator so applying
+        // it later cannot fail.
+        let mut scratch =
+            BufferAllocator::new(self.device.heap.base(), self.device.heap.capacity());
+        scratch
+            .restore_state(live, free, high_water)
+            .map_err(|detail| SnapshotError::Corrupt(format!("heap map: {detail}")))?;
+        let mut kernels = Vec::with_capacity(image.keys.len());
+        for key in &image.keys {
+            let spec = rpu_codegen::spec_for_key(key).ok_or_else(|| {
+                RpuError::from(SnapshotError::KernelRebuild {
+                    detail: format!("no kernel spec reproduces the snapshotted key {key:?}"),
+                })
+            })?;
+            let kernel = spec.generate().map_err(|e| SnapshotError::KernelRebuild {
+                detail: format!("regenerating {key:?} failed: {e}"),
+            })?;
+            kernels.push(Arc::new(kernel));
+        }
+        Ok(PreparedRestore { image, kernels })
+    }
+
+    /// The infallible half of a restore: swaps the prepared state in
+    /// and returns the snapshot's live-buffer handles.
+    pub(crate) fn apply_restore(&mut self, prepared: PreparedRestore) -> Vec<DeviceBuffer> {
+        let PreparedRestore { image, kernels } = prepared;
+        let (live, free, high_water) =
+            convert_heap_map(&image).expect("prepare validated the heap map");
+        self.device
+            .heap
+            .restore_state(live.clone(), free, high_water)
+            .expect("prepare validated the heap map");
+        // Grow-only simulator: write the snapshotted contents and zero
+        // any tail beyond them, so the restored device contents are
+        // canonical even when this session's sim had grown larger.
+        self.device.sim.ensure_vdm(image.vdm.len());
+        self.device
+            .sim
+            .write_vdm(0, &image.vdm)
+            .expect("ensured to cover the image");
+        let vdm_tail = self.device.sim.vdm_capacity() - image.vdm.len();
+        if vdm_tail > 0 {
+            self.device
+                .sim
+                .write_vdm(image.vdm.len(), &vec![0u128; vdm_tail])
+                .expect("tail is in bounds");
+        }
+        self.device.sim.ensure_sdm(image.sdm.len());
+        self.device
+            .sim
+            .write_sdm(0, &image.sdm)
+            .expect("ensured to cover the image");
+        let sdm_tail = self.device.sim.sdm_capacity() - image.sdm.len();
+        if sdm_tail > 0 {
+            self.device
+                .sim
+                .write_sdm(image.sdm.len(), &vec![0u128; sdm_tail])
+                .expect("tail is in bounds");
+        }
+        self.device.loaded = image.loaded;
+        self.cache.reseed(kernels);
+        live.into_iter()
+            .map(|(id, offset, len)| DeviceBuffer::from_raw(id, offset, len))
+            .collect()
+    }
+}
+
+/// A decoded, validated, kernel-regenerated restore, ready to apply
+/// infallibly (see [`RpuSession::prepare_restore`]).
+#[derive(Debug)]
+pub(crate) struct PreparedRestore {
+    image: SessionImage,
+    kernels: Vec<Arc<Kernel>>,
+}
+
+/// Converts a decoded image's heap map to allocator-native types,
+/// rejecting values that overflow `usize`.
+#[allow(clippy::type_complexity)]
+fn convert_heap_map(
+    image: &SessionImage,
+) -> Result<(Vec<(u64, usize, usize)>, Vec<(usize, usize)>, usize), RpuError> {
+    let overflow = || RpuError::from(SnapshotError::Corrupt("heap map overflows usize".into()));
+    let mut live = Vec::with_capacity(image.live.len());
+    for &(id, offset, len) in &image.live {
+        live.push((
+            id,
+            usize::try_from(offset).map_err(|_| overflow())?,
+            usize::try_from(len).map_err(|_| overflow())?,
+        ));
+    }
+    let mut free = Vec::with_capacity(image.free.len());
+    for &(offset, len) in &image.free {
+        free.push((
+            usize::try_from(offset).map_err(|_| overflow())?,
+            usize::try_from(len).map_err(|_| overflow())?,
+        ));
+    }
+    let high_water = usize::try_from(image.high_water).map_err(|_| overflow())?;
+    Ok((live, free, high_water))
 }
 
 #[cfg(test)]

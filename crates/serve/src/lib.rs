@@ -72,8 +72,8 @@ mod server;
 mod traffic;
 
 pub use server::{
-    serve, CtHandle, DispatchRecord, JobKind, JobOutput, JobRequest, JobTicket, ServeConfig,
-    ServeReport, ServerHandle, TenantId, TenantSpec, TenantSummary,
+    serve, CtHandle, JobKind, JobOutput, JobRequest, JobTicket, ServeConfig, ServeReport,
+    ServerHandle, TenantId, TenantSpec, TenantSummary,
 };
 pub use traffic::{run_traffic, OpMix, TenantLoad, TrafficReport, TrafficSpec};
 

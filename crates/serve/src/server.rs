@@ -212,22 +212,6 @@ pub enum JobOutput {
     Freed,
 }
 
-/// One scheduler decision, for fairness auditing: batch `seq` of
-/// `batch` same-kind jobs of `tenant` dispatched to `lane`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DispatchRecord {
-    /// Monotone dispatch sequence number (1-based).
-    pub seq: u64,
-    /// The lane the batch ran on.
-    pub lane: usize,
-    /// The tenant served.
-    pub tenant: TenantId,
-    /// The batch's job kind.
-    pub kind: JobKind,
-    /// Jobs in the batch.
-    pub batch: usize,
-}
-
 /// Per-tenant accounting snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TenantSummary {
@@ -541,12 +525,10 @@ struct ServerState {
     kernels: Vec<Option<Arc<LaneKernelSet>>>,
     tenants: Vec<TenantState>,
     admin: VecDeque<AdminTask>,
-    log: Vec<DispatchRecord>,
     /// Per-lane virtual clock: the vtime of the last tenant served
     /// there, so a newly-backlogged tenant starts at "now" instead of
     /// cashing in idle time as a burst.
     lane_vclock: Vec<u128>,
-    seq: u64,
     completed: u64,
     rejected: u64,
 }
@@ -560,9 +542,7 @@ impl ServerState {
             kernels: vec![None; lanes],
             tenants: Vec::new(),
             admin: VecDeque::new(),
-            log: Vec::new(),
             lane_vclock: vec![0; lanes],
-            seq: 0,
             completed: 0,
             rejected: 0,
         }
@@ -598,8 +578,10 @@ impl ServerState {
     /// One scheduling decision: for the first free lane with work,
     /// admin tasks first (they bypass pause), else the min-virtual-time
     /// active tenant homed there, popping up to `quantum` consecutive
-    /// same-kind jobs as one batch. Marks the lane busy and logs the
-    /// dispatch.
+    /// same-kind jobs as one batch. Marks the lane busy. (There is no
+    /// scheduler-side dispatch log: batch jobs run under a tenant tag,
+    /// so the structured dispatch trace — [`rpu::RpuBuilder::trace`] —
+    /// is the audit trail.)
     fn pick_work(&mut self, config: &ServeConfig) -> Option<(usize, Work)> {
         for lane in 0..self.lane_busy.len() {
             if self.lane_busy[lane] {
@@ -641,14 +623,6 @@ impl ServerState {
             self.lane_vclock[lane] = self.tenants[i].vtime;
             let weight = u128::from(self.tenants[i].weight.max(1));
             self.tenants[i].vtime += (cost << VTIME_SHIFT) / weight;
-            self.seq += 1;
-            self.log.push(DispatchRecord {
-                seq: self.seq,
-                lane,
-                tenant,
-                kind,
-                batch: items.len(),
-            });
             self.lane_busy[lane] = true;
             return Some((lane, Work::Batch { tenant, items }));
         }
@@ -925,12 +899,6 @@ impl ServerHandle {
         st.tenants.iter().map(TenantState::summary).collect()
     }
 
-    /// The dispatch log so far (one record per scheduled batch) — the
-    /// audit trail the fairness tests assert over.
-    pub fn dispatch_log(&self) -> Vec<DispatchRecord> {
-        self.core.state.lock().expect("not poisoned").log.clone()
-    }
-
     /// Jobs outstanding (queued + in flight) for `tenant`.
     ///
     /// # Errors
@@ -971,9 +939,16 @@ fn scheduler_loop(pool: &LanePool<'_>, core: &Arc<ServerCore>) {
                 Work::Batch { tenant, items } => pool.submit_to(
                     lane,
                     Box::new(move |w| {
+                        // Tag the batch's dispatches with the tenant so
+                        // the structured trace is the fairness audit
+                        // trail; admin work stays untagged. The guard
+                        // restores the previous tag even on panic —
+                        // lane worker threads outlive the job.
+                        let _tag = rpu::TenantTag::new(tenant.index() as u32);
                         for item in items {
                             exec_item(w, &job_core, tenant, item);
                         }
+                        drop(_tag);
                         finish_lane(&job_core, lane);
                     }),
                 ),

@@ -257,6 +257,19 @@ impl FunctionalSim {
         Ok(self.vdm[offset..offset + len].to_vec())
     }
 
+    /// Reads `len` elements from the SDM at an element offset — the
+    /// image-export half of device snapshotting (the session layer
+    /// serializes full VDM/SDM contents behind a versioned format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::HostTransferOutOfBounds`] if the read
+    /// exceeds SDM capacity.
+    pub fn read_sdm(&self, offset: usize, len: usize) -> Result<Vec<u128>, ExecError> {
+        Self::check_transfer("SDM", self.sdm.len(), offset, len)?;
+        Ok(self.sdm[offset..offset + len].to_vec())
+    }
+
     /// Writes elements into the SDM at an element offset.
     ///
     /// # Errors

@@ -19,6 +19,12 @@
 //! the ring elements, not just the decrypted plaintext.
 //!
 //! Run with: `cargo run --release --example encrypted_inference -- --lanes 2`
+//!
+//! With `--snapshot-roundtrip`, the pipeline also takes a `SNAP_V1`
+//! device snapshot mid-pipeline (after the depth-2 multiply), finishes
+//! normally, then restores the snapshot and replays the remaining
+//! steps — asserting the resumed run reproduces the same final
+//! ciphertext towers and decryption bit-for-bit.
 
 use rpu::ntt::rlwe::Splitmix;
 use rpu::ntt::testutil::schoolbook_negacyclic;
@@ -35,6 +41,10 @@ fn flag(name: &str, default: usize) -> usize {
         }
     }
     default
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|arg| arg == name)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -125,6 +135,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h_pre = host.rescale(&host.mul(&rk, &h_score, &h_s))?;
     report(&mut eval, &pre, "pre = score*scale")?;
 
+    // Optionally capture the device mid-pipeline; the ledger is
+    // resumed from these bytes after the normal run finishes.
+    let snapshot = has_flag("--snapshot-roundtrip").then(|| {
+        let bytes = eval.snapshot();
+        println!("  [snapshot] captured {} bytes after depth 2", bytes.len());
+        bytes
+    });
+
     // bias add: level alignment is automatic (bias is still at level 3)
     let shifted = eval.add(&pre, &ct_b)?;
     let h_shifted = host.add(&h_pre, &host.mod_drop(&h_b, h_pre.level())?);
@@ -162,6 +180,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ndevice output bit-exact vs host oracle at level 0; raw <w, x> = {dot}, activation coefficient n-1 = {}",
         decrypted[n - 1]
     );
+
+    // Resume from the mid-pipeline snapshot and replay the remaining
+    // steps: the restored device must land on the exact same ledger.
+    if let Some(bytes) = snapshot {
+        eval.restore(&bytes)?;
+        let shifted2 = eval.add(&pre, &ct_b)?;
+        let act2 = eval.mul_rescale(&shifted2, &shifted2)?;
+        let resumed = eval.download_ciphertext(&act2)?;
+        assert_eq!(
+            resumed.a_towers()[0].values(),
+            downloaded.a_towers()[0].values(),
+            "resumed mask tower must match the uninterrupted run"
+        );
+        assert_eq!(
+            resumed.b_towers()[0].values(),
+            downloaded.b_towers()[0].values(),
+            "resumed payload tower must match the uninterrupted run"
+        );
+        assert_eq!(
+            eval.decrypt(&act2)?,
+            decrypted,
+            "resumed decryption must match the uninterrupted run"
+        );
+        println!("  [snapshot] restored and resumed: final towers and decryption bit-exact");
+    }
 
     // --- accounting -----------------------------------------------
     let dispatches = eval.dispatch_count();

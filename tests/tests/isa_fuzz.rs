@@ -19,8 +19,14 @@
 //! butterfly/pack, and gather-heavy programs stress different simulator
 //! paths (address generation, the modular ALUs, the permute network,
 //! and indexed access respectively) far harder than uniform draws do.
+//! Two additional **fault-injection shapes** deliberately steer
+//! programs into typed runtime faults — gathers fed out-of-range
+//! indices from a poisoned VDM region, and scalar/modulus/address
+//! loads aimed past the end of the SDM — so error parity between the
+//! interpreter and the fast path is exercised as hard as success
+//! parity.
 //!
-//! The case count defaults to 128 and is tunable with `RPU_FUZZ_CASES`
+//! The case count defaults to 256 and is tunable with `RPU_FUZZ_CASES`
 //! (a long soak sets thousands); the generic `PROPTEST_CASES` variable
 //! still wins over both when set, since the proptest runner reads it
 //! last.
@@ -37,6 +43,13 @@ use rpu::FunctionalSim;
 
 const VDM_ELEMS: usize = 1 << 14;
 const SDM_ELEMS: usize = 64;
+
+/// Top-of-VDM region seeded with out-of-range values: a `vload` from
+/// here followed by a `vgather` through the loaded register faults on
+/// the per-lane index bounds check. Two vectors wide so a Unit-mode
+/// load anywhere in the first half stays in bounds itself.
+const POISON_LEN: usize = 1024;
+const POISON_BASE: usize = VDM_ELEMS - POISON_LEN;
 
 /// Small valid moduli pre-seeded into `m0..m3` and cycled through the
 /// SDM (so `mload`/`aload` pick up values that keep programs mostly
@@ -121,14 +134,15 @@ impl Rng {
     }
 }
 
-/// Fuzz case count: `RPU_FUZZ_CASES` overrides the default of 128
-/// (raise it for soak runs). The proptest runner's own
-/// `PROPTEST_CASES` variable still takes precedence over both.
+/// Fuzz case count: `RPU_FUZZ_CASES` overrides the default of 256
+/// (raise it for soak runs; CI's scheduled fuzz job sets 512). The
+/// proptest runner's own `PROPTEST_CASES` variable still takes
+/// precedence over both.
 fn fuzz_cases() -> u32 {
     std::env::var("RPU_FUZZ_CASES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(128)
+        .unwrap_or(256)
 }
 
 /// A program shape: relative weights over the 18 instruction kinds
@@ -136,8 +150,12 @@ fn fuzz_cases() -> u32 {
 /// deeper into single subsystems than uniform draws — long load/store
 /// runs hit address-generation corner cases, dense compute runs hit
 /// ALU/fault parity, butterfly/pack runs hit the permute network, and
-/// gather runs hit indexed addressing.
-const SHAPES: [[u32; 18]; 4] = [
+/// gather runs hit indexed addressing. The last two shapes are
+/// **fault injectors**: they steer programs into typed runtime errors
+/// (out-of-range gather indices, SDM accesses past the end) so both
+/// execution paths must agree on the exact `ExecError`, not just on
+/// successful results.
+const SHAPES: [[u32; 18]; 6] = [
     // Memory-heavy: loads, stores, broadcasts, scalar/modulus/address
     // loads dominate.
     [8, 8, 2, 6, 5, 5, 5, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1],
@@ -147,7 +165,31 @@ const SHAPES: [[u32; 18]; 4] = [
     [2, 1, 1, 1, 1, 2, 1, 1, 1, 2, 1, 1, 1, 10, 6, 6, 6, 6],
     // Gather-heavy: indexed access plus the loads that feed it.
     [6, 3, 12, 3, 2, 2, 4, 2, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1],
+    // Fault injector: loads from the poison region feed gathers with
+    // out-of-range indices.
+    [12, 2, 12, 2, 2, 2, 2, 2, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1],
+    // Fault injector: scalar/modulus/address loads roam past the end
+    // of the SDM mid-program.
+    [2, 1, 1, 1, 10, 10, 10, 3, 2, 3, 3, 2, 3, 1, 1, 1, 1, 1],
 ];
+
+/// Index of the gather-fault shape in [`SHAPES`].
+const GATHER_FAULT_SHAPE: usize = 4;
+/// Index of the SDM-exhaustion shape in [`SHAPES`].
+const SDM_FAULT_SHAPE: usize = 5;
+
+/// SDM offset draw, specialized by shape: the exhaustion shape spreads
+/// offsets over `[0, SDM_ELEMS * 3/2)` so roughly a third of its
+/// scalar/modulus/address loads fault past the end of the SDM
+/// mid-program; every other shape uses the default mostly-in-bounds
+/// distribution.
+fn sdm_shaped_offset(r: &mut Rng, shape_idx: usize) -> u32 {
+    if shape_idx == SDM_FAULT_SHAPE {
+        r.below(SDM_ELEMS as u64 * 3 / 2) as u32
+    } else {
+        r.sdm_offset()
+    }
+}
 
 /// Draws an instruction-kind index from a weight table.
 fn weighted_kind(r: &mut Rng, weights: &[u32; 18]) -> u64 {
@@ -167,16 +209,38 @@ fn weighted_kind(r: &mut Rng, weights: &[u32; 18]) -> u64 {
 /// the instruction mix drawn from a seed-selected shape profile.
 fn random_legal_program(seed: u64, len: usize) -> Program {
     let mut r = Rng(seed);
-    let shape = &SHAPES[r.below(SHAPES.len() as u64) as usize];
-    let mut p = Program::new(format!("fuzz_{seed:x}"));
+    let shape_idx = r.below(SHAPES.len() as u64) as usize;
+    random_shaped_program(seed.wrapping_add(1), len, shape_idx)
+}
+
+/// Generates a random well-formed program from an explicit shape
+/// profile — the entry point for the deterministic fault-injection
+/// tests, which need to target one shape rather than sample them.
+fn random_shaped_program(seed: u64, len: usize, shape_idx: usize) -> Program {
+    let mut r = Rng(seed);
+    let shape = &SHAPES[shape_idx];
+    let mut p = Program::new(format!("fuzz_{seed:x}_s{shape_idx}"));
     for _ in 0..len {
         let instr = match weighted_kind(&mut r, shape) {
-            0 => Instruction::VLoad {
-                vd: r.vreg(),
-                base: r.areg(),
-                offset: r.offset(),
-                mode: r.mode(),
-            },
+            0 => {
+                // The gather-fault shape aims half its loads into the
+                // poison region, so gather index registers pick up
+                // out-of-range values.
+                let (offset, mode) = if shape_idx == GATHER_FAULT_SHAPE && r.below(2) == 0 {
+                    (
+                        (POISON_BASE as u64 + r.below(POISON_LEN as u64 / 2)) as u32,
+                        AddrMode::Unit,
+                    )
+                } else {
+                    (r.offset(), r.mode())
+                };
+                Instruction::VLoad {
+                    vd: r.vreg(),
+                    base: r.areg(),
+                    offset,
+                    mode,
+                }
+            }
             1 => Instruction::VStore {
                 vs: r.vreg(),
                 base: r.areg(),
@@ -197,17 +261,17 @@ fn random_legal_program(seed: u64, len: usize) -> Program {
             4 => Instruction::SLoad {
                 rt: r.sreg(),
                 base: r.areg(),
-                offset: r.sdm_offset(),
+                offset: sdm_shaped_offset(&mut r, shape_idx),
             },
             5 => Instruction::MLoad {
                 rt: r.mreg(),
                 base: r.areg(),
-                offset: r.sdm_offset(),
+                offset: sdm_shaped_offset(&mut r, shape_idx),
             },
             6 => Instruction::ALoad {
                 rt: r.areg(),
                 base: r.areg(),
-                offset: r.sdm_offset(),
+                offset: sdm_shaped_offset(&mut r, shape_idx),
             },
             7 => Instruction::VAddMod {
                 vd: r.vreg(),
@@ -280,12 +344,22 @@ fn random_legal_program(seed: u64, len: usize) -> Program {
 }
 
 /// A fully seeded simulator: non-trivial VDM image, SDM holding small
-/// valid primes, `m0..m3` and `s0..s3` preset.
+/// valid primes, `m0..m3` and `s0..s3` preset. The top [`POISON_LEN`]
+/// VDM elements hold out-of-range gather indices (just past the VDM,
+/// and `u128::MAX`) for the fault-injection shape; the rest of the
+/// image stays below 3329, so ordinary gathers never fault on it.
 fn fresh_sim() -> FunctionalSim {
     let mut sim = FunctionalSim::new(VDM_ELEMS, SDM_ELEMS);
-    let image: Vec<u128> = (0..VDM_ELEMS as u128)
+    let mut image: Vec<u128> = (0..VDM_ELEMS as u128)
         .map(|i| (i * 37 + 11) % 3329)
         .collect();
+    for (i, slot) in image[POISON_BASE..].iter_mut().enumerate() {
+        *slot = if i % 2 == 0 {
+            (VDM_ELEMS + i) as u128
+        } else {
+            u128::MAX - i as u128
+        };
+    }
     sim.write_vdm(0, &image).unwrap();
     let sdm: Vec<u128> = (0..SDM_ELEMS).map(|i| PRIMES[i % PRIMES.len()]).collect();
     sim.write_sdm(0, &sdm).unwrap();
@@ -459,6 +533,90 @@ fn shrinker_keeps_codependent_pairs() {
         minimal.instructions()[1],
         Instruction::VLoad { .. }
     ));
+}
+
+/// The gather fault-injection shape must actually fault (otherwise it
+/// tests nothing), and on every fault the interpreter and the fast
+/// path must return the *same* typed [`ExecError`] — checked here both
+/// via the full three-way [`divergence`] oracle and by comparing the
+/// error values directly.
+#[test]
+fn gather_fault_shape_faults_with_error_parity() {
+    let mut faults = 0usize;
+    for seed in 0..48u64 {
+        let program = random_shaped_program(seed, 32, GATHER_FAULT_SHAPE);
+        assert!(
+            divergence(&program).is_none(),
+            "seed {seed}: paths diverged on a gather-fault program"
+        );
+        let oracle = fresh_sim().run(&program);
+        let fast = fresh_sim().run_predecoded(&PredecodedProgram::new(program));
+        assert_eq!(oracle, fast, "seed {seed}: typed outcome parity");
+        if oracle.is_err() {
+            faults += 1;
+        }
+    }
+    assert!(
+        faults >= 8,
+        "gather fault shape faulted only {faults}/48 times — injection is toothless"
+    );
+}
+
+/// Same contract for the SDM-exhaustion shape: scalar/modulus/address
+/// loads past the end of the SDM must fault identically (and with the
+/// same typed error) on both execution paths.
+#[test]
+fn sdm_exhaustion_shape_faults_with_error_parity() {
+    let mut faults = 0usize;
+    for seed in 0..48u64 {
+        let program = random_shaped_program(seed, 32, SDM_FAULT_SHAPE);
+        assert!(
+            divergence(&program).is_none(),
+            "seed {seed}: paths diverged on an SDM-exhaustion program"
+        );
+        let oracle = fresh_sim().run(&program);
+        let fast = fresh_sim().run_predecoded(&PredecodedProgram::new(program));
+        assert_eq!(oracle, fast, "seed {seed}: typed outcome parity");
+        if oracle.is_err() {
+            faults += 1;
+        }
+    }
+    assert!(
+        faults >= 8,
+        "SDM exhaustion shape faulted only {faults}/48 times — injection is toothless"
+    );
+}
+
+/// The shrinker keeps working on fault-shape programs: given a
+/// faulting reproducer and the predicate "still fails with the same
+/// typed error", it reaches a small program whose fault both paths
+/// still agree on exactly.
+#[test]
+fn shrinker_minimizes_fault_injection_reproducers() {
+    let (program, err) = (0..64u64)
+        .find_map(|seed| {
+            let p = random_shaped_program(seed, 32, GATHER_FAULT_SHAPE);
+            let e = fresh_sim().run(&p).err()?;
+            Some((p, e))
+        })
+        .expect("some gather-shape program faults");
+    let same_fault = |p: &Program| fresh_sim().run(p).err().is_some_and(|e| e == err);
+    let minimal = shrink_program(&program, &same_fault);
+    assert!(
+        minimal.instructions().len() <= 4,
+        "shrinker left {} instructions:\n{}",
+        minimal.instructions().len(),
+        minimal.to_asm()
+    );
+    assert!(same_fault(&minimal));
+    // The fast path agrees on the minimal reproducer's typed error too.
+    let fast = fresh_sim().run_predecoded(&PredecodedProgram::new(minimal.clone()));
+    assert_eq!(
+        fast.err(),
+        Some(err),
+        "fast path disagrees on the minimal reproducer:\n{}",
+        minimal.to_asm()
+    );
 }
 
 proptest! {

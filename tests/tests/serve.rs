@@ -1,15 +1,17 @@
 //! Serving-layer integration tests: multi-tenant differential
 //! correctness against the host RLWE reference, weighted-fair
-//! scheduling bounds read off the dispatch log, typed backpressure,
-//! tenant isolation, and the rekey/teardown buffer lifecycle.
+//! scheduling bounds read off the structured dispatch trace, typed
+//! backpressure, tenant isolation, and the rekey/teardown buffer
+//! lifecycle.
 
 use proptest::prelude::*;
 use rpu::ntt::rlwe::{Ciphertext, RlweContext, RlweParams, Splitmix};
-use rpu::Rpu;
+use rpu::{DispatchEvent, RingTraceSink, Rpu};
 use rpu_serve::{
     serve, CtHandle, JobOutput, JobRequest, ServeConfig, ServeError, ServerHandle, TenantId,
     TenantSpec,
 };
+use std::sync::Arc;
 
 const N: usize = 1024;
 const T: u128 = 65537;
@@ -146,8 +148,42 @@ fn concurrent_tenants_match_host_mirror() {
     }
 }
 
+/// Converts the raw per-dispatch trace into job units for two tenants
+/// submitting same-kind jobs: every `Encrypt` job issues the same
+/// fixed number of device dispatches, so a tenant's job count is its
+/// tenant-tagged event count divided by that per-job cost. Admin
+/// dispatches (keygen at registration) carry no tenant tag and drop
+/// out of the filter. Returns `(gate_jobs_seen, other_jobs_before)`:
+/// the gate tenant's total completed jobs and how many of the other
+/// tenant's jobs were dispatched before the gate's backlog drained.
+fn jobs_before_gate_drains(
+    events: &[DispatchEvent],
+    gate: TenantId,
+    gate_jobs: usize,
+    other: TenantId,
+) -> (usize, usize) {
+    let gate_tag = Some(gate.index() as u32);
+    let other_tag = Some(other.index() as u32);
+    let gate_total = events.iter().filter(|e| e.tenant == gate_tag).count();
+    assert!(
+        gate_jobs > 0 && gate_total >= gate_jobs && gate_total % gate_jobs == 0,
+        "gate tenant recorded {gate_total} dispatches, not a multiple of {gate_jobs} jobs"
+    );
+    let per_job = gate_total / gate_jobs;
+    let mut gate_events = 0usize;
+    let mut other_events = 0usize;
+    for event in events {
+        if event.tenant == gate_tag {
+            gate_events += 1;
+        } else if event.tenant == other_tag && gate_events < gate_total {
+            other_events += 1;
+        }
+    }
+    (gate_events / per_job, other_events / per_job)
+}
+
 /// Runs a two-tenant single-lane flood with the queues prefilled under
-/// `pause`, then reads the dispatch log back: returns how many heavy
+/// `pause`, then reads the dispatch trace back: returns how many heavy
 /// jobs were dispatched before the light tenant's backlog finished.
 fn heavy_jobs_before_light_done(
     heavy_weight: u32,
@@ -155,7 +191,8 @@ fn heavy_jobs_before_light_done(
     heavy_jobs: usize,
     light_jobs: usize,
 ) -> (usize, usize) {
-    let rpu = Rpu::builder().lanes(1).build().unwrap();
+    let sink = Arc::new(RingTraceSink::new(1 << 16));
+    let rpu = Rpu::builder().lanes(1).trace(sink.clone()).build().unwrap();
     let p = params(&rpu);
     let (counts, _report) = serve(&rpu, ServeConfig::new(p), |server| {
         let heavy = server
@@ -195,16 +232,8 @@ fn heavy_jobs_before_light_done(
             t.wait().unwrap();
         }
         server.wait_all();
-        let log = server.dispatch_log();
-        let mut heavy_before = 0;
-        let mut light_seen = 0;
-        for rec in &log {
-            if rec.tenant == light {
-                light_seen += rec.batch;
-            } else if rec.tenant == heavy && light_seen < light_jobs {
-                heavy_before += rec.batch;
-            }
-        }
+        let (light_seen, heavy_before) =
+            jobs_before_gate_drains(&sink.events(), light, light_jobs, heavy);
         (heavy_before, light_seen)
     })
     .unwrap();
@@ -229,7 +258,8 @@ fn saturating_tenant_cannot_starve_equal_weight_tenant() {
 /// tenant while both are backlogged.
 #[test]
 fn weighted_shares_are_respected() {
-    let rpu = Rpu::builder().lanes(1).build().unwrap();
+    let sink = Arc::new(RingTraceSink::new(1 << 16));
+    let rpu = Rpu::builder().lanes(1).trace(sink.clone()).build().unwrap();
     let p = params(&rpu);
     let ((a_total, b_when_a_done), _report) = serve(&rpu, ServeConfig::new(p), |server| {
         let a = server
@@ -267,17 +297,7 @@ fn weighted_shares_are_respected() {
             t.wait().unwrap();
         }
         server.wait_all();
-        let log = server.dispatch_log();
-        let mut a_seen = 0;
-        let mut b_when_a_done = 0;
-        for rec in &log {
-            if rec.tenant == a {
-                a_seen += rec.batch;
-            } else if a_seen < 24 {
-                b_when_a_done += rec.batch;
-            }
-        }
-        (a_seen, b_when_a_done)
+        jobs_before_gate_drains(&sink.events(), a, 24, b)
     })
     .unwrap();
     assert_eq!(a_total, 24);

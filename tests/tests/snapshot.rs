@@ -1,0 +1,476 @@
+//! Snapshot/restore integration suite: `SNAP_V1` round trips (byte
+//! determinism, re-snapshot equality, random heap layouts), bit-exact
+//! dispatch after restore into a fresh instance, mid-pipeline restore
+//! equivalence for leveled multiply chains at 1/2/4 lanes, typed
+//! negative paths (truncation, bad magic, future versions, kind
+//! mismatch), and the live-buffer double-free pin: restore refuses
+//! while handles are live, and `restore_replacing` makes post-snapshot
+//! handles stale instead of dangling.
+
+use proptest::prelude::*;
+use rpu::ntt::rlwe::Splitmix;
+use rpu::{
+    CodegenStyle, DeviceLeveledCiphertext, ElementwiseOp, ElementwiseSpec, LeveledContext,
+    LeveledEvaluator, Rpu, RpuError, SnapshotError,
+};
+
+const T: u128 = 65537;
+/// Chain prime width for the leveled restore suite (matches the
+/// leveled differential suite so noise analysis clears depth 3).
+const BITS: u32 = 59;
+/// Gadget base: 2 digits per 59-bit prime keeps dispatch counts low.
+const BASE_LOG: u32 = 32;
+
+fn test_data(len: usize, seed: u64) -> Vec<u128> {
+    (0..len as u128)
+        .map(|i| {
+            i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed as u128)
+        })
+        .collect()
+}
+
+fn message(n: usize, seed: u128) -> Vec<u128> {
+    (0..n as u128).map(|i| (i * 13 + seed) % 256).collect()
+}
+
+/// Unwraps an [`RpuError`] down to its snapshot cause.
+fn snap_err(e: RpuError) -> SnapshotError {
+    match e {
+        RpuError::Snapshot(s) => s,
+        other => panic!("expected a snapshot error, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session round trips
+// ---------------------------------------------------------------------
+
+/// Snapshotting is a pure read: taking a snapshot twice yields
+/// identical bytes, and restoring those bytes into a fresh instance
+/// yields a session whose own snapshot is byte-identical (the format
+/// is canonical — no map-iteration nondeterminism leaks in).
+#[test]
+fn snapshots_are_deterministic_and_restore_is_exact() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let a = test_data(700, 1);
+    let b = test_data(300, 2);
+    let ba = s.upload(&a).unwrap();
+    let bb = s.upload(&b).unwrap();
+    s.free(bb).unwrap(); // leave a hole so the free list is non-trivial
+    let bytes = s.snapshot();
+    assert_eq!(bytes, s.snapshot(), "snapshot must be a pure read");
+
+    let rpu2 = Rpu::builder().build().unwrap();
+    let mut s2 = rpu2.session();
+    let restored = s2.restore(&bytes).unwrap();
+    assert_eq!(s2.snapshot(), bytes, "re-snapshot equality");
+    assert_eq!(restored.len(), 1);
+    // Both the returned handle and the original one resolve to the
+    // snapshotted contents.
+    assert_eq!(s2.download(&restored[0]).unwrap(), a);
+    assert_eq!(s2.download(&ba).unwrap(), a);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random heap layouts (mixed sizes, random frees leaving holes)
+    /// survive a snapshot → restore → re-snapshot round trip with
+    /// byte-identical snapshots, identical live-buffer handles, and
+    /// bit-identical buffer contents in a fresh instance.
+    #[test]
+    fn random_heaps_round_trip_through_snapshots(
+        lens in prop::collection::vec(1usize..1500, 1..8),
+        drop_mask in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let rpu = Rpu::builder().build().unwrap();
+        let mut s = rpu.session();
+        let data: Vec<Vec<u128>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| test_data(l, seed ^ i as u64))
+            .collect();
+        let bufs: Vec<_> = data.iter().map(|d| s.upload(d).unwrap()).collect();
+        let mut kept = Vec::new();
+        for (i, buf) in bufs.into_iter().enumerate() {
+            if drop_mask >> (i % 64) & 1 == 1 {
+                s.free(buf).unwrap();
+            } else {
+                kept.push((buf, &data[i]));
+            }
+        }
+        let bytes = s.snapshot();
+
+        let rpu2 = Rpu::builder().build().unwrap();
+        let mut s2 = rpu2.session();
+        let restored = s2.restore(&bytes).unwrap();
+        prop_assert_eq!(s2.snapshot(), bytes, "re-snapshot equality");
+        let kept_handles: Vec<_> = kept.iter().map(|&(b, _)| b).collect();
+        prop_assert_eq!(restored, kept_handles, "same ids, offsets, lengths");
+        for (buf, expect) in &kept {
+            prop_assert_eq!(&s2.download(buf).unwrap(), *expect);
+        }
+    }
+}
+
+/// A dispatch replayed after restoring into a fresh instance is
+/// bit-exact with the original session's continuation, and the
+/// regenerated kernel cache answers the compile without a miss.
+#[test]
+fn dispatch_after_restore_is_bit_exact() {
+    let n = rpu::smoke_cap(1024);
+    let style = CodegenStyle::Optimized;
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let q = s.primes_for(n).unwrap();
+    let spec = ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, style);
+    let kernel = s.compile(&spec).unwrap();
+    let a: Vec<u128> = (0..n as u128).map(|i| (i * 31 + 7) % q).collect();
+    let b: Vec<u128> = (0..n as u128).map(|i| (i * 57 + 3) % q).collect();
+    let ba = s.upload(&a).unwrap();
+    let bb = s.upload(&b).unwrap();
+    let out = s.alloc(kernel.output_range().1).unwrap();
+    s.dispatch(&kernel, &[ba, bb], &[out]).unwrap();
+    let bytes = s.snapshot();
+
+    // Continue on the original: a second, different dispatch.
+    s.dispatch(&kernel, &[out, bb], &[out]).unwrap();
+    let continued = s.download(&out).unwrap();
+
+    // Restore elsewhere and replay the same continuation.
+    let rpu2 = Rpu::builder().build().unwrap();
+    let mut s2 = rpu2.session();
+    s2.restore(&bytes).unwrap();
+    let kernel2 = s2.compile(&spec).unwrap();
+    assert_eq!(
+        s2.cache_stats().misses,
+        0,
+        "restore must re-pin the kernel cache, not regenerate on use"
+    );
+    s2.dispatch(&kernel2, &[out, bb], &[out]).unwrap();
+    assert_eq!(s2.download(&out).unwrap(), continued, "bit-exact replay");
+}
+
+// ---------------------------------------------------------------------
+// Mid-pipeline leveled restore equivalence
+// ---------------------------------------------------------------------
+
+/// Downloads every tower of both ciphertext components for bit-exact
+/// comparison.
+fn towers(
+    eval: &mut LeveledEvaluator<'_>,
+    ct: &DeviceLeveledCiphertext,
+) -> Vec<(Vec<u128>, Vec<u128>)> {
+    let host = eval.download_ciphertext(ct).unwrap();
+    (0..=host.level())
+        .map(|l| {
+            (
+                host.a_towers()[l].values().to_vec(),
+                host.b_towers()[l].values().to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// A depth-`depth` multiply-rescale chain, snapshotted after the first
+/// level: continuing from the live state and continuing from the
+/// restored snapshot must produce identical final ciphertext towers
+/// (and decryptions), because nothing after encryption draws host
+/// randomness.
+fn mid_pipeline_restore_matches(lanes: usize, depth: usize) {
+    let n = rpu::smoke_cap(1024);
+    let rpu = Rpu::builder().lanes(lanes).build().unwrap();
+    let ctx = LeveledContext::generate(n, T, BITS, depth + 1).unwrap();
+    let mut eval = LeveledEvaluator::new(&rpu, ctx, CodegenStyle::Optimized).unwrap();
+    eval.set_key_base_log(BASE_LOG).unwrap();
+    let mut rng = Splitmix::new(0x005E_ED0F_5EED);
+    eval.keygen(&mut rng).unwrap();
+    eval.relin_keygen(&mut rng).unwrap();
+    let msgs: Vec<Vec<u128>> = (0..=depth).map(|s| message(n, s as u128)).collect();
+    let cts: Vec<DeviceLeveledCiphertext> = msgs
+        .iter()
+        .map(|m| eval.encrypt(m, &mut rng).unwrap())
+        .collect();
+
+    // Level 1 runs before the snapshot; the rest is the continuation.
+    let prod = eval.mul(&cts[0], &cts[1]).unwrap();
+    let acc = eval.rescale(&prod).unwrap();
+    let bytes = eval.snapshot();
+
+    // Continuation A: straight through on the live state.
+    let mut acc_a = acc.clone();
+    for ct in cts.iter().take(depth + 1).skip(2) {
+        let p = eval.mul(&acc_a, ct).unwrap();
+        acc_a = eval.rescale(&p).unwrap();
+    }
+    let towers_a = towers(&mut eval, &acc_a);
+    let plain_a = eval.decrypt(&acc_a).unwrap();
+
+    // Continuation B: rewind the device to the snapshot and replay.
+    // Host-side handles from snapshot time (`acc`, `cts`) stay valid;
+    // everything allocated after it (`acc_a`'s buffers) goes stale.
+    eval.restore(&bytes).unwrap();
+    let mut acc_b = acc;
+    for ct in cts.iter().take(depth + 1).skip(2) {
+        let p = eval.mul(&acc_b, ct).unwrap();
+        acc_b = eval.rescale(&p).unwrap();
+    }
+    let towers_b = towers(&mut eval, &acc_b);
+    let plain_b = eval.decrypt(&acc_b).unwrap();
+
+    assert_eq!(
+        towers_a, towers_b,
+        "lanes={lanes} depth={depth}: restored continuation must reproduce every tower"
+    );
+    assert_eq!(plain_a, plain_b, "lanes={lanes} depth={depth}: decryption");
+}
+
+#[test]
+fn depth_2_chain_restores_mid_pipeline_on_one_lane() {
+    mid_pipeline_restore_matches(1, 2);
+}
+
+#[test]
+fn depth_2_chain_restores_mid_pipeline_on_two_lanes() {
+    mid_pipeline_restore_matches(2, 2);
+}
+
+#[test]
+fn depth_2_chain_restores_mid_pipeline_on_four_lanes() {
+    mid_pipeline_restore_matches(4, 2);
+}
+
+#[test]
+fn depth_3_chain_restores_mid_pipeline_on_one_lane() {
+    mid_pipeline_restore_matches(1, 3);
+}
+
+#[test]
+fn depth_3_chain_restores_mid_pipeline_on_two_lanes() {
+    mid_pipeline_restore_matches(2, 3);
+}
+
+#[test]
+fn depth_3_chain_restores_mid_pipeline_on_four_lanes() {
+    mid_pipeline_restore_matches(4, 3);
+}
+
+// ---------------------------------------------------------------------
+// Negative paths: every bad input is a typed error, never a panic
+// ---------------------------------------------------------------------
+
+/// Truncations at every prefix length, a corrupted magic, a trailing
+/// byte, and a future format version all fail with typed
+/// [`SnapshotError`]s and leave the target session untouched.
+#[test]
+fn corrupt_snapshots_fail_typed_and_leave_the_session_unchanged() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let buf = s.upload(&test_data(200, 9)).unwrap();
+    let bytes = s.snapshot();
+
+    let rpu2 = Rpu::builder().build().unwrap();
+    let mut s2 = rpu2.session();
+    let pristine = s2.snapshot();
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    assert_eq!(
+        snap_err(s2.restore(&bad).unwrap_err()),
+        SnapshotError::BadMagic
+    );
+
+    // Future version: header declares VERSION + 1.
+    let mut future = bytes.clone();
+    future[4] = future[4].wrapping_add(1);
+    assert!(matches!(
+        snap_err(s2.restore(&future).unwrap_err()),
+        SnapshotError::UnsupportedVersion { found, supported } if found == supported + 1
+    ));
+
+    // Every truncation of the valid bytes fails (Truncated or Corrupt
+    // depending on where the cut lands) without panicking. Step past
+    // single bytes to keep the sweep fast on big images.
+    for cut in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+        match snap_err(s2.restore(&bytes[..cut]).unwrap_err()) {
+            SnapshotError::BadMagic
+            | SnapshotError::Truncated { .. }
+            | SnapshotError::Corrupt(_) => {}
+            other => panic!("truncation at {cut} gave {other}"),
+        }
+    }
+
+    // A trailing byte is corruption, not slack.
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(matches!(
+        snap_err(s2.restore(&trailing).unwrap_err()),
+        SnapshotError::Corrupt(_)
+    ));
+
+    // A cluster restore refuses session-kind bytes (and vice versa).
+    let mut cluster2 = rpu2.cluster_with(1);
+    assert!(matches!(
+        snap_err(cluster2.restore_all(&bytes).unwrap_err()),
+        SnapshotError::Corrupt(_)
+    ));
+    let cluster_bytes = cluster2.snapshot_all();
+    assert!(matches!(
+        snap_err(s2.restore(&cluster_bytes).unwrap_err()),
+        SnapshotError::Corrupt(_)
+    ));
+
+    // None of the failures mutated the target session.
+    assert_eq!(s2.snapshot(), pristine, "failed restores must not mutate");
+
+    // The source session is also intact.
+    assert_eq!(s.download(&buf).unwrap(), test_data(200, 9));
+}
+
+/// Restoring into a session whose device geometry differs (here: a
+/// different heap size) is refused with the typed mismatch, naming
+/// both sides.
+#[test]
+fn geometry_mismatch_is_typed() {
+    let rpu = Rpu::builder().build().unwrap();
+    let bytes = rpu.session().snapshot();
+    let small = Rpu::builder()
+        .device_heap_elements(1 << 12)
+        .build()
+        .unwrap();
+    match snap_err(small.session().restore(&bytes).unwrap_err()) {
+        SnapshotError::GeometryMismatch {
+            what,
+            snapshot,
+            target,
+        } => {
+            assert!(snapshot != target, "{what}: sides must differ");
+        }
+        other => panic!("expected a geometry mismatch, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live-buffer safety: the double-free pin
+// ---------------------------------------------------------------------
+
+/// `restore` refuses to run under live buffers with the typed error;
+/// after freeing, the same bytes restore fine. `restore_replacing`
+/// swaps the state atomically: handles allocated after the snapshot go
+/// stale (download *and* free are typed errors — never a double free),
+/// while snapshot-time handles keep resolving.
+#[test]
+fn restore_under_live_buffers_refuses_then_replacing_staleness_pins_double_free() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let keep = s.upload(&test_data(500, 4)).unwrap();
+    let bytes = s.snapshot();
+
+    // A handle allocated after the snapshot blocks the safe restore.
+    let late = s.upload(&test_data(64, 5)).unwrap();
+    assert_eq!(
+        snap_err(s.restore(&bytes).unwrap_err()),
+        SnapshotError::LiveBuffers { live: 2 }
+    );
+    // ... and the session still works (nothing was mutated).
+    assert_eq!(s.download(&late).unwrap(), test_data(64, 5));
+
+    // The replacing restore succeeds under live handles.
+    let restored = s.restore_replacing(&bytes).unwrap();
+    assert_eq!(restored, vec![keep]);
+    // The post-snapshot handle is stale: use is a typed error, and
+    // freeing it is *also* a typed error rather than a double free
+    // corrupting the restored heap map.
+    assert!(matches!(s.download(&late), Err(RpuError::Buffer(_))));
+    assert!(matches!(s.free(late), Err(RpuError::Buffer(_))));
+    // The snapshot-time handle still resolves, exactly once.
+    assert_eq!(s.download(&keep).unwrap(), test_data(500, 4));
+    s.free(keep).unwrap();
+    assert!(matches!(s.free(keep), Err(RpuError::Buffer(_))));
+    assert_eq!(s.device_mem_in_use(), 0);
+
+    // Freeing the survivors first makes the safe restore legal.
+    let again = s.restore(&bytes).unwrap();
+    assert_eq!(again.len(), 1);
+    assert_eq!(s.download(&again[0]).unwrap(), test_data(500, 4));
+}
+
+/// Buffer ids are never recycled across a restore: a fresh allocation
+/// after restoring gets an id the snapshot has never seen, so a
+/// pre-restore handle can never alias it.
+#[test]
+fn restore_never_recycles_buffer_ids() {
+    let rpu = Rpu::builder().build().unwrap();
+    let mut s = rpu.session();
+    let old = s.upload(&test_data(100, 6)).unwrap();
+    let bytes = s.snapshot();
+    let late = s.upload(&test_data(100, 7)).unwrap();
+    s.restore_replacing(&bytes).unwrap();
+    let fresh = s.upload(&test_data(100, 8)).unwrap();
+    assert_ne!(fresh, late, "fresh ids must not revive stale handles");
+    assert!(matches!(s.download(&late), Err(RpuError::Buffer(_))));
+    assert_eq!(s.download(&old).unwrap(), test_data(100, 6));
+    assert_eq!(s.download(&fresh).unwrap(), test_data(100, 8));
+}
+
+// ---------------------------------------------------------------------
+// Cluster snapshots
+// ---------------------------------------------------------------------
+
+/// A cluster snapshot restores every lane and the ownership map into a
+/// fresh cluster: handles resolve on their original lanes through the
+/// cluster-level API, and a second snapshot is byte-identical.
+#[test]
+fn cluster_snapshot_restores_lanes_and_ownership() {
+    let rpu = Rpu::builder().lanes(2).build().unwrap();
+    let mut cluster = rpu.cluster();
+    let d0 = test_data(300, 10);
+    let d1 = test_data(400, 11);
+    let b0 = cluster.upload_to(0, &d0).unwrap();
+    let b1 = cluster.upload_to(1, &d1).unwrap();
+    let bytes = cluster.snapshot_all();
+
+    let rpu2 = Rpu::builder().lanes(2).build().unwrap();
+    let mut cluster2 = rpu2.cluster();
+    cluster2.restore_all(&bytes).unwrap();
+    assert_eq!(cluster2.snapshot_all(), bytes, "re-snapshot equality");
+    // The ownership map came back: cluster-level download locates each
+    // buffer on its lane.
+    assert_eq!(cluster2.download(&b0).unwrap(), d0);
+    assert_eq!(cluster2.download(&b1).unwrap(), d1);
+    assert_eq!(cluster2.locate(&b0), Some(0));
+    assert_eq!(cluster2.locate(&b1), Some(1));
+    cluster2.free(b0).unwrap();
+    cluster2.free(b1).unwrap();
+}
+
+/// Restoring a 2-lane snapshot into a 3-lane cluster is the typed lane
+/// mismatch; restoring under live buffers is the typed refusal.
+#[test]
+fn cluster_restore_mismatches_are_typed() {
+    let rpu = Rpu::builder().lanes(2).build().unwrap();
+    let mut cluster = rpu.cluster();
+    let bytes = cluster.snapshot_all();
+
+    let rpu3 = Rpu::builder().lanes(3).build().unwrap();
+    let mut cluster3 = rpu3.cluster();
+    assert_eq!(
+        snap_err(cluster3.restore_all(&bytes).unwrap_err()),
+        SnapshotError::LaneCountMismatch {
+            snapshot: 2,
+            cluster: 3
+        }
+    );
+
+    let live = cluster.upload_to(0, &test_data(50, 12)).unwrap();
+    assert_eq!(
+        snap_err(cluster.restore_all(&bytes).unwrap_err()),
+        SnapshotError::LiveBuffers { live: 1 }
+    );
+    cluster.free(live).unwrap();
+    cluster.restore_all(&bytes).unwrap();
+}
