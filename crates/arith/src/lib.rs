@@ -37,6 +37,7 @@
 
 mod bigint;
 mod chain;
+mod engine;
 mod gadget;
 mod mod128;
 mod mod64;
@@ -47,6 +48,9 @@ mod u256;
 
 pub use bigint::UBig;
 pub use chain::{ChainError, ModulusChain};
+pub use engine::{
+    Barrett64Engine, Engine, EngineKind, Mont128Engine, NativeU64Engine, ScalarEngine,
+};
 pub use gadget::{gadget_decompose, gadget_levels};
 pub use mod128::Modulus128;
 pub use mod64::Modulus64;

@@ -2,7 +2,9 @@
 //! the software cost of the operations a single LAW engine lane performs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rpu_arith::{Modulus128, Modulus64, U256};
+use rpu_arith::{
+    Barrett64Engine, Modulus128, Modulus64, Mont128Engine, NativeU64Engine, ScalarEngine, U256,
+};
 
 fn bench_mod64(c: &mut Criterion) {
     let q = rpu_arith::find_ntt_prime_u64(60, 1 << 17).expect("prime exists");
@@ -50,6 +52,79 @@ fn bench_mod128(c: &mut Criterion) {
     g.finish();
 }
 
+/// One row per scalar engine: the per-lane cost of a `vmulmod` as each
+/// strategy services it. The wide rows reproduce the 126-bit arithmetic
+/// floor (normal-domain = two Montgomery reductions, resident = one);
+/// the ≤63-bit rows are what the fast path's native-u64 tier pays per
+/// lane — `native_u64_lane` includes the u128→u64 canonicalization the
+/// simulator's register file forces, `shoup64` is the precomputed-
+/// companion form codegen bakes into SDM images.
+fn bench_engines(c: &mut Criterion) {
+    let q_wide = rpu_arith::find_ntt_prime_u128(126, 1 << 17).expect("prime exists");
+    let q_small = rpu_arith::find_ntt_prime_u64(59, 1 << 17).expect("prime exists");
+    let mont = Mont128Engine(Modulus128::new(q_wide).expect("in range"));
+    let m64 = Modulus64::new(q_small).expect("in range");
+    let barrett = Barrett64Engine(m64);
+    let native = NativeU64Engine(m64);
+
+    let a_wide = q_wide / 3;
+    let b_wide = q_wide / 7;
+    let am = mont.0.to_mont(a_wide);
+    let bm = mont.0.to_mont(b_wide);
+    let a_small = (q_small / 3) as u128;
+    let b_small = (q_small / 7) as u128;
+    let w = q_small / 11;
+    let ws = m64.shoup(w);
+
+    let mut g = c.benchmark_group("engines");
+    g.bench_function("montgomery128", |bench| {
+        bench.iter(|| mont.mul(black_box(a_wide), black_box(b_wide)))
+    });
+    g.bench_function("montgomery128_resident", |bench| {
+        bench.iter(|| mont.0.mont_mul_raw(black_box(am), black_box(bm)))
+    });
+    g.bench_function("barrett64", |bench| {
+        bench.iter(|| barrett.mul(black_box(a_small), black_box(b_small)))
+    });
+    g.bench_function("shoup64", |bench| {
+        bench.iter(|| m64.mul_shoup(black_box(a_small as u64), w, ws))
+    });
+    g.bench_function("native_u64_lane", |bench| {
+        bench.iter(|| native.mul(black_box(a_small), black_box(b_small)))
+    });
+
+    // Full 512-lane vmulmod bodies, the way the fast path executes them
+    // (independent lanes in a tight loop, so the per-lane cost reflects
+    // pipelining rather than a single op's dependency chain). Divide the
+    // reported time by 512 for the per-lane figure.
+    let xs_w: Vec<u128> = (0..512u128).map(|i| (i * 7 + 3) % q_wide).collect();
+    let ys_w: Vec<u128> = (0..512u128).map(|i| (i * 13 + 5) % q_wide).collect();
+    let xs_s: Vec<u128> = (0..512u128)
+        .map(|i| (i * 7 + 3) % q_small as u128)
+        .collect();
+    let ys_s: Vec<u128> = (0..512u128)
+        .map(|i| (i * 13 + 5) % q_small as u128)
+        .collect();
+    let mut out = vec![0u128; 512];
+    g.bench_function("vmulmod_512_montgomery128", |bench| {
+        bench.iter(|| {
+            for i in 0..512 {
+                out[i] = mont.0.mul(black_box(xs_w[i]), ys_w[i]);
+            }
+            black_box(out[511])
+        })
+    });
+    g.bench_function("vmulmod_512_native_u64", |bench| {
+        bench.iter(|| {
+            for i in 0..512 {
+                out[i] = native.mul(black_box(xs_s[i]), ys_s[i]);
+            }
+            black_box(out[511])
+        })
+    });
+    g.finish();
+}
+
 fn bench_primes(c: &mut Criterion) {
     let mut g = c.benchmark_group("primes");
     g.sample_size(20);
@@ -60,5 +135,11 @@ fn bench_primes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mod64, bench_mod128, bench_primes);
+criterion_group!(
+    benches,
+    bench_mod64,
+    bench_mod128,
+    bench_engines,
+    bench_primes
+);
 criterion_main!(benches);

@@ -106,7 +106,9 @@ impl KernelSpec for AutomorphismSpec {
         let base = AReg::at(0);
         let m0 = MReg::at(0);
         let mut program = Program::new(format!("autom{n}_g{g}_{style}"));
-        // SDM image is [0, q]: the elementwise slot convention.
+        // SDM image is [0, q]: the elementwise slot convention. The
+        // sign fix-up constants (±1) live in the VDM as vectors, not as
+        // SDM scalars, so there are no engine companions to bake.
         program.push(Instruction::MLoad {
             rt: m0,
             base,

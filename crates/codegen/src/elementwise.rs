@@ -108,6 +108,8 @@ impl KernelSpec for ElementwiseSpec {
 
         let mut program = Program::new(format!("{}{}_{}", self.key().op, n, style));
         // SDM image is [0, q]: same slot convention as the NTT kernels.
+        // No baked scalar multiplicands, so no engine companions to
+        // append (see `crate::kernel::scalar_companion`).
         program.push(Instruction::MLoad {
             rt: MReg::at(0),
             base: AReg::at(0),

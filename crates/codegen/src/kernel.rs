@@ -14,9 +14,27 @@
 //!   whose [`KernelKey`] identifies the generated kernel for caching.
 
 use crate::{CodegenError, CodegenStyle, Direction, NttKernel};
+use rpu_arith::{EngineKind, Modulus128, Modulus64, Mont128Engine, NativeU64Engine, ScalarEngine};
 use rpu_isa::{Instruction, PredecodedProgram, Program};
 use rpu_sim::{ExecError, FunctionalSim};
 use std::sync::OnceLock;
+
+/// The precomputed multiplication companion of scalar `w` under the
+/// engine that will service modulus `q` at dispatch: the Shoup quotient
+/// `⌊w·2⁶⁴/q⌋` for sub-63-bit moduli, the Montgomery form `w·R mod q`
+/// for everything wider. Generators bake these next to the scalars they
+/// accompany so an SDM image carries everything a hardware lane engine
+/// would need — no on-device division or radix conversion at dispatch.
+pub(crate) fn scalar_companion(q: u128, w: u128) -> u128 {
+    match EngineKind::for_modulus(q) {
+        EngineKind::NativeU64 | EngineKind::Barrett64 => {
+            NativeU64Engine(Modulus64::new(q as u64).expect("valid modulus")).companion(w)
+        }
+        EngineKind::Montgomery128 => {
+            Mont128Engine(Modulus128::new(q).expect("valid modulus")).companion(w)
+        }
+    }
+}
 
 /// The workload class of a generated kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -199,7 +217,10 @@ pub struct Kernel {
     /// The generated program, pre-decoded once at generation time so
     /// every dispatch can run the fast-path executor without re-paying
     /// per-step instruction matching (the kernel cache is the
-    /// amortization point).
+    /// amortization point). Pre-decoding also computes the program's
+    /// domain annotations (`PredecodedProgram::domain_plan`): per-op
+    /// Montgomery-promotion hints the fast path consults to keep reused
+    /// multiplicative sources resident across chained `vmulmod`s.
     program: PredecodedProgram,
     /// Full VDM image with all operand regions zeroed (constant tables
     /// such as twiddles are pre-placed).
@@ -266,6 +287,15 @@ impl Kernel {
     /// The modulus.
     pub fn modulus(&self) -> u128 {
         self.key.q
+    }
+
+    /// The arithmetic engine dispatch selects for this kernel, derived
+    /// from the modulus width: [`EngineKind::NativeU64`] below 2⁶³,
+    /// [`EngineKind::Montgomery128`] otherwise. Recorded per dispatch in
+    /// `DispatchEvent` and matched by the SDM companion constants the
+    /// generator baked (`scalar_companion`).
+    pub fn engine(&self) -> EngineKind {
+        EngineKind::for_modulus(self.key.q)
     }
 
     /// The generated B512 program.
@@ -605,6 +635,47 @@ mod tests {
         assert_eq!(kernel.vdm_image(&[&input]), expect_img);
         assert_eq!(kernel.expected_output(&[&input]), expect_out);
         assert_eq!(kernel.output_range(), (off, len));
+    }
+
+    #[test]
+    fn engine_selection_follows_modulus_width() {
+        let n = 1024usize;
+        let wide = NttSpec::new(n, prime(n), Direction::Forward, CodegenStyle::Optimized)
+            .generate()
+            .unwrap();
+        assert_eq!(wide.engine(), EngineKind::Montgomery128);
+        let q59 = rpu_arith::find_ntt_prime_u64(59, 2 * n as u64).expect("prime exists");
+        let narrow = NttSpec::new(n, q59 as u128, Direction::Forward, CodegenStyle::Optimized)
+            .generate()
+            .unwrap();
+        assert_eq!(narrow.engine(), EngineKind::NativeU64);
+    }
+
+    #[test]
+    fn sdm_images_carry_engine_companions() {
+        let n = 1024usize;
+        // Wide modulus: slot 2 is the Montgomery form of n^{-1}.
+        let q = prime(n);
+        let kernel = NttSpec::new(n, q, Direction::Inverse, CodegenStyle::Optimized)
+            .generate()
+            .unwrap();
+        let sdm = kernel.sdm_image();
+        let m = Modulus128::new(q).unwrap();
+        assert_eq!(sdm[1], q);
+        assert_eq!(sdm[2], m.to_mont(sdm[0]));
+        // Narrow modulus: slot 2 is the Shoup quotient of n^{-1}.
+        let q59 = rpu_arith::find_ntt_prime_u64(59, 2 * n as u64).expect("prime exists");
+        let kernel = NttSpec::new(n, q59 as u128, Direction::Inverse, CodegenStyle::Optimized)
+            .generate()
+            .unwrap();
+        let sdm = kernel.sdm_image();
+        let m64 = Modulus64::new(q59).unwrap();
+        assert_eq!(sdm[2], m64.shoup(sdm[0] as u64) as u128);
+        // The companion actually multiplies correctly.
+        assert_eq!(
+            m64.mul_shoup(12345, sdm[0] as u64, sdm[2] as u64),
+            m64.mul(12345, sdm[0] as u64)
+        );
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl KernelSpec for KeySwitchSpec {
             self.key(),
             program,
             base_image,
-            fwd.sdm_image(), // [n_inv, q], shared slot convention
+            fwd.sdm_image(), // [n_inv, q, companion(n_inv)], shared slot convention
             vec![(0, n), (key_off, n), (acc_off, n)],
             (out_off, n),
             golden,

@@ -75,6 +75,11 @@ pub use pipeline::ConvolutionSpec;
 pub use rescale::RescaleSpec;
 pub use sched::list_schedule;
 
+// The engine taxonomy kernels select from (by modulus width); re-exported
+// so session-layer callers can match on `Kernel::engine()` without a
+// direct `rpu-arith` dependency.
+pub use rpu_arith::EngineKind;
+
 /// Transform direction of a generated kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {

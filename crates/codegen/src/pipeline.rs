@@ -16,7 +16,7 @@
 //! relocated to disjoint VDM windows (generated kernels address memory
 //! as `a0 + static offset`, so relocation is a static offset shift);
 //! the pointwise stage bridges the two forward outputs into the inverse
-//! input. All segments share one SDM block `[n^{-1}, q]`.
+//! input. All segments share one SDM block `[n^{-1}, q, companion(n^{-1})]`.
 
 use crate::elementwise::emit_pointwise;
 use crate::kernel::{push_relocated, GoldenFn, Kernel, KernelKey, KernelOp, KernelSpec};
@@ -123,7 +123,7 @@ impl KernelSpec for ConvolutionSpec {
             self.key(),
             program,
             base_image,
-            fwd.sdm_image(), // [n_inv, q], shared by all three NTT segments
+            fwd.sdm_image(), // [n_inv, q, companion(n_inv)], shared by all NTT segments
             vec![(0, n), (region_b, n)],
             (region_inv + inv_out, n),
             golden,

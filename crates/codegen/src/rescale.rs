@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! VDM:  [ fwd-NTT window: δ in, δ̂ out ][ ĉ ][ ĉ − δ̂ ][ out ]
-//! SDM:  [ n⁻¹, q, p⁻¹ ]
+//! SDM:  [ n⁻¹, q, companion(n⁻¹), p⁻¹, companion(p⁻¹) ]
 //! ```
 //!
 //! Because the NTT is linear and `δ`, `p⁻¹` are exact integers, the
@@ -95,6 +95,13 @@ impl KernelSpec for RescaleSpec {
         }
 
         let p_inv = rpu_arith::mod_inverse(p % q, q);
+        // SDM layout: the NTT slots [n⁻¹, q, companion(n⁻¹)], then p⁻¹
+        // and its engine companion (Shoup quotient or Montgomery form,
+        // matching the engine the modulus width selects at dispatch).
+        let mut sdm = fwd.sdm_image();
+        let p_inv_slot = sdm.len();
+        sdm.push(p_inv);
+        sdm.push(crate::kernel::scalar_companion(q, p_inv));
         let (fwd_out, _) = fwd.output_range();
         let mut program = Program::new(format!("rescale{n}_{style}"));
         // Forward transform of δ (window 0); its prologue leaves q in m0
@@ -115,9 +122,9 @@ impl KernelSpec for RescaleSpec {
             seg = list_schedule(&seg);
         }
         push_relocated(&mut program, &seg, 0);
-        // diff · p⁻¹ → out, p⁻¹ broadcast from SDM slot 2.
+        // diff · p⁻¹ → out, p⁻¹ broadcast from its SDM slot.
         let mut seg = Program::new("scale");
-        emit_scale_by_scalar(&mut seg, n, diff_off, out_off);
+        emit_scale_by_scalar(&mut seg, n, diff_off, out_off, p_inv_slot);
         if style != CodegenStyle::Unoptimized {
             seg = list_schedule(&seg);
         }
@@ -125,8 +132,6 @@ impl KernelSpec for RescaleSpec {
 
         let mut base_image = vec![0u128; total];
         base_image[..w].copy_from_slice(&fwd.vdm_image(&vec![0u128; n]));
-        let mut sdm = fwd.sdm_image(); // [n_inv, q]
-        sdm.push(p_inv);
 
         let schedule = fwd.schedule().clone();
         let modulus = schedule.modulus();
@@ -151,16 +156,22 @@ impl KernelSpec for RescaleSpec {
 }
 
 /// Emits the scalar-broadcast scale stage: `dst[i] = src[i] · s0 mod q`
-/// over `n / 512` vectors, with `s0` loaded once from SDM slot 2 and
-/// `m0` already holding the modulus.
-fn emit_scale_by_scalar(program: &mut Program, n: usize, src: usize, dst: usize) {
+/// over `n / 512` vectors, with `s0` loaded once from SDM slot
+/// `scalar_slot` and `m0` already holding the modulus.
+fn emit_scale_by_scalar(
+    program: &mut Program,
+    n: usize,
+    src: usize,
+    dst: usize,
+    scalar_slot: usize,
+) {
     let base = AReg::at(0);
     let m0 = MReg::at(0);
     let s0 = SReg::at(0);
     program.push(Instruction::SLoad {
         rt: s0,
         base,
-        offset: 2,
+        offset: scalar_slot as u32,
     });
     for v in 0..n / VECTOR_LEN {
         let r = VReg::at(1 + (v % 4) as u8);

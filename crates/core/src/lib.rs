@@ -160,7 +160,8 @@ pub use rpu_sim as sim;
 // And the most-used types at the top level.
 pub use rpu_codegen::{
     AutomorphismSpec, CodegenStyle, ConvolutionSpec, Direction, ElementwiseOp, ElementwiseSpec,
-    Kernel, KernelKey, KernelOp, KernelSpec, KeySwitchSpec, NttKernel, NttSpec, RescaleSpec,
+    EngineKind, Kernel, KernelKey, KernelOp, KernelSpec, KeySwitchSpec, NttKernel, NttSpec,
+    RescaleSpec,
 };
 pub use rpu_model::{AreaModel, DesignPoint, EnergyModel, F1Comparison};
 pub use rpu_ntt::leveled::{

@@ -826,6 +826,7 @@ impl<'a> RpuSession<'a> {
             sink.record(DispatchEvent {
                 seq: 0, // the sink assigns the real sequence number
                 key,
+                engine: kernel.engine(),
                 lane: self.lane,
                 inputs: inputs.iter().map(DeviceBuffer::id).collect(),
                 outputs: outputs.iter().map(DeviceBuffer::id).collect(),

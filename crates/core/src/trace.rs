@@ -20,7 +20,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use rpu_codegen::KernelKey;
+use rpu_codegen::{EngineKind, KernelKey};
 
 /// One structured record of a successful kernel dispatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +31,12 @@ pub struct DispatchEvent {
     pub seq: u64,
     /// Kernel-cache key of the dispatched kernel.
     pub key: KernelKey,
+    /// The arithmetic engine that serviced the dispatch, selected from
+    /// the kernel's modulus width (`Kernel::engine()`): native u64
+    /// lanes below 2⁶³, 128-bit Montgomery otherwise. Stable across
+    /// snapshot/restore — a restored session re-derives the same engine
+    /// from the re-pinned kernel's key.
+    pub engine: EngineKind,
     /// Index of the lane (cluster session) that ran the dispatch; 0 for
     /// a standalone session.
     pub lane: usize,
@@ -222,6 +228,7 @@ mod tests {
                 style: CodegenStyle::Optimized,
                 param: 0,
             },
+            engine: EngineKind::for_modulus(12289),
             lane: 0,
             inputs: vec![1],
             outputs: vec![2],

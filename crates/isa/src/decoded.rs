@@ -366,8 +366,170 @@ impl DecodedOp {
     }
 }
 
-/// A [`Program`] together with its pre-decoded op list, built once at
-/// compile time and reusable across any number of executions.
+/// Advice attached to one multiply-class op by the static domain plan:
+/// which multiplicative source (if either) an executor should convert to
+/// Montgomery residence when it reaches this op.
+///
+/// Hints are *advisory*. They never change semantics: an executor that
+/// ignores them (or one whose runtime check — all lanes canonical, odd
+/// modulus — fails) computes the same results through the normal-domain
+/// path. They exist so a Montgomery executor promotes exactly the
+/// registers whose remaining static multiply uses pay for the
+/// conversion, instead of thrashing the domain on every multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PromoteHint {
+    /// No promotion at this op.
+    #[default]
+    None,
+    /// Promote the op's first multiplicative source: `vs` of a
+    /// vector-vector multiply, `vt` (the multiplicand) of a butterfly.
+    First,
+    /// Promote the op's second multiplicative source: `vt` of a
+    /// vector-vector multiply, `vt1` (the twiddle) of a butterfly.
+    Second,
+}
+
+/// The two registers an op reads as *multiplicative* sources (the
+/// operands a Montgomery executor can take resident), in
+/// [`PromoteHint`] slot order.
+fn mul_sources(op: &DecodedOp) -> [Option<usize>; 2] {
+    match *op {
+        DecodedOp::VectorVector {
+            op: AluOp::Mul,
+            vs,
+            vt,
+            ..
+        } => [Some(vs), Some(vt)],
+        DecodedOp::Butterfly { vt, vt1, .. } => [Some(vt), Some(vt1)],
+        _ => [None, None],
+    }
+}
+
+/// The registers an op reads in *normal* form — uses that force a
+/// resident register to be flushed back before the op executes.
+/// (The vector source of a vector-scalar multiply is deliberately
+/// absent: a mixed-domain multiply consumes it resident at no cost.)
+fn normal_uses(op: &DecodedOp) -> [Option<usize>; 2] {
+    match *op {
+        DecodedOp::Store { vs, .. } => [Some(vs), None],
+        DecodedOp::Gather { vi, .. } => [Some(vi), None],
+        DecodedOp::VectorVector {
+            op: AluOp::Add | AluOp::Sub,
+            vs,
+            vt,
+            ..
+        } => [Some(vs), Some(vt)],
+        DecodedOp::VectorScalar {
+            op: AluOp::Add | AluOp::Sub,
+            vs,
+            ..
+        } => [Some(vs), None],
+        DecodedOp::Butterfly { vs, .. } => [Some(vs), None],
+        DecodedOp::Shuffle { vs, vt, .. } => [Some(vs), Some(vt)],
+        _ => [None, None],
+    }
+}
+
+/// The vector registers an op (re)defines, ending any residence.
+fn defs(op: &DecodedOp) -> [Option<usize>; 2] {
+    match *op {
+        DecodedOp::Load { vd, .. }
+        | DecodedOp::Gather { vd, .. }
+        | DecodedOp::Broadcast { vd, .. }
+        | DecodedOp::VectorVector { vd, .. }
+        | DecodedOp::VectorScalar { vd, .. }
+        | DecodedOp::Shuffle { vd, .. } => [Some(vd), None],
+        DecodedOp::Butterfly { vd, vd1, .. } => [Some(vd), Some(vd1)],
+        _ => [None, None],
+    }
+}
+
+/// Profiles register `r` forward from `ops[start + 1..]` until its next
+/// redefinition: how many later ops use it as a multiplicative source
+/// (each such op saves one Montgomery reduction if `r` is resident),
+/// and whether the residence would have to be flushed (a normal-form
+/// use, or survival to the end of the program) rather than dying with
+/// a redefinition.
+fn future_mul_profile(ops: &[DecodedOp], start: usize, r: usize) -> (usize, bool) {
+    let mut uses = 0usize;
+    for op in &ops[start + 1..] {
+        if mul_sources(op).contains(&Some(r)) {
+            uses += 1;
+        }
+        if normal_uses(op).contains(&Some(r)) {
+            return (uses, true);
+        }
+        if defs(op).contains(&Some(r)) {
+            return (uses, false);
+        }
+    }
+    (uses, true) // still resident at program end: flushed by the epilogue
+}
+
+/// Computes the static domain plan: one [`PromoteHint`] per op.
+///
+/// A source is promoted at a multiply only when the conversion pays for
+/// itself — promotion costs one extra reduction now and (when the value
+/// is later needed in normal form) one flush, while every further
+/// multiplicative use before redefinition saves one reduction. At most
+/// one side of an op is ever promoted: a mixed-domain Montgomery
+/// multiply already folds two reductions into one, so promoting the
+/// second side buys nothing at this op.
+fn domain_plan(ops: &[DecodedOp]) -> Vec<PromoteHint> {
+    let mut plan = vec![PromoteHint::None; ops.len()];
+    // Optimistic static view of which registers are Montgomery-resident.
+    let mut resident = [false; 64];
+    for i in 0..ops.len() {
+        let op = ops[i];
+        for reg in normal_uses(&op).into_iter().flatten() {
+            resident[reg] = false; // executor flushes before the op
+        }
+        let srcs = mul_sources(&op);
+        if srcs.iter().any(|s| s.is_some()) {
+            let mut best: Option<(usize, usize)> = None; // (slot, net saving)
+            for (slot, r) in srcs.iter().enumerate() {
+                let Some(r) = *r else { continue };
+                if resident[r] {
+                    continue;
+                }
+                let (uses, flushed) = future_mul_profile(ops, i, r);
+                let cost = 1 + usize::from(flushed);
+                if uses > cost && best.is_none_or(|(_, saving)| uses - cost > saving) {
+                    best = Some((slot, uses - cost));
+                }
+            }
+            if let Some((slot, _)) = best {
+                plan[i] = if slot == 0 {
+                    PromoteHint::First
+                } else {
+                    PromoteHint::Second
+                };
+                resident[srcs[slot].expect("chosen slot is a source")] = true;
+            }
+        }
+        // A vector-vector multiply of two resident sources yields a
+        // resident product; every other definition lands normal-form.
+        let product_resident = matches!(
+            op,
+            DecodedOp::VectorVector {
+                op: AluOp::Mul,
+                vs,
+                vt,
+                ..
+            } if resident[vs] && resident[vt]
+        );
+        for (di, reg) in defs(&op).into_iter().enumerate() {
+            if let Some(reg) = reg {
+                resident[reg] = product_resident && di == 0;
+            }
+        }
+    }
+    plan
+}
+
+/// A [`Program`] together with its pre-decoded op list and static
+/// domain plan, built once at compile time and reusable across any
+/// number of executions.
 ///
 /// The source program is retained alongside the decoded ops so executors
 /// can fall back to the reference per-instruction interpreter for any op
@@ -377,17 +539,23 @@ impl DecodedOp {
 pub struct PredecodedProgram {
     program: Program,
     ops: Vec<DecodedOp>,
+    domain: Vec<PromoteHint>,
 }
 
 impl PredecodedProgram {
     /// Pre-decodes a program, taking ownership of it.
     pub fn new(program: Program) -> Self {
-        let ops = program
+        let ops: Vec<DecodedOp> = program
             .instructions()
             .iter()
             .map(DecodedOp::from_instruction)
             .collect();
-        PredecodedProgram { program, ops }
+        let domain = domain_plan(&ops);
+        PredecodedProgram {
+            program,
+            ops,
+            domain,
+        }
     }
 
     /// The source program (unchanged by pre-decoding).
@@ -398,6 +566,11 @@ impl PredecodedProgram {
     /// The flat pre-decoded op list, one entry per instruction.
     pub fn ops(&self) -> &[DecodedOp] {
         &self.ops
+    }
+
+    /// The static domain plan: one advisory [`PromoteHint`] per op.
+    pub fn domain_plan(&self) -> &[PromoteHint] {
+        &self.domain
     }
 
     /// Number of instructions.
@@ -584,6 +757,101 @@ mod tests {
         assert_eq!(pre.len(), n);
         assert!(!pre.is_empty());
         assert_eq!(PredecodedProgram::from(&program), pre);
+    }
+
+    fn vload(vd: u8) -> Instruction {
+        Instruction::VLoad {
+            vd: VReg::at(vd),
+            base: AReg::at(0),
+            offset: 0,
+            mode: AddrMode::Unit,
+        }
+    }
+
+    fn vmul(vd: u8, vs: u8, vt: u8) -> Instruction {
+        Instruction::VMulMod {
+            vd: VReg::at(vd),
+            vs: VReg::at(vs),
+            vt: VReg::at(vt),
+            rm: MReg::at(0),
+        }
+    }
+
+    fn plan_of(instrs: Vec<Instruction>) -> Vec<PromoteHint> {
+        PredecodedProgram::new(instrs.into_iter().collect::<Program>())
+            .domain_plan()
+            .to_vec()
+    }
+
+    #[test]
+    fn fanout_multiplies_promote_the_shared_source_once() {
+        // v1 feeds four multiplies and is then stored: promoting it at
+        // the first multiply saves three reductions for one promote and
+        // one flush.
+        let mut instrs = vec![vload(1), vload(2)];
+        for vd in 3..7 {
+            instrs.push(vmul(vd, 1, 2));
+        }
+        instrs.push(Instruction::VStore {
+            vs: VReg::at(1),
+            base: AReg::at(0),
+            offset: 0,
+            mode: AddrMode::Unit,
+        });
+        let plan = plan_of(instrs);
+        assert_eq!(plan[2], PromoteHint::First, "promote v1 at first multiply");
+        assert_eq!(&plan[3..], &[PromoteHint::None; 4], "promote only once");
+    }
+
+    #[test]
+    fn left_fold_chains_are_never_promoted() {
+        // x = a·b; y = x·c; z = y·d — every intermediate is used exactly
+        // once as a multiply source, so no promotion ever pays.
+        let instrs = vec![
+            vload(1),
+            vload(2),
+            vload(3),
+            vload(4),
+            vmul(5, 1, 2),
+            vmul(6, 5, 3),
+            vmul(7, 6, 4),
+        ];
+        assert!(plan_of(instrs).iter().all(|h| *h == PromoteHint::None));
+    }
+
+    #[test]
+    fn butterfly_promotes_a_reused_multiplicative_source() {
+        // Four butterflies sharing the same multiplicand/twiddle pair:
+        // one promotion at the first butterfly covers all four.
+        let mut instrs = vec![vload(1), vload(2), vload(3)];
+        for i in 0..4u8 {
+            instrs.push(Instruction::Bfly {
+                vd: VReg::at(10 + 2 * i),
+                vd1: VReg::at(11 + 2 * i),
+                vs: VReg::at(1),
+                vt: VReg::at(2),
+                vt1: VReg::at(3),
+                rm: MReg::at(0),
+            });
+        }
+        let plan = plan_of(instrs);
+        assert_eq!(plan[3], PromoteHint::First);
+        assert_eq!(&plan[4..], &[PromoteHint::None; 3]);
+    }
+
+    #[test]
+    fn redefinition_ends_the_profitability_window() {
+        // v1 has two future multiply uses but is reloaded between them:
+        // only the use before the reload counts, so no promotion.
+        let instrs = vec![
+            vload(1),
+            vload(2),
+            vmul(3, 1, 2),
+            vmul(4, 1, 2),
+            vload(1),
+            vmul(5, 1, 2),
+        ];
+        assert!(plan_of(instrs).iter().all(|h| *h == PromoteHint::None));
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod program;
 mod regs;
 
 pub use asm::{parse_asm, ParseAsmError};
-pub use decoded::{DecodedOp, PredecodedProgram};
+pub use decoded::{DecodedOp, PredecodedProgram, PromoteHint};
 pub use encode::{decode, encode, DecodeError};
 pub use instr::{AddrMode, Instruction, PipeClass};
 pub use program::{InstructionMix, Program};

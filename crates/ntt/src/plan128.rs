@@ -7,7 +7,9 @@
 //! costs a single Montgomery reduction.
 
 use crate::NttError;
-use rpu_arith::{bit_reverse, primitive_root_of_unity, Modulus128};
+use rpu_arith::{
+    power_table_bitrev, primitive_root_of_unity, Modulus128, Mont128Engine, ScalarEngine,
+};
 
 /// A planned negacyclic NTT over `Z_q[x]/(x^n + 1)` with an odd prime
 /// `q < 2^127`.
@@ -65,18 +67,20 @@ impl Ntt128Plan {
         let log_n = n.trailing_zeros();
         let psi_inv = modulus.inv(psi);
 
-        let mut fwd_mont = vec![0u128; n];
-        let mut inv_mont = vec![0u128; n];
-        let mut p = 1u128;
-        let mut pi = 1u128;
-        for i in 0..n {
-            let r = bit_reverse(i, log_n);
-            fwd_mont[r] = modulus.to_mont(p);
-            inv_mont[r] = modulus.to_mont(pi);
-            p = modulus.mul(p, psi);
-            pi = modulus.mul(pi, psi_inv);
-        }
-        let n_inv_mont = modulus.to_mont(modulus.inv(n as u128 % q));
+        // Twiddle tables come from the shared rpu-arith power-table
+        // helper; the Montgomery companions (w·R mod q) come from the
+        // Mont128 engine — the same precompute codegen bakes into SDM
+        // images, so every consumer maps scalars the same way.
+        let eng = Mont128Engine(modulus);
+        let fwd_mont: Vec<u128> = power_table_bitrev(modulus, psi, n)
+            .into_iter()
+            .map(|w| eng.companion(w))
+            .collect();
+        let inv_mont: Vec<u128> = power_table_bitrev(modulus, psi_inv, n)
+            .into_iter()
+            .map(|w| eng.companion(w))
+            .collect();
+        let n_inv_mont = eng.companion(modulus.inv(n as u128 % q));
         Ok(Ntt128Plan {
             n,
             log_n,

@@ -6,7 +6,10 @@
 //! the "CPU-64b" series of the paper's Fig. 10.
 
 use crate::NttError;
-use rpu_arith::{bit_reverse, primitive_root_of_unity, Modulus128, Modulus64};
+use rpu_arith::{
+    power_table_bitrev, primitive_root_of_unity, Barrett64Engine, Modulus128, Modulus64,
+    ScalarEngine,
+};
 
 /// A planned negacyclic NTT over `Z_q[x]/(x^n + 1)` with `q < 2^62`.
 ///
@@ -66,26 +69,28 @@ impl Ntt64Plan {
             .map_err(|_| NttError::NoRootOfUnity { degree: n })? as u64;
         let log_n = n.trailing_zeros();
 
+        // Twiddle tables and their Shoup companions come from the shared
+        // rpu-arith helpers (power table in the 128-bit field, companions
+        // via the Barrett64 engine), so all NTT plans precompute through
+        // the same code.
         let psi_inv = modulus.inv(psi);
-        let mut fwd = vec![0u64; n];
-        let mut inv = vec![0u64; n];
-        let mut p = 1u64;
-        let mut pi = 1u64;
-        let powers: Vec<(u64, u64)> = (0..n)
-            .map(|_| {
-                let out = (p, pi);
-                p = modulus.mul(p, psi);
-                pi = modulus.mul(pi, psi_inv);
-                out
-            })
+        let eng = Barrett64Engine(modulus);
+        let fwd: Vec<u64> = power_table_bitrev(m128, psi as u128, n)
+            .into_iter()
+            .map(|w| w as u64)
             .collect();
-        for (i, &(p, pi)) in powers.iter().enumerate() {
-            let r = bit_reverse(i, log_n);
-            fwd[r] = p;
-            inv[r] = pi;
-        }
-        let fwd_shoup = fwd.iter().map(|&w| modulus.shoup(w)).collect();
-        let inv_shoup = inv.iter().map(|&w| modulus.shoup(w)).collect();
+        let inv: Vec<u64> = power_table_bitrev(m128, psi_inv as u128, n)
+            .into_iter()
+            .map(|w| w as u64)
+            .collect();
+        let fwd_shoup = fwd
+            .iter()
+            .map(|&w| eng.companion(w as u128) as u64)
+            .collect();
+        let inv_shoup = inv
+            .iter()
+            .map(|&w| eng.companion(w as u128) as u64)
+            .collect();
         let n_inv = modulus.inv(n as u64 % q);
         Ok(Ntt64Plan {
             n,
@@ -97,7 +102,7 @@ impl Ntt64Plan {
             inv,
             inv_shoup,
             n_inv,
-            n_inv_shoup: modulus.shoup(n_inv),
+            n_inv_shoup: eng.companion(n_inv as u128) as u64,
         })
     }
 

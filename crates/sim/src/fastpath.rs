@@ -8,9 +8,25 @@
 //! access (using the span precomputed at decode time), and mod-arith
 //! inner loops over whole vectors with no per-element dispatch.
 //!
+//! Two arithmetic tiers service the compute ops, selected per modulus
+//! through the shared [`Engine`] cache:
+//!
+//! * **Native u64** (`q < 2^63`): lanes are reduced to canonical `u64`
+//!   and multiplied with one widening multiply plus a Barrett (or, for
+//!   vector-scalar, Shoup) reduction.
+//! * **Montgomery 128** (everything else): the [`Modulus128`] path,
+//!   extended with *domain residency* — a register whose remaining uses
+//!   are multiplicative can be converted to Montgomery form in place
+//!   (as advised by the program's static [`PromoteHint`] plan) so
+//!   chained `vmulmod`s cost one Montgomery reduction per lane instead
+//!   of two. Values convert back at domain boundaries: stores, adds,
+//!   shuffles, gather indices, interpreter fallbacks, faults, and the
+//!   end of every run. Residency is strictly run-local: it never leaks
+//!   into observable architectural state.
+//!
 //! **Exactness contract:** the fast path is observationally identical to
 //! the interpreter — same results, same [`ExecError`]s, same partial
-//! architectural state after a fault. Two design rules make that cheap
+//! architectural state after a fault. Three design rules make that cheap
 //! to maintain:
 //!
 //! 1. Effective addresses are recomputed from `ARF[base] + offset` at
@@ -21,12 +37,19 @@
 //!    gather with a hostile index, an invalid modulus) is re-executed
 //!    through the interpreter's own `step`, which raises the exact
 //!    error and leaves the exact partial state the oracle would.
+//! 3. Every fallback, fault and run exit flushes all resident registers
+//!    first. In-place promotion only ever happens when all lanes are
+//!    canonical (`< q`), so a flush restores each lane to *exactly* the
+//!    value the oracle holds — fault parity at conversion points is an
+//!    identity, not an approximation.
+//!
+//! [`PromoteHint`]: rpu_isa::PromoteHint
 
 use crate::func::{shuffle_into, ExecError, FunctionalSim, ShuffleKind};
-use rpu_arith::Modulus128;
-use rpu_isa::consts::VECTOR_LEN;
+use rpu_arith::{Engine, Modulus128, Modulus64};
+use rpu_isa::consts::{NUM_VREGS, VECTOR_LEN};
 use rpu_isa::decoded::{AluOp, DecodedOp, ShuffleOp};
-use rpu_isa::{AddrMode, PredecodedProgram};
+use rpu_isa::{AddrMode, PredecodedProgram, PromoteHint};
 
 /// Lane-wise vector-vector loop: sources are read into `scratch`, then
 /// the destination is replaced by pointer swap — alias-safe (`vd` may
@@ -68,6 +91,113 @@ fn vs_into(
     std::mem::swap(&mut vrf[vd], scratch);
 }
 
+/// Canonicalizes one lane for the native-u64 tier. The compare-first
+/// branch keeps already-canonical lanes (the overwhelmingly common
+/// case) to one u128 comparison.
+#[inline]
+fn lane64(m: Modulus64, x: u128) -> u64 {
+    if x < m.value() as u128 {
+        x as u64
+    } else {
+        m.reduce_wide(x)
+    }
+}
+
+/// Run-local Montgomery-residency state: which vector registers
+/// currently hold Montgomery-form lanes, and under which modulus.
+///
+/// An entry is only ever created by an in-place promotion of fully
+/// canonical lanes (or by a resident×resident product, whose lanes are
+/// canonical Montgomery digits), so flushing an entry restores the
+/// exact normal-form values the oracle holds.
+struct Residency {
+    m: [Option<Modulus128>; NUM_VREGS],
+    active: usize,
+}
+
+impl Residency {
+    fn new() -> Self {
+        Residency {
+            m: [None; NUM_VREGS],
+            active: 0,
+        }
+    }
+
+    /// Marks `r` resident under `m` (its lanes already hold Montgomery
+    /// form).
+    #[inline]
+    fn set(&mut self, r: usize, m: Modulus128) {
+        if self.m[r].replace(m).is_none() {
+            self.active += 1;
+        }
+    }
+
+    /// Forgets any residence of `r` (its lanes are normal-form again,
+    /// e.g. just overwritten by a normal-domain result).
+    #[inline]
+    fn clear(&mut self, r: usize) {
+        if self.m[r].take().is_some() {
+            self.active -= 1;
+        }
+    }
+
+    /// Converts `r` back to normal form if it is resident.
+    #[inline]
+    fn flush(&mut self, vrf: &mut [Vec<u128>], r: usize) {
+        if let Some(m) = self.m[r].take() {
+            self.active -= 1;
+            for lane in vrf[r].iter_mut() {
+                *lane = m.from_mont(*lane);
+            }
+        }
+    }
+
+    /// Converts every resident register back to normal form. Called
+    /// before interpreter fallbacks, after faults, and at run exit, so
+    /// observable state is always normal-domain.
+    fn flush_all(&mut self, vrf: &mut [Vec<u128>]) {
+        if self.active == 0 {
+            return;
+        }
+        for r in 0..NUM_VREGS {
+            self.flush(vrf, r);
+        }
+    }
+
+    /// Residence of `r` under exactly modulus `q`. A residence under a
+    /// *different* modulus is flushed (restoring normal form) so the
+    /// caller can treat the register as normal-domain.
+    #[inline]
+    fn resident_for(&mut self, vrf: &mut [Vec<u128>], r: usize, q: u128) -> Option<Modulus128> {
+        match self.m[r] {
+            Some(m) if m.value() == q => Some(m),
+            Some(_) => {
+                self.flush(vrf, r);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Converts `r` to Montgomery residence in place, if safe: the
+    /// modulus must be odd (have a Montgomery form) and every lane must
+    /// already be canonical — a non-canonical lane would not survive
+    /// the round trip (`from_mont(to_mont(x)) = x mod q ≠ x`), so such
+    /// registers simply stay normal-form.
+    fn try_promote(&mut self, vrf: &mut [Vec<u128>], r: usize, m: Modulus128) {
+        if self.m[r].is_some() || !m.is_odd() {
+            return;
+        }
+        let q = m.value();
+        if vrf[r].iter().all(|&x| x < q) {
+            for lane in vrf[r].iter_mut() {
+                *lane = m.to_mont(*lane);
+            }
+            self.set(r, m);
+        }
+    }
+}
+
 impl FunctionalSim {
     /// Executes a pre-decoded program to completion on the fast path.
     ///
@@ -86,27 +216,34 @@ impl FunctionalSim {
         // nothing.
         let mut scratch = vec![0u128; VECTOR_LEN];
         let mut scratch2 = vec![0u128; VECTOR_LEN];
+        let mut res = Residency::new();
         let instrs = program.program().instructions();
+        let plan = program.domain_plan();
         for (pc, op) in program.ops().iter().enumerate() {
-            if !self.fast_op(op, &mut scratch, &mut scratch2) {
+            if !self.fast_op(op, plan[pc], &mut res, &mut scratch, &mut scratch2) {
                 // Slow path: re-run the source instruction through the
                 // interpreter for oracle-exact errors and partial state.
+                // The interpreter knows nothing about residency, so
+                // normalize every register first; a fault then leaves
+                // exactly the oracle's partial state.
+                res.flush_all(&mut self.vrf);
                 self.step(&instrs[pc], pc)?;
             }
         }
+        res.flush_all(&mut self.vrf);
         Ok(())
     }
 
-    /// Prepares the modulus in `MRF[rm]`, sharing the interpreter's
-    /// cache of Montgomery constants. `None` (invalid modulus) sends the
-    /// caller to the interpreter fallback for the exact error.
+    /// Prepares the engine for the modulus in `MRF[rm]`, sharing the
+    /// interpreter's cache. `None` (invalid modulus) sends the caller
+    /// to the interpreter fallback for the exact error.
     #[inline]
-    fn fast_modulus(&mut self, rm: usize) -> Option<Modulus128> {
+    fn fast_modulus(&mut self, rm: usize) -> Option<Engine> {
         let value = self.mrf[rm];
         if let Some(m) = self.modulus_cache.get(&value) {
             return Some(*m);
         }
-        let m = Modulus128::new(value)?;
+        let m = Engine::new(value)?;
         self.modulus_cache.insert(value, m);
         Some(m)
     }
@@ -123,12 +260,14 @@ impl FunctionalSim {
 
     /// Executes one pre-decoded op on the fast path. Returns `false` if
     /// the op must be replayed through the interpreter (possible fault
-    /// or unsupported corner) — in that case architectural state has not
-    /// been touched.
+    /// or unsupported corner) — in that case no architectural state has
+    /// been mutated beyond domain flushes, which are value-preserving.
     #[inline]
     fn fast_op(
         &mut self,
         op: &DecodedOp,
+        hint: PromoteHint,
+        res: &mut Residency,
         scratch: &mut Vec<u128>,
         scratch2: &mut Vec<u128>,
     ) -> bool {
@@ -143,6 +282,7 @@ impl FunctionalSim {
                 let Some(start) = self.vdm_window(base, offset, span) else {
                     return false;
                 };
+                res.clear(vd);
                 let dst = &mut self.vrf[vd];
                 let vdm = &self.vdm;
                 match mode {
@@ -177,6 +317,9 @@ impl FunctionalSim {
                 mode,
                 span,
             } => {
+                // Stores are a domain boundary: memory only ever sees
+                // normal-form values.
+                res.flush(&mut self.vrf, vs);
                 let Some(start) = self.vdm_window(base, offset, span) else {
                     return false;
                 };
@@ -221,6 +364,8 @@ impl FunctionalSim {
                     // weird: let the oracle handle it.
                     return false;
                 }
+                // Indices are consumed as plain integers, not residues.
+                res.flush(&mut self.vrf, vi);
                 let Some(start) = (self.arf[base] as usize).checked_add(offset) else {
                     return false;
                 };
@@ -242,6 +387,7 @@ impl FunctionalSim {
                     }
                 }
                 std::mem::swap(&mut self.vrf[vd], scratch);
+                res.clear(vd);
                 true
             }
             DecodedOp::Broadcast { vd, base, offset } => {
@@ -250,6 +396,7 @@ impl FunctionalSim {
                 };
                 let value = self.vdm[start];
                 self.vrf[vd].fill(value);
+                res.clear(vd);
                 true
             }
             DecodedOp::LoadScalar { rt, base, offset } => match self.sdm_window(base, offset) {
@@ -274,33 +421,173 @@ impl FunctionalSim {
                 None => false,
             },
             DecodedOp::VectorVector { op, vd, vs, vt, rm } => {
-                let Some(m) = self.fast_modulus(rm) else {
+                let Some(e) = self.fast_modulus(rm) else {
                     return false;
                 };
-                let vrf = &mut self.vrf;
-                match op {
-                    AluOp::Add => vv_into(vrf, scratch, vd, vs, vt, |a, b| {
-                        m.add(m.reduce(a), m.reduce(b))
-                    }),
-                    AluOp::Sub => vv_into(vrf, scratch, vd, vs, vt, |a, b| {
-                        m.sub(m.reduce(a), m.reduce(b))
-                    }),
-                    AluOp::Mul => vv_into(vrf, scratch, vd, vs, vt, |a, b| {
-                        m.mul(m.reduce(a), m.reduce(b))
-                    }),
+                match (op, e) {
+                    (AluOp::Add, Engine::Native64(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        res.flush(&mut self.vrf, vt);
+                        vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                            m.add(lane64(m, a), lane64(m, b)) as u128
+                        });
+                        res.clear(vd);
+                    }
+                    (AluOp::Sub, Engine::Native64(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        res.flush(&mut self.vrf, vt);
+                        vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                            m.sub(lane64(m, a), lane64(m, b)) as u128
+                        });
+                        res.clear(vd);
+                    }
+                    (AluOp::Mul, Engine::Native64(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        res.flush(&mut self.vrf, vt);
+                        vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                            m.mul(lane64(m, a), lane64(m, b)) as u128
+                        });
+                        res.clear(vd);
+                    }
+                    (AluOp::Add, Engine::Mont128(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        res.flush(&mut self.vrf, vt);
+                        vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                            m.add(m.reduce(a), m.reduce(b))
+                        });
+                        res.clear(vd);
+                    }
+                    (AluOp::Sub, Engine::Mont128(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        res.flush(&mut self.vrf, vt);
+                        vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                            m.sub(m.reduce(a), m.reduce(b))
+                        });
+                        res.clear(vd);
+                    }
+                    (AluOp::Mul, Engine::Mont128(m)) => {
+                        let q = m.value();
+                        let mut rs = res.resident_for(&mut self.vrf, vs, q);
+                        let mut rt = res.resident_for(&mut self.vrf, vt, q);
+                        if rs.is_none() && rt.is_none() {
+                            // Neither side resident: promote the side the
+                            // static plan proved profitable, if its lanes
+                            // allow it.
+                            match hint {
+                                PromoteHint::First => {
+                                    res.try_promote(&mut self.vrf, vs, m);
+                                    rs = res.m[vs];
+                                }
+                                PromoteHint::Second => {
+                                    res.try_promote(&mut self.vrf, vt, m);
+                                    rt = res.m[vt];
+                                }
+                                PromoteHint::None => {}
+                            }
+                        }
+                        match (rs.is_some(), rt.is_some()) {
+                            // Both Montgomery: one reduction, product
+                            // stays resident (abR = (ab)·R).
+                            (true, true) => {
+                                vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                                    m.mont_mul_raw(a, b)
+                                });
+                                res.set(vd, m);
+                            }
+                            // Mixed domains: one reduction lands the
+                            // product directly in normal form
+                            // (aR · b · R^{-1} = ab).
+                            (true, false) => {
+                                vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                                    m.mont_mul_raw(a, m.reduce(b))
+                                });
+                                res.clear(vd);
+                            }
+                            (false, true) => {
+                                vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                                    m.mont_mul_raw(m.reduce(a), b)
+                                });
+                                res.clear(vd);
+                            }
+                            // Both normal: the oracle's two-reduction
+                            // multiply.
+                            (false, false) => {
+                                vv_into(&mut self.vrf, scratch, vd, vs, vt, |a, b| {
+                                    m.mul(m.reduce(a), m.reduce(b))
+                                });
+                                res.clear(vd);
+                            }
+                        }
+                    }
                 }
                 true
             }
             DecodedOp::VectorScalar { op, vd, vs, rt, rm } => {
-                let Some(m) = self.fast_modulus(rm) else {
+                let Some(e) = self.fast_modulus(rm) else {
                     return false;
                 };
-                let s = m.reduce(self.srf[rt]);
-                let vrf = &mut self.vrf;
-                match op {
-                    AluOp::Add => vs_into(vrf, scratch, vd, vs, |a| m.add(m.reduce(a), s)),
-                    AluOp::Sub => vs_into(vrf, scratch, vd, vs, |a| m.sub(m.reduce(a), s)),
-                    AluOp::Mul => vs_into(vrf, scratch, vd, vs, |a| m.mul(m.reduce(a), s)),
+                match (op, e) {
+                    (AluOp::Add, Engine::Native64(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        let s = m.reduce_wide(self.srf[rt]);
+                        vs_into(&mut self.vrf, scratch, vd, vs, |a| {
+                            m.add(lane64(m, a), s) as u128
+                        });
+                        res.clear(vd);
+                    }
+                    (AluOp::Sub, Engine::Native64(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        let s = m.reduce_wide(self.srf[rt]);
+                        vs_into(&mut self.vrf, scratch, vd, vs, |a| {
+                            m.sub(lane64(m, a), s) as u128
+                        });
+                        res.clear(vd);
+                    }
+                    (AluOp::Mul, Engine::Native64(m)) => {
+                        // Shoup: precompute the scalar's quotient once,
+                        // then one widening multiply per lane.
+                        res.flush(&mut self.vrf, vs);
+                        let s = m.reduce_wide(self.srf[rt]);
+                        let s_shoup = m.shoup(s);
+                        vs_into(&mut self.vrf, scratch, vd, vs, |a| {
+                            m.mul_shoup(lane64(m, a), s, s_shoup) as u128
+                        });
+                        res.clear(vd);
+                    }
+                    (AluOp::Add, Engine::Mont128(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        let s = m.reduce(self.srf[rt]);
+                        vs_into(&mut self.vrf, scratch, vd, vs, |a| m.add(m.reduce(a), s));
+                        res.clear(vd);
+                    }
+                    (AluOp::Sub, Engine::Mont128(m)) => {
+                        res.flush(&mut self.vrf, vs);
+                        let s = m.reduce(self.srf[rt]);
+                        vs_into(&mut self.vrf, scratch, vd, vs, |a| m.sub(m.reduce(a), s));
+                        res.clear(vd);
+                    }
+                    (AluOp::Mul, Engine::Mont128(m)) => {
+                        let s = m.reduce(self.srf[rt]);
+                        if m.is_odd() {
+                            // One Montgomery reduction per lane instead
+                            // of the oracle's two: against a resident
+                            // source, s · aR · R^{-1} = s·a directly;
+                            // otherwise hoist the scalar into Montgomery
+                            // form once (sR · a · R^{-1} = s·a).
+                            if res.resident_for(&mut self.vrf, vs, m.value()).is_some() {
+                                vs_into(&mut self.vrf, scratch, vd, vs, |a| m.mont_mul_raw(s, a));
+                            } else {
+                                let s_mont = m.to_mont(s);
+                                vs_into(&mut self.vrf, scratch, vd, vs, |a| {
+                                    m.mont_mul_raw(s_mont, m.reduce(a))
+                                });
+                            }
+                        } else {
+                            res.flush(&mut self.vrf, vs);
+                            vs_into(&mut self.vrf, scratch, vd, vs, |a| m.mul(m.reduce(a), s));
+                        }
+                        res.clear(vd);
+                    }
                 }
                 true
             }
@@ -312,18 +599,64 @@ impl FunctionalSim {
                 vt1,
                 rm,
             } => {
-                let Some(m) = self.fast_modulus(rm) else {
+                let Some(e) = self.fast_modulus(rm) else {
                     return false;
                 };
-                {
-                    let a = &self.vrf[vs];
-                    let b = &self.vrf[vt];
-                    let t = &self.vrf[vt1];
-                    for i in 0..VECTOR_LEN {
-                        let prod = m.mul(m.reduce(b[i]), m.reduce(t[i]));
-                        let ai = m.reduce(a[i]);
-                        scratch[i] = m.add(ai, prod);
-                        scratch2[i] = m.sub(ai, prod);
+                match e {
+                    Engine::Native64(m) => {
+                        res.flush(&mut self.vrf, vs);
+                        res.flush(&mut self.vrf, vt);
+                        res.flush(&mut self.vrf, vt1);
+                        let a = &self.vrf[vs];
+                        let b = &self.vrf[vt];
+                        let t = &self.vrf[vt1];
+                        for i in 0..VECTOR_LEN {
+                            let prod = m.mul(lane64(m, b[i]), lane64(m, t[i]));
+                            let ai = lane64(m, a[i]);
+                            scratch[i] = m.add(ai, prod) as u128;
+                            scratch2[i] = m.sub(ai, prod) as u128;
+                        }
+                    }
+                    Engine::Mont128(m) => {
+                        // The addend is consumed in normal form; the two
+                        // multiplicative sources can be resident.
+                        res.flush(&mut self.vrf, vs);
+                        let q = m.value();
+                        let mut rb = res.resident_for(&mut self.vrf, vt, q);
+                        let mut rt1 = res.resident_for(&mut self.vrf, vt1, q);
+                        if rb.is_none() && rt1.is_none() {
+                            match hint {
+                                PromoteHint::First => {
+                                    res.try_promote(&mut self.vrf, vt, m);
+                                    rb = res.m[vt];
+                                }
+                                PromoteHint::Second => {
+                                    res.try_promote(&mut self.vrf, vt1, m);
+                                    rt1 = res.m[vt1];
+                                }
+                                PromoteHint::None => {}
+                            }
+                        }
+                        let a = &self.vrf[vs];
+                        let b = &self.vrf[vt];
+                        let t = &self.vrf[vt1];
+                        for i in 0..VECTOR_LEN {
+                            let prod = match (rb.is_some(), rt1.is_some()) {
+                                // Both resident: the raw product lands in
+                                // Montgomery form; one more reduction
+                                // brings it back — still no worse than
+                                // the oracle's two.
+                                (true, true) => m.from_mont(m.mont_mul_raw(b[i], t[i])),
+                                // One resident side folds the pair into a
+                                // single reduction.
+                                (true, false) => m.mont_mul_raw(b[i], m.reduce(t[i])),
+                                (false, true) => m.mont_mul_raw(m.reduce(b[i]), t[i]),
+                                (false, false) => m.mul(m.reduce(b[i]), m.reduce(t[i])),
+                            };
+                            let ai = m.reduce(a[i]);
+                            scratch[i] = m.add(ai, prod);
+                            scratch2[i] = m.sub(ai, prod);
+                        }
                     }
                 }
                 // Swap the sum first, the difference second: if vd == vd1
@@ -331,6 +664,8 @@ impl FunctionalSim {
                 // per-lane write order.
                 std::mem::swap(&mut self.vrf[vd], scratch);
                 std::mem::swap(&mut self.vrf[vd1], scratch2);
+                res.clear(vd);
+                res.clear(vd1);
                 true
             }
             DecodedOp::Shuffle { op, vd, vs, vt } => {
@@ -340,12 +675,17 @@ impl FunctionalSim {
                     ShuffleOp::PkLo => ShuffleKind::PkLo,
                     ShuffleOp::PkHi => ShuffleKind::PkHi,
                 };
+                // Shuffles interleave lanes from two registers whose
+                // domains may differ: normalize both.
+                res.flush(&mut self.vrf, vs);
+                res.flush(&mut self.vrf, vt);
                 {
                     let s = &self.vrf[vs];
                     let t = &self.vrf[vt];
                     shuffle_into(s, t, kind, scratch);
                 }
                 std::mem::swap(&mut self.vrf[vd], scratch);
+                res.clear(vd);
                 true
             }
         }
@@ -365,30 +705,41 @@ mod tests {
     use rpu_isa::{parse_asm, MReg, Program};
 
     const Q: u128 = 0xFFFF_FFFF_0000_0001;
+    /// 60-bit NTT prime (2^60 - 2^14 + 1): exercises the native-u64 tier.
+    const Q60: u128 = 1152921504606830593;
 
     fn predecoded(asm: &str) -> PredecodedProgram {
         PredecodedProgram::new(parse_asm("t", asm).unwrap())
     }
 
-    fn seeded_pair(vdm: usize, sdm: usize) -> (FunctionalSim, FunctionalSim) {
+    fn seeded_pair_mod(q: u128, vdm: usize, sdm: usize) -> (FunctionalSim, FunctionalSim) {
         let mut sim = FunctionalSim::new(vdm, sdm);
-        sim.set_mrf(MReg::at(0), Q);
-        let data: Vec<u128> = (0..vdm as u128).map(|i| (i * 0x9E37 + 7) % Q).collect();
+        sim.set_mrf(MReg::at(0), q);
+        let data: Vec<u128> = (0..vdm as u128).map(|i| (i * 0x9E37 + 7) % q).collect();
         sim.write_vdm(0, &data).unwrap();
         let scalars: Vec<u128> = (0..sdm as u128).map(|i| (i * 13 + 97) % 1000).collect();
         sim.write_sdm(0, &scalars).unwrap();
         (sim.clone(), sim)
     }
 
+    fn seeded_pair(vdm: usize, sdm: usize) -> (FunctionalSim, FunctionalSim) {
+        seeded_pair_mod(Q, vdm, sdm)
+    }
+
     /// Runs `asm` through both engines and asserts identical outcomes
     /// and identical full architectural state.
-    fn assert_differential(asm: &str, vdm: usize, sdm: usize) {
-        let (mut interp, mut fast) = seeded_pair(vdm, sdm);
+    fn assert_differential_mod(q: u128, asm: &str, vdm: usize, sdm: usize) {
+        let (mut interp, mut fast) = seeded_pair_mod(q, vdm, sdm);
         let program = predecoded(asm);
         let a = interp.run(program.program());
         let b = fast.run_predecoded(&program);
-        assert_eq!(a, b, "outcomes must match for {asm:?}");
+        assert_eq!(a, b, "outcomes must match for {asm:?} (q={q})");
         assert_state_eq(&interp, &fast, asm);
+    }
+
+    fn assert_differential(asm: &str, vdm: usize, sdm: usize) {
+        assert_differential_mod(Q, asm, vdm, sdm);
+        assert_differential_mod(Q60, asm, vdm, sdm);
     }
 
     fn assert_state_eq(interp: &FunctionalSim, fast: &FunctionalSim, label: &str) {
@@ -482,6 +833,93 @@ mod tests {
     }
 
     #[test]
+    fn montgomery_residency_survives_fanout_chains() {
+        // v0 feeds five multiplies (the domain plan promotes it), the
+        // products are stored, v0 itself is stored and reused in an add:
+        // every conversion boundary in one program, on both tiers.
+        assert_differential(
+            "vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             vmulmod v2, v0, v1, m0\n\
+             vmulmod v3, v0, v2, m0\n\
+             vmulmod v4, v0, v3, m0\n\
+             vmulmod v5, v0, v4, m0\n\
+             vmulmod v6, v0, v5, m0\n\
+             vaddmod v7, v0, v6, m0\n\
+             vsmulmod v8, v0, s1, m0\n\
+             vstore v0, [a0 + 1024], unit\n\
+             vstore v6, [a0 + 2048], unit\n\
+             vstore v7, [a0 + 3072], unit\n",
+            1 << 13,
+            16,
+        );
+    }
+
+    #[test]
+    fn resident_product_chains_match() {
+        // Promote both inputs independently so a resident×resident
+        // product (which itself stays resident) feeds further ops.
+        assert_differential(
+            "vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             vmulmod v2, v0, v1, m0\n\
+             vmulmod v3, v0, v1, m0\n\
+             vmulmod v4, v0, v1, m0\n\
+             vmulmod v5, v1, v0, m0\n\
+             vmulmod v6, v2, v2, m0\n\
+             vstore v2, [a0 + 1024], unit\n\
+             vstore v6, [a0 + 2048], unit\n",
+            1 << 13,
+            16,
+        );
+    }
+
+    #[test]
+    fn mixed_width_moduli_in_one_program_match() {
+        // m0 is seeded with the test modulus; m2 is loaded from SDM slot
+        // 3 (a small value, servicing the native tier). Registers cross
+        // between the two moduli, forcing mismatched-residency flushes.
+        assert_differential(
+            "mload m2, [a0 + 3]\n\
+             vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             vmulmod v2, v0, v1, m0\n\
+             vmulmod v3, v0, v1, m0\n\
+             vmulmod v4, v0, v1, m2\n\
+             vmulmod v5, v0, v1, m0\n\
+             vstore v4, [a0 + 1024], unit\n\
+             vstore v5, [a0 + 2048], unit\n",
+            1 << 13,
+            16,
+        );
+    }
+
+    #[test]
+    fn unreduced_lanes_never_promote() {
+        // VDM holds values far above q: promotion's canonical-lane scan
+        // must refuse (a promote/flush round trip would reduce them),
+        // and results must still match the oracle exactly.
+        let (mut interp, mut fast) = seeded_pair(1 << 13, 16);
+        let huge: Vec<u128> = (0..1024u128).map(|i| u128::MAX - i * 0x1234_5678).collect();
+        interp.write_vdm(0, &huge).unwrap();
+        fast.write_vdm(0, &huge).unwrap();
+        let program = predecoded(
+            "vload v0, [a0 + 0], unit\n\
+             vload v1, [a0 + 512], unit\n\
+             vmulmod v2, v0, v1, m0\n\
+             vmulmod v3, v0, v1, m0\n\
+             vmulmod v4, v0, v1, m0\n\
+             vstore v0, [a0 + 1024], unit\n\
+             vstore v4, [a0 + 2048], unit\n",
+        );
+        interp.run(program.program()).unwrap();
+        fast.run_predecoded(&program).unwrap();
+        assert_state_eq(&interp, &fast, "unreduced lanes");
+        // The store of v0 must write back the original unreduced values.
+        assert_eq!(fast.read_vdm(1024, 512).unwrap(), huge[..512]);
+    }
+
+    #[test]
     fn faults_leave_identical_partial_state() {
         // mid-vector OOB store: lanes before the faulting lane are
         // committed by the oracle; the fast path must match exactly
@@ -513,6 +951,34 @@ mod tests {
             assert!(a.is_err(), "case must fault: {asm:?}");
             assert_eq!(a, b, "fault must match for {asm:?}");
             assert_state_eq(&interp, &fast, asm);
+        }
+    }
+
+    #[test]
+    fn faults_at_conversion_points_leave_identical_partial_state() {
+        // Registers are Montgomery-resident when the store faults: the
+        // fault path must flush them back so the partial state matches
+        // the oracle bit for bit.
+        for q in [Q, Q60] {
+            let vdm = 4 * 512 + 100; // final store's tail is out of bounds
+            let mut interp = FunctionalSim::new(vdm, 16);
+            interp.set_mrf(MReg::at(0), q);
+            let data: Vec<u128> = (0..vdm as u128).map(|i| (i * 31 + 5) % q).collect();
+            interp.write_vdm(0, &data).unwrap();
+            let mut fast = interp.clone();
+            let program = predecoded(
+                "vload v0, [a0 + 0], unit\n\
+                 vload v1, [a0 + 512], unit\n\
+                 vmulmod v2, v0, v1, m0\n\
+                 vmulmod v3, v0, v1, m0\n\
+                 vmulmod v4, v0, v1, m0\n\
+                 vstore v4, [a0 + 2048], unit\n",
+            );
+            let a = interp.run(program.program());
+            let b = fast.run_predecoded(&program);
+            assert!(a.is_err(), "store must fault (q={q})");
+            assert_eq!(a, b, "fault must match (q={q})");
+            assert_state_eq(&interp, &fast, "fault at conversion point");
         }
     }
 

@@ -6,7 +6,7 @@
 //! about cycles; here it validates `rpu-codegen` kernels against
 //! `rpu-ntt`.
 
-use rpu_arith::Modulus128;
+use rpu_arith::Engine;
 use rpu_isa::consts::{NUM_AREGS, NUM_MREGS, NUM_SREGS, NUM_VREGS, VECTOR_LEN};
 use rpu_isa::{AReg, Instruction, MReg, Program, SReg, VReg};
 use std::collections::HashMap;
@@ -146,8 +146,9 @@ pub struct FunctionalSim {
     pub(crate) mrf: [u128; NUM_MREGS],
     pub(crate) vdm: Vec<u128>,
     pub(crate) sdm: Vec<u128>,
-    /// Cache of prepared moduli (Montgomery constants are expensive).
-    pub(crate) modulus_cache: HashMap<u128, Modulus128>,
+    /// Cache of prepared per-modulus arithmetic engines (Montgomery /
+    /// Barrett constants are expensive to derive).
+    pub(crate) modulus_cache: HashMap<u128, Engine>,
 }
 
 impl FunctionalSim {
@@ -322,12 +323,15 @@ impl FunctionalSim {
         Ok(())
     }
 
-    fn modulus(&mut self, rm: MReg, pc: usize) -> Result<Modulus128, ExecError> {
+    fn modulus(&mut self, rm: MReg, pc: usize) -> Result<Engine, ExecError> {
         let value = self.mrf[rm.index() as usize];
         if let Some(m) = self.modulus_cache.get(&value) {
             return Ok(*m);
         }
-        let m = Modulus128::new(value).ok_or(ExecError::InvalidModulus {
+        // Engine::new accepts exactly the Modulus128 range [2, 2^127),
+        // so which engine services a modulus never changes which moduli
+        // fault.
+        let m = Engine::new(value).ok_or(ExecError::InvalidModulus {
             mreg: rm.index(),
             pc,
         })?;
@@ -342,7 +346,13 @@ impl FunctionalSim {
         lane_off: usize,
         pc: usize,
     ) -> Result<usize, ExecError> {
-        let addr = self.arf[base.index() as usize] as usize + offset as usize + lane_off;
+        // An `aload` can plant any u64 in the ARF (the SDM is 128 bits
+        // wide), so the effective address must be computed checked: an
+        // overflowing address is out of bounds by definition and is
+        // reported saturated, never wrapped.
+        let addr = (self.arf[base.index() as usize] as usize)
+            .saturating_add(offset as usize)
+            .saturating_add(lane_off);
         if addr >= self.vdm.len() {
             return Err(ExecError::VdmOutOfBounds {
                 address: addr,
@@ -354,7 +364,7 @@ impl FunctionalSim {
     }
 
     fn sdm_addr(&self, base: AReg, offset: u32, pc: usize) -> Result<usize, ExecError> {
-        let addr = self.arf[base.index() as usize] as usize + offset as usize;
+        let addr = (self.arf[base.index() as usize] as usize).saturating_add(offset as usize);
         if addr >= self.sdm.len() {
             return Err(ExecError::SdmOutOfBounds {
                 address: addr,
@@ -430,32 +440,73 @@ impl FunctionalSim {
                 let addr = self.sdm_addr(base, offset, pc)?;
                 self.arf[rt.index() as usize] = self.sdm[addr] as u64;
             }
-            VAddMod { vd, vs, vt, rm } => {
-                let m = self.modulus(rm, pc)?;
-                self.lanewise_vv(vd, vs, vt, |a, b| m.add(m.reduce(a), m.reduce(b)));
-            }
-            VSubMod { vd, vs, vt, rm } => {
-                let m = self.modulus(rm, pc)?;
-                self.lanewise_vv(vd, vs, vt, |a, b| m.sub(m.reduce(a), m.reduce(b)));
-            }
-            VMulMod { vd, vs, vt, rm } => {
-                let m = self.modulus(rm, pc)?;
-                self.lanewise_vv(vd, vs, vt, |a, b| m.mul(m.reduce(a), m.reduce(b)));
-            }
+            // ALU ops match the engine once per instruction and run a
+            // monomorphized lane loop — per-lane dispatch through the
+            // `Engine` enum would put a branch in front of every reduce
+            // and multiply. Both variants compute identical canonical
+            // results; only the machine arithmetic differs.
+            VAddMod { vd, vs, vt, rm } => match self.modulus(rm, pc)? {
+                Engine::Mont128(m) => {
+                    self.lanewise_vv(vd, vs, vt, |a, b| m.add(m.reduce(a), m.reduce(b)))
+                }
+                Engine::Native64(m) => self.lanewise_vv(vd, vs, vt, |a, b| {
+                    m.add(m.reduce_wide(a), m.reduce_wide(b)) as u128
+                }),
+            },
+            VSubMod { vd, vs, vt, rm } => match self.modulus(rm, pc)? {
+                Engine::Mont128(m) => {
+                    self.lanewise_vv(vd, vs, vt, |a, b| m.sub(m.reduce(a), m.reduce(b)))
+                }
+                Engine::Native64(m) => self.lanewise_vv(vd, vs, vt, |a, b| {
+                    m.sub(m.reduce_wide(a), m.reduce_wide(b)) as u128
+                }),
+            },
+            VMulMod { vd, vs, vt, rm } => match self.modulus(rm, pc)? {
+                Engine::Mont128(m) => {
+                    self.lanewise_vv(vd, vs, vt, |a, b| m.mul(m.reduce(a), m.reduce(b)))
+                }
+                Engine::Native64(m) => self.lanewise_vv(vd, vs, vt, |a, b| {
+                    m.mul(m.reduce_wide(a), m.reduce_wide(b)) as u128
+                }),
+            },
             VSAddMod { vd, vs, rt, rm } => {
-                let m = self.modulus(rm, pc)?;
-                let s = m.reduce(self.srf[rt.index() as usize]);
-                self.lanewise_vs(vd, vs, |a| m.add(m.reduce(a), s));
+                let srf = self.srf[rt.index() as usize];
+                match self.modulus(rm, pc)? {
+                    Engine::Mont128(m) => {
+                        let s = m.reduce(srf);
+                        self.lanewise_vs(vd, vs, |a| m.add(m.reduce(a), s));
+                    }
+                    Engine::Native64(m) => {
+                        let s = m.reduce_wide(srf);
+                        self.lanewise_vs(vd, vs, |a| m.add(m.reduce_wide(a), s) as u128);
+                    }
+                }
             }
             VSSubMod { vd, vs, rt, rm } => {
-                let m = self.modulus(rm, pc)?;
-                let s = m.reduce(self.srf[rt.index() as usize]);
-                self.lanewise_vs(vd, vs, |a| m.sub(m.reduce(a), s));
+                let srf = self.srf[rt.index() as usize];
+                match self.modulus(rm, pc)? {
+                    Engine::Mont128(m) => {
+                        let s = m.reduce(srf);
+                        self.lanewise_vs(vd, vs, |a| m.sub(m.reduce(a), s));
+                    }
+                    Engine::Native64(m) => {
+                        let s = m.reduce_wide(srf);
+                        self.lanewise_vs(vd, vs, |a| m.sub(m.reduce_wide(a), s) as u128);
+                    }
+                }
             }
             VSMulMod { vd, vs, rt, rm } => {
-                let m = self.modulus(rm, pc)?;
-                let s = m.reduce(self.srf[rt.index() as usize]);
-                self.lanewise_vs(vd, vs, |a| m.mul(m.reduce(a), s));
+                let srf = self.srf[rt.index() as usize];
+                match self.modulus(rm, pc)? {
+                    Engine::Mont128(m) => {
+                        let s = m.reduce(srf);
+                        self.lanewise_vs(vd, vs, |a| m.mul(m.reduce(a), s));
+                    }
+                    Engine::Native64(m) => {
+                        let s = m.reduce_wide(srf);
+                        self.lanewise_vs(vd, vs, |a| m.mul(m.reduce_wide(a), s) as u128);
+                    }
+                }
             }
             Bfly {
                 vd,
@@ -465,17 +516,29 @@ impl FunctionalSim {
                 vt1,
                 rm,
             } => {
-                let m = self.modulus(rm, pc)?;
+                let engine = self.modulus(rm, pc)?;
                 // vd = vs + vt1*vt ; vd1 = vs - vt1*vt (CT butterfly).
                 // Read all sources before writing: vd/vd1 may alias them.
                 let a: Vec<u128> = self.vrf[vs.index() as usize].clone();
                 let b: Vec<u128> = self.vrf[vt.index() as usize].clone();
                 let t: Vec<u128> = self.vrf[vt1.index() as usize].clone();
-                for i in 0..VECTOR_LEN {
-                    let prod = m.mul(m.reduce(b[i]), m.reduce(t[i]));
-                    let ai = m.reduce(a[i]);
-                    self.vrf[vd.index() as usize][i] = m.add(ai, prod);
-                    self.vrf[vd1.index() as usize][i] = m.sub(ai, prod);
+                match engine {
+                    Engine::Mont128(m) => {
+                        for i in 0..VECTOR_LEN {
+                            let prod = m.mul(m.reduce(b[i]), m.reduce(t[i]));
+                            let ai = m.reduce(a[i]);
+                            self.vrf[vd.index() as usize][i] = m.add(ai, prod);
+                            self.vrf[vd1.index() as usize][i] = m.sub(ai, prod);
+                        }
+                    }
+                    Engine::Native64(m) => {
+                        for i in 0..VECTOR_LEN {
+                            let prod = m.mul(m.reduce_wide(b[i]), m.reduce_wide(t[i]));
+                            let ai = m.reduce_wide(a[i]);
+                            self.vrf[vd.index() as usize][i] = m.add(ai, prod) as u128;
+                            self.vrf[vd1.index() as usize][i] = m.sub(ai, prod) as u128;
+                        }
+                    }
                 }
             }
             UnpkLo { vd, vs, vt } => self.shuffle(vd, vs, vt, ShuffleKind::UnpkLo),

@@ -26,6 +26,16 @@
 //! interpreter and the fast path is exercised as hard as success
 //! parity.
 //!
+//! Programs are also drawn across two **modulus-width classes**, since
+//! the fast path services them with different arithmetic engines: the
+//! *small* class seeds the MRF/SDM with ≤63-bit primes (tiny towers
+//! plus a 60-bit NTT prime, dispatched to native u64 lanes) and the
+//! *wide* class with 120/126-bit primes (dispatched to 128-bit
+//! Montgomery with register-domain residency, so Montgomery
+//! conversion points sit directly in the fuzzed path). `RPU_FUZZ_WIDTH`
+//! (`small` | `wide` | `both`, default `both`) pins the classes a run
+//! samples — CI's small-prime leg sets `small`.
+//!
 //! The case count defaults to 256 and is tunable with `RPU_FUZZ_CASES`
 //! (a long soak sets thousands); the generic `PROPTEST_CASES` variable
 //! still wins over both when set, since the proptest runner reads it
@@ -36,6 +46,8 @@
 //! the program down (suffix truncation, then single-instruction
 //! deletion) while the divergence still reproduces, and the failure
 //! message carries the minimal reproducer as an assembly listing.
+
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use rpu::isa::{AReg, AddrMode, Instruction, MReg, PredecodedProgram, Program, SReg, VReg};
@@ -51,10 +63,69 @@ const SDM_ELEMS: usize = 64;
 const POISON_LEN: usize = 1024;
 const POISON_BASE: usize = VDM_ELEMS - POISON_LEN;
 
-/// Small valid moduli pre-seeded into `m0..m3` and cycled through the
-/// SDM (so `mload`/`aload` pick up values that keep programs mostly
-/// alive while still exercising invalid-modulus and OOB faults).
-const PRIMES: [u128; 4] = [97, 193, 769, 3329];
+/// ≤63-bit moduli pre-seeded into `m0..m3` and cycled through the SDM
+/// in the **small** width class (so `mload`/`aload` pick up values that
+/// keep programs mostly alive while still exercising invalid-modulus
+/// and OOB faults). The last entry is a 60-bit NTT prime
+/// (2⁶⁰ − 2¹⁴ + 1), so the class reaches the fast path's native-u64
+/// engine with a full-width operand, not just toy towers.
+const SMALL_PRIMES: [u128; 4] = [97, 193, 3329, 1_152_921_504_606_830_593];
+
+/// The two modulus-width classes programs are fuzzed under. They differ
+/// only in which primes seed the MRF/SRF/SDM — the VDM image stays
+/// below 3329 in both, so gather-index safety is identical and the
+/// fault-injection shapes keep their teeth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WidthClass {
+    /// ≤63-bit primes: the fast path uses native u64 lanes.
+    Small,
+    /// 120/126-bit primes: the fast path uses 128-bit Montgomery with
+    /// register-domain residency.
+    Wide,
+}
+
+impl WidthClass {
+    /// Primes seeded into `m0..m3` and cycled through the SDM.
+    fn primes(self) -> &'static [u128; 4] {
+        match self {
+            WidthClass::Small => &SMALL_PRIMES,
+            WidthClass::Wide => {
+                static WIDE: OnceLock<[u128; 4]> = OnceLock::new();
+                WIDE.get_or_init(|| {
+                    let p120 = rpu::arith::find_ntt_prime_chain(120, 2048, 2);
+                    let p126 = rpu::arith::find_ntt_prime_chain(126, 2048, 2);
+                    [p120[0], p120[1], p126[0], p126[1]]
+                })
+            }
+        }
+    }
+}
+
+/// Width classes this run samples: `RPU_FUZZ_WIDTH` set to `small` or
+/// `wide` pins one class (CI's small-prime leg sets `small`); anything
+/// else — including unset — enables both.
+fn enabled_classes() -> &'static [WidthClass] {
+    static CLASSES: OnceLock<Vec<WidthClass>> = OnceLock::new();
+    CLASSES.get_or_init(|| match std::env::var("RPU_FUZZ_WIDTH").as_deref() {
+        Ok("small") => vec![WidthClass::Small],
+        Ok("wide") => vec![WidthClass::Wide],
+        _ => vec![WidthClass::Small, WidthClass::Wide],
+    })
+}
+
+/// Maps a proptest-drawn coin to a width class, respecting
+/// [`enabled_classes`]: with one class pinned the coin is ignored, with
+/// both enabled it picks between them.
+fn class_for(wide: bool) -> WidthClass {
+    let classes = enabled_classes();
+    if classes.len() == 1 {
+        classes[0]
+    } else if wide {
+        WidthClass::Wide
+    } else {
+        WidthClass::Small
+    }
+}
 
 /// splitmix64 — deterministic, seedable, no external dependency.
 struct Rng(u64);
@@ -343,12 +414,15 @@ fn random_shaped_program(seed: u64, len: usize, shape_idx: usize) -> Program {
     p
 }
 
-/// A fully seeded simulator: non-trivial VDM image, SDM holding small
-/// valid primes, `m0..m3` and `s0..s3` preset. The top [`POISON_LEN`]
-/// VDM elements hold out-of-range gather indices (just past the VDM,
-/// and `u128::MAX`) for the fault-injection shape; the rest of the
-/// image stays below 3329, so ordinary gathers never fault on it.
-fn fresh_sim() -> FunctionalSim {
+/// A fully seeded simulator: non-trivial VDM image, SDM holding the
+/// width class's valid primes, `m0..m3` and `s0..s3` preset. The top
+/// [`POISON_LEN`] VDM elements hold out-of-range gather indices (just
+/// past the VDM, and `u128::MAX`) for the fault-injection shape; the
+/// rest of the image stays below 3329 in **both** width classes, so
+/// ordinary gathers never fault on it — wide values reach vector state
+/// only through the SDM (`sload`/`mload`) and the SRF.
+fn fresh_sim(width: WidthClass) -> FunctionalSim {
+    let primes = width.primes();
     let mut sim = FunctionalSim::new(VDM_ELEMS, SDM_ELEMS);
     let mut image: Vec<u128> = (0..VDM_ELEMS as u128)
         .map(|i| (i * 37 + 11) % 3329)
@@ -361,9 +435,9 @@ fn fresh_sim() -> FunctionalSim {
         };
     }
     sim.write_vdm(0, &image).unwrap();
-    let sdm: Vec<u128> = (0..SDM_ELEMS).map(|i| PRIMES[i % PRIMES.len()]).collect();
+    let sdm: Vec<u128> = (0..SDM_ELEMS).map(|i| primes[i % primes.len()]).collect();
     sim.write_sdm(0, &sdm).unwrap();
-    for (i, &q) in PRIMES.iter().enumerate() {
+    for (i, &q) in primes.iter().enumerate() {
         sim.set_mrf(MReg::at(i as u8), q);
         sim.set_srf(SReg::at(i as u8), q / 3);
     }
@@ -383,11 +457,11 @@ fn observable_state(sim: &FunctionalSim) -> (Vec<u128>, Vec<Vec<u128>>, Vec<u128
 /// interpreter vs decode(encode(p)) replay, or a round-trip decode
 /// mismatch — or `None` when all paths agree on the outcome and every
 /// piece of observable state.
-fn divergence(program: &Program) -> Option<String> {
-    let mut interp = fresh_sim();
+fn divergence(program: &Program, width: WidthClass) -> Option<String> {
+    let mut interp = fresh_sim(width);
     let oracle = interp.run(program);
 
-    let mut fast = fresh_sim();
+    let mut fast = fresh_sim(width);
     let fast_out = fast.run_predecoded(&PredecodedProgram::new(program.clone()));
     if oracle != fast_out {
         return Some(format!(
@@ -405,7 +479,7 @@ fn divergence(program: &Program) -> Option<String> {
     if rt.instructions() != program.instructions() {
         return Some("binary round trip decoded different instructions".into());
     }
-    let mut replay = fresh_sim();
+    let mut replay = fresh_sim(width);
     let rt_out = replay.run(&rt);
     if oracle != rt_out {
         return Some(format!(
@@ -542,24 +616,29 @@ fn shrinker_keeps_codependent_pairs() {
 /// error values directly.
 #[test]
 fn gather_fault_shape_faults_with_error_parity() {
-    let mut faults = 0usize;
-    for seed in 0..48u64 {
-        let program = random_shaped_program(seed, 32, GATHER_FAULT_SHAPE);
-        assert!(
-            divergence(&program).is_none(),
-            "seed {seed}: paths diverged on a gather-fault program"
-        );
-        let oracle = fresh_sim().run(&program);
-        let fast = fresh_sim().run_predecoded(&PredecodedProgram::new(program));
-        assert_eq!(oracle, fast, "seed {seed}: typed outcome parity");
-        if oracle.is_err() {
-            faults += 1;
+    for &width in enabled_classes() {
+        let mut faults = 0usize;
+        for seed in 0..48u64 {
+            let program = random_shaped_program(seed, 32, GATHER_FAULT_SHAPE);
+            assert!(
+                divergence(&program, width).is_none(),
+                "seed {seed} ({width:?}): paths diverged on a gather-fault program"
+            );
+            let oracle = fresh_sim(width).run(&program);
+            let fast = fresh_sim(width).run_predecoded(&PredecodedProgram::new(program));
+            assert_eq!(
+                oracle, fast,
+                "seed {seed} ({width:?}): typed outcome parity"
+            );
+            if oracle.is_err() {
+                faults += 1;
+            }
         }
+        assert!(
+            faults >= 8,
+            "gather fault shape ({width:?}) faulted only {faults}/48 times — injection is toothless"
+        );
     }
-    assert!(
-        faults >= 8,
-        "gather fault shape faulted only {faults}/48 times — injection is toothless"
-    );
 }
 
 /// Same contract for the SDM-exhaustion shape: scalar/modulus/address
@@ -567,24 +646,29 @@ fn gather_fault_shape_faults_with_error_parity() {
 /// same typed error) on both execution paths.
 #[test]
 fn sdm_exhaustion_shape_faults_with_error_parity() {
-    let mut faults = 0usize;
-    for seed in 0..48u64 {
-        let program = random_shaped_program(seed, 32, SDM_FAULT_SHAPE);
-        assert!(
-            divergence(&program).is_none(),
-            "seed {seed}: paths diverged on an SDM-exhaustion program"
-        );
-        let oracle = fresh_sim().run(&program);
-        let fast = fresh_sim().run_predecoded(&PredecodedProgram::new(program));
-        assert_eq!(oracle, fast, "seed {seed}: typed outcome parity");
-        if oracle.is_err() {
-            faults += 1;
+    for &width in enabled_classes() {
+        let mut faults = 0usize;
+        for seed in 0..48u64 {
+            let program = random_shaped_program(seed, 32, SDM_FAULT_SHAPE);
+            assert!(
+                divergence(&program, width).is_none(),
+                "seed {seed} ({width:?}): paths diverged on an SDM-exhaustion program"
+            );
+            let oracle = fresh_sim(width).run(&program);
+            let fast = fresh_sim(width).run_predecoded(&PredecodedProgram::new(program));
+            assert_eq!(
+                oracle, fast,
+                "seed {seed} ({width:?}): typed outcome parity"
+            );
+            if oracle.is_err() {
+                faults += 1;
+            }
         }
+        assert!(
+            faults >= 8,
+            "SDM exhaustion shape ({width:?}) faulted only {faults}/48 times — injection is toothless"
+        );
     }
-    assert!(
-        faults >= 8,
-        "SDM exhaustion shape faulted only {faults}/48 times — injection is toothless"
-    );
 }
 
 /// The shrinker keeps working on fault-shape programs: given a
@@ -593,51 +677,57 @@ fn sdm_exhaustion_shape_faults_with_error_parity() {
 /// still agree on exactly.
 #[test]
 fn shrinker_minimizes_fault_injection_reproducers() {
-    let (program, err) = (0..64u64)
-        .find_map(|seed| {
-            let p = random_shaped_program(seed, 32, GATHER_FAULT_SHAPE);
-            let e = fresh_sim().run(&p).err()?;
-            Some((p, e))
-        })
-        .expect("some gather-shape program faults");
-    let same_fault = |p: &Program| fresh_sim().run(p).err().is_some_and(|e| e == err);
-    let minimal = shrink_program(&program, &same_fault);
-    assert!(
-        minimal.instructions().len() <= 4,
-        "shrinker left {} instructions:\n{}",
-        minimal.instructions().len(),
-        minimal.to_asm()
-    );
-    assert!(same_fault(&minimal));
-    // The fast path agrees on the minimal reproducer's typed error too.
-    let fast = fresh_sim().run_predecoded(&PredecodedProgram::new(minimal.clone()));
-    assert_eq!(
-        fast.err(),
-        Some(err),
-        "fast path disagrees on the minimal reproducer:\n{}",
-        minimal.to_asm()
-    );
+    for &width in enabled_classes() {
+        let (program, err) = (0..64u64)
+            .find_map(|seed| {
+                let p = random_shaped_program(seed, 32, GATHER_FAULT_SHAPE);
+                let e = fresh_sim(width).run(&p).err()?;
+                Some((p, e))
+            })
+            .expect("some gather-shape program faults");
+        let same_fault = |p: &Program| fresh_sim(width).run(p).err().is_some_and(|e| e == err);
+        let minimal = shrink_program(&program, &same_fault);
+        assert!(
+            minimal.instructions().len() <= 4,
+            "shrinker ({width:?}) left {} instructions:\n{}",
+            minimal.instructions().len(),
+            minimal.to_asm()
+        );
+        assert!(same_fault(&minimal));
+        // The fast path agrees on the minimal reproducer's typed error too.
+        let fast = fresh_sim(width).run_predecoded(&PredecodedProgram::new(minimal.clone()));
+        assert_eq!(
+            fast.err(),
+            Some(err),
+            "fast path ({width:?}) disagrees on the minimal reproducer:\n{}",
+            minimal.to_asm()
+        );
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
 
     /// Interpreter == fast path == encode/decode round trip, on outcome
-    /// and on all observable state, for random legal programs. On
-    /// divergence, the failure message carries a greedily shrunken
-    /// minimal reproducer instead of the raw random program.
+    /// and on all observable state, for random legal programs in both
+    /// modulus-width classes (native-u64 and Montgomery-residency
+    /// engines). On divergence, the failure message carries a greedily
+    /// shrunken minimal reproducer instead of the raw random program.
     #[test]
     fn three_executions_of_a_random_program_agree(
         seed in any::<u64>(),
         len in 1usize..48,
+        wide in any::<bool>(),
     ) {
+        let width = class_for(wide);
         let program = random_legal_program(seed, len);
-        if let Some(reason) = divergence(&program) {
-            let minimal = shrink_program(&program, &|p| divergence(p).is_some());
-            let final_reason = divergence(&minimal).expect("shrinker preserves failure");
+        if let Some(reason) = divergence(&program, width) {
+            let minimal = shrink_program(&program, &|p| divergence(p, width).is_some());
+            let final_reason =
+                divergence(&minimal, width).expect("shrinker preserves failure");
             prop_assert!(
                 false,
-                "seed {seed:#x}, len {len}: {reason}\n\
+                "seed {seed:#x}, len {len}, width {width:?}: {reason}\n\
                  minimal reproducer ({} of {} instructions, {final_reason}):\n{}",
                 minimal.instructions().len(),
                 len,
@@ -650,11 +740,12 @@ proptest! {
     /// repeatedly with evolving state (nothing may be cached between
     /// runs that depends on a particular VDM size or ARF contents).
     #[test]
-    fn predecoded_programs_are_reusable(seed in any::<u64>()) {
+    fn predecoded_programs_are_reusable(seed in any::<u64>(), wide in any::<bool>()) {
+        let width = class_for(wide);
         let program = random_legal_program(seed, 16);
         let pre = PredecodedProgram::new(program.clone());
-        let mut interp = fresh_sim();
-        let mut fast = fresh_sim();
+        let mut interp = fresh_sim(width);
+        let mut fast = fresh_sim(width);
         for growth in [0usize, 0, 4096] {
             if growth > 0 {
                 interp.ensure_vdm(VDM_ELEMS + growth);

@@ -164,6 +164,17 @@ fn jobs_before_gate_drains(
 ) -> (usize, usize) {
     let gate_tag = Some(gate.index() as u32);
     let other_tag = Some(other.index() as u32);
+    // Every traced dispatch must name the engine its kernel's modulus
+    // width selects — serving batches must not perturb engine choice.
+    for event in events {
+        assert_eq!(
+            event.engine,
+            rpu::EngineKind::for_modulus(event.key.q),
+            "dispatch {} of kernel {:?} reported the wrong engine",
+            event.seq,
+            event.key.op
+        );
+    }
     let gate_total = events.iter().filter(|e| e.tenant == gate_tag).count();
     assert!(
         gate_jobs > 0 && gate_total >= gate_jobs && gate_total % gate_jobs == 0,

@@ -10,9 +10,10 @@
 use proptest::prelude::*;
 use rpu::ntt::rlwe::Splitmix;
 use rpu::{
-    CodegenStyle, DeviceLeveledCiphertext, ElementwiseOp, ElementwiseSpec, LeveledContext,
-    LeveledEvaluator, Rpu, RpuError, SnapshotError,
+    CodegenStyle, DeviceLeveledCiphertext, ElementwiseOp, ElementwiseSpec, EngineKind,
+    LeveledContext, LeveledEvaluator, RingTraceSink, Rpu, RpuError, SnapshotError,
 };
+use std::sync::Arc;
 
 const T: u128 = 65537;
 /// Chain prime width for the leveled restore suite (matches the
@@ -118,12 +119,16 @@ proptest! {
 
 /// A dispatch replayed after restoring into a fresh instance is
 /// bit-exact with the original session's continuation, and the
-/// regenerated kernel cache answers the compile without a miss.
+/// regenerated kernel cache answers the compile without a miss. The
+/// dispatch traces on both sides must also report the *same* arithmetic
+/// engine: the engine is derived from the kernel key, so a restored
+/// session re-pins it deterministically.
 #[test]
 fn dispatch_after_restore_is_bit_exact() {
     let n = rpu::smoke_cap(1024);
     let style = CodegenStyle::Optimized;
-    let rpu = Rpu::builder().build().unwrap();
+    let sink = Arc::new(RingTraceSink::default());
+    let rpu = Rpu::builder().trace(sink.clone()).build().unwrap();
     let mut s = rpu.session();
     let q = s.primes_for(n).unwrap();
     let spec = ElementwiseSpec::new(ElementwiseOp::MulMod, n, q, style);
@@ -135,13 +140,22 @@ fn dispatch_after_restore_is_bit_exact() {
     let out = s.alloc(kernel.output_range().1).unwrap();
     s.dispatch(&kernel, &[ba, bb], &[out]).unwrap();
     let bytes = s.snapshot();
+    let pre_snapshot_engines: Vec<EngineKind> = sink.events().iter().map(|e| e.engine).collect();
+    assert!(!pre_snapshot_engines.is_empty());
+    assert!(
+        pre_snapshot_engines
+            .iter()
+            .all(|&e| e == EngineKind::for_modulus(q)),
+        "traced engine must follow the kernel's modulus width"
+    );
 
     // Continue on the original: a second, different dispatch.
     s.dispatch(&kernel, &[out, bb], &[out]).unwrap();
     let continued = s.download(&out).unwrap();
 
     // Restore elsewhere and replay the same continuation.
-    let rpu2 = Rpu::builder().build().unwrap();
+    let sink2 = Arc::new(RingTraceSink::default());
+    let rpu2 = Rpu::builder().trace(sink2.clone()).build().unwrap();
     let mut s2 = rpu2.session();
     s2.restore(&bytes).unwrap();
     let kernel2 = s2.compile(&spec).unwrap();
@@ -152,6 +166,14 @@ fn dispatch_after_restore_is_bit_exact() {
     );
     s2.dispatch(&kernel2, &[out, bb], &[out]).unwrap();
     assert_eq!(s2.download(&out).unwrap(), continued, "bit-exact replay");
+    let post_restore = sink2.events();
+    assert!(!post_restore.is_empty());
+    for event in &post_restore {
+        assert_eq!(
+            event.engine, pre_snapshot_engines[0],
+            "post-restore dispatches must report the same engine as pre-snapshot"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
